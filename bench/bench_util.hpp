@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Shared helpers for the bench binaries.
+ *
+ * Every bench regenerates one table or figure of the paper: it runs
+ * the workloads through the public API, prints the measured values in
+ * the paper's row/column layout, and prints the paper's reference
+ * numbers beside them so the shape comparison is immediate.
+ */
+
+#ifndef PSI_BENCH_BENCH_UTIL_HPP
+#define PSI_BENCH_BENCH_UTIL_HPP
+
+#include <iostream>
+#include <string>
+
+#include "psi.hpp"
+
+namespace psi {
+namespace bench {
+
+/** Format helper: fixed-point with one decimal. */
+inline std::string
+f1(double v)
+{
+    return stats::fixed(v, 1);
+}
+
+inline std::string
+f2(double v)
+{
+    return stats::fixed(v, 2);
+}
+
+/** Print a section header. */
+inline void
+banner(const std::string &title)
+{
+    std::cout << "\n" << title << "\n"
+              << std::string(title.size(), '~') << "\n";
+}
+
+} // namespace bench
+} // namespace psi
+
+#endif // PSI_BENCH_BENCH_UTIL_HPP

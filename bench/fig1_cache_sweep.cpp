@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Figure 1 and the §4.2 design studies, via the PMMS trace-driven
+ * cache simulator over a WINDOW trace (as in the paper):
+ *
+ *  - performance improvement ratio (Tnc/Tc - 1) * 100 as cache
+ *    capacity sweeps from 8 words to 8K words; the paper reports
+ *    saturation near 512 words;
+ *  - one 4K-word set (direct-mapped) versus two sets of the 8K
+ *    production cache, for WINDOW, 8 PUZZLE and BUP (paper: only
+ *    ~3% lower);
+ *  - store-in (write-back) versus store-through (paper: store-in's
+ *    improvement ratio is ~8% higher).
+ */
+
+#include "bench_util.hpp"
+
+using namespace psi;
+using namespace psi::bench;
+
+namespace {
+
+/** Collect a memory trace of @p id; returns steps via @p steps. */
+std::vector<MemEvent>
+traceOf(const std::string &id, std::uint64_t &steps)
+{
+    const auto &p = programs::programById(id);
+    interp::Engine eng;
+    eng.consult(p.source);
+    tools::Collector col;
+    eng.mem().setTraceSink(nullptr);  // only memory events needed
+    std::vector<MemEvent> mem;
+    eng.mem().setTraceSink(&mem);
+    auto r = eng.solve(p.query);
+    eng.mem().setTraceSink(nullptr);
+    steps = r.steps;
+    return mem;
+}
+
+} // namespace
+
+int
+main()
+{
+    // ---- Figure 1: capacity sweep over the WINDOW trace -------------
+    std::uint64_t steps = 0;
+    std::vector<MemEvent> trace = traceOf("window3", steps);
+    tools::Pmms pmms(trace, steps);
+
+    banner("Figure 1: performance improvement ratio vs cache capacity "
+           "(WINDOW trace)");
+    Table t("improvement = (Tnc/Tc - 1) * 100   [paper: saturates "
+            "near 512 words]");
+    t.setHeader({"capacity(words)", "hit %", "improvement %"});
+    for (std::uint32_t cap :
+         {8u, 16u, 32u, 64u, 128u, 256u, 512u, 1024u, 2048u, 4096u,
+          8192u}) {
+        auto r = pmms.replay([cap] {
+            CacheConfig c = CacheConfig::psi();
+            c.capacityWords = cap;
+            return c;
+        }());
+        t.addRow({std::to_string(cap), f1(r.hitPct),
+                  f1(r.improvementPct)});
+    }
+    t.print(std::cout);
+
+    // ---- one set (4K direct-mapped) vs two sets (8K) ------------------
+    banner("Direct-mapped 4K x 1 set vs 8K x 2 sets "
+           "(paper: one set only ~3% lower)");
+    Table t2("improvement ratios (%)");
+    t2.setHeader({"program", "2 sets 8K", "1 set 4K", "delta"});
+    for (const char *id : {"window3", "puzzle8", "bup3"}) {
+        std::uint64_t s = 0;
+        std::vector<MemEvent> tr = traceOf(id, s);
+        tools::Pmms pm(tr, s);
+        CacheConfig two = CacheConfig::psi();
+        CacheConfig one = CacheConfig::psi();
+        one.capacityWords = 4096;
+        one.ways = 1;
+        auto r2 = pm.replay(two);
+        auto r1 = pm.replay(one);
+        t2.addRow({id, f1(r2.improvementPct), f1(r1.improvementPct),
+                   f1(r2.improvementPct - r1.improvementPct)});
+    }
+    t2.print(std::cout);
+
+    // ---- store-in vs store-through -------------------------------------
+    banner("Store-in vs store-through (paper: store-in ~8% higher "
+           "improvement ratio)");
+    Table t3("improvement ratios (%) on the WINDOW trace");
+    t3.setHeader({"policy", "hit %", "improvement %"});
+    CacheConfig in_cfg = CacheConfig::psi();
+    CacheConfig thr_cfg = CacheConfig::psi();
+    thr_cfg.storeIn = false;
+    auto rin = pmms.replay(in_cfg);
+    auto rthr = pmms.replay(thr_cfg);
+    t3.addRow({"store-in", f1(rin.hitPct), f1(rin.improvementPct)});
+    t3.addRow({"store-through", f1(rthr.hitPct),
+               f1(rthr.improvementPct)});
+    t3.addRow({"difference", "",
+               f1(rin.improvementPct - rthr.improvementPct)});
+    t3.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * §3.1 / §2.3: LIPS throughput measurement (google-benchmark).
+ *
+ * Measures both the model-clock LIPS (the paper's 30K-LIPS target
+ * for the PSI, derived from the 200 ns microcycle) and the host
+ * wall-clock simulation throughput of the two engines on the
+ * canonical nreverse workload.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "psi.hpp"
+
+namespace {
+
+using namespace psi;
+
+const programs::BenchProgram &
+nrev()
+{
+    return programs::programById("nreverse30");
+}
+
+void
+BM_PsiNreverse(benchmark::State &state)
+{
+    interp::Engine eng;
+    eng.consult(nrev().source);
+    std::uint64_t inferences = 0;
+    double model_lips = 0.0;
+    for (auto _ : state) {
+        auto r = eng.solve(nrev().query);
+        benchmark::DoNotOptimize(r.solutions);
+        inferences += r.inferences;
+        model_lips = r.lips();
+    }
+    state.counters["model_KLIPS"] = model_lips / 1e3;
+    state.counters["host_LIPS"] = benchmark::Counter(
+        static_cast<double>(inferences), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PsiNreverse);
+
+void
+BM_BaselineNreverse(benchmark::State &state)
+{
+    baseline::WamEngine eng;
+    eng.consult(nrev().source);
+    std::uint64_t inferences = 0;
+    double model_lips = 0.0;
+    for (auto _ : state) {
+        auto r = eng.solve(nrev().query);
+        benchmark::DoNotOptimize(r.solutions);
+        inferences += r.inferences;
+        model_lips = r.lips();
+    }
+    state.counters["model_KLIPS"] = model_lips / 1e3;
+    state.counters["host_LIPS"] = benchmark::Counter(
+        static_cast<double>(inferences), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BaselineNreverse);
+
+void
+BM_PsiQueens(benchmark::State &state)
+{
+    const auto &p = programs::programById("queens1");
+    interp::Engine eng;
+    eng.consult(p.source);
+    std::uint64_t inferences = 0;
+    for (auto _ : state) {
+        auto r = eng.solve(p.query);
+        benchmark::DoNotOptimize(r.solutions);
+        inferences += r.inferences;
+    }
+    state.counters["host_LIPS"] = benchmark::Counter(
+        static_cast<double>(inferences), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PsiQueens);
+
+void
+BM_PsiUnifyHeavy(benchmark::State &state)
+{
+    const auto &p = programs::programById("bup2");
+    interp::Engine eng;
+    eng.consult(p.source);
+    for (auto _ : state) {
+        auto r = eng.solve(p.query);
+        benchmark::DoNotOptimize(r.solutions);
+    }
+}
+BENCHMARK(BM_PsiUnifyHeavy);
+
+void
+BM_CacheHit(benchmark::State &state)
+{
+    Cache cache(CacheConfig::psi());
+    cache.access(CacheCmd::Read, Area::Heap, 64);
+    std::uint64_t sink = 0;
+    for (auto _ : state)
+        sink += cache.access(CacheCmd::Read, Area::Heap, 64);
+    benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_CacheHit);
+
+void
+BM_CacheMissStream(benchmark::State &state)
+{
+    Cache cache(CacheConfig::psi());
+    std::uint32_t addr = 0;
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        sink += cache.access(CacheCmd::Read, Area::Heap, addr);
+        addr += 9216;  // always a fresh block
+    }
+    benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_CacheMissStream);
+
+void
+BM_ReaderThroughput(benchmark::State &state)
+{
+    const std::string text = programs::programById("bup1").source;
+    std::size_t bytes = 0;
+    for (auto _ : state) {
+        kl0::Program p;
+        p.consult(text);
+        benchmark::DoNotOptimize(p.clauseCount());
+        bytes += text.size();
+    }
+    state.counters["MB_per_s"] = benchmark::Counter(
+        static_cast<double>(bytes) / 1e6, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ReaderThroughput);
+
+void
+BM_UnifyDeepTerm(benchmark::State &state)
+{
+    interp::Engine eng;
+    eng.consult("eq(X, X).");
+    std::string t = "g(0)";
+    for (int i = 0; i < 8; ++i)
+        t = "h(" + t + "," + t + ")";
+    const std::string q = "eq(" + t + ", " + t + ")";
+    for (auto _ : state) {
+        auto r = eng.solve(q);
+        benchmark::DoNotOptimize(r.steps);
+    }
+}
+BENCHMARK(BM_UnifyDeepTerm);
+
+} // namespace
+
+BENCHMARK_MAIN();

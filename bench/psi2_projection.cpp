@@ -1,0 +1,70 @@
+/**
+ * @file
+ * A projection of the PSI-II redesign the paper's conclusion
+ * announces ("we have been redesigning the PSI hardware and
+ * improving the instruction code suitable for the compile time
+ * optimization"), assembled from this evaluation's own findings:
+ *
+ *  - clause selection by first-argument dispatch (the
+ *    compile-time-optimization direction; Table 1 discussion);
+ *  - a reduced cache: Figure 1 shows the improvement saturating
+ *    near 512 words and one set costing only ~3%, so the projection
+ *    uses a 4K-word direct-mapped store-in cache.
+ *
+ * The bench compares the measured PSI against this projection on
+ * the Table 1 programs.  (The real PSI-II, reported at SLP'87,
+ * gained ~3-5x mostly from a compiled instruction set, beyond this
+ * model's scope.)
+ */
+
+#include "bench_util.hpp"
+
+using namespace psi;
+using namespace psi::bench;
+
+namespace {
+
+double
+runMs(const programs::BenchProgram &p, const CacheConfig &cache,
+      const interp::FirmwareOptions &fw)
+{
+    interp::Engine eng(cache, fw);
+    eng.consult(p.source);
+    auto r = eng.solve(p.query);
+    if (!r.succeeded())
+        fatal("workload ", p.id, " failed");
+    return static_cast<double>(r.timeNs) / 1e6;
+}
+
+} // namespace
+
+int
+main()
+{
+    CacheConfig psi2_cache = CacheConfig::psi();
+    psi2_cache.capacityWords = 4096;
+    psi2_cache.ways = 1;
+    interp::FirmwareOptions psi2_fw;
+    psi2_fw.firstArgIndexing = true;
+
+    Table t("PSI (measured) vs PSI-II projection "
+            "(4K direct-mapped cache + first-arg dispatch)");
+    t.setHeader({"program", "PSI ms", "PSI-II ms", "speedup"});
+
+    for (const auto &p : programs::table1Programs()) {
+        if (p.id == "lisp_tarai")
+            continue;  // minutes-long; shape shown by the others
+        double t_psi = runMs(p, CacheConfig::psi(),
+                             interp::FirmwareOptions());
+        double t_psi2 = runMs(p, psi2_cache, psi2_fw);
+        t.addRow({p.title, f2(t_psi), f2(t_psi2),
+                  f2(t_psi / t_psi2)});
+    }
+    t.print(std::cout);
+    std::cout << "\nThe projection keeps pace with a quarter of the "
+                 "cache and gains a few\npercent from dispatch - the "
+                 "evaluation's conclusion that the 8K cache is\n"
+                 "reducible and the instruction code is the real "
+                 "lever.\n";
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Table 2: execution step ratios of each component module of the
+ * firmware interpreter (%), for WINDOW, 8 PUZZLE, BUP and
+ * HARMONIZER.
+ */
+
+#include "bench_util.hpp"
+
+namespace {
+
+struct Row
+{
+    const char *label;
+    const char *id;
+    // Paper reference: control, unify, trail, get_arg, cut, built.
+    double paper[6];
+};
+
+const Row kRows[] = {
+    {"window", "window2", {31.1, 17.1, 2.0, 13.6, 10.0, 26.2}},
+    {"8 puzzle", "puzzle8", {27.5, 11.0, 7.5, 22.7, 0.0, 31.3}},
+    {"BUP", "bup3", {22.3, 43.0, 4.7, 5.2, 5.6, 19.2}},
+    {"harmonizer", "harmonizer3", {25.5, 46.4, 5.4, 7.3, 4.0, 11.0}},
+};
+
+} // namespace
+
+int
+main()
+{
+    using namespace psi;
+    using namespace psi::bench;
+    using micro::Module;
+
+    Table t("Table 2: execution step ratios of firmware modules (%) "
+            "(measured | paper)");
+    t.setHeader({"program", "control", "unify", "trail", "get_arg",
+                 "cut", "built"});
+
+    for (const Row &row : kRows) {
+        PsiRun run = runOnPsi(programs::programById(row.id));
+        const auto &s = run.seq;
+        std::uint64_t total = s.totalSteps();
+
+        auto cell = [&](Module m, double paper) {
+            double v = stats::pct(
+                s.moduleSteps[static_cast<int>(m)], total);
+            return f1(v) + " | " + f1(paper);
+        };
+        t.addRow({row.label,
+                  cell(Module::Control, row.paper[0]),
+                  cell(Module::Unify, row.paper[1]),
+                  cell(Module::Trail, row.paper[2]),
+                  cell(Module::GetArg, row.paper[3]),
+                  cell(Module::Cut, row.paper[4]),
+                  cell(Module::Built, row.paper[5])});
+    }
+    t.print(std::cout);
+    return 0;
+}

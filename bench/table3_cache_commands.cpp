@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Table 3: execution rate of each cache command in the total
+ * microprogram execution steps (%), for the seven hardware-evaluation
+ * programs.  The paper's headline observations: about one in five
+ * steps carries a memory request; reads outnumber writes roughly
+ * 3:1; the Write-Stack command is 50-75% of all writes.
+ */
+
+#include "bench_util.hpp"
+
+namespace {
+
+struct Row
+{
+    const char *label;
+    const char *id;
+    // Paper: read, write-stack, write, write-total, total.
+    double paper[5];
+};
+
+const Row kRows[] = {
+    {"window-1", "window1", {15.2, 3.5, 1.2, 4.7, 19.9}},
+    {"window-2", "window2", {15.2, 3.0, 1.1, 4.1, 19.7}},
+    {"window-3", "window3", {17.6, 3.9, 1.4, 5.3, 22.8}},
+    {"8 puzzle", "puzzle8", {9.9, 3.2, 2.8, 6.1, 16.0}},
+    {"BUP", "bup3", {15.6, 3.5, 2.2, 5.7, 21.3}},
+    {"harmonizer", "harmonizer3", {15.3, 4.6, 2.2, 6.8, 22.1}},
+    {"LCP", "lcp3", {17.0, 3.9, 2.2, 6.1, 23.1}},
+};
+
+} // namespace
+
+int
+main()
+{
+    using namespace psi;
+    using namespace psi::bench;
+
+    Table t("Table 3: execution rate of cache commands per "
+            "microprogram step (%) (measured | paper)");
+    t.setHeader({"program", "read", "write-stack", "write",
+                 "write-total", "total"});
+
+    for (const Row &row : kRows) {
+        PsiRun run = runOnPsi(programs::programById(row.id));
+        std::uint64_t total = run.seq.totalSteps();
+        auto pct = [&](CacheCmd c) {
+            return stats::pct(
+                run.seq.cacheSteps[static_cast<int>(c)], total);
+        };
+        double rd = pct(CacheCmd::Read);
+        double ws = pct(CacheCmd::WriteStack);
+        double wr = pct(CacheCmd::Write);
+
+        auto cell = [](double v, double paper) {
+            return psi::bench::f1(v) + " | " + psi::bench::f1(paper);
+        };
+        t.addRow({row.label, cell(rd, row.paper[0]),
+                  cell(ws, row.paper[1]), cell(wr, row.paper[2]),
+                  cell(ws + wr, row.paper[3]),
+                  cell(rd + ws + wr, row.paper[4])});
+    }
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Table 5: cache hit ratios of each memory area (%), for the seven
+ * hardware-evaluation programs under the production PSI cache (8K
+ * words, 2 sets, store-in, write-stack).  Paper observations: above
+ * 96% for the applications; lower for window-2/3 because of process
+ * switching and cross-class calls.
+ */
+
+#include "bench_util.hpp"
+
+namespace {
+
+struct Row
+{
+    const char *label;
+    const char *id;
+    // Paper: heap, global, local, control, trail, total.
+    double paper[6];
+};
+
+const Row kRows[] = {
+    {"window-1", "window1", {95.3, 92.8, 98.9, 99.4, 99.6, 96.4}},
+    {"window-2", "window2", {87.2, 90.0, 98.5, 99.3, 95.2, 91.9}},
+    {"window-3", "window3", {84.5, 92.8, 97.4, 98.6, 98.7, 90.7}},
+    {"8 puzzle", "puzzle8", {99.2, 99.4, 99.6, 99.2, 97.7, 99.3}},
+    {"BUP", "bup3", {98.2, 96.8, 99.0, 93.2, 99.7, 98.0}},
+    {"harmonizer", "harmonizer3", {98.1, 98.4, 99.4, 98.2, 97.9, 98.4}},
+    {"LCP", "lcp3", {95.7, 93.8, 99.2, 99.1, 98.6, 96.2}},
+};
+
+} // namespace
+
+int
+main()
+{
+    using namespace psi;
+    using namespace psi::bench;
+
+    Table t("Table 5: cache hit ratios of each memory area (%) "
+            "(measured | paper)");
+    t.setHeader({"program", "heap", "global", "local", "control",
+                 "trail", "total"});
+
+    for (const Row &row : kRows) {
+        PsiRun run = runOnPsi(programs::programById(row.id));
+        std::vector<std::string> cells{row.label};
+        for (int a = 0; a < kNumAreas; ++a) {
+            double v = run.cache.areaHitPct(static_cast<Area>(a));
+            cells.push_back(f1(v) + " | " + f1(row.paper[a]));
+        }
+        cells.push_back(f1(run.cache.totalHitPct()) + " | " +
+                        f1(row.paper[5]));
+        t.addRow(cells);
+    }
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Table 6: dynamic frequency of work-file access modes in the
+ * source-1 / source-2 / destination microinstruction fields,
+ * measured with the MAP pattern analyzer over a BUP trace (as in
+ * the paper).  Key paper observations: direct modes are >= 90% of WF
+ * accesses; source 2 can only address the dual-ported WF00-0F; the
+ * base-relative @PDR/CDR mode is rarer than expected; @WFAR2 and
+ * @WFCBR are nearly unused.
+ */
+
+#include "bench_util.hpp"
+
+using namespace psi;
+using namespace psi::bench;
+
+namespace {
+
+struct ModeRow
+{
+    micro::WfMode mode;
+    // Paper: src1 %ofWF, src1 %ofSteps, src2 %ofWF, src2 %ofSteps,
+    //        dest %ofWF, dest %ofSteps (-1 = not applicable).
+    double paper[6];
+};
+
+const ModeRow kModes[] = {
+    {micro::WfMode::Direct00_0F, {12.2, 6.9, 100.0, 29.1, 33.0, 12.1}},
+    {micro::WfMode::Direct10_3F, {58.5, 33.0, -1, -1, 63.6, 23.3}},
+    {micro::WfMode::Constant, {23.0, 13.0, -1, -1, -1, -1}},
+    {micro::WfMode::BaseRelPdrCdr, {1.3, 0.8, -1, -1, 0.3, 0.1}},
+    {micro::WfMode::IndWfar1, {4.6, 2.6, -1, -1, 2.8, 1.0}},
+    {micro::WfMode::IndWfar2, {0.07, 0.04, -1, -1, 0.3, 0.1}},
+    {micro::WfMode::IndWfcbr, {0.3, 0.2, -1, -1, 0.0, 0.0}},
+};
+
+std::string
+cell(double measured, double paper)
+{
+    if (paper < 0)
+        return f1(measured);
+    return f1(measured) + " | " + f1(paper);
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto &p = programs::programById("bup3");
+    interp::Engine eng;
+    eng.consult(p.source);
+    tools::Collector col;
+    auto r = tools::collectRun(eng, col, p.query);
+    tools::Map map(col.steps());
+    std::uint64_t total = map.totalSteps();
+    (void)r;
+
+    Table t("Table 6: dynamic frequency of work-file access modes "
+            "(%), BUP (measured | paper; %ofWF / %ofSteps)");
+    t.setHeader({"access mode", "src1 %WF", "src1 %steps",
+                 "src2 %WF", "src2 %steps", "dest %WF",
+                 "dest %steps"});
+
+    using micro::WfField;
+    std::uint64_t wf1 = map.wfFieldAccesses(WfField::Source1);
+    std::uint64_t wf2 = map.wfFieldAccesses(WfField::Source2);
+    std::uint64_t wfd = map.wfFieldAccesses(WfField::Dest);
+
+    for (const ModeRow &m : kModes) {
+        auto n1 = map.wfMode(WfField::Source1, m.mode);
+        auto n2 = map.wfMode(WfField::Source2, m.mode);
+        auto nd = map.wfMode(WfField::Dest, m.mode);
+        t.addRow({micro::wfModeName(m.mode),
+                  cell(stats::pct(n1, wf1), m.paper[0]),
+                  cell(stats::pct(n1, total), m.paper[1]),
+                  cell(stats::pct(n2, wf2), m.paper[2]),
+                  cell(stats::pct(n2, total), m.paper[3]),
+                  cell(stats::pct(nd, wfd), m.paper[4]),
+                  cell(stats::pct(nd, total), m.paper[5])});
+    }
+    t.addSeparator();
+    t.addRow({"total", "100",
+              cell(stats::pct(wf1, total), 56.4), "100",
+              cell(stats::pct(wf2, total), 29.1), "100",
+              cell(stats::pct(wfd, total), 36.6)});
+    t.print(std::cout);
+    return 0;
+}

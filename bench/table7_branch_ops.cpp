@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Table 7: dynamic frequency of the branch operations in the
+ * microprogram steps (%), for BUP, WINDOW and 8 PUZZLE, measured
+ * with the MAP pattern analyzer.  Paper observations: 77-83% of all
+ * steps carry a branch operation; conditional branches are 35-39%;
+ * tag-based multi-way branches 13-14%; indirect @jr branches are
+ * rare.
+ */
+
+#include "bench_util.hpp"
+
+using namespace psi;
+using namespace psi::bench;
+
+namespace {
+
+struct OpRow
+{
+    micro::BranchOp op;
+    double paper[3];  ///< BUP, window, 8 puzzle
+};
+
+const OpRow kOps[] = {
+    {micro::BranchOp::T1Nop, {7.2, 6.7, 4.8}},
+    {micro::BranchOp::T1CondTrue, {16.0, 16.5, 12.1}},
+    {micro::BranchOp::T1CondFalse, {19.2, 17.0, 20.3}},
+    {micro::BranchOp::T1TagCmp, {2.7, 5.2, 3.1}},
+    {micro::BranchOp::T1CaseTag, {10.9, 8.6, 9.1}},
+    {micro::BranchOp::T1CaseIrn, {2.8, 4.6, 4.9}},
+    {micro::BranchOp::T1CaseIrOpcode, {0.5, 1.4, 1.5}},
+    {micro::BranchOp::T1Goto, {3.7, 1.4, 2.7}},
+    {micro::BranchOp::T1Gosub, {4.0, 5.7, 6.5}},
+    {micro::BranchOp::T1Return, {3.8, 5.4, 6.5}},
+    {micro::BranchOp::T1LoadJr, {0.8, 0.4, 0.7}},
+    {micro::BranchOp::T1GotoJr, {1.4, 0.6, 0.7}},
+    {micro::BranchOp::T2Nop, {9.6, 7.8, 7.7}},
+    {micro::BranchOp::T2Goto, {10.9, 11.7, 15.2}},
+    {micro::BranchOp::T3Nop, {6.5, 7.0, 4.2}},
+    {micro::BranchOp::T3GotoCjr, {0.0, 0.04, 0.05}},
+};
+
+} // namespace
+
+int
+main()
+{
+    const char *ids[3] = {"bup3", "window2", "puzzle8"};
+    std::vector<tools::Map> maps;
+    for (const char *id : ids) {
+        const auto &p = programs::programById(id);
+        interp::Engine eng;
+        eng.consult(p.source);
+        tools::Collector col;
+        tools::collectRun(eng, col, p.query);
+        maps.emplace_back(col.steps());
+    }
+
+    Table t("Table 7: dynamic frequency of branch operations (%) "
+            "(measured | paper)");
+    t.setHeader({"operation", "BUP", "window", "8 puzzle"});
+    for (const OpRow &row : kOps) {
+        std::vector<std::string> cells{micro::branchOpName(row.op)};
+        for (int i = 0; i < 3; ++i) {
+            cells.push_back(f1(maps[i].branchPct(row.op)) + " | " +
+                            f1(row.paper[i]));
+        }
+        t.addRow(cells);
+    }
+
+    t.addSeparator();
+    std::vector<std::string> non_nop{"non-nop total"};
+    for (int i = 0; i < 3; ++i) {
+        double nops = maps[i].branchPct(micro::BranchOp::T1Nop) +
+                      maps[i].branchPct(micro::BranchOp::T2Nop) +
+                      maps[i].branchPct(micro::BranchOp::T3Nop);
+        double paper_nops =
+            kOps[0].paper[i] + kOps[12].paper[i] + kOps[14].paper[i];
+        non_nop.push_back(f1(100.0 - nops) + " | " +
+                          f1(100.0 - paper_nops));
+    }
+    t.addRow(non_nop);
+    t.print(std::cout);
+    return 0;
+}

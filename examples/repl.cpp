@@ -1,0 +1,121 @@
+/**
+ * @file
+ * An interactive KL0 top level running on the PSI machine model.
+ *
+ *     $ ./examples/repl [program.pl ...]
+ *
+ * Commands:
+ *     ?- Goal.         run a query (up to 10 solutions printed);
+ *                      a line without a trailing '.' is also a query
+ *     Clause.          lines ending in '.' (without the ?- prefix)
+ *                      are consulted as clauses
+ *     :stats           print machine statistics of the last query
+ *     :list name/arity disassemble a predicate's instruction code
+ *     :quit            exit
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "psi.hpp"
+#include "tools/disasm.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace psi;
+
+    interp::Engine machine;
+    interp::RunResult last;
+    machine.consult(programs::librarySource());
+
+    for (int i = 1; i < argc; ++i) {
+        std::ifstream in(argv[i]);
+        if (!in) {
+            std::cerr << "cannot open " << argv[i] << "\n";
+            return 1;
+        }
+        std::stringstream ss;
+        ss << in.rdbuf();
+        try {
+            machine.consult(ss.str());
+            std::cout << "% consulted " << argv[i] << "\n";
+        } catch (const FatalError &e) {
+            std::cerr << "error in " << argv[i] << ": " << e.what()
+                      << "\n";
+            return 1;
+        }
+    }
+
+    std::cout << "PSI machine model top level (':quit' to exit)\n";
+    std::string line;
+    while (std::cout << "| ?- " << std::flush &&
+           std::getline(std::cin, line)) {
+        if (line == ":quit" || line == ":q")
+            break;
+        if (line.rfind(":list ", 0) == 0) {
+            std::string spec = line.substr(6);
+            auto slash = spec.rfind('/');
+            if (slash == std::string::npos) {
+                std::cout << "usage: :list name/arity\n";
+                continue;
+            }
+            std::string name = spec.substr(0, slash);
+            std::uint32_t arity = static_cast<std::uint32_t>(
+                std::atoi(spec.c_str() + slash + 1));
+            tools::PsiDisasm dis(machine);
+            std::string listing = dis.predicate(name, arity);
+            std::cout << (listing.empty() ? "undefined predicate\n"
+                                          : listing);
+            continue;
+        }
+        if (line == ":stats") {
+            std::cout << "inferences=" << last.inferences
+                      << " steps=" << last.steps
+                      << " time=" << last.timeNs / 1e6 << "ms"
+                      << " lips=" << last.lips() << "\n";
+            const CacheStats &cs = machine.mem().cache().stats();
+            std::cout << "cache: accesses=" << cs.totalAccesses()
+                      << " hit%=" << cs.totalHitPct() << "\n";
+            continue;
+        }
+        if (line.empty())
+            continue;
+
+        // Lines ending in '.' without the ?- prefix are clauses;
+        // everything else is a query.
+        try {
+            std::string trimmed = line;
+            while (!trimmed.empty() && trimmed.back() == ' ')
+                trimmed.pop_back();
+            if (trimmed.rfind("?-", 0) != 0 && !trimmed.empty() &&
+                trimmed.back() == '.') {
+                machine.consult(trimmed);
+                std::cout << "ok\n";
+                continue;
+            }
+            std::string q = line;
+            if (q.rfind("?-", 0) == 0)
+                q = q.substr(2);
+            while (!q.empty() && (q.back() == '.' || q.back() == ' '))
+                q.pop_back();
+
+            interp::RunLimits lim;
+            lim.maxSolutions = 10;
+            last = machine.solve(q, lim);
+            if (!last.output.empty())
+                std::cout << last.output;
+            if (last.solutions.empty()) {
+                std::cout << "no\n";
+            } else {
+                for (const auto &s : last.solutions)
+                    std::cout << s.str() << "\n";
+                std::cout << "yes\n";
+            }
+        } catch (const FatalError &e) {
+            std::cout << "error: " << e.what() << "\n";
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,36 @@
+#include "base/logging.hpp"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace psi {
+namespace detail {
+
+[[noreturn]] void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "panic: " << msg << " (" << file << ":" << line << ")"
+              << std::endl;
+    std::abort();
+}
+
+[[noreturn]] void
+fatalImpl(const std::string &msg)
+{
+    throw FatalError(msg);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    std::cerr << "warn: " << msg << std::endl;
+}
+
+void
+informImpl(const std::string &msg)
+{
+    std::cerr << "info: " << msg << std::endl;
+}
+
+} // namespace detail
+} // namespace psi

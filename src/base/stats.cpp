@@ -1,0 +1,67 @@
+#include "base/stats.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace psi {
+namespace stats {
+
+void
+Group::add(const std::string &key, std::uint64_t n)
+{
+    auto it = _values.find(key);
+    if (it == _values.end()) {
+        _values.emplace(key, n);
+        _order.push_back(key);
+    } else {
+        it->second += n;
+    }
+}
+
+std::uint64_t
+Group::get(const std::string &key) const
+{
+    auto it = _values.find(key);
+    return it == _values.end() ? 0 : it->second;
+}
+
+std::uint64_t
+Group::total() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &kv : _values)
+        sum += kv.second;
+    return sum;
+}
+
+void
+Group::reset()
+{
+    _values.clear();
+    _order.clear();
+}
+
+double
+pct(std::uint64_t num, std::uint64_t den)
+{
+    return den == 0 ? 0.0 : 100.0 * static_cast<double>(num) /
+                            static_cast<double>(den);
+}
+
+double
+ratio(std::uint64_t num, std::uint64_t den)
+{
+    return den == 0 ? 0.0 : static_cast<double>(num) /
+                            static_cast<double>(den);
+}
+
+std::string
+fixed(double v, int prec)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(prec) << v;
+    return os.str();
+}
+
+} // namespace stats
+} // namespace psi

@@ -1,0 +1,95 @@
+#include "base/strutil.hpp"
+
+#include <cctype>
+
+namespace psi {
+namespace strutil {
+
+std::vector<std::string>
+split(const std::string &s, char sep)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : s) {
+        if (c == sep) {
+            out.push_back(cur);
+            cur.clear();
+        } else {
+            cur.push_back(c);
+        }
+    }
+    out.push_back(cur);
+    return out;
+}
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+std::string
+join(const std::vector<std::string> &parts, const std::string &sep)
+{
+    std::string out;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i)
+            out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+bool
+startsWith(const std::string &s, const std::string &prefix)
+{
+    return s.size() >= prefix.size() &&
+           s.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::string
+padLeft(const std::string &s, std::size_t w)
+{
+    return s.size() >= w ? s : std::string(w - s.size(), ' ') + s;
+}
+
+std::string
+padRight(const std::string &s, std::size_t w)
+{
+    return s.size() >= w ? s : s + std::string(w - s.size(), ' ');
+}
+
+bool
+atomNeedsQuotes(const std::string &s)
+{
+    if (s.empty())
+        return true;
+    // Solo and symbolic atoms print bare.
+    if (s == "[]" || s == "!" || s == ";" || s == "{}")
+        return false;
+    auto symbolic = [](char c) {
+        return std::string("+-*/\\^<>=~:.?@#&$").find(c) !=
+               std::string::npos;
+    };
+    bool all_symbolic = true;
+    for (char c : s)
+        all_symbolic = all_symbolic && symbolic(c);
+    if (all_symbolic)
+        return false;
+    if (!std::islower(static_cast<unsigned char>(s[0])))
+        return true;
+    for (char c : s) {
+        if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_')
+            return true;
+    }
+    return false;
+}
+
+} // namespace strutil
+} // namespace psi

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Small string helpers shared by the reader, printers and tools.
+ */
+
+#ifndef PSI_BASE_STRUTIL_HPP
+#define PSI_BASE_STRUTIL_HPP
+
+#include <string>
+#include <vector>
+
+namespace psi {
+namespace strutil {
+
+/** Split @p s on @p sep; empty fields are kept. */
+std::vector<std::string> split(const std::string &s, char sep);
+
+/** Strip leading and trailing ASCII whitespace. */
+std::string trim(const std::string &s);
+
+/** Join @p parts with @p sep between elements. */
+std::string join(const std::vector<std::string> &parts,
+                 const std::string &sep);
+
+/** True if @p s starts with @p prefix. */
+bool startsWith(const std::string &s, const std::string &prefix);
+
+/** Left/right pad @p s with spaces to width @p w. */
+std::string padLeft(const std::string &s, std::size_t w);
+std::string padRight(const std::string &s, std::size_t w);
+
+/** True if the atom text needs quoting in canonical output. */
+bool atomNeedsQuotes(const std::string &s);
+
+} // namespace strutil
+} // namespace psi
+
+#endif // PSI_BASE_STRUTIL_HPP

@@ -1,0 +1,83 @@
+#include "base/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "base/logging.hpp"
+#include "base/strutil.hpp"
+
+namespace psi {
+
+void
+Table::setHeader(std::vector<std::string> header)
+{
+    _header = std::move(header);
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    PSI_ASSERT(_header.empty() || row.size() == _header.size(),
+               "row width ", row.size(), " != header width ",
+               _header.size());
+    _rows.push_back(Row{false, std::move(row)});
+}
+
+void
+Table::addSeparator()
+{
+    _rows.push_back(Row{true, {}});
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(_header.size());
+    for (std::size_t i = 0; i < _header.size(); ++i)
+        widths[i] = _header[i].size();
+    for (const auto &row : _rows) {
+        if (row.separator)
+            continue;
+        for (std::size_t i = 0; i < row.cells.size(); ++i)
+            widths[i] = std::max(widths[i], row.cells[i].size());
+    }
+
+    std::size_t line_width = 0;
+    for (std::size_t w : widths)
+        line_width += w + 2;
+
+    os << _title << "\n";
+    os << std::string(line_width, '=') << "\n";
+    if (!_header.empty()) {
+        for (std::size_t i = 0; i < _header.size(); ++i) {
+            os << (i == 0 ? strutil::padRight(_header[i], widths[i])
+                          : strutil::padLeft(_header[i], widths[i]))
+               << "  ";
+        }
+        os << "\n" << std::string(line_width, '-') << "\n";
+    }
+    for (const auto &row : _rows) {
+        if (row.separator) {
+            os << std::string(line_width, '-') << "\n";
+            continue;
+        }
+        for (std::size_t i = 0; i < row.cells.size(); ++i) {
+            // First column (labels) left-aligned, the rest right.
+            os << (i == 0 ? strutil::padRight(row.cells[i], widths[i])
+                          : strutil::padLeft(row.cells[i], widths[i]))
+               << "  ";
+        }
+        os << "\n";
+    }
+    os << std::string(line_width, '=') << "\n";
+}
+
+std::string
+Table::str() const
+{
+    std::ostringstream os;
+    print(os);
+    return os.str();
+}
+
+} // namespace psi

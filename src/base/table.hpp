@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Fixed-width ASCII table printer.
+ *
+ * Every bench binary renders its results with this class so the
+ * output visually matches the row/column layout of the paper's
+ * tables (program name column, one column per measured quantity,
+ * optional paper-reference columns).
+ */
+
+#ifndef PSI_BASE_TABLE_HPP
+#define PSI_BASE_TABLE_HPP
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace psi {
+
+/** Simple column-aligned text table. */
+class Table
+{
+  public:
+    /** @param title caption printed above the table. */
+    explicit Table(std::string title) : _title(std::move(title)) {}
+
+    /** Set the column headers (defines the column count). */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a data row; must match the header width. */
+    void addRow(std::vector<std::string> row);
+
+    /** Append a horizontal separator line. */
+    void addSeparator();
+
+    /** Render to @p os. */
+    void print(std::ostream &os) const;
+
+    /** Render to a string (used by tests). */
+    std::string str() const;
+
+    std::size_t rowCount() const { return _rows.size(); }
+
+  private:
+    struct Row
+    {
+        bool separator = false;
+        std::vector<std::string> cells;
+    };
+
+    std::string _title;
+    std::vector<std::string> _header;
+    std::vector<Row> _rows;
+};
+
+} // namespace psi
+
+#endif // PSI_BASE_TABLE_HPP

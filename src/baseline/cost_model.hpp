@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Timing model of the baseline engine.
+ *
+ * The DEC-2060 no longer exists, so execution time is modelled as a
+ * per-instruction cost table in nanoseconds, anchored to Table 1's
+ * DEC column: nreverse (30) is 496 logical inferences in 9.48 ms,
+ * i.e. ~19.1 us per inference at ~7 abstract instructions per
+ * inference.  Costs are larger for instructions that touch memory or
+ * create control structures, in line with published DEC-10 Prolog
+ * instruction timings (Warren 1977 reports roughly 1.5-4 us per
+ * abstract instruction on the KL-10).  EXPERIMENTS.md records the
+ * calibration.
+ */
+
+#ifndef PSI_BASELINE_COST_MODEL_HPP
+#define PSI_BASELINE_COST_MODEL_HPP
+
+#include <array>
+#include <cstdint>
+
+#include "baseline/wam_instr.hpp"
+#include "kl0/builtin_defs.hpp"
+
+namespace psi {
+namespace baseline {
+
+/** Per-event costs in nanoseconds. */
+struct CostModel
+{
+    /** Cost of each opcode. */
+    std::array<std::uint32_t, static_cast<int>(WOp::NumOps)> op{};
+
+    std::uint32_t tryCost = 0;      ///< choice-point creation
+    std::uint32_t retryCost = 0;    ///< choice-point retry
+    std::uint32_t trustCost = 0;    ///< choice-point removal
+    std::uint32_t indexCost = 0;    ///< switch_on_term dispatch
+    std::uint32_t unifyRecurse = 0; ///< per general-unify node
+    std::uint32_t derefStep = 0;    ///< per dereference hop
+    std::uint32_t trailOp = 0;      ///< per trail push / undo
+    std::uint32_t builtinBase = 0;  ///< builtin call overhead
+    std::uint32_t metaBuiltin = 0;  ///< extra for functor/arg/=../compare
+    std::uint32_t arithNode = 0;    ///< per arithmetic expression node
+    std::uint32_t writeNode = 0;    ///< per written token
+
+    /** The calibrated DEC-2060 model. */
+    static const CostModel &dec2060();
+};
+
+/** Event counters matching the cost model fields. */
+struct CostCounters
+{
+    std::array<std::uint64_t, static_cast<int>(WOp::NumOps)> op{};
+    std::uint64_t tries = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t trusts = 0;
+    std::uint64_t indexes = 0;
+    std::uint64_t unifyNodes = 0;
+    std::uint64_t derefs = 0;
+    std::uint64_t trailOps = 0;
+    std::uint64_t builtinCalls = 0;
+    std::uint64_t metaCalls = 0;
+    std::uint64_t arithNodes = 0;
+    std::uint64_t writeNodes = 0;
+
+    std::uint64_t totalInstr() const;
+    std::uint64_t timeNs(const CostModel &m) const;
+};
+
+} // namespace baseline
+} // namespace psi
+
+#endif // PSI_BASELINE_COST_MODEL_HPP

@@ -1,0 +1,536 @@
+#include "baseline/wam_compiler.hpp"
+
+#include <deque>
+
+#include "base/logging.hpp"
+#include "kl0/builtin_defs.hpp"
+#include "kl0/normalize.hpp"
+
+namespace psi {
+namespace baseline {
+
+namespace {
+
+/** X registers available to the machine (0..15 are argument regs). */
+constexpr std::uint32_t kXRegs = 256;
+constexpr std::uint32_t kScratchX = kXRegs - 1;
+
+bool
+isCutGoal(const kl0::TermPtr &g)
+{
+    return g->isAtom() && g->name() == "!";
+}
+
+bool
+isTrueGoal(const kl0::TermPtr &g)
+{
+    return g->isAtom() && g->name() == "true";
+}
+
+bool
+isUserCall(const kl0::TermPtr &g)
+{
+    if (isCutGoal(g) || isTrueGoal(g))
+        return false;
+    // process_call/2 is compiled into a real Call on the
+    // single-process baseline, so it needs call treatment in the
+    // chunk and environment analysis.
+    if (g->isCallable("process_call", 2) && g->args()[1]->isAtom())
+        return true;
+    return kl0::builtinIndex(g->name(),
+                             static_cast<std::uint32_t>(g->arity())) <
+           0;
+}
+
+} // namespace
+
+WamCompiler::WamCompiler(kl0::SymbolTable &syms) : _syms(&syms) {}
+
+ClauseKey
+WamCompiler::clauseKeyOf(const kl0::TermPtr &head)
+{
+    ClauseKey k;
+    if (head->arity() == 0)
+        return k;
+    const kl0::TermPtr &a = head->args()[0];
+    switch (a->kind()) {
+      case kl0::Term::Kind::Var:
+        k.kind = ClauseKey::Kind::Var;
+        break;
+      case kl0::Term::Kind::Int:
+        k.kind = ClauseKey::Kind::Int;
+        k.data = static_cast<std::uint32_t>(
+            static_cast<std::int32_t>(a->value()));
+        break;
+      case kl0::Term::Kind::Atom:
+        if (a->isNil()) {
+            k.kind = ClauseKey::Kind::Nil;
+        } else {
+            k.kind = ClauseKey::Kind::Const;
+            k.data = 0;  // filled by caller (needs the symbol table)
+        }
+        break;
+      case kl0::Term::Kind::Compound:
+        if (a->isCons()) {
+            k.kind = ClauseKey::Kind::List;
+        } else {
+            k.kind = ClauseKey::Kind::Struct;
+            k.data = 0;  // filled by caller
+        }
+        break;
+    }
+    return k;
+}
+
+void
+WamCompiler::countTerm(const kl0::TermPtr &t, int chunk,
+                       VarMap &vars) const
+{
+    if (t->isVar()) {
+        VarInfo &vi = vars[t->name()];
+        ++vi.count;
+        if (vi.firstChunk < 0)
+            vi.firstChunk = chunk;
+        vi.lastChunk = chunk;
+        return;
+    }
+    for (const auto &a : t->args())
+        countTerm(a, chunk, vars);
+}
+
+void
+WamCompiler::analyzeClause(const kl0::Clause &clause, VarMap &vars,
+                           bool is_query) const
+{
+    int chunk = 0;
+    for (const auto &arg : clause.head->args())
+        countTerm(arg, chunk, vars);
+    for (const auto &goal : clause.body) {
+        for (const auto &arg : goal->args())
+            countTerm(arg, chunk, vars);
+        if (isUserCall(goal))
+            ++chunk;
+    }
+    for (auto &kv : vars) {
+        VarInfo &vi = kv.second;
+        if (is_query && !kv.first.empty() && kv.first[0] != '_' &&
+            kv.first[0] != '$') {
+            vi.pinned = true;
+        }
+        vi.isVoid = vi.count == 1 && !vi.pinned;
+        vi.perm = vi.pinned || vi.firstChunk != vi.lastChunk;
+    }
+}
+
+std::uint32_t
+WamCompiler::freshTemp()
+{
+    if (_tempNext >= kXRegs - 1)
+        fatal("clause needs more than ", kXRegs,
+              " temporary registers");
+    return _tempNext++;
+}
+
+void
+WamCompiler::emitUnifyStream(
+    const kl0::TermPtr &t, VarMap &vars,
+    std::vector<std::pair<std::uint32_t, kl0::TermPtr>> &later)
+{
+    for (const auto &a : t->args()) {
+        switch (a->kind()) {
+          case kl0::Term::Kind::Var: {
+            VarInfo &vi = vars.at(a->name());
+            if (vi.isVoid) {
+                emit(WOp::UnifyVoid, 1);
+            } else if (!vi.seen) {
+                vi.seen = true;
+                if (vi.perm) {
+                    emit(WOp::UnifyVariableY, vi.slot);
+                } else {
+                    vi.slot = freshTemp();
+                    emit(WOp::UnifyVariableX, vi.slot);
+                }
+            } else {
+                emit(vi.perm ? WOp::UnifyValueY : WOp::UnifyValueX,
+                     vi.slot);
+            }
+            break;
+          }
+          case kl0::Term::Kind::Atom:
+            if (a->isNil())
+                emit(WOp::UnifyNil);
+            else
+                emit(WOp::UnifyConstant, _syms->atom(a->name()));
+            break;
+          case kl0::Term::Kind::Int:
+            emit(WOp::UnifyInt,
+                 static_cast<std::uint32_t>(
+                     static_cast<std::int32_t>(a->value())));
+            break;
+          case kl0::Term::Kind::Compound: {
+            std::uint32_t t2 = freshTemp();
+            emit(WOp::UnifyVariableX, t2);
+            later.emplace_back(t2, a);
+            break;
+          }
+        }
+    }
+}
+
+void
+WamCompiler::compileHeadArg(const kl0::TermPtr &arg,
+                            std::uint32_t areg, VarMap &vars)
+{
+    switch (arg->kind()) {
+      case kl0::Term::Kind::Var: {
+        VarInfo &vi = vars.at(arg->name());
+        if (vi.isVoid)
+            return;  // argument register simply ignored
+        if (!vi.seen) {
+            vi.seen = true;
+            if (vi.perm) {
+                emit(WOp::GetVariableY, vi.slot, areg);
+            } else {
+                vi.slot = freshTemp();
+                emit(WOp::GetVariableX, vi.slot, areg);
+            }
+        } else {
+            emit(vi.perm ? WOp::GetValueY : WOp::GetValueX, vi.slot,
+                 areg);
+        }
+        break;
+      }
+      case kl0::Term::Kind::Atom:
+        if (arg->isNil())
+            emit(WOp::GetNil, areg);
+        else
+            emit(WOp::GetConstant, _syms->atom(arg->name()), areg);
+        break;
+      case kl0::Term::Kind::Int:
+        emit(WOp::GetInt,
+             static_cast<std::uint32_t>(
+                 static_cast<std::int32_t>(arg->value())),
+             areg);
+        break;
+      case kl0::Term::Kind::Compound: {
+        std::vector<std::pair<std::uint32_t, kl0::TermPtr>> later;
+        if (arg->isCons()) {
+            emit(WOp::GetList, areg);
+        } else {
+            emit(WOp::GetStruct,
+                 _syms->functor(arg->name(),
+                                static_cast<std::uint32_t>(
+                                    arg->arity())),
+                 areg);
+        }
+        emitUnifyStream(arg, vars, later);
+        // Breadth-first processing of nested compounds.
+        std::size_t i = 0;
+        while (i < later.size()) {
+            auto [reg, sub] = later[i++];
+            if (sub->isCons()) {
+                emit(WOp::GetList, reg);
+            } else {
+                emit(WOp::GetStruct,
+                     _syms->functor(sub->name(),
+                                    static_cast<std::uint32_t>(
+                                        sub->arity())),
+                     reg);
+            }
+            emitUnifyStream(sub, vars, later);
+        }
+        break;
+      }
+    }
+}
+
+void
+WamCompiler::buildCompound(const kl0::TermPtr &t, std::uint32_t reg,
+                           VarMap &vars)
+{
+    // Children first (bottom-up construction).
+    std::vector<std::uint32_t> child_regs(t->arity(), 0);
+    for (std::size_t i = 0; i < t->args().size(); ++i) {
+        if (t->args()[i]->isCompound()) {
+            child_regs[i] = freshTemp();
+            buildCompound(t->args()[i], child_regs[i], vars);
+        }
+    }
+
+    if (t->isCons()) {
+        emit(WOp::PutList, reg);
+    } else {
+        emit(WOp::PutStruct,
+             _syms->functor(t->name(),
+                            static_cast<std::uint32_t>(t->arity())),
+             reg);
+    }
+    for (std::size_t i = 0; i < t->args().size(); ++i) {
+        const kl0::TermPtr &a = t->args()[i];
+        switch (a->kind()) {
+          case kl0::Term::Kind::Var: {
+            VarInfo &vi = vars.at(a->name());
+            if (vi.isVoid) {
+                emit(WOp::SetVoid, 1);
+            } else if (!vi.seen) {
+                vi.seen = true;
+                if (vi.perm) {
+                    emit(WOp::SetVariableY, vi.slot);
+                } else {
+                    vi.slot = freshTemp();
+                    emit(WOp::SetVariableX, vi.slot);
+                }
+            } else {
+                emit(vi.perm ? WOp::SetValueY : WOp::SetValueX,
+                     vi.slot);
+            }
+            break;
+          }
+          case kl0::Term::Kind::Atom:
+            if (a->isNil())
+                emit(WOp::SetNil);
+            else
+                emit(WOp::SetConstant, _syms->atom(a->name()));
+            break;
+          case kl0::Term::Kind::Int:
+            emit(WOp::SetInt,
+                 static_cast<std::uint32_t>(
+                     static_cast<std::int32_t>(a->value())));
+            break;
+          case kl0::Term::Kind::Compound:
+            emit(WOp::SetValueX, child_regs[i]);
+            break;
+        }
+    }
+}
+
+void
+WamCompiler::compileGoalArg(const kl0::TermPtr &arg,
+                            std::uint32_t areg, VarMap &vars)
+{
+    switch (arg->kind()) {
+      case kl0::Term::Kind::Var: {
+        VarInfo &vi = vars.at(arg->name());
+        if (vi.isVoid) {
+            emit(WOp::PutVariableX, kScratchX, areg);
+            return;
+        }
+        if (!vi.seen) {
+            vi.seen = true;
+            if (vi.perm) {
+                emit(WOp::PutVariableY, vi.slot, areg);
+            } else {
+                vi.slot = freshTemp();
+                emit(WOp::PutVariableX, vi.slot, areg);
+            }
+        } else {
+            emit(vi.perm ? WOp::PutValueY : WOp::PutValueX, vi.slot,
+                 areg);
+        }
+        break;
+      }
+      case kl0::Term::Kind::Atom:
+        if (arg->isNil())
+            emit(WOp::PutNil, areg);
+        else
+            emit(WOp::PutConstant, _syms->atom(arg->name()), areg);
+        break;
+      case kl0::Term::Kind::Int:
+        emit(WOp::PutInt,
+             static_cast<std::uint32_t>(
+                 static_cast<std::int32_t>(arg->value())),
+             areg);
+        break;
+      case kl0::Term::Kind::Compound:
+        buildCompound(arg, areg, vars);
+        break;
+    }
+}
+
+std::uint32_t
+WamCompiler::compileClause(const kl0::Clause &clause, bool is_query,
+                           VarMap &vars)
+{
+    _tempNext = 16;
+    analyzeClause(clause, vars, is_query);
+
+    // Does any cut occur after the first user call?
+    bool late_cut = false;
+    {
+        bool seen_call = false;
+        for (const auto &g : clause.body) {
+            if (isUserCall(g))
+                seen_call = true;
+            else if (isCutGoal(g) && seen_call)
+                late_cut = true;
+        }
+    }
+
+    int user_calls = 0;
+    for (const auto &g : clause.body)
+        user_calls += isUserCall(g);
+    bool last_is_user = !clause.body.empty() &&
+                        isUserCall(clause.body.back());
+    bool non_last_user_call =
+        user_calls > (last_is_user && !is_query ? 1 : 0);
+
+    // Permanent slot assignment.
+    std::uint32_t nperm = 0;
+    for (auto &kv : vars) {
+        if (kv.second.perm && !kv.second.isVoid)
+            kv.second.slot = nperm++;
+    }
+    std::uint32_t cut_slot = 0;
+    if (late_cut)
+        cut_slot = nperm++;
+    bool need_env = is_query || nperm > 0 || non_last_user_call;
+
+    std::uint32_t entry = static_cast<std::uint32_t>(_code.size());
+    if (need_env)
+        emit(WOp::Allocate, nperm);
+    if (late_cut)
+        emit(WOp::GetLevel, cut_slot);
+
+    for (std::size_t i = 0; i < clause.head->args().size(); ++i)
+        compileHeadArg(clause.head->args()[i],
+                       static_cast<std::uint32_t>(i), vars);
+
+    for (std::size_t gi = 0; gi < clause.body.size(); ++gi) {
+        const kl0::TermPtr &goal = clause.body[gi];
+        bool last = gi + 1 == clause.body.size();
+
+        if (isTrueGoal(goal))
+            continue;
+        // The single-process baseline runs process_call/2 bodies
+        // inline: rewrite to a plain call of the target predicate.
+        if (goal->isCallable("process_call", 2) &&
+            goal->args()[1]->isAtom()) {
+            std::uint32_t f =
+                _syms->functor(goal->args()[1]->name(), 0);
+            if (last && !is_query) {
+                if (need_env)
+                    emit(WOp::Deallocate);
+                emit(WOp::Execute, f, 0);
+                return entry;
+            }
+            emit(WOp::Call, f, 0);
+            continue;
+        }
+        if (isCutGoal(goal)) {
+            if (late_cut)
+                emit(WOp::CutY, cut_slot);
+            else
+                emit(WOp::NeckCut);
+            continue;
+        }
+
+        std::uint32_t arity =
+            static_cast<std::uint32_t>(goal->arity());
+        if (arity > 16)
+            fatal("goal ", goal->name(), "/", arity,
+                  ": more than 16 argument registers");
+        for (std::uint32_t i = 0; i < arity; ++i)
+            compileGoalArg(goal->args()[i], i, vars);
+
+        int b = kl0::builtinIndex(goal->name(), arity);
+        if (b >= 0) {
+            emit(WOp::CallBuiltin, static_cast<std::uint32_t>(b),
+                 arity);
+        } else {
+            std::uint32_t f = _syms->functor(goal->name(), arity);
+            if (last && !is_query) {
+                if (need_env)
+                    emit(WOp::Deallocate);
+                emit(WOp::Execute, f, arity);
+                return entry;
+            }
+            emit(WOp::Call, f, arity);
+        }
+    }
+
+    if (is_query) {
+        emit(WOp::Halt);
+    } else {
+        if (need_env)
+            emit(WOp::Deallocate);
+        emit(WOp::Proceed);
+    }
+    return entry;
+}
+
+void
+WamCompiler::compile(const kl0::Program &program)
+{
+    for (const auto &id : program.predicates()) {
+        if (id.arity > 16)
+            fatal("predicate ", id.str(),
+                  ": more than 16 argument registers");
+        std::uint32_t f = _syms->functor(id.name, id.arity);
+        // Incremental consulting appends clauses to an existing
+        // predicate.
+        CompiledPred &pred = _preds[f];
+        pred.arity = id.arity;
+        for (const auto &cl : program.clauses(id)) {
+            VarMap vars;
+            CompiledClause cc;
+            cc.entry = compileClause(cl, false, vars);
+            cc.key = clauseKeyOf(cl.head);
+            // Fill symbol-table-dependent key data.
+            if (cc.key.kind == ClauseKey::Kind::Const) {
+                cc.key.data =
+                    _syms->atom(cl.head->args()[0]->name());
+            } else if (cc.key.kind == ClauseKey::Kind::Struct) {
+                const auto &a = cl.head->args()[0];
+                cc.key.data = _syms->functor(
+                    a->name(),
+                    static_cast<std::uint32_t>(a->arity()));
+            }
+            pred.clauses.push_back(cc);
+        }
+    }
+}
+
+WamQuery
+WamCompiler::compileQuery(const kl0::TermPtr &goal)
+{
+    kl0::Program aux;
+    std::vector<kl0::TermPtr> flat = kl0::normalizeGoal(goal, aux);
+    compile(kl0::normalize(aux));
+
+    kl0::Clause clause;
+    clause.head =
+        kl0::Term::atom("$wamquery" + std::to_string(++_queryCounter));
+    clause.body = std::move(flat);
+
+    VarMap vars;
+    CompiledClause cc;
+    cc.entry = compileClause(clause, true, vars);
+
+    std::uint32_t f = _syms->functor(clause.head->name(), 0);
+    CompiledPred pred;
+    pred.arity = 0;
+    pred.clauses.push_back(cc);
+    _preds[f] = std::move(pred);
+
+    WamQuery q;
+    q.predId = f;
+    for (const auto &kv : vars) {
+        if (kv.second.perm && !kv.second.isVoid && kv.second.pinned)
+            q.varSlots[kv.first] = kv.second.slot;
+    }
+    for (const auto &kv : vars) {
+        if (kv.second.perm && !kv.second.isVoid)
+            q.nperm = std::max(q.nperm, kv.second.slot + 1);
+    }
+    return q;
+}
+
+const CompiledPred *
+WamCompiler::predicate(std::uint32_t functor_idx) const
+{
+    auto it = _preds.find(functor_idx);
+    return it == _preds.end() ? nullptr : &it->second;
+}
+
+} // namespace baseline
+} // namespace psi

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Instruction set of the compiled-code baseline engine.
+ *
+ * The baseline stands in for DEC-10 Prolog compiled code on the
+ * DEC-2060 (Table 1's comparison machine): a WAM-style register
+ * machine with first-argument clause indexing, specialized list /
+ * constant unification instructions and last-call optimization - the
+ * compile-time optimizations the paper credits for DEC beating PSI
+ * on simple deterministic programs.
+ *
+ * Differences from a textbook WAM, chosen for model clarity and
+ * documented in DESIGN.md:
+ *  - clause selection (try/retry/trust and the switch tables) is
+ *    performed by the emulator from a per-predicate index structure;
+ *    the cost model charges the equivalent instruction costs;
+ *  - unbound variables always live on the heap (put_variable
+ *    allocates a heap cell), which removes the unsafe-variable cases
+ *    without changing instruction counts materially.
+ */
+
+#ifndef PSI_BASELINE_WAM_INSTR_HPP
+#define PSI_BASELINE_WAM_INSTR_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace psi {
+namespace baseline {
+
+/** Baseline abstract-machine opcodes. */
+enum class WOp : std::uint8_t
+{
+    // --- head unification (get/unify) ---------------------------------
+    GetVariableX,  ///< Xa := Ab            (a=xreg, b=areg)
+    GetVariableY,  ///< Ya := Ab
+    GetValueX,     ///< unify(Xa, Ab)
+    GetValueY,     ///< unify(Ya, Ab)
+    GetConstant,   ///< unify(atom a, Ab)
+    GetInt,        ///< unify(int a, Ab)
+    GetNil,        ///< unify([], Aa)
+    GetList,       ///< Aa must be a cons or unbound; sets S / mode
+    GetStruct,     ///< functor a, arity from table; arg Ab
+    UnifyVariableX,
+    UnifyVariableY,
+    UnifyValueX,
+    UnifyValueY,
+    UnifyConstant,
+    UnifyInt,
+    UnifyNil,
+    UnifyVoid,     ///< skip a cells
+
+    // --- body argument loading (put/set) -------------------------------
+    PutVariableX,  ///< new heap cell; Xa and Ab reference it
+    PutVariableY,  ///< new heap cell; Ya and Ab reference it
+    PutValueX,
+    PutValueY,
+    PutConstant,
+    PutInt,
+    PutNil,
+    PutList,       ///< Ab := new cons; subsequent Set* fill it
+    PutStruct,
+    SetVariableX,
+    SetVariableY,
+    SetValueX,
+    SetValueY,
+    SetConstant,
+    SetInt,
+    SetNil,
+    SetVoid,
+
+    // --- control --------------------------------------------------------
+    Allocate,      ///< environment with a permanent slots
+    Deallocate,
+    Call,          ///< a = predicate id, b = arity
+    Execute,       ///< last call (LCO): a = predicate id, b = arity
+    Proceed,
+    CallBuiltin,   ///< a = kl0::Builtin id, b = arity
+    GetLevel,      ///< Ya := cut barrier
+    CutY,          ///< cut to barrier in Ya
+    NeckCut,       ///< cut to the barrier of the current call
+    Halt,          ///< query complete (solution)
+
+    NumOps
+};
+
+const char *wopName(WOp op);
+
+/** One instruction: opcode plus up to two operands. */
+struct WInstr
+{
+    WOp op;
+    std::uint32_t a = 0;
+    std::uint32_t b = 0;
+
+    std::string str() const;
+};
+
+} // namespace baseline
+} // namespace psi
+
+#endif // PSI_BASELINE_WAM_INSTR_HPP

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Arithmetic evaluation firmware (is/2 and the comparison built-ins).
+ *
+ * Expressions are ordinary terms; evaluation walks the structure with
+ * tag dispatch and a functor-indexed jump, all charged to the built
+ * module.  Arithmetic is 32-bit two's complement as on the PSI
+ * (intermediate math in 64 bits, range-checked at the end by is/2).
+ */
+
+#include "interp/engine.hpp"
+
+#include "base/logging.hpp"
+#include "kl0/builtin_defs.hpp"
+
+namespace psi {
+namespace interp {
+
+namespace {
+
+constexpr auto kScr = micro::WfMode::Direct00_0F;
+constexpr auto kConstWf = micro::WfMode::Constant;
+constexpr auto kNoWf = micro::WfMode::None;
+
+} // namespace
+
+bool
+Engine::evalArith(const TaggedWord &w, std::int64_t &out)
+{
+    // Operand fetching is charged to get_arg (the paper singles out
+    // built-in argument fetching as time-consuming); the ALU work is
+    // charged to built.
+    _seq.texture(Module::GetArg, 2);
+    _seq.texture(Module::Built, 2);
+    Deref d = deref(w, Module::GetArg);
+    if (d.unbound) {
+        warn("arithmetic: unbound variable");
+        return false;
+    }
+
+    switch (d.word.tag) {
+      case Tag::Int:
+        out = d.word.asInt();
+        return true;
+
+      case Tag::SkelVar: {
+        // Expression skeletons are evaluated in place; variable slots
+        // are resolved against the current activation.
+        if (d.word.data & kl0::kSkelVoidBit) {
+            warn("arithmetic: unbound (void) variable");
+            return false;
+        }
+        VarSlot vs = VarSlot::decode(d.word.data);
+        if (vs.global) {
+            TaggedWord ref = {
+                Tag::Ref,
+                LogicalAddr(Area::Global,
+                            _act.globalBase + vs.index).pack()};
+            return evalArith(ref, out);
+        }
+        TaggedWord v = readLocal(vs.index, Module::GetArg);
+        if (v.tag == Tag::Undef) {
+            warn("arithmetic: unbound variable");
+            return false;
+        }
+        return evalArith(v, out);
+      }
+
+      case Tag::Struct: {
+        LogicalAddr a = LogicalAddr::unpack(d.word.data);
+        TaggedWord f = _seq.readMem(Module::Built, a,
+                                    BranchOp::T1GotoJr, kScr, kScr);
+        if (f.tag != Tag::Functor)
+            return false;
+        const std::string &name = _syms.functorName(f.data);
+        std::uint32_t arity = _syms.functorArity(f.data);
+
+        if (arity == 1) {
+            std::int64_t x = 0;
+            TaggedWord ax = _seq.readMem(Module::GetArg, a.plus(1),
+                                         BranchOp::T1Nop, kScr, kScr);
+            if (!evalArith(ax, x))
+                return false;
+            _seq.step(Module::Built, BranchOp::T1Nop, kConstWf, kScr,
+                      kScr);
+            if (name == "-") { out = -x; return true; }
+            if (name == "+") { out = x; return true; }
+            if (name == "abs") { out = x < 0 ? -x : x; return true; }
+            if (name == "\\") { out = ~x; return true; }
+            warn("arithmetic: unknown function ", name, "/1");
+            return false;
+        }
+
+        if (arity == 2) {
+            std::int64_t x = 0;
+            std::int64_t y = 0;
+            TaggedWord ax = _seq.readMem(Module::GetArg, a.plus(1),
+                                         BranchOp::T1Nop, kScr, kScr);
+            if (!evalArith(ax, x))
+                return false;
+            TaggedWord ay = _seq.readMem(Module::GetArg, a.plus(2),
+                                         BranchOp::T1Nop, kScr, kScr);
+            if (!evalArith(ay, y))
+                return false;
+            // The ALU operation step.
+            _seq.step(Module::Built, BranchOp::T1Nop, kScr, kScr,
+                      kScr);
+            if (name == "+") { out = x + y; return true; }
+            if (name == "-") { out = x - y; return true; }
+            if (name == "*") { out = x * y; return true; }
+            if (name == "//" || name == "/") {
+                if (y == 0) {
+                    warn("arithmetic: division by zero");
+                    return false;
+                }
+                out = x / y;
+                return true;
+            }
+            if (name == "mod") {
+                if (y == 0) {
+                    warn("arithmetic: mod by zero");
+                    return false;
+                }
+                out = x % y;
+                if (out != 0 && ((out < 0) != (y < 0)))
+                    out += y;
+                return true;
+            }
+            if (name == "rem") {
+                if (y == 0)
+                    return false;
+                out = x % y;
+                return true;
+            }
+            if (name == "min") { out = x < y ? x : y; return true; }
+            if (name == "max") { out = x > y ? x : y; return true; }
+            if (name == "<<") { out = x << (y & 31); return true; }
+            if (name == ">>") { out = x >> (y & 31); return true; }
+            if (name == "/\\") { out = x & y; return true; }
+            if (name == "\\/") { out = x | y; return true; }
+            if (name == "xor") { out = x ^ y; return true; }
+            warn("arithmetic: unknown function ", name, "/2");
+            return false;
+        }
+        warn("arithmetic: unknown function ", name, "/", arity);
+        return false;
+      }
+
+      default:
+        warn("arithmetic: bad operand tag '", tagName(d.word.tag),
+             "'");
+        return false;
+    }
+}
+
+bool
+Engine::arithCompare(kl0::Builtin b)
+{
+    using kl0::Builtin;
+
+    std::int64_t x = 0;
+    std::int64_t y = 0;
+    if (!evalArith(readA(0, Module::Built), x))
+        return false;
+    if (!evalArith(readA(1, Module::Built), y))
+        return false;
+    // The comparison step.
+    _seq.step(Module::Built, BranchOp::T1CondTrue, kScr, kScr, kNoWf);
+    switch (b) {
+      case Builtin::Lt: return x < y;
+      case Builtin::Gt: return x > y;
+      case Builtin::Le: return x <= y;
+      case Builtin::Ge: return x >= y;
+      case Builtin::ArithEq: return x == y;
+      case Builtin::ArithNe: return x != y;
+      default:
+        panic("arithCompare: bad builtin");
+    }
+}
+
+} // namespace interp
+} // namespace psi

@@ -1,0 +1,25 @@
+#include "interp/machine.hpp"
+
+#include <sstream>
+
+namespace psi {
+namespace interp {
+
+std::string
+Solution::str() const
+{
+    std::ostringstream os;
+    bool first = true;
+    for (const auto &kv : bindings) {
+        if (!first)
+            os << ", ";
+        os << kv.first << " = " << kv.second->str();
+        first = false;
+    }
+    if (first)
+        os << "true";
+    return os.str();
+}
+
+} // namespace interp
+} // namespace psi

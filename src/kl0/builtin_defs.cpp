@@ -1,0 +1,97 @@
+#include "kl0/builtin_defs.hpp"
+
+#include <array>
+#include <map>
+
+#include "base/logging.hpp"
+
+namespace psi {
+namespace kl0 {
+
+namespace {
+
+struct Def
+{
+    const char *name;
+    std::uint32_t arity;
+};
+
+const std::array<Def, kNumBuiltins> &
+defs()
+{
+    static const std::array<Def, kNumBuiltins> table = {{
+        {"true", 0},
+        {"fail", 0},
+        {"=", 2},
+        {"\\=", 2},
+        {"==", 2},
+        {"\\==", 2},
+        {"@<", 2},
+        {"@>", 2},
+        {"@=<", 2},
+        {"@>=", 2},
+        {"is", 2},
+        {"<", 2},
+        {">", 2},
+        {"=<", 2},
+        {">=", 2},
+        {"=:=", 2},
+        {"=\\=", 2},
+        {"var", 1},
+        {"nonvar", 1},
+        {"atom", 1},
+        {"integer", 1},
+        {"atomic", 1},
+        {"compound", 1},
+        {"functor", 3},
+        {"arg", 3},
+        {"=..", 2},
+        {"write", 1},
+        {"nl", 0},
+        {"tab", 1},
+        {"vector_new", 2},
+        {"vector_get", 3},
+        {"vector_set", 3},
+        {"vector_size", 2},
+        {"global_set", 2},
+        {"global_get", 2},
+        {"process_call", 2},
+    }};
+    return table;
+}
+
+} // namespace
+
+int
+builtinIndex(const std::string &name, std::uint32_t arity)
+{
+    static const std::map<std::pair<std::string, std::uint32_t>, int>
+        index = [] {
+            std::map<std::pair<std::string, std::uint32_t>, int> m;
+            for (int i = 0; i < kNumBuiltins; ++i)
+                m[{defs()[i].name, defs()[i].arity}] = i;
+            // Aliases.
+            m[{"false", 0}] = static_cast<int>(Builtin::Fail);
+            m[{"print", 1}] = static_cast<int>(Builtin::Write);
+            return m;
+        }();
+    auto it = index.find({name, arity});
+    return it == index.end() ? -1 : it->second;
+}
+
+const char *
+builtinName(Builtin b)
+{
+    PSI_ASSERT(b < Builtin::NumBuiltins, "builtin id");
+    return defs()[static_cast<int>(b)].name;
+}
+
+std::uint32_t
+builtinArity(Builtin b)
+{
+    PSI_ASSERT(b < Builtin::NumBuiltins, "builtin id");
+    return defs()[static_cast<int>(b)].arity;
+}
+
+} // namespace kl0
+} // namespace psi

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The KL0 built-in predicate surface.
+ *
+ * This table defines the language-level built-ins; it is shared by
+ * the PSI code generator (which emits CallBuiltin words), the PSI
+ * firmware (which implements them in interp/builtins*.cpp) and the
+ * baseline engine (baseline/wam_builtins.cpp), so both engines expose
+ * exactly the same language.
+ */
+
+#ifndef PSI_KL0_BUILTIN_DEFS_HPP
+#define PSI_KL0_BUILTIN_DEFS_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace psi {
+namespace kl0 {
+
+/** Identifiers of the built-in predicates. */
+enum class Builtin : std::uint8_t
+{
+    True = 0,   ///< true/0
+    Fail,       ///< fail/0 (also false/0)
+    Unify,      ///< =/2
+    NotUnify,   ///< \=/2
+    Eq,         ///< ==/2
+    NotEq,      ///< \==/2
+    TermLt,     ///< @</2  (standard order)
+    TermGt,     ///< @>/2
+    TermLe,     ///< @=</2
+    TermGe,     ///< @>=/2
+    Is,         ///< is/2
+    Lt,         ///< </2
+    Gt,         ///< >/2
+    Le,         ///< =</2
+    Ge,         ///< >=/2
+    ArithEq,    ///< =:=/2
+    ArithNe,    ///< =\=/2
+    IsVar,      ///< var/1
+    IsNonvar,   ///< nonvar/1
+    IsAtom,     ///< atom/1
+    IsInteger,  ///< integer/1
+    IsAtomic,   ///< atomic/1
+    IsCompound, ///< compound/1
+    Functor,    ///< functor/3
+    Arg,        ///< arg/3
+    Univ,       ///< =../2
+    Write,      ///< write/1 (to the machine's output sink)
+    Nl,         ///< nl/0
+    Tab,        ///< tab/1
+    VectorNew,  ///< vector_new(+Size, -Vector): heap vector
+    VectorGet,  ///< vector_get(+Vector, +Index, -Elem)
+    VectorSet,  ///< vector_set(+Vector, +Index, +Elem), destructive
+    VectorSize, ///< vector_size(+Vector, -Size)
+    GlobalSet,  ///< global_set(+Key, +AtomicOrVector): shared registry
+    GlobalGet,  ///< global_get(+Key, -Value)
+    ProcessCall,///< process_call(+ProcId, +PredAtom): run an arity-0
+                ///< predicate to its first solution in another
+                ///< process's stack areas (PSI multi-process support)
+    NumBuiltins
+};
+
+constexpr int kNumBuiltins = static_cast<int>(Builtin::NumBuiltins);
+
+/**
+ * Look up a built-in by name and arity.
+ * @return the builtin id, or -1 when (name, arity) is user-level.
+ */
+int builtinIndex(const std::string &name, std::uint32_t arity);
+
+/** Printable name of a built-in (its source spelling). */
+const char *builtinName(Builtin b);
+
+/** Arity of a built-in. */
+std::uint32_t builtinArity(Builtin b);
+
+} // namespace kl0
+} // namespace psi
+
+#endif // PSI_KL0_BUILTIN_DEFS_HPP

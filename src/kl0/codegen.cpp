@@ -1,0 +1,470 @@
+#include "kl0/codegen.hpp"
+
+#include "base/logging.hpp"
+#include "kl0/builtin_defs.hpp"
+#include "kl0/normalize.hpp"
+
+namespace psi {
+namespace kl0 {
+
+namespace {
+
+/** Skeleton addresses for the compound arguments of one clause. */
+thread_local std::map<const Term *, std::uint32_t> *t_skelAddrs =
+    nullptr;
+
+} // namespace
+
+CodeGen::CodeGen(MemorySystem &mem, SymbolTable &syms)
+    : _mem(&mem), _syms(&syms)
+{
+}
+
+void
+CodeGen::emit(const TaggedWord &w)
+{
+    _mem->poke(LogicalAddr(Area::Heap, _cursor++), w);
+}
+
+bool
+CodeGen::exprPosition(int builtin, std::size_t i)
+{
+    if (builtin < 0)
+        return false;
+    switch (static_cast<Builtin>(builtin)) {
+      case Builtin::Is:
+        return i == 1;
+      case Builtin::Lt:
+      case Builtin::Gt:
+      case Builtin::Le:
+      case Builtin::Ge:
+      case Builtin::ArithEq:
+      case Builtin::ArithNe:
+        return true;
+      case Builtin::Tab:
+        return i == 0;
+      default:
+        return false;
+    }
+}
+
+bool
+CodeGen::groundTerm(const TermPtr &t)
+{
+    if (t->isVar())
+        return false;
+    for (const auto &a : t->args()) {
+        if (!groundTerm(a))
+            return false;
+    }
+    return true;
+}
+
+void
+CodeGen::analyzeTerm(const TermPtr &t, bool in_skel, bool in_arith,
+                     VarMap &vars) const
+{
+    if (t->isVar()) {
+        VarInfo &vi = vars[t->name()];
+        ++vi.count;
+        vi.inSkel = vi.inSkel || in_skel;
+        return;
+    }
+    // Inside an arithmetic expression skeleton variables are read in
+    // place (the expression is never instantiated), so they do not
+    // become global.
+    for (const auto &a : t->args())
+        analyzeTerm(a, !in_arith, in_arith, vars);
+}
+
+void
+CodeGen::analyze(const Clause &clause, VarMap &vars) const
+{
+    for (const auto &arg : clause.head->args())
+        analyzeTerm(arg, false, false, vars);
+    for (const auto &goal : clause.body) {
+        int b = builtinIndex(goal->name(),
+                             static_cast<std::uint32_t>(goal->arity()));
+        for (std::size_t i = 0; i < goal->args().size(); ++i) {
+            analyzeTerm(goal->args()[i], false, exprPosition(b, i),
+                        vars);
+        }
+    }
+}
+
+void
+CodeGen::assignSlots(VarMap &vars, std::uint32_t &nlocals,
+                     std::uint32_t &nglobals)
+{
+    nlocals = 0;
+    nglobals = 0;
+    for (auto &kv : vars) {
+        VarInfo &vi = kv.second;
+        vi.global = vi.inSkel;
+        vi.isVoid = vi.count == 1 && !vi.pinned;
+        if (vi.isVoid)
+            continue;
+        if (vi.global)
+            vi.slot = static_cast<std::uint16_t>(nglobals++);
+        else
+            vi.slot = static_cast<std::uint16_t>(nlocals++);
+    }
+}
+
+TaggedWord
+CodeGen::skeletonElement(const TermPtr &t, VarMap &vars)
+{
+    switch (t->kind()) {
+      case Term::Kind::Atom:
+        if (t->isNil())
+            return {Tag::Nil, 0};
+        return {Tag::Atom, _syms->atom(t->name())};
+      case Term::Kind::Int:
+        return TaggedWord::makeInt(static_cast<std::int32_t>(t->value()));
+      case Term::Kind::Var: {
+        const VarInfo &vi = vars.at(t->name());
+        if (vi.isVoid)
+            return {Tag::SkelVar, kSkelVoidBit};
+        PSI_ASSERT(vi.global || _exprSkel,
+                   "skeleton variable must be global");
+        return {Tag::SkelVar, VarSlot{vi.global, vi.slot}.encode()};
+      }
+      case Term::Kind::Compound: {
+        std::uint32_t addr = emitSkeleton(t, vars);
+        return {t->isCons() ? Tag::List : Tag::Struct,
+                LogicalAddr(Area::Heap, addr).pack()};
+      }
+    }
+    panic("unreachable skeleton element");
+}
+
+std::uint32_t
+CodeGen::emitSkeleton(const TermPtr &t, VarMap &vars)
+{
+    PSI_ASSERT(t->isCompound(), "skeleton must be compound");
+    // Children first (depth-first), so the parent cell can reference
+    // them; the parent's own words must be contiguous.
+    std::vector<TaggedWord> elems;
+    elems.reserve(t->arity() + 1);
+    if (!t->isCons()) {
+        elems.push_back(
+            {Tag::Functor,
+             _syms->functor(t->name(),
+                            static_cast<std::uint32_t>(t->arity()))});
+    }
+    for (const auto &a : t->args())
+        elems.push_back(skeletonElement(a, vars));
+
+    std::uint32_t addr = here();
+    for (const auto &w : elems)
+        emit(w);
+    return addr;
+}
+
+bool
+CodeGen::packable(const TermPtr &arg, const VarMap &vars) const
+{
+    switch (arg->kind()) {
+      case Term::Kind::Int:
+        return arg->value() >= 0 && arg->value() < 32;
+      case Term::Kind::Var: {
+        const VarInfo &vi = vars.at(arg->name());
+        return vi.isVoid || vi.slot < 32;
+      }
+      default:
+        return false;
+    }
+}
+
+std::uint32_t
+CodeGen::packOperand(const TermPtr &arg, VarMap &vars)
+{
+    if (arg->isInt())
+        return (kPackSmallInt << 5) |
+               static_cast<std::uint32_t>(arg->value());
+    const VarInfo &vi = vars.at(arg->name());
+    if (vi.isVoid)
+        return kPackVoid << 5;
+    return ((vi.global ? kPackGlobalVar : kPackLocalVar) << 5) | vi.slot;
+}
+
+void
+CodeGen::emitGoalArgs(const TermPtr &goal, VarMap &vars)
+{
+    const std::vector<TermPtr> &args = goal->args();
+    int b = builtinIndex(goal->name(),
+                         static_cast<std::uint32_t>(goal->arity()));
+    if (!args.empty() && args.size() <= 4) {
+        bool all_packed = true;
+        for (const auto &a : args)
+            all_packed = all_packed && packable(a, vars);
+        if (all_packed) {
+            std::uint32_t data = 0;
+            for (std::size_t i = 0; i < args.size(); ++i)
+                data |= packOperand(args[i], vars) << (8 * i);
+            emit({Tag::PackedArgs, data});
+            return;
+        }
+    }
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const TermPtr &arg = args[i];
+        switch (arg->kind()) {
+          case Term::Kind::Atom:
+            if (arg->isNil())
+                emit({Tag::ANil, 0});
+            else
+                emit({Tag::AConst, _syms->atom(arg->name())});
+            break;
+          case Term::Kind::Int:
+            emit({Tag::AInt,
+                  static_cast<std::uint32_t>(
+                      static_cast<std::int32_t>(arg->value()))});
+            break;
+          case Term::Kind::Var: {
+            const VarInfo &vi = vars.at(arg->name());
+            if (vi.isVoid)
+                emit({Tag::AVoid, 0});
+            else
+                emit({Tag::AVar, VarSlot{vi.global, vi.slot}.encode()});
+            break;
+          }
+          case Term::Kind::Compound: {
+            auto it = t_skelAddrs->find(arg.get());
+            PSI_ASSERT(it != t_skelAddrs->end(), "missing skeleton");
+            std::uint32_t addr =
+                LogicalAddr(Area::Heap, it->second).pack();
+            if (exprPosition(b, i) && !arg->isCons()) {
+                // Evaluated in place by the arithmetic firmware.
+                emit({Tag::AExpr, addr});
+            } else if (groundTerm(arg)) {
+                // Ground terms are shared directly from the heap
+                // image (structure-sharing style): no copy is made.
+                emit({arg->isCons() ? Tag::AGroundList
+                                    : Tag::AGroundStruct,
+                      addr});
+            } else {
+                emit({arg->isCons() ? Tag::AList : Tag::AStruct,
+                      addr});
+            }
+            break;
+          }
+        }
+    }
+}
+
+void
+CodeGen::emitHeadArg(const TermPtr &arg, VarMap &vars)
+{
+    switch (arg->kind()) {
+      case Term::Kind::Atom:
+        if (arg->isNil())
+            emit({Tag::HNil, 0});
+        else
+            emit({Tag::HConst, _syms->atom(arg->name())});
+        break;
+      case Term::Kind::Int:
+        emit({Tag::HInt,
+              static_cast<std::uint32_t>(
+                  static_cast<std::int32_t>(arg->value()))});
+        break;
+      case Term::Kind::Var: {
+        VarInfo &vi = vars.at(arg->name());
+        if (vi.isVoid) {
+            emit({Tag::HVoid, 0});
+        } else {
+            Tag t = vi.introduced ? Tag::HVarS : Tag::HVarF;
+            vi.introduced = true;
+            emit({t, VarSlot{vi.global, vi.slot}.encode()});
+        }
+        break;
+      }
+      case Term::Kind::Compound: {
+        auto it = t_skelAddrs->find(arg.get());
+        PSI_ASSERT(it != t_skelAddrs->end(), "missing skeleton");
+        std::uint32_t addr =
+            LogicalAddr(Area::Heap, it->second).pack();
+        if (groundTerm(arg)) {
+            emit({arg->isCons() ? Tag::HGroundList
+                                : Tag::HGroundStruct,
+                  addr});
+            break;
+        }
+        emit({arg->isCons() ? Tag::HList : Tag::HStruct, addr});
+        // Variables inside this skeleton may now be bound; later
+        // top-level head occurrences must unify, not overwrite.
+        for (const auto &v : collectVars(arg)) {
+            auto vit = vars.find(v->name());
+            if (vit != vars.end())
+                vit->second.introduced = true;
+        }
+        break;
+      }
+    }
+}
+
+std::uint32_t
+CodeGen::compileClause(const Clause &clause, VarMap &vars)
+{
+    std::uint32_t arity =
+        static_cast<std::uint32_t>(clause.head->arity());
+    if (arity > kMaxArity) {
+        fatal("predicate ", clause.head->name(), "/", arity,
+              ": arity exceeds the ", kMaxArity,
+              " argument registers");
+    }
+
+    analyze(clause, vars);
+    std::uint32_t nlocals = 0;
+    std::uint32_t nglobals = 0;
+    assignSlots(vars, nlocals, nglobals);
+    if (nlocals > kMaxLocals) {
+        fatal("clause of ", clause.head->name(), "/", arity, " needs ",
+              nlocals, " local slots; the frame buffer holds ",
+              kMaxLocals);
+    }
+    if (nglobals > 255) {
+        fatal("clause of ", clause.head->name(), "/", arity, " needs ",
+              nglobals, " global slots; the header field holds 255");
+    }
+
+    // Emit skeletons for every compound argument first; clause code
+    // itself must be contiguous for sequential instruction fetch.
+    std::map<const Term *, std::uint32_t> skels;
+    t_skelAddrs = &skels;
+    for (const auto &arg : clause.head->args()) {
+        if (arg->isCompound())
+            skels[arg.get()] = emitSkeleton(arg, vars);
+    }
+    for (const auto &goal : clause.body) {
+        int b = builtinIndex(goal->name(),
+                             static_cast<std::uint32_t>(goal->arity()));
+        for (std::size_t i = 0; i < goal->args().size(); ++i) {
+            const TermPtr &arg = goal->args()[i];
+            if (!arg->isCompound())
+                continue;
+            _exprSkel = exprPosition(b, i);
+            skels[arg.get()] = emitSkeleton(arg, vars);
+            _exprSkel = false;
+        }
+    }
+
+    std::uint32_t addr = here();
+    emit({Tag::ClauseHeader,
+          arity | (nlocals << 8) | (nglobals << 16)});
+    for (const auto &arg : clause.head->args())
+        emitHeadArg(arg, vars);
+
+    for (std::size_t gi = 0; gi < clause.body.size(); ++gi) {
+        const TermPtr &goal = clause.body[gi];
+        if (goal->isAtom() && goal->name() == "!") {
+            emit({Tag::CutOp, 0});
+            continue;
+        }
+        std::uint32_t goal_arity =
+            static_cast<std::uint32_t>(goal->arity());
+        if (goal_arity > kMaxArity) {
+            fatal("goal ", goal->name(), "/", goal_arity,
+                  ": arity exceeds the machine limit");
+        }
+        int b = builtinIndex(goal->name(), goal_arity);
+        if (b >= 0) {
+            emit({Tag::CallBuiltin, static_cast<std::uint32_t>(b)});
+        } else {
+            std::uint32_t f = _syms->functor(goal->name(), goal_arity);
+            PSI_ASSERT(f < kDirWords, "predicate directory overflow");
+            // The final goal of a body is marked so the interpreter
+            // can apply the tail-recursion optimization.
+            bool last = gi + 1 == clause.body.size();
+            emit({last ? Tag::CallLast : Tag::Call, f});
+        }
+        emitGoalArgs(goal, vars);
+    }
+    emit({Tag::Proceed, 0});
+    t_skelAddrs = nullptr;
+    return addr;
+}
+
+void
+CodeGen::compilePredicate(const PredId &id,
+                          const std::vector<Clause> &clauses)
+{
+    std::uint32_t f = _syms->functor(id.name, id.arity);
+    PSI_ASSERT(f < kDirWords, "predicate directory overflow");
+
+    // Incremental consulting appends: the new clause table holds the
+    // previously compiled clauses followed by the new ones.
+    std::vector<std::uint32_t> &addrs = _clauses[f];
+    for (const auto &cl : clauses) {
+        VarMap vars;
+        addrs.push_back(compileClause(cl, vars));
+    }
+
+    std::uint32_t table = here();
+    for (auto a : addrs)
+        emit({Tag::ClauseRef, a});
+    emit({Tag::EndClauses, 0});
+
+    _mem->poke(LogicalAddr(Area::Heap, kDirBase + f),
+               {Tag::ClauseRef, table});
+}
+
+void
+CodeGen::compile(const Program &program)
+{
+    for (const auto &id : program.predicates())
+        compilePredicate(id, program.clauses(id));
+}
+
+QueryCode
+CodeGen::compileQuery(const TermPtr &goal)
+{
+    Program aux;
+    std::vector<TermPtr> flat = normalizeGoal(goal, aux);
+    compile(normalize(aux));
+
+    Clause clause;
+    clause.head =
+        Term::atom("$query" + std::to_string(++_queryCounter));
+    clause.body = std::move(flat);
+    // A trailing `true` built-in keeps the final user goal from being
+    // a last call, so the query's own frame and environment survive
+    // to solution extraction instead of being tail-call-optimized
+    // away.
+    clause.body.push_back(Term::atom("true"));
+
+    VarMap vars;
+    // Pin every named variable of the whole query so its binding
+    // survives to extraction.
+    for (const auto &v : collectVars(goal)) {
+        if (!v->name().empty() && v->name()[0] != '_')
+            vars[v->name()].pinned = true;
+    }
+
+    std::uint32_t addr = compileClause(clause, vars);
+    std::uint32_t table = here();
+    emit({Tag::ClauseRef, addr});
+    emit({Tag::EndClauses, 0});
+
+    QueryCode qc;
+    qc.functorIdx = _syms->functor(clause.head->name(), 0);
+    PSI_ASSERT(qc.functorIdx < kDirWords, "directory overflow");
+    _mem->poke(LogicalAddr(Area::Heap, kDirBase + qc.functorIdx),
+               {Tag::ClauseRef, table});
+
+    TaggedWord hdr = _mem->peek(LogicalAddr(Area::Heap, addr));
+    qc.nlocals = (hdr.data >> 8) & 0xff;
+    qc.nglobals = (hdr.data >> 16) & 0xff;
+    for (const auto &kv : vars) {
+        if (kv.second.isVoid)
+            continue;
+        if (kv.first.empty() || kv.first[0] == '_' ||
+            kv.first[0] == '$')
+            continue;
+        qc.vars[kv.first] =
+            SlotRef{kv.second.global, kv.second.slot};
+    }
+    return qc;
+}
+
+} // namespace kl0
+} // namespace psi

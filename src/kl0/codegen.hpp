@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Translation of KL0 clauses into PSI instruction code.
+ *
+ * The machine-resident expression of a program lives in the heap
+ * area:
+ *
+ *  - a predicate directory at kDirBase, one word per functor index
+ *    (ClauseRef to the predicate's clause table, or Undef);
+ *  - per predicate, a clause table: ClauseRef words terminated by
+ *    EndClauses;
+ *  - per clause: a ClauseHeader word (arity / local count / global
+ *    count packed into the data part), the head argument descriptor
+ *    words, then the body goal records, terminated with Proceed;
+ *  - compound-term skeletons referenced by HList/HStruct/AList/
+ *    AStruct descriptors.
+ *
+ * Small goal arguments are packed four 8-bit operands to a word
+ * (PackedArgs), each operand a 3-bit type plus 5-bit index, the
+ * paper's packed-argument format and the target of the `case (irn)`
+ * multi-way branch.
+ *
+ * Variables that occur inside compound terms are classified global
+ * (their cells are allocated on the global stack at clause entry);
+ * the rest are local (frame-buffer slots).  Single-occurrence
+ * variables compile to void descriptors.
+ */
+
+#ifndef PSI_KL0_CODEGEN_HPP
+#define PSI_KL0_CODEGEN_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "kl0/program.hpp"
+#include "kl0/symbols.hpp"
+#include "kl0/term.hpp"
+#include "mem/memory_system.hpp"
+
+namespace psi {
+namespace kl0 {
+
+/** @name Heap-area layout */
+/// @{
+constexpr std::uint32_t kHeapNull = 0;        ///< never a valid address
+constexpr std::uint32_t kDirBase = 16;        ///< predicate directory
+constexpr std::uint32_t kDirWords = 8192;     ///< max functor indices
+constexpr std::uint32_t kCodeBase = kDirBase + kDirWords;
+constexpr std::uint32_t kVectorBase = 1u << 24;  ///< runtime vectors
+/// @}
+
+/** @name Machine limits */
+/// @{
+constexpr std::uint32_t kMaxArity = 16;   ///< argument registers
+constexpr std::uint32_t kMaxLocals = 64;  ///< frame-buffer words
+/// @}
+
+/** @name Packed-operand encoding (3-bit type + 5-bit index) */
+/// @{
+constexpr std::uint32_t kPackNone = 0;      ///< padding
+constexpr std::uint32_t kPackLocalVar = 1;
+constexpr std::uint32_t kPackGlobalVar = 2;
+constexpr std::uint32_t kPackVoid = 3;
+constexpr std::uint32_t kPackSmallInt = 4;
+/// @}
+
+/** SkelVar data bit: single-occurrence (void) skeleton variable. */
+constexpr std::uint32_t kSkelVoidBit = 0x20000;
+
+/** Where a source variable lives at run time. */
+struct SlotRef
+{
+    bool global = false;
+    std::uint16_t index = 0;
+};
+
+/** Result of compiling a query. */
+struct QueryCode
+{
+    std::uint32_t functorIdx = 0;  ///< the $query/0 predicate
+    std::map<std::string, SlotRef> vars;  ///< named query variables
+    std::uint32_t nlocals = 0;
+    std::uint32_t nglobals = 0;
+};
+
+/** Compiles programs and queries into the heap image. */
+class CodeGen
+{
+  public:
+    CodeGen(MemorySystem &mem, SymbolTable &syms);
+
+    /**
+     * Compile every predicate of @p program (normalize() must have
+     * been applied first; bodies may contain only plain goals).
+     */
+    void compile(const Program &program);
+
+    /**
+     * Compile @p goal as the body of a fresh `$queryN/0` predicate.
+     * All named variables of the goal are pinned so their bindings
+     * can be extracted after a solution.
+     */
+    QueryCode compileQuery(const TermPtr &goal);
+
+    /** First free heap word after the compiled image. */
+    std::uint32_t heapTop() const { return _cursor; }
+
+    /** Total instruction-code words emitted (for reports). */
+    std::uint32_t codeWords() const { return _cursor - kCodeBase; }
+
+  private:
+    struct VarInfo
+    {
+        int count = 0;
+        bool inSkel = false;
+        bool pinned = false;
+        bool global = false;
+        bool isVoid = false;
+        bool introduced = false;  ///< first occurrence already emitted
+        std::uint16_t slot = 0;
+    };
+
+    using VarMap = std::map<std::string, VarInfo>;
+
+    void emit(const TaggedWord &w);
+    std::uint32_t here() const { return _cursor; }
+
+    void compilePredicate(const PredId &id,
+                          const std::vector<Clause> &clauses);
+    std::uint32_t compileClause(const Clause &clause, VarMap &vars);
+
+    /** Occurrence analysis over one clause. */
+    void analyze(const Clause &clause, VarMap &vars) const;
+    void analyzeTerm(const TermPtr &t, bool in_skel, bool in_arith,
+                     VarMap &vars) const;
+    static void assignSlots(VarMap &vars, std::uint32_t &nlocals,
+                            std::uint32_t &nglobals);
+
+    /** True when argument @p i of builtin @p b is an arithmetic
+     *  expression position (evaluated, never instantiated). */
+    static bool exprPosition(int builtin, std::size_t i);
+
+    /** True when @p t contains no variables. */
+    static bool groundTerm(const TermPtr &t);
+
+    /** Emit a skeleton for @p t; @return its heap address. */
+    std::uint32_t emitSkeleton(const TermPtr &t, VarMap &vars);
+    TaggedWord skeletonElement(const TermPtr &t, VarMap &vars);
+
+    void emitHeadArg(const TermPtr &arg, VarMap &vars);
+    void emitGoalArgs(const TermPtr &goal, VarMap &vars);
+    bool packable(const TermPtr &arg, const VarMap &vars) const;
+    std::uint32_t packOperand(const TermPtr &arg, VarMap &vars);
+
+    MemorySystem *_mem;
+    SymbolTable *_syms;
+    std::uint32_t _cursor = kCodeBase;
+    /** All clause addresses per functor, across compile() calls, so
+     *  incremental consulting appends instead of replacing. */
+    std::map<std::uint32_t, std::vector<std::uint32_t>> _clauses;
+    std::uint64_t _queryCounter = 0;
+    /** True while emitting an arithmetic-expression skeleton (local
+     *  variable slots are then permitted in SkelVar elements). */
+    bool _exprSkel = false;
+};
+
+} // namespace kl0
+} // namespace psi
+
+#endif // PSI_KL0_CODEGEN_HPP

@@ -1,0 +1,195 @@
+#include "kl0/normalize.hpp"
+
+#include <set>
+
+#include "base/logging.hpp"
+
+namespace psi {
+namespace kl0 {
+
+namespace {
+
+void
+collectVarsInto(const TermPtr &t, std::set<std::string> &seen,
+                std::vector<TermPtr> &out)
+{
+    if (t->isVar()) {
+        if (seen.insert(t->name()).second)
+            out.push_back(t);
+        return;
+    }
+    for (const auto &a : t->args())
+        collectVarsInto(a, seen, out);
+}
+
+/** Rewrites one program; owns the aux-predicate counter. */
+class Normalizer
+{
+  public:
+    explicit Normalizer(Program &out) : _out(&out) {}
+
+    std::vector<TermPtr>
+    body(const std::vector<TermPtr> &goals)
+    {
+        std::vector<TermPtr> flat;
+        for (const auto &g : goals)
+            goal(g, flat);
+        return flat;
+    }
+
+  private:
+    void
+    goal(const TermPtr &g, std::vector<TermPtr> &out)
+    {
+        if (g->isCallable(",", 2)) {
+            goal(g->args()[0], out);
+            goal(g->args()[1], out);
+            return;
+        }
+        if (g->isCallable(";", 2)) {
+            const TermPtr &lhs = g->args()[0];
+            if (lhs->isCallable("->", 2)) {
+                // (C -> T ; E)
+                out.push_back(iteAux(lhs->args()[0], lhs->args()[1],
+                                     g->args()[1], g));
+            } else {
+                out.push_back(orAux(lhs, g->args()[1], g));
+            }
+            return;
+        }
+        if (g->isCallable("->", 2)) {
+            // Bare if-then: (C -> T) == (C -> T ; fail).
+            out.push_back(iteAux(g->args()[0], g->args()[1],
+                                 Term::atom("fail"), g));
+            return;
+        }
+        if (g->isCallable("\\+", 1) || g->isCallable("not", 1)) {
+            out.push_back(notAux(g->args()[0], g));
+            return;
+        }
+        if (g->isVar())
+            fatal("unbound variable used as a goal");
+        if (g->isInt())
+            fatal("integer used as a goal");
+        out.push_back(g);
+    }
+
+    /** Fresh aux head over the variables of @p scope. */
+    TermPtr
+    auxHead(const TermPtr &scope)
+    {
+        // The counter is process-global so auxiliary predicates from a
+        // program and from later queries against it never collide in
+        // the predicate directory.
+        static std::uint64_t counter = 0;
+        std::string name = "$aux" + std::to_string(++counter);
+        std::vector<TermPtr> vars = collectVars(scope);
+        if (vars.size() > 16) {
+            fatal("control construct captures ", vars.size(),
+                  " variables; the machine supports at most 16 ",
+                  "arguments");
+        }
+        return Term::compound(name, std::move(vars));
+    }
+
+    void
+    addAux(const TermPtr &head, const TermPtr &bodyTerm)
+    {
+        // Auxiliary bodies can themselves contain control constructs
+        // (nested disjunctions, negations inside conditions), so they
+        // are normalized recursively before being added.
+        std::vector<TermPtr> flat =
+            body(Program::flattenConjunction(bodyTerm));
+        if (flat.empty() ||
+            (flat.size() == 1 && flat[0]->isAtom() &&
+             flat[0]->name() == "true")) {
+            _out->add(head);
+            return;
+        }
+        TermPtr rebuilt = flat.back();
+        for (auto it = flat.rbegin() + 1; it != flat.rend(); ++it)
+            rebuilt = Term::compound(",", {*it, rebuilt});
+        _out->add(Term::compound(":-", {head, rebuilt}));
+    }
+
+    TermPtr
+    orAux(const TermPtr &a, const TermPtr &b, const TermPtr &scope)
+    {
+        TermPtr head = auxHead(scope);
+        addAux(head, a);
+        addAux(head, b);
+        return head;
+    }
+
+    TermPtr
+    iteAux(const TermPtr &c, const TermPtr &t, const TermPtr &e,
+           const TermPtr &scope)
+    {
+        TermPtr head = auxHead(scope);
+        addAux(head, Term::compound(",", {c,
+                       Term::compound(",", {Term::atom("!"), t})}));
+        addAux(head, e);
+        return head;
+    }
+
+    TermPtr
+    notAux(const TermPtr &g, const TermPtr &scope)
+    {
+        TermPtr head = auxHead(scope);
+        addAux(head, Term::compound(",", {g,
+                       Term::compound(",", {Term::atom("!"),
+                                            Term::atom("fail")})}));
+        addAux(head, Term::atom("true"));
+        return head;
+    }
+
+    Program *_out;
+};
+
+// One shared normalizer per output program would reuse counters; a
+// static counter keeps aux names unique across calls on the same
+// output program.
+
+} // namespace
+
+std::vector<TermPtr>
+collectVars(const TermPtr &t)
+{
+    std::set<std::string> seen;
+    std::vector<TermPtr> out;
+    collectVarsInto(t, seen, out);
+    return out;
+}
+
+Program
+normalize(const Program &in)
+{
+    Program out;
+    Normalizer norm(out);
+    for (const auto &id : in.predicates()) {
+        for (const auto &cl : in.clauses(id)) {
+            std::vector<TermPtr> flat = norm.body(cl.body);
+            if (flat.empty()) {
+                out.add(cl.head);
+            } else {
+                TermPtr bodyTerm = flat.back();
+                for (auto it = flat.rbegin() + 1; it != flat.rend();
+                     ++it) {
+                    bodyTerm = Term::compound(",", {*it, bodyTerm});
+                }
+                out.add(Term::compound(":-", {cl.head, bodyTerm}));
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<TermPtr>
+normalizeGoal(const TermPtr &goal, Program &aux)
+{
+    Normalizer norm(aux);
+    return norm.body(Program::flattenConjunction(goal));
+}
+
+} // namespace kl0
+} // namespace psi

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Program normalization: control constructs to auxiliary predicates.
+ *
+ * The PSI instruction code and the baseline WAM-lite instruction set
+ * both support only flat bodies of plain goals, cut and built-ins.
+ * This pass rewrites disjunction `(A ; B)`, if-then-else
+ * `(C -> T ; E)`, bare if-then `(C -> T)` and negation `\+ G` /
+ * `not(G)` into fresh auxiliary predicates, the classic
+ * source-to-source transformation:
+ *
+ *     p :- a, (b ; c), d.      =>   p :- a, '$aux1'(Vs), d.
+ *                                   '$aux1'(Vs) :- b.
+ *                                   '$aux1'(Vs) :- c.
+ *
+ * where Vs are the variables the construct shares with its
+ * environment (we conservatively pass every variable occurring in
+ * the construct).
+ */
+
+#ifndef PSI_KL0_NORMALIZE_HPP
+#define PSI_KL0_NORMALIZE_HPP
+
+#include "kl0/program.hpp"
+
+namespace psi {
+namespace kl0 {
+
+/**
+ * Return a program whose clause bodies contain only plain goals:
+ * user predicate calls, built-ins, `!` and `true`.
+ */
+Program normalize(const Program &in);
+
+/**
+ * Normalize one goal term (used for queries): returns the flat goal
+ * list and appends any auxiliary clauses to @p aux.
+ */
+std::vector<TermPtr> normalizeGoal(const TermPtr &goal, Program &aux);
+
+/** Collect distinct variables of @p t in first-occurrence order. */
+std::vector<TermPtr> collectVars(const TermPtr &t);
+
+} // namespace kl0
+} // namespace psi
+
+#endif // PSI_KL0_NORMALIZE_HPP

@@ -1,0 +1,72 @@
+#include "kl0/program.hpp"
+
+#include "base/logging.hpp"
+#include "kl0/reader.hpp"
+
+namespace psi {
+namespace kl0 {
+
+std::vector<TermPtr>
+Program::flattenConjunction(const TermPtr &t)
+{
+    std::vector<TermPtr> out;
+    std::vector<TermPtr> stack{t};
+    while (!stack.empty()) {
+        TermPtr cur = stack.back();
+        stack.pop_back();
+        if (cur->isCallable(",", 2)) {
+            stack.push_back(cur->args()[1]);
+            stack.push_back(cur->args()[0]);
+        } else {
+            out.push_back(cur);
+        }
+    }
+    return out;
+}
+
+void
+Program::add(const TermPtr &term)
+{
+    if (term->isCallable(":-", 1)) {
+        _directives.push_back(term->args()[0]);
+        return;
+    }
+
+    Clause clause;
+    if (term->isCallable(":-", 2)) {
+        clause.head = term->args()[0];
+        clause.body = flattenConjunction(term->args()[1]);
+    } else {
+        clause.head = term;
+    }
+
+    if (clause.head->isVar() || clause.head->isInt())
+        fatal("invalid clause head: ", clause.head->str());
+
+    PredId id{clause.head->name(),
+              static_cast<std::uint32_t>(clause.head->arity())};
+    auto it = _clauses.find(id);
+    if (it == _clauses.end()) {
+        _order.push_back(id);
+        it = _clauses.emplace(id, std::vector<Clause>{}).first;
+    }
+    it->second.push_back(std::move(clause));
+}
+
+void
+Program::consult(const std::string &text)
+{
+    for (const auto &t : parseProgram(text))
+        add(t);
+}
+
+const std::vector<Clause> &
+Program::clauses(const PredId &id) const
+{
+    auto it = _clauses.find(id);
+    PSI_ASSERT(it != _clauses.end(), "undefined predicate ", id.str());
+    return it->second;
+}
+
+} // namespace kl0
+} // namespace psi

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Clause database grouped by predicate.
+ *
+ * A Program is the shared front-end output consumed by both the PSI
+ * code generator and the baseline WAM-lite compiler.  Clauses keep
+ * source order within a predicate; predicates keep first-definition
+ * order (the PSI heap image is laid out in that order, which matters
+ * for code locality).
+ */
+
+#ifndef PSI_KL0_PROGRAM_HPP
+#define PSI_KL0_PROGRAM_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "kl0/term.hpp"
+
+namespace psi {
+namespace kl0 {
+
+/** A clause split into head and body goals (body conjunctions flat). */
+struct Clause
+{
+    TermPtr head;
+    std::vector<TermPtr> body;  ///< flattened ','-conjunction
+};
+
+/** Predicate identifier at the source level. */
+struct PredId
+{
+    std::string name;
+    std::uint32_t arity = 0;
+
+    bool operator<(const PredId &o) const
+    {
+        return name != o.name ? name < o.name : arity < o.arity;
+    }
+    bool operator==(const PredId &o) const = default;
+
+    std::string
+    str() const
+    {
+        return name + "/" + std::to_string(arity);
+    }
+};
+
+/** The clause database. */
+class Program
+{
+  public:
+    Program() = default;
+
+    /**
+     * Add one term as read: either `Head :- Body`, a fact, or a
+     * directive (directives are recorded but not executed).
+     */
+    void add(const TermPtr &term);
+
+    /** Parse @p text and add every clause. */
+    void consult(const std::string &text);
+
+    const std::vector<PredId> &predicates() const { return _order; }
+
+    bool defined(const PredId &id) const
+    {
+        return _clauses.count(id) != 0;
+    }
+
+    const std::vector<Clause> &clauses(const PredId &id) const;
+
+    std::size_t
+    clauseCount() const
+    {
+        std::size_t n = 0;
+        for (const auto &kv : _clauses)
+            n += kv.second.size();
+        return n;
+    }
+
+    const std::vector<TermPtr> &directives() const
+    {
+        return _directives;
+    }
+
+    /** Flatten a ','-conjunction into a goal list. */
+    static std::vector<TermPtr> flattenConjunction(const TermPtr &t);
+
+  private:
+    std::map<PredId, std::vector<Clause>> _clauses;
+    std::vector<PredId> _order;
+    std::vector<TermPtr> _directives;
+};
+
+} // namespace kl0
+} // namespace psi
+
+#endif // PSI_KL0_PROGRAM_HPP

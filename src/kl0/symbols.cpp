@@ -1,0 +1,61 @@
+#include "kl0/symbols.hpp"
+
+#include "base/logging.hpp"
+
+namespace psi {
+namespace kl0 {
+
+SymbolTable::SymbolTable()
+{
+    _nil = atom("[]");
+    _true = atom("true");
+}
+
+std::uint32_t
+SymbolTable::atom(const std::string &name)
+{
+    auto it = _atoms.find(name);
+    if (it != _atoms.end())
+        return it->second;
+    auto idx = static_cast<std::uint32_t>(_atomNames.size());
+    _atoms.emplace(name, idx);
+    _atomNames.push_back(name);
+    return idx;
+}
+
+std::uint32_t
+SymbolTable::functor(const std::string &name, std::uint32_t arity)
+{
+    auto key = std::make_pair(atom(name), arity);
+    auto it = _functorIds.find(key);
+    if (it != _functorIds.end())
+        return it->second;
+    auto idx = static_cast<std::uint32_t>(_functors.size());
+    _functorIds.emplace(key, idx);
+    _functors.push_back(key);
+    return idx;
+}
+
+const std::string &
+SymbolTable::atomName(std::uint32_t idx) const
+{
+    PSI_ASSERT(idx < _atomNames.size(), "atom index ", idx);
+    return _atomNames[idx];
+}
+
+const std::string &
+SymbolTable::functorName(std::uint32_t idx) const
+{
+    PSI_ASSERT(idx < _functors.size(), "functor index ", idx);
+    return _atomNames[_functors[idx].first];
+}
+
+std::uint32_t
+SymbolTable::functorArity(std::uint32_t idx) const
+{
+    PSI_ASSERT(idx < _functors.size(), "functor index ", idx);
+    return _functors[idx].second;
+}
+
+} // namespace kl0
+} // namespace psi

@@ -1,0 +1,174 @@
+#include "kl0/token.hpp"
+
+#include <cctype>
+
+#include "base/logging.hpp"
+
+namespace psi {
+namespace kl0 {
+
+namespace {
+
+bool
+isSymbolChar(char c)
+{
+    return std::string("+-*/\\^<>=~:.?@#&$").find(c) !=
+           std::string::npos;
+}
+
+bool
+isAlnumChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+} // namespace
+
+std::vector<Token>
+tokenize(const std::string &input)
+{
+    std::vector<Token> out;
+    std::size_t i = 0;
+    const std::size_t n = input.size();
+    int line = 1;
+
+    auto peek = [&](std::size_t k = 0) -> char {
+        return i + k < n ? input[i + k] : '\0';
+    };
+
+    while (i < n) {
+        char c = input[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        if (c == '%') {
+            while (i < n && input[i] != '\n')
+                ++i;
+            continue;
+        }
+        if (c == '/' && peek(1) == '*') {
+            i += 2;
+            while (i < n && !(input[i] == '*' && peek(1) == '/')) {
+                if (input[i] == '\n')
+                    ++line;
+                ++i;
+            }
+            if (i >= n)
+                fatal("line ", line, ": unterminated block comment");
+            i += 2;
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::size_t b = i;
+            while (i < n &&
+                   std::isdigit(static_cast<unsigned char>(input[i])))
+                ++i;
+            // 0'c character literal.
+            std::string text = input.substr(b, i - b);
+            if (text == "0" && peek() == '\'' && i + 1 < n) {
+                char lit = input[i + 1];
+                i += 2;
+                out.push_back(
+                    {TokKind::Int, "0'" + std::string(1, lit), lit, line});
+                continue;
+            }
+            out.push_back(
+                {TokKind::Int, text, std::stoll(text), line});
+            continue;
+        }
+        if (std::islower(static_cast<unsigned char>(c))) {
+            std::size_t b = i;
+            while (i < n && isAlnumChar(input[i]))
+                ++i;
+            out.push_back(
+                {TokKind::Atom, input.substr(b, i - b), 0, line});
+            continue;
+        }
+        if (std::isupper(static_cast<unsigned char>(c)) || c == '_') {
+            std::size_t b = i;
+            while (i < n && isAlnumChar(input[i]))
+                ++i;
+            out.push_back(
+                {TokKind::Var, input.substr(b, i - b), 0, line});
+            continue;
+        }
+        if (c == '\'') {
+            ++i;
+            std::string text;
+            bool closed = false;
+            while (i < n) {
+                if (input[i] == '\\' && i + 1 < n) {
+                    char e = input[i + 1];
+                    switch (e) {
+                      case 'n': text.push_back('\n'); break;
+                      case 't': text.push_back('\t'); break;
+                      case '\\': text.push_back('\\'); break;
+                      case '\'': text.push_back('\''); break;
+                      default: text.push_back(e); break;
+                    }
+                    i += 2;
+                    continue;
+                }
+                if (input[i] == '\'') {
+                    if (peek(1) == '\'') {
+                        text.push_back('\'');
+                        i += 2;
+                        continue;
+                    }
+                    ++i;
+                    closed = true;
+                    break;
+                }
+                if (input[i] == '\n')
+                    ++line;
+                text.push_back(input[i++]);
+            }
+            if (!closed)
+                fatal("line ", line, ": unterminated quoted atom");
+            out.push_back({TokKind::Atom, text, 0, line});
+            continue;
+        }
+        if (std::string("()[]{},|").find(c) != std::string::npos) {
+            out.push_back(
+                {TokKind::Punct, std::string(1, c), 0, line});
+            ++i;
+            continue;
+        }
+        if (c == ';') {
+            out.push_back({TokKind::Atom, ";", 0, line});
+            ++i;
+            continue;
+        }
+        if (c == '!') {
+            out.push_back({TokKind::Atom, "!", 0, line});
+            ++i;
+            continue;
+        }
+        if (isSymbolChar(c)) {
+            std::size_t b = i;
+            while (i < n && isSymbolChar(input[i]))
+                ++i;
+            std::string text = input.substr(b, i - b);
+            // A solo '.' followed by layout or EOF is a clause end.
+            if (text == ".") {
+                out.push_back({TokKind::End, ".", 0, line});
+                continue;
+            }
+            out.push_back({TokKind::Atom, text, 0, line});
+            continue;
+        }
+        fatal("line ", line, ": unexpected character '",
+              std::string(1, c), "'");
+    }
+    out.push_back({TokKind::Eof, "", 0, line});
+    return out;
+}
+
+} // namespace kl0
+} // namespace psi

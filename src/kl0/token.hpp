@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Tokenizer for the KL0 (Prolog dialect) reader.
+ *
+ * Token classes follow Edinburgh Prolog: names (atoms), variables,
+ * integers, punctuation, and the clause-terminating full stop.  `%`
+ * line comments and `C-style` block comments are skipped.
+ */
+
+#ifndef PSI_KL0_TOKEN_HPP
+#define PSI_KL0_TOKEN_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace psi {
+namespace kl0 {
+
+/** Lexical token classes. */
+enum class TokKind
+{
+    Atom,       ///< lowercase name, quoted name, or symbolic name
+    Var,        ///< uppercase or '_'-initial name
+    Int,        ///< integer literal
+    Punct,      ///< ( ) [ ] { } , |
+    End,        ///< clause-terminating '.'
+    Eof,
+};
+
+/** One token with its source position (for error messages). */
+struct Token
+{
+    TokKind kind = TokKind::Eof;
+    std::string text;
+    std::int64_t value = 0;
+    int line = 0;
+
+    bool
+    isPunct(const char *p) const
+    {
+        return kind == TokKind::Punct && text == p;
+    }
+
+    bool
+    isAtom(const char *a) const
+    {
+        return kind == TokKind::Atom && text == a;
+    }
+};
+
+/**
+ * Tokenize the whole input.
+ * @throws FatalError on lexical errors (unterminated quote, etc.).
+ */
+std::vector<Token> tokenize(const std::string &input);
+
+} // namespace kl0
+} // namespace psi
+
+#endif // PSI_KL0_TOKEN_HPP

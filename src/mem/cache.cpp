@@ -1,0 +1,230 @@
+#include "mem/cache.hpp"
+
+#include "base/logging.hpp"
+
+namespace psi {
+
+const char *
+cacheCmdName(CacheCmd c)
+{
+    switch (c) {
+      case CacheCmd::Read: return "read";
+      case CacheCmd::Write: return "write";
+      case CacheCmd::WriteStack: return "write-stack";
+    }
+    return "?";
+}
+
+std::uint64_t
+CacheStats::areaAccesses(Area a) const
+{
+    std::uint64_t sum = 0;
+    for (auto v : accesses[static_cast<int>(a)])
+        sum += v;
+    return sum;
+}
+
+std::uint64_t
+CacheStats::areaHits(Area a) const
+{
+    std::uint64_t sum = 0;
+    for (auto v : hits[static_cast<int>(a)])
+        sum += v;
+    return sum;
+}
+
+std::uint64_t
+CacheStats::totalAccesses() const
+{
+    std::uint64_t sum = 0;
+    for (int a = 0; a < kNumAreas; ++a)
+        sum += areaAccesses(static_cast<Area>(a));
+    return sum;
+}
+
+std::uint64_t
+CacheStats::totalHits() const
+{
+    std::uint64_t sum = 0;
+    for (int a = 0; a < kNumAreas; ++a)
+        sum += areaHits(static_cast<Area>(a));
+    return sum;
+}
+
+std::uint64_t
+CacheStats::cmdAccesses(CacheCmd c) const
+{
+    std::uint64_t sum = 0;
+    for (int a = 0; a < kNumAreas; ++a)
+        sum += accesses[a][static_cast<int>(c)];
+    return sum;
+}
+
+double
+CacheStats::areaHitPct(Area a) const
+{
+    std::uint64_t acc = areaAccesses(a);
+    if (acc == 0)
+        return 100.0;
+    return 100.0 * static_cast<double>(areaHits(a)) /
+           static_cast<double>(acc);
+}
+
+double
+CacheStats::totalHitPct() const
+{
+    std::uint64_t acc = totalAccesses();
+    if (acc == 0)
+        return 100.0;
+    return 100.0 * static_cast<double>(totalHits()) /
+           static_cast<double>(acc);
+}
+
+Cache::Cache(const CacheConfig &config)
+    : _config(config),
+      _numSets(config.numIndexSets()),
+      _lines(_numSets * config.ways)
+{
+    PSI_ASSERT(config.blockWords > 0 && config.ways > 0,
+               "degenerate cache geometry");
+    PSI_ASSERT((_numSets & (_numSets - 1)) == 0,
+               "set count must be a power of two, got ", _numSets);
+}
+
+void
+Cache::reset()
+{
+    _lines.assign(_lines.size(), Line{});
+    _clock = 0;
+    _stats = CacheStats{};
+}
+
+int
+Cache::lookup(std::uint32_t set, std::uint32_t tag) const
+{
+    for (std::uint32_t w = 0; w < _config.ways; ++w) {
+        const Line &l = line(set, static_cast<int>(w));
+        if (l.valid && l.tag == tag)
+            return static_cast<int>(w);
+    }
+    return -1;
+}
+
+int
+Cache::victimWay(std::uint32_t set) const
+{
+    int victim = 0;
+    std::uint64_t oldest = ~0ull;
+    for (std::uint32_t w = 0; w < _config.ways; ++w) {
+        const Line &l = line(set, static_cast<int>(w));
+        if (!l.valid)
+            return static_cast<int>(w);
+        if (l.lastUse < oldest) {
+            oldest = l.lastUse;
+            victim = static_cast<int>(w);
+        }
+    }
+    return victim;
+}
+
+std::uint64_t
+Cache::install(std::uint32_t set, std::uint32_t tag, bool dirty,
+               bool fetch)
+{
+    std::uint64_t extra = 0;
+    int way = victimWay(set);
+    Line &l = line(set, way);
+    if (l.valid && l.dirty) {
+        extra += _config.writeBackNs;
+        ++_stats.writeBacks;
+    }
+    l.valid = true;
+    l.dirty = dirty;
+    l.tag = tag;
+    l.lastUse = ++_clock;
+    if (fetch) {
+        extra += _config.missReadNs;
+        ++_stats.readIns;
+    }
+    return extra;
+}
+
+std::uint64_t
+Cache::access(CacheCmd cmd, Area area, std::uint32_t paddr)
+{
+    int a = static_cast<int>(area);
+    int c = static_cast<int>(cmd);
+    ++_stats.accesses[a][c];
+
+    if (!_config.enabled)
+        return _config.noCacheNs;
+
+    std::uint32_t block = paddr / _config.blockWords;
+    std::uint32_t set = block % _numSets;
+    std::uint32_t tag = block / _numSets;
+
+    std::uint64_t extra = 0;
+    int way = lookup(set, tag);
+
+    switch (cmd) {
+      case CacheCmd::Read:
+        if (way >= 0) {
+            ++_stats.hits[a][c];
+            line(set, way).lastUse = ++_clock;
+        } else {
+            extra += install(set, tag, false, true);
+        }
+        break;
+
+      case CacheCmd::Write:
+        if (_config.storeIn) {
+            if (way >= 0) {
+                ++_stats.hits[a][c];
+                Line &l = line(set, way);
+                l.dirty = true;
+                l.lastUse = ++_clock;
+            } else {
+                // Write-allocate with block read-in.
+                extra += install(set, tag, true, true);
+            }
+        } else {
+            // Store-through: memory is updated on every write;
+            // no allocation on a write miss.
+            extra += _config.throughWriteNs;
+            ++_stats.throughWrites;
+            if (way >= 0) {
+                ++_stats.hits[a][c];
+                line(set, way).lastUse = ++_clock;
+            }
+        }
+        break;
+
+      case CacheCmd::WriteStack:
+        if (_config.storeIn) {
+            if (way >= 0) {
+                ++_stats.hits[a][c];
+                Line &l = line(set, way);
+                l.dirty = true;
+                l.lastUse = ++_clock;
+            } else {
+                // The specialized stack push: allocate without block
+                // read-in.  No memory transfer happens, so the access
+                // is counted as a hit.
+                ++_stats.hits[a][c];
+                ++_stats.stackAllocs;
+                extra += install(set, tag, true, false);
+            }
+        } else {
+            extra += _config.throughWriteNs;
+            ++_stats.throughWrites;
+            if (way >= 0) {
+                ++_stats.hits[a][c];
+                line(set, way).lastUse = ++_clock;
+            }
+        }
+        break;
+    }
+    return extra;
+}
+
+} // namespace psi

@@ -1,0 +1,13 @@
+#include "mem/main_memory.hpp"
+
+namespace psi {
+
+std::uint32_t
+MainMemory::allocFrame()
+{
+    auto base = static_cast<std::uint32_t>(_words.size());
+    _words.resize(_words.size() + kPageWords);
+    return base;
+}
+
+} // namespace psi

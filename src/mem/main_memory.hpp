@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Physical main memory, allocated in fixed-size frames.
+ *
+ * Frames are handed out on demand by the TranslationTable; the memory
+ * grows as the workload touches new pages.  Word granularity matches
+ * the PSI (one TaggedWord per address).
+ */
+
+#ifndef PSI_MEM_MAIN_MEMORY_HPP
+#define PSI_MEM_MAIN_MEMORY_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/tagged_word.hpp"
+
+namespace psi {
+
+/** Words per page frame (and per translation-table page). */
+constexpr std::uint32_t kPageWords = 512;
+
+/** Flat physical memory backing all logical areas. */
+class MainMemory
+{
+  public:
+    MainMemory() = default;
+
+    /** Allocate a zeroed frame; @return its base physical address. */
+    std::uint32_t allocFrame();
+
+    const TaggedWord &
+    read(std::uint32_t paddr) const
+    {
+        return _words[paddr];
+    }
+
+    void
+    write(std::uint32_t paddr, const TaggedWord &w)
+    {
+        _words[paddr] = w;
+    }
+
+    /** Number of physical words currently backed. */
+    std::uint32_t size() const
+    {
+        return static_cast<std::uint32_t>(_words.size());
+    }
+
+  private:
+    std::vector<TaggedWord> _words;
+};
+
+} // namespace psi
+
+#endif // PSI_MEM_MAIN_MEMORY_HPP

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The PSI memory unit: address translation + cache + main memory.
+ *
+ * All firmware memory traffic flows through here.  The unit performs
+ * the functional read/write against MainMemory, runs the access
+ * through the Cache performance model, accumulates the extra time
+ * memory stalls cost, and (optionally) appends each access to a
+ * MemEvent trace for the PMMS tool.
+ */
+
+#ifndef PSI_MEM_MEMORY_SYSTEM_HPP
+#define PSI_MEM_MEMORY_SYSTEM_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/area.hpp"
+#include "mem/cache.hpp"
+#include "mem/main_memory.hpp"
+#include "mem/tagged_word.hpp"
+#include "mem/trace.hpp"
+#include "mem/translation.hpp"
+
+namespace psi {
+
+/** Translation + cache + main memory, with timing and tracing. */
+class MemorySystem
+{
+  public:
+    explicit MemorySystem(const CacheConfig &config = CacheConfig::psi());
+
+    /** Read one word (issues a cache Read command). */
+    TaggedWord read(const LogicalAddr &addr);
+
+    /** Write one word (cache Write command). */
+    void write(const LogicalAddr &addr, const TaggedWord &w);
+
+    /** Push-style write (the PSI Write-Stack cache command). */
+    void writeStack(const LogicalAddr &addr, const TaggedWord &w);
+
+    /**
+     * Read or write without engaging the cache model or the trace.
+     * Used by the loader (code generation into the heap area happens
+     * before measurement starts) and by result extraction.
+     */
+    TaggedWord peek(const LogicalAddr &addr);
+    void poke(const LogicalAddr &addr, const TaggedWord &w);
+
+    /** Extra nanoseconds spent in memory stalls so far. */
+    std::uint64_t stallNs() const { return _stallNs; }
+
+    const Cache &cache() const { return _cache; }
+
+    /** Enable trace capture into @p sink (nullptr disables). */
+    void setTraceSink(std::vector<MemEvent> *sink) { _trace = sink; }
+
+    /** Clear cache state, stall time and statistics (not contents). */
+    void resetStats();
+
+  private:
+    std::uint64_t doAccess(CacheCmd cmd, const LogicalAddr &addr,
+                           std::uint32_t paddr);
+
+    MainMemory _mem;
+    TranslationTable _xlat;
+    Cache _cache;
+    std::uint64_t _stallNs = 0;
+    std::vector<MemEvent> *_trace = nullptr;
+};
+
+} // namespace psi
+
+#endif // PSI_MEM_MEMORY_SYSTEM_HPP

@@ -1,0 +1,53 @@
+#include "mem/tagged_word.hpp"
+
+namespace psi {
+
+const char *
+tagName(Tag t)
+{
+    switch (t) {
+      case Tag::Undef: return "undef";
+      case Tag::Ref: return "ref";
+      case Tag::Atom: return "atom";
+      case Tag::Int: return "int";
+      case Tag::Nil: return "nil";
+      case Tag::List: return "list";
+      case Tag::Struct: return "struct";
+      case Tag::Functor: return "functor";
+      case Tag::Vector: return "vector";
+      case Tag::SkelVar: return "skelvar";
+      case Tag::ClauseHeader: return "clause_header";
+      case Tag::ClauseRef: return "clause_ref";
+      case Tag::EndClauses: return "end_clauses";
+      case Tag::HConst: return "h_const";
+      case Tag::HInt: return "h_int";
+      case Tag::HNil: return "h_nil";
+      case Tag::HVarF: return "h_var_f";
+      case Tag::HVarS: return "h_var_s";
+      case Tag::HList: return "h_list";
+      case Tag::HStruct: return "h_struct";
+      case Tag::HGroundList: return "h_ground_list";
+      case Tag::HGroundStruct: return "h_ground_struct";
+      case Tag::HVoid: return "h_void";
+      case Tag::Call: return "call";
+      case Tag::CallLast: return "call_last";
+      case Tag::CallBuiltin: return "call_builtin";
+      case Tag::PackedArgs: return "packed_args";
+      case Tag::AConst: return "a_const";
+      case Tag::AInt: return "a_int";
+      case Tag::ANil: return "a_nil";
+      case Tag::AVar: return "a_var";
+      case Tag::AVoid: return "a_void";
+      case Tag::AList: return "a_list";
+      case Tag::AStruct: return "a_struct";
+      case Tag::AGroundList: return "a_ground_list";
+      case Tag::AGroundStruct: return "a_ground_struct";
+      case Tag::AExpr: return "a_expr";
+      case Tag::CutOp: return "cut";
+      case Tag::Proceed: return "proceed";
+      case Tag::NumTags: break;
+    }
+    return "?";
+}
+
+} // namespace psi

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The PSI word format: an 8-bit tag plus a 32-bit data part.
+ *
+ * Tags cover both runtime data (references, atoms, integers, list and
+ * structure pointers, heap vectors) and the instruction code resident
+ * in the heap area.  Instruction words carry their opcode in the tag,
+ * which is what makes PSI's "case (ir-opcode)" multi-way branch a
+ * single tag dispatch.
+ */
+
+#ifndef PSI_MEM_TAGGED_WORD_HPP
+#define PSI_MEM_TAGGED_WORD_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace psi {
+
+/** The 8-bit tag part of a PSI word. */
+enum class Tag : std::uint8_t
+{
+    // --- data tags ----------------------------------------------------
+    Undef = 0,   ///< uninitialized cell
+    Ref,         ///< reference; an unbound variable points to itself
+    Atom,        ///< symbol-table index
+    Int,         ///< 32-bit signed integer (two's complement in data)
+    Nil,         ///< the empty list
+    List,        ///< pointer to a two-word cons cell
+    Struct,      ///< pointer to functor word followed by arguments
+    Functor,     ///< functor-table index (first word of a structure)
+    Vector,      ///< pointer to a heap vector (rewritable data)
+    SkelVar,     ///< variable slot inside a compiled term skeleton
+
+    // --- instruction-code tags (clause code in the heap area) ---------
+    ClauseHeader,  ///< arity / local count / global count
+    ClauseRef,     ///< entry in a predicate's clause table
+    EndClauses,    ///< terminates a predicate's clause table
+    HConst,        ///< head arg: atom constant
+    HInt,          ///< head arg: integer constant
+    HNil,          ///< head arg: empty list
+    HVarF,         ///< head arg: first occurrence of a variable
+    HVarS,         ///< head arg: subsequent occurrence of a variable
+    HList,         ///< head arg: list skeleton (data = skeleton addr)
+    HStruct,       ///< head arg: structure skeleton
+    HGroundList,   ///< head arg: ground list (shared heap term)
+    HGroundStruct, ///< head arg: ground structure (shared heap term)
+    HVoid,         ///< head arg: anonymous variable
+    Call,          ///< body goal: user predicate (data = functor index)
+    CallLast,      ///< like Call, but the clause's final goal (enables
+                   ///< the tail-recursion optimization)
+    CallBuiltin,   ///< body goal: built-in (data = builtin index)
+    PackedArgs,    ///< four 8-bit packed goal arguments
+    AConst,        ///< goal arg: atom constant
+    AInt,          ///< goal arg: integer constant
+    ANil,          ///< goal arg: empty list
+    AVar,          ///< goal arg: variable slot
+    AVoid,         ///< goal arg: fresh anonymous variable
+    AList,         ///< goal arg: list skeleton to instantiate
+    AStruct,       ///< goal arg: structure skeleton to instantiate
+    AGroundList,   ///< goal arg: ground list (shared heap term)
+    AGroundStruct, ///< goal arg: ground structure (shared heap term)
+    AExpr,         ///< goal arg: arithmetic expression skeleton,
+                   ///< evaluated in place (never instantiated)
+    CutOp,         ///< cut back to the clause's entry choice point
+    Proceed,       ///< end of clause body
+
+    NumTags
+};
+
+/** Human-readable tag mnemonic (for traces and error messages). */
+const char *tagName(Tag t);
+
+/** One PSI word: tag + data. */
+struct TaggedWord
+{
+    Tag tag = Tag::Undef;
+    std::uint32_t data = 0;
+
+    TaggedWord() = default;
+    TaggedWord(Tag t, std::uint32_t d) : tag(t), data(d) {}
+
+    bool operator==(const TaggedWord &o) const = default;
+
+    /** Signed view of the data part (for Tag::Int). */
+    std::int32_t asInt() const { return static_cast<std::int32_t>(data); }
+
+    static TaggedWord makeInt(std::int32_t v)
+    {
+        return {Tag::Int, static_cast<std::uint32_t>(v)};
+    }
+};
+
+/**
+ * Variable-slot encoding shared by SkelVar / HVar / AVar words:
+ * bit 16 set = global-frame slot, clear = local-frame slot;
+ * low 16 bits = slot index.
+ */
+struct VarSlot
+{
+    bool global = false;
+    std::uint16_t index = 0;
+
+    static VarSlot decode(std::uint32_t data)
+    {
+        return {(data & 0x10000u) != 0,
+                static_cast<std::uint16_t>(data & 0xffffu)};
+    }
+
+    std::uint32_t
+    encode() const
+    {
+        return (global ? 0x10000u : 0u) | index;
+    }
+};
+
+} // namespace psi
+
+#endif // PSI_MEM_TAGGED_WORD_HPP

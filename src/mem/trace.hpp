@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Compact trace records produced by the COLLECT tool analogue.
+ *
+ * MemEvent streams feed the PMMS cache simulator (Figure 1 sweeps);
+ * StepEvent streams feed the MAP microinstruction pattern analyzer
+ * (Tables 6 and 7).
+ */
+
+#ifndef PSI_MEM_TRACE_HPP
+#define PSI_MEM_TRACE_HPP
+
+#include <cstdint>
+
+#include "mem/area.hpp"
+#include "mem/cache.hpp"
+
+namespace psi {
+
+/** One memory access: command, area and physical address. */
+struct MemEvent
+{
+    CacheCmd cmd;
+    Area area;
+    std::uint32_t paddr;
+};
+
+/**
+ * One microinstruction step, reduced to the fields the MAP tool
+ * pattern-matches on.  Enums are stored as raw bytes to keep traces
+ * small; tools/map.hpp decodes them.
+ */
+struct StepEvent
+{
+    std::uint8_t module;      ///< micro::Module
+    std::uint8_t branchOp;    ///< micro::BranchOp
+    std::uint8_t src1Mode;    ///< micro::WfMode of the source-1 field
+    std::uint8_t src2Mode;    ///< micro::WfMode of the source-2 field
+    std::uint8_t destMode;    ///< micro::WfMode of the destination
+    std::uint8_t hasCacheCmd; ///< 1 + CacheCmd, or 0 for none
+};
+
+} // namespace psi
+
+#endif // PSI_MEM_TRACE_HPP

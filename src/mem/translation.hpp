@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Hardware address-translation table.
+ *
+ * The PSI allocates physical memory pieces to each logical area
+ * through a hardware translation table.  This model keeps, per area,
+ * a dense page table mapping virtual page number to a physical frame
+ * base in MainMemory; pages are allocated on first touch (the role
+ * the PSI operating system played).
+ */
+
+#ifndef PSI_MEM_TRANSLATION_HPP
+#define PSI_MEM_TRANSLATION_HPP
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "mem/area.hpp"
+#include "mem/main_memory.hpp"
+
+namespace psi {
+
+/** Per-area page tables over one MainMemory. */
+class TranslationTable
+{
+  public:
+    explicit TranslationTable(MainMemory &mem) : _mem(&mem) {}
+
+    /**
+     * Translate a logical address to a physical word address,
+     * allocating the page on first touch.
+     */
+    std::uint32_t translate(const LogicalAddr &addr);
+
+    /** Number of pages mapped (backed by a frame) in @p area. */
+    std::uint32_t pageCount(Area area) const
+    {
+        std::uint32_t n = 0;
+        for (auto f : _tables[static_cast<int>(area)])
+            n += f != kUnmapped;
+        return n;
+    }
+
+  private:
+    /** Sentinel for a page that has never been touched. */
+    static constexpr std::uint32_t kUnmapped = 0xffffffffu;
+
+  public:
+
+  private:
+    MainMemory *_mem;
+    std::array<std::vector<std::uint32_t>, kNumAreas> _tables;
+};
+
+} // namespace psi
+
+#endif // PSI_MEM_TRANSLATION_HPP

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Vocabulary of the horizontal microinstruction fields.
+ *
+ * These enums are exactly the categories the paper's evaluation
+ * counts over:
+ *
+ *  - Module   : the firmware interpreter component a step belongs to
+ *               (the columns of Table 2);
+ *  - WfMode   : the work-file access mode of the source-1 / source-2 /
+ *               destination fields (the rows of Table 6);
+ *  - BranchOp : the branch-field operation, sixteen mnemonics in
+ *               three microinstruction format types (the rows of
+ *               Table 7).
+ */
+
+#ifndef PSI_MICRO_FIELDS_HPP
+#define PSI_MICRO_FIELDS_HPP
+
+#include <cstdint>
+
+namespace psi {
+namespace micro {
+
+/** Firmware interpreter modules (Table 2 columns). */
+enum class Module : std::uint8_t
+{
+    Control = 0,  ///< call/return/frame management
+    Unify,        ///< head and general unification
+    Trail,        ///< trail pushes and unwinding
+    GetArg,       ///< argument fetch for built-in predicates
+    Cut,          ///< cut processing
+    Built,        ///< built-in predicate bodies
+    NumModules
+};
+
+constexpr int kNumModules = static_cast<int>(Module::NumModules);
+
+const char *moduleName(Module m);
+
+/** Work-file access modes (Table 6 rows). */
+enum class WfMode : std::uint8_t
+{
+    None = 0,       ///< field does not touch the work file
+    Direct00_0F,    ///< dual-ported first 16 words
+    Direct10_3F,    ///< directly addressable words 0x10-0x3F
+    Constant,       ///< 64-word constant storage area
+    BaseRelPdrCdr,  ///< base-relative via PDR or CDR low bits
+    IndWfar1,       ///< indirect through WFAR1 (auto inc/dec)
+    IndWfar2,       ///< indirect through WFAR2 (auto inc/dec)
+    IndWfcbr,       ///< base-relative via WFCBR
+    NumModes
+};
+
+constexpr int kNumWfModes = static_cast<int>(WfMode::NumModes);
+
+const char *wfModeName(WfMode m);
+
+/** The three microinstruction fields that can address the WF. */
+enum class WfField : std::uint8_t
+{
+    Source1 = 0,  ///< ALU input 1
+    Source2,      ///< ALU input 2 (dual-port words only)
+    Dest,         ///< ALU output / destination bus
+    NumFields
+};
+
+constexpr int kNumWfFields = static_cast<int>(WfField::NumFields);
+
+/** Branch-field operations (Table 7 rows, three format types). */
+enum class BranchOp : std::uint8_t
+{
+    // --- Type 1 (full branch field) -----------------------------------
+    T1Nop = 0,        ///< (1) no operation
+    T1CondTrue,       ///< (2) if (cond) then
+    T1CondFalse,      ///< (3) if (not(cond)) then
+    T1TagCmp,         ///< (4) if tag(src2) = const then
+    T1CaseTag,        ///< (5) case (tag(n, P/CDR)) multi-way
+    T1CaseIrn,        ///< (6) case (irn): packed-operand tag dispatch
+    T1CaseIrOpcode,   ///< (7) case (ir-opcode)
+    T1Goto,           ///< (8) goto
+    T1Gosub,          ///< (9) gosub
+    T1Return,         ///< (10) return
+    T1LoadJr,         ///< (11) load jump register
+    T1GotoJr,         ///< (12) goto @jr
+    // --- Type 2 (short branch field) ----------------------------------
+    T2Nop,            ///< (13) no operation
+    T2Goto,           ///< (14) goto
+    // --- Type 3 (minimal branch field) --------------------------------
+    T3Nop,            ///< (15) no operation
+    T3GotoCjr,        ///< (16) goto @cjr
+    NumOps
+};
+
+constexpr int kNumBranchOps = static_cast<int>(BranchOp::NumOps);
+
+const char *branchOpName(BranchOp op);
+
+/** True for the three no-operation encodings. */
+constexpr bool
+isBranchNop(BranchOp op)
+{
+    return op == BranchOp::T1Nop || op == BranchOp::T2Nop ||
+           op == BranchOp::T3Nop;
+}
+
+} // namespace micro
+} // namespace psi
+
+#endif // PSI_MICRO_FIELDS_HPP

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * A reified horizontal microinstruction.
+ *
+ * The firmware normally issues steps through the Sequencer's typed
+ * helpers (step/readMem/writeMem/pushMem/texture); MicroInst is the
+ * value form of one such step - the 64-bit microinstruction word's
+ * fields as data - used where steps are built, stored or inspected
+ * as values (tests, tools, documentation of the encoding).
+ *
+ * Field layout modeled (the PSI word is 64 bits, almost horizontal):
+ *
+ *   | module | branch op | src1 mode | src2 mode | dest mode | cache |
+ *
+ * Sequencer::exec() accounts a MicroInst exactly like the equivalent
+ * typed call; memory-carrying instructions also need the address and
+ * datum at execution time, which the firmware supplies.
+ */
+
+#ifndef PSI_MICRO_MICROINST_HPP
+#define PSI_MICRO_MICROINST_HPP
+
+#include <string>
+
+#include "mem/cache.hpp"
+#include "micro/fields.hpp"
+
+namespace psi {
+namespace micro {
+
+/** One microinstruction, as data. */
+struct MicroInst
+{
+    Module module = Module::Control;
+    BranchOp branch = BranchOp::T1Nop;
+    WfMode src1 = WfMode::None;
+    WfMode src2 = WfMode::None;
+    WfMode dest = WfMode::None;
+    /** -1 = no memory access, else a CacheCmd value. */
+    int cacheCmd = -1;
+
+    /** Human-readable rendering of the fields. */
+    std::string str() const;
+
+    /** True when the branch field is one of the no-ops. */
+    bool branchIsNop() const { return isBranchNop(branch); }
+
+    /** True when the instruction carries a memory request. */
+    bool hasMemory() const { return cacheCmd >= 0; }
+};
+
+} // namespace micro
+} // namespace psi
+
+#endif // PSI_MICRO_MICROINST_HPP

@@ -1,0 +1,4 @@
+// The Sequencer is fully inline (see sequencer.hpp); this translation
+// unit exists so the build has a home for future out-of-line pieces
+// and to keep one .cpp per module header.
+#include "micro/sequencer.hpp"

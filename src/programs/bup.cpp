@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Table 1 rows (11)-(13): BUP, a bottom-up (left-corner) parser for
+ * natural language in the style of Matsumoto's BUP system.
+ *
+ * The parser reduces from the lexical left corner upward through the
+ * grammar, unifying category terms with number agreement and
+ * carrying verb subcategorization frames as structures with more
+ * than eight elements (the paper remarks that BUP handles such
+ * structures and nested ones).  Ambiguous PP attachment makes the
+ * longer sentences backtrack heavily.
+ */
+
+#include "programs/registry.hpp"
+
+namespace psi {
+namespace programs {
+
+namespace {
+
+const char *kBupSrc = R"PROG(
+% ----------------------------------------------------------------
+% BUP core: parse(Goal, S0, S, Tree) recognizes Goal spanning the
+% difference list S0-S.  lc/6 climbs from a completed left-corner
+% category toward the goal.
+% ----------------------------------------------------------------
+
+% Chart positions are threaded as integers and advanced with
+% arithmetic, BUP style; the goal-table test goalcat/1 and the
+% category guard cateq/2 are built-in-heavy, matching the paper's
+% note that 65% of BUP's calls are built-ins.
+
+parse(G, [W|S0], S, V, P0, P, T) :-
+    note_attempt(V, P0),
+    dict(W, C, WT),
+    P1 is P0 + 1,
+    lc(C, G, S0, S, V, P1, P, WT, T).
+
+lc(C, C, S, S, _, P, P, T, T).
+lc(C, G, S0, S, V, P0, P, CT, T) :-
+    link(C, G),
+    rule(Parent, C, Cs, CT, Ts, PT),
+    parse_list(Cs, S0, S1, V, P0, P1, Ts),
+    lc(Parent, G, S1, S, V, P1, P, PT, T).
+
+parse_list([], S, S, _, P, P, []).
+parse_list([C|Cs], S0, S, V, P0, P, [T|Ts]) :-
+    parse(C, S0, S1, V, P0, P1, T),
+    parse_list(Cs, S1, S, V, P1, P, Ts).
+
+% Chart bookkeeping: the well-formed-substring table of BUP, kept as
+% a heap vector of per-position attempt counters.
+note_attempt(V, P) :-
+    K is P mod 60,
+    vector_get(V, K, N0),
+    N1 is N0 + 1,
+    vector_set(V, K, N1).
+
+% The BUP "link" (reachability) oracle: a left corner can only climb
+% to categories at the same or a higher grammar level, so rule
+% search under an impossible goal is pruned before it starts.  The
+% test is built-in work: functor decomposition plus an arithmetic
+% comparison.
+link(C, G) :-
+    functor(C, FC, _),
+    functor(G, FG, _),
+    level(FC, LC),
+    level(FG, LG),
+    LC =< LG.
+
+level(s, 9).
+level(vp, 7).
+level(np, 6).
+level(nbar, 5).
+level(pp, 5).
+level(v_d, 4).
+level(v_t, 4).
+level(v_i, 4).
+level(det, 3).
+level(pn, 3).
+level(n, 2).
+level(adj, 2).
+level(p, 2).
+
+% Tree size accounting over the finished parse (functor/arg walk).
+tree_size(T, 1) :- atomic(T).
+tree_size(T, N) :-
+    compound(T),
+    functor(T, _, A),
+    args_size(A, T, 0, N0),
+    N is N0 + 1.
+
+args_size(0, _, N, N).
+args_size(I, T, N0, N) :-
+    I > 0,
+    arg(I, T, Arg),
+    tree_size(Arg, NA),
+    N1 is N0 + NA,
+    I1 is I - 1,
+    args_size(I1, T, N1, N).
+
+% ----------------------------------------------------------------
+% Grammar: rule(Parent, LeftCorner, Rest, LCTree, RestTrees, Tree).
+% Number agreement threads through np / vp; verb frames are 9-ary
+% structures copied through unification.
+% ----------------------------------------------------------------
+
+rule(s, np(N), [vp(N)], NPT, [VPT], s(NPT, VPT)).
+rule(np(N), det(N), [nbar(N)], DT, [NT], np(DT, NT)).
+rule(np(N), pn(N), [], PT, [], np(PT)).
+rule(np(N), np(N), [pp], NT, [PT], np(NT, PT)).
+rule(nbar(N), n(N), [], NT, [], nbar(NT)).
+rule(nbar(N), adj, [nbar(N)], AT, [NT], nbar(AT, NT)).
+rule(pp, p, [np(_)], PT, [NT], pp(PT, NT)).
+rule(vp(N), v_i(N), [], VT, [], vp(VT)).
+rule(vp(N), v_t(N), [np(_)], VT, [NT], vp(VT, NT)).
+rule(vp(N), v_d(N), [np(_), np(_)], VT, [N1, N2], vp(VT, N1, N2)).
+rule(vp(N), v_d(N), [np(_), pp], VT, [N1, PT], vp(VT, N1, PT)).
+rule(vp(N), vp(N), [pp], VT, [PT], vp(VT, PT)).
+
+% ----------------------------------------------------------------
+% Dictionary.  Verb entries carry a subcategorization frame with
+% nine elements: frame(Cat1, Cat2, Role1, Role2, Role3, Person,
+% Number, Tense, Form).
+% ----------------------------------------------------------------
+
+dict(the, det(_), det(the)).
+dict(a, det(sg), det(a)).
+dict(every, det(sg), det(every)).
+dict(all, det(pl), det(all)).
+
+dict(dog, n(sg), n(dog)).
+dict(dogs, n(pl), n(dogs)).
+dict(cat, n(sg), n(cat)).
+dict(cats, n(pl), n(cats)).
+dict(man, n(sg), n(man)).
+dict(men, n(pl), n(men)).
+dict(woman, n(sg), n(woman)).
+dict(park, n(sg), n(park)).
+dict(bone, n(sg), n(bone)).
+dict(smile, n(sg), n(smile)).
+dict(telescope, n(sg), n(telescope)).
+dict(garden, n(sg), n(garden)).
+
+dict(john, pn(sg), pn(john)).
+dict(mary, pn(sg), pn(mary)).
+
+dict(big, adj, adj(big)).
+dict(old, adj, adj(old)).
+dict(small, adj, adj(small)).
+
+dict(in, p, p(in)).
+dict(with, p, p(with)).
+dict(of, p, p(of)).
+dict(near, p, p(near)).
+
+dict(sees, v_t(sg),
+     v(sees, frame(np, none, agent, theme, none, 3, sg, pres, fin))).
+dict(see, v_t(pl),
+     v(see, frame(np, none, agent, theme, none, 3, pl, pres, fin))).
+dict(likes, v_t(sg),
+     v(likes, frame(np, none, agent, theme, none, 3, sg, pres, fin))).
+dict(sleeps, v_i(sg),
+     v(sleeps, frame(none, none, agent, none, none, 3, sg, pres,
+                     fin))).
+dict(sleep, v_i(pl),
+     v(sleep, frame(none, none, agent, none, none, 3, pl, pres,
+                    fin))).
+dict(gives, v_d(sg),
+     v(gives, frame(np, np, agent, goal, theme, 3, sg, pres, fin))).
+dict(give, v_d(pl),
+     v(give, frame(np, np, agent, goal, theme, 3, pl, pres, fin))).
+
+% ----------------------------------------------------------------
+% Benchmark sentences of increasing length / ambiguity.
+% ----------------------------------------------------------------
+
+sentence(1, [the, dog, sees, a, cat]).
+sentence(2, [the, big, dog, in, the, park, sees, a, cat, near, the,
+             garden]).
+sentence(3, [the, old, man, in, the, park, gives, the, big, dog,
+             of, the, woman, a, bone, with, a, smile]).
+
+bup(N, T) :-
+    sentence(N, S),
+    vector_new(64, V),
+    parse(s, S, [], V, 0, Len, T),
+    Len > 0,
+    tree_size(T, Sz),
+    Sz > Len.
+)PROG";
+
+} // namespace
+
+std::vector<BenchProgram>
+bupPrograms()
+{
+    return {
+        {"bup1", "BUP-1", kBupSrc, "bup(1, T)", 1, 43, 52},
+        {"bup2", "BUP-2", kBupSrc, "bup(2, T)", 1, 139, 194},
+        {"bup3", "BUP-3", kBupSrc, "bup(3, T)", 1, 309, 424},
+    };
+}
+
+} // namespace programs
+} // namespace psi

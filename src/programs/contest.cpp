@@ -1,0 +1,306 @@
+/**
+ * @file
+ * Re-creations of the first-Prolog-contest benchmarks of Table 1
+ * rows (1)-(3) and (7)-(10), plus the 8 PUZZLE search workload used
+ * in the hardware evaluation (Tables 2-7).
+ */
+
+#include "programs/registry.hpp"
+
+namespace psi {
+namespace programs {
+
+namespace {
+
+/** (1) nreverse (30): naive reverse of a 30-element list. */
+const char *kNreverseSrc = R"PROG(
+% Naive reverse: the canonical Prolog benchmark (496 logical
+% inferences for a 30-element list).
+nrev([], []).
+nrev([H|T], R) :- nrev(T, RT), append(RT, [H], R).
+
+append([], L, L).
+append([H|T], L, [H|R]) :- append(T, L, R).
+
+data30([1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,
+        16,17,18,19,20,21,22,23,24,25,26,27,28,29,30]).
+
+bench_nrev(R) :- data30(L), nrev(L, R).
+)PROG";
+
+/** (2) quick sort (50): Warren's classic 50-element input. */
+const char *kQsortSrc = R"PROG(
+% Quicksort with explicit partition; the 50-element input list is
+% D.H.D. Warren's classic benchmark data.
+qsort([], []).
+qsort([H|T], S) :-
+    partition(T, H, Lo, Hi),
+    qsort(Lo, SLo),
+    qsort(Hi, SHi),
+    append(SLo, [H|SHi], S).
+
+partition([], _, [], []).
+partition([X|Xs], P, [X|Lo], Hi) :- X =< P, partition(Xs, P, Lo, Hi).
+partition([X|Xs], P, Lo, [X|Hi]) :- X > P, partition(Xs, P, Lo, Hi).
+
+append([], L, L).
+append([H|T], L, [H|R]) :- append(T, L, R).
+
+data50([27,74,17,33,94,18,46,83,65,2,
+        32,53,28,85,99,47,28,82,6,11,
+        55,29,39,81,90,37,10,0,66,51,
+        7,21,85,27,31,63,75,4,95,99,
+        11,28,61,74,18,92,40,53,59,8]).
+
+bench_qsort(S) :- data50(L), qsort(L, S).
+)PROG";
+
+/** (3) tree traversing: build and flatten a binary tree. */
+const char *kTreeSrc = R"PROG(
+% Build a complete binary tree of the given depth carrying integer
+% keys, then traverse it three ways (preorder, inorder, postorder)
+% and sum the keys of the inorder walk.
+mktree(0, _, leaf).
+mktree(D, K, node(K, L, R)) :-
+    D > 0,
+    D1 is D - 1,
+    KL is 2 * K,
+    KR is 2 * K + 1,
+    mktree(D1, KL, L),
+    mktree(D1, KR, R).
+
+preorder(leaf, L, L).
+preorder(node(K, Lt, Rt), [K|A], B) :-
+    preorder(Lt, A, C),
+    preorder(Rt, C, B).
+
+inorder(leaf, L, L).
+inorder(node(K, Lt, Rt), A, B) :-
+    inorder(Lt, A, [K|C]),
+    inorder(Rt, C, B).
+
+postorder(leaf, L, L).
+postorder(node(K, Lt, Rt), A, B) :-
+    postorder(Lt, A, C),
+    postorder(Rt, C, [K|B]).
+
+sumlist([], S, S).
+sumlist([X|Xs], A, S) :- A1 is A + X, sumlist(Xs, A1, S).
+
+bench_tree(S) :-
+    mktree(7, 1, T),
+    preorder(T, P, []),
+    inorder(T, I, []),
+    postorder(T, Q, []),
+    sumlist(P, 0, _),
+    sumlist(Q, 0, _),
+    sumlist(I, 0, S).
+)PROG";
+
+/** (7)/(8) 8 queens, first and all solutions. */
+const char *kQueensSrc = R"PROG(
+% Classic 8-queens: place column by column, testing diagonal safety
+% with arithmetic.  The all-solutions variant drives a failure loop
+% over a heap-vector counter (the machine's rewritable data).
+queens(Qs) :- place(8, [], Qs).
+
+place(0, Qs, Qs).
+place(N, Placed, Qs) :-
+    N > 0,
+    pick(C),
+    safe(Placed, C, 1),
+    N1 is N - 1,
+    place(N1, [C|Placed], Qs).
+
+pick(1). pick(2). pick(3). pick(4).
+pick(5). pick(6). pick(7). pick(8).
+
+safe([], _, _).
+safe([Q|Qs], C, D) :-
+    Q =\= C,
+    Q + D =\= C,
+    Q - D =\= C,
+    D1 is D + 1,
+    safe(Qs, C, D1).
+
+count_queens(N) :-
+    vector_new(1, V),
+    count_loop(V),
+    vector_get(V, 0, N).
+
+count_loop(V) :-
+    queens(_),
+    vector_get(V, 0, N0),
+    N1 is N0 + 1,
+    vector_set(V, 0, N1),
+    fail.
+count_loop(_).
+)PROG";
+
+/** (9) reverse function: reverse written in an applicative style
+ *  where every reduction step is dispatched through =.. / functor
+ *  meta-calls ("functional programming in Prolog"). */
+const char *kRevFuncSrc = R"PROG(
+% "Function"-style programming: every reduction step builds its goal
+% with =.. and dispatches through a generic apply, so the meta
+% built-ins dominate, which is exactly the run-time-heavy profile
+% that favours the PSI in the paper's row (9).
+apply1(F, X, Y) :- G =.. [F, X, Y], fcall(G).
+apply2(F, X, A, Y) :- G =.. [F, X, A, Y], fcall(G).
+
+fcall(G) :- functor(G, rev, 2), G = rev(X, Y), rev(X, Y).
+fcall(G) :- functor(G, rev1, 3), G = rev1(X, A, Y), rev1(X, A, Y).
+fcall(G) :- functor(G, idf, 2), G = idf(X, Y), idf(X, Y).
+
+rev(L, R) :- apply2(rev1, L, [], R).
+rev1([], A, A).
+rev1([H|T], A, R) :- apply2(rev1, T, [H|A], R).
+
+idf(X, X).
+
+iter(0, _, L, L).
+iter(N, F, L, R) :-
+    N > 0,
+    apply1(F, L, L1),
+    N1 is N - 1,
+    iter(N1, F, L1, R).
+
+data20([1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16,17,18,19,20]).
+
+bench_revfunc(R) :- data20(L), iter(20, rev, L, R).
+)PROG";
+
+/** (10) slow reverse (6): reverse by generate-and-test over
+ *  permutations - combinatorial for even a 6-element list, matching
+ *  the paper's 99 ms on this tiny input. */
+const char *kSlowRevSrc = R"PROG(
+% The deliberately awful reverse: enumerate permutations until one
+% happens to be the reversal.  The reversal of [1..6] is the last
+% permutation tried for a descending test order, so the search is
+% exhaustive.
+select(X, [X|T], T).
+select(X, [H|T], [H|R]) :- select(X, T, R).
+
+perm([], []).
+perm(L, [X|P]) :- select(X, L, R), perm(R, P).
+
+reversed([], []).
+reversed([H|T], R) :- reversed(T, R0), append(R0, [H], R).
+
+append([], L, L).
+append([H|T], L, [H|R]) :- append(T, L, R).
+
+slowrev(L, R) :- reversed(L, Target), perm(L, R), R = Target.
+
+bench_slowrev(R) :- slowrev([1,2,3,4,5,6], R).
+)PROG";
+
+/** 8 PUZZLE: IDA* sliding-tile search (Tables 2-7). */
+const char *kPuzzleSrc = R"PROG(
+% 8-puzzle solved by iterative-deepening A*.  The board is a
+% 9-element list (0 = blank); move generation works with arithmetic
+% over blank positions and every expanded node re-evaluates the
+% Manhattan-distance heuristic, giving the search the heavy
+% built-in / argument-fetch profile the paper reports for this
+% workload (get_arg 22.7%, built 31.3%).
+goal_state([1,2,3,8,0,4,7,6,5]).
+
+% goal square (0-based) of each tile
+home(1, 0). home(2, 1). home(3, 2).
+home(8, 3). home(0, 4). home(4, 5).
+home(7, 6). home(6, 7). home(5, 8).
+
+% slide(Board, NewBoard): one legal blank move.
+slide(B, N) :- pos(B, 0, P), move_to(P, Q), swap(B, P, Q, N).
+
+% blank position (0-based)
+pos([X|_], X, 0).
+pos([_|T], X, P) :- pos(T, X, P1), P is P1 + 1.
+
+% legal destination squares for the blank
+move_to(P, Q) :- Q is P - 3, Q >= 0.
+move_to(P, Q) :- Q is P + 3, Q =< 8.
+move_to(P, Q) :- P mod 3 > 0, Q is P - 1.
+move_to(P, Q) :- P mod 3 < 2, Q is P + 1.
+
+% swap elements at positions P and Q
+swap(B, P, Q, N) :-
+    nth(B, P, X),
+    nth(B, Q, Y),
+    setn(B, P, Y, B1),
+    setn(B1, Q, X, N).
+
+nth([X|_], 0, X).
+nth([_|T], N, X) :- N > 0, N1 is N - 1, nth(T, N1, X).
+
+setn([_|T], 0, Y, [Y|T]).
+setn([H|T], N, Y, [H|R]) :- N > 0, N1 is N - 1, setn(T, N1, Y, R).
+
+% Manhattan-distance heuristic: sum over all tiles of the distance
+% from the current square to the tile's home square.
+manhattan(B, H) :- man(B, 0, 0, H).
+
+man([], _, H, H).
+man([0|Ts], P, A, H) :- P1 is P + 1, man(Ts, P1, A, H).
+man([T|Ts], P, A, H) :-
+    T > 0,
+    home(T, G),
+    D is abs(P mod 3 - G mod 3) + abs(P // 3 - G // 3),
+    A1 is A + D,
+    P1 is P + 1,
+    man(Ts, P1, A1, H).
+
+% IDA* contour search: expand while g + h stays within the bound.
+dfs(B, _, G, Bound, []) :-
+    manhattan(B, H),
+    H =:= 0,
+    G =< Bound.
+dfs(B, Prev, G, Bound, [N|Ms]) :-
+    manhattan(B, H),
+    G + H =< Bound,
+    slide(B, N),
+    N \== Prev,
+    G1 is G + 1,
+    dfs(N, B, G1, Bound, Ms).
+
+ida(B, Bound, Ms) :- dfs(B, none, 0, Bound, Ms).
+ida(B, Bound, Ms) :- Bound < 14, B1 is Bound + 2, ida(B, B1, Ms).
+
+solve_puzzle(Ms) :- manhattan([2,8,3,1,6,4,7,0,5], H0),
+                    ida([2,8,3,1,6,4,7,0,5], H0, Ms).
+)PROG";
+
+} // namespace
+
+std::vector<BenchProgram>
+contestPrograms()
+{
+    return {
+        {"nreverse30", "nreverse (30)", kNreverseSrc,
+         "bench_nrev(R)", 1, 13.6, 9.48},
+        {"qsort50", "quick sort (50)", kQsortSrc,
+         "bench_qsort(S)", 1, 15.2, 14.6},
+        {"tree", "tree traversing", kTreeSrc,
+         "bench_tree(S)", 1, 51.7, 61.1},
+        {"queens1", "8 queens (1)", kQueensSrc,
+         "queens(Qs)", 1, 96.9, 97.5},
+        {"queensall", "8 queens (all)", kQueensSrc,
+         "count_queens(N)", 1, 1570, 1580},
+        {"revfunc", "reverse function", kRevFuncSrc,
+         "bench_revfunc(R)", 1, 38.2, 41.7},
+        {"slowrev6", "slow reverse (6)", kSlowRevSrc,
+         "bench_slowrev(R)", 1, 99.4, 89.0},
+    };
+}
+
+std::vector<BenchProgram>
+puzzlePrograms()
+{
+    return {
+        {"puzzle8", "8 puzzle", kPuzzleSrc, "solve_puzzle(Ms)", 1,
+         0.0, 0.0},
+    };
+}
+
+} // namespace programs
+} // namespace psi

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Table 1 rows (14)-(16): HARMONIZER, a rule-based music
+ * harmonization system.  Chords are chosen for each melody note
+ * under musical constraints (chord membership, functional harmony
+ * progressions, root movement, cadence), producing the deep
+ * backtracking and structure unification the paper reports for this
+ * program (unify 46.4% of steps, Table 2).
+ */
+
+#include "programs/registry.hpp"
+
+namespace psi {
+namespace programs {
+
+namespace {
+
+const char *kHarmonizerSrc = R"PROG(
+% ----------------------------------------------------------------
+% Musical knowledge.  Pitch classes are 0..11 (C = 0).  A chord is
+% chord(Name, Function, Root, Tones).
+% ----------------------------------------------------------------
+
+chord(i,   tonic,       0, [0, 4, 7]).
+chord(ii,  subdominant, 2, [2, 5, 9]).
+chord(iii, tonic,       4, [4, 7, 11]).
+chord(iv,  subdominant, 5, [5, 9, 0]).
+chord(v,   dominant,    7, [7, 11, 2]).
+chord(vi,  tonic,       9, [9, 0, 4]).
+chord(vii, dominant,   11, [11, 2, 5]).
+
+% Functional-harmony progressions.
+follows(tonic, tonic).
+follows(tonic, subdominant).
+follows(tonic, dominant).
+follows(subdominant, dominant).
+follows(subdominant, tonic).
+follows(dominant, tonic).
+
+% Preferred root movements (ascending fourths/fifths, seconds,
+% descending thirds).
+good_root_move(0).
+good_root_move(5).
+good_root_move(7).
+good_root_move(2).
+good_root_move(9).
+
+member(X, [X|_]).
+member(X, [_|T]) :- member(X, T).
+
+% ----------------------------------------------------------------
+% Harmonization.  Each melody note note(Pitch, Beat) takes a chord
+% such that: a strong-beat note is a chord tone (weak-beat notes may
+% be passing tones a step from a chord tone); the chord function may
+% follow its predecessor; the root movement is acceptable.  The
+% piece must open with the tonic and close with a V-I cadence.
+% ----------------------------------------------------------------
+
+harmonize(Melody, Chords) :-
+    Melody = [note(P0, _)|_],
+    chord(C0, tonic, R0, T0),
+    member(P0, T0),
+    harm(Melody, chord(C0, tonic, R0, T0), [C0], Rev),
+    reverse_acc(Rev, [], Chords),
+    cadence(Rev).
+
+harm([_], _, Acc, Acc).
+harm([note(P0, _), note(P, B)|Rest], chord(_, F0, R0, _), Acc,
+     Out) :-
+    chord(C1, F1, R1, T1),
+    follows(F0, F1),
+    Move is (R1 - R0 + 12) mod 12,
+    good_root_move(Move),
+    Mel is (P - P0 + 12) mod 12,
+    Leap is min(Mel, 12 - Mel),
+    tension(Leap, R0, R1),
+    fits(P, B, T1),
+    harm([note(P, B)|Rest], chord(C1, F1, R1, T1), [C1|Acc], Out).
+
+% Voice-leading tension rule: a melodic leap larger than a third must
+% not coincide with a tritone root move.
+tension(Leap, _, _) :- Leap =< 4.
+tension(Leap, R0, R1) :-
+    Leap > 4,
+    D is (R1 - R0 + 12) mod 12,
+    D =\= 6.
+
+% Strong beats must be chord tones; weak beats may be a whole or
+% half step above a chord tone (passing).
+fits(P, strong, Tones) :- member(P, Tones).
+fits(P, weak, Tones) :- member(P, Tones).
+fits(P, weak, Tones) :-
+    Q is (P + 11) mod 12, member(Q, Tones).
+fits(P, weak, Tones) :-
+    Q is (P + 10) mod 12, member(Q, Tones).
+
+% The reversed chord list starts with the final chord.
+cadence([Last, Prev|_]) :-
+    chord(Last, tonic, _, _),
+    chord(Prev, dominant, _, _).
+cadence([_]).
+
+reverse_acc([], A, A).
+reverse_acc([X|Xs], A, R) :- reverse_acc(Xs, [X|A], R).
+
+% ----------------------------------------------------------------
+% Melodies (C major).  Longer melodies multiply the backtracking.
+% ----------------------------------------------------------------
+
+melody(1, [note(0,strong), note(4,weak), note(2,strong),
+           note(5,weak), note(11,strong), note(2,weak),
+           note(7,strong), note(0,strong)]).
+
+melody(2, [note(0,strong), note(0,weak), note(2,strong),
+           note(2,weak), note(7,strong), note(7,weak),
+           note(4,strong), note(0,weak), note(5,strong),
+           note(4,weak), note(2,strong), note(5,weak),
+           note(11,strong), note(2,weak), note(7,strong),
+           note(0,strong)]).
+
+melody(3, [note(7,strong), note(0,weak), note(7,strong),
+           note(2,weak), note(11,strong), note(11,weak),
+           note(9,strong), note(11,weak), note(0,strong),
+           note(11,weak), note(2,strong), note(0,weak),
+           note(7,strong), note(2,weak), note(5,strong),
+           note(0,weak), note(0,strong), note(0,weak),
+           note(9,strong), note(2,weak), note(4,strong),
+           note(0,weak), note(9,strong), note(9,weak),
+           note(4,strong), note(0,weak), note(9,strong),
+           note(7,weak), note(5,strong), note(4,weak),
+           note(2,strong), note(0,strong)]).
+
+% ----------------------------------------------------------------
+% Global style rule: a harmonization must use enough distinct
+% chords (checked over the finished chord list, so an insufficient
+% assignment sends the search back into harmonize/2 - the deep
+% backtracking the paper reports for this program).
+% ----------------------------------------------------------------
+
+distinct([], 0).
+distinct([H|T], D) :-
+    (member(H, T) -> distinct(T, D)
+    ; distinct(T, D0), D is D0 + 1).
+
+variety(1, 4).
+variety(2, 5).
+variety(3, 7).
+
+harmonizer(N, Chords) :-
+    melody(N, M),
+    harmonize(M, Chords),
+    variety(N, V),
+    distinct(Chords, D),
+    D >= V.
+)PROG";
+
+} // namespace
+
+std::vector<BenchProgram>
+harmonizerPrograms()
+{
+    return {
+        {"harmonizer1", "harmonizer-1", kHarmonizerSrc,
+         "harmonizer(1, C)", 1, 657, 1040},
+        {"harmonizer2", "harmonizer-2", kHarmonizerSrc,
+         "harmonizer(2, C)", 1, 1879, 2670},
+        {"harmonizer3", "harmonizer-3", kHarmonizerSrc,
+         "harmonizer(3, C)", 1, 24119, 31390},
+    };
+}
+
+} // namespace programs
+} // namespace psi

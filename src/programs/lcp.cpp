@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Table 1 rows (17)-(19): LCP, a top-down clause-per-category parser
+ * in the style of Pereira's efficient Prolog grammars: word-initial
+ * clause heads, difference lists, deterministic dictionary lookup.
+ *
+ * The paper notes DEC-10 compiled code beats PSI on LCP (ratio
+ * ~0.78): this style rewards first-argument indexing, which the
+ * compiled baseline has and the PSI firmware interpreter does not.
+ */
+
+#include "programs/registry.hpp"
+
+namespace psi {
+namespace programs {
+
+namespace {
+
+const char *kLcpSrc = R"PROG(
+% ----------------------------------------------------------------
+% Top-down parser, one predicate per category; each clause consumes
+% its first word in the head so clause choice is driven by the word.
+% ----------------------------------------------------------------
+
+s(S0, S, s(NP, VP)) :-
+    np(S0, S1, NP, N),
+    vp(S1, S, VP, N).
+
+np([W|S0], S, np(det(W), NB), N) :-
+    det(W, N),
+    nbar(S0, S, NB, N).
+np([W|S], S, np(pn(W)), sg) :-
+    pn(W).
+
+% An NP may be extended with PP modifiers.
+npx(S0, S, NP, N) :-
+    np(S0, S1, NP0, N),
+    ppstar(S1, S, NP0, NP).
+
+ppstar(S, S, NP, NP).
+ppstar(S0, S, NP0, NP) :-
+    pp(S0, S1, PP),
+    ppstar(S1, S, np(NP0, PP), NP).
+
+nbar([W|S0], S, NB, N) :-
+    adj(W),
+    nbar(S0, S, NB0, N),
+    NB = nbar(adj(W), NB0).
+nbar([W|S0], S, NB, N) :-
+    noun(W, N),
+    nmods(S0, S, n(W), NB).
+
+nmods(S, S, NB, nbar(NB)).
+nmods(S0, S, NB, nbar(NB, PP)) :-
+    pp(S0, S, PP).
+
+pp([W|S0], S, pp(p(W), NP)) :-
+    prep(W),
+    npx(S0, S, NP, _).
+
+vp([W|S0], S, vp(v(W), NP), N) :-
+    tv(W, N),
+    npx(S0, S, NP, _).
+vp([W|S], S, vp(v(W)), N) :-
+    iv(W, N).
+vp([W|S0], S, vp(v(W), N1, N2), N) :-
+    dv(W, N),
+    npx(S0, S1, N1, _),
+    npx(S1, S, N2, _).
+vp([W|S0], S, vp(v(W), N1, PP), N) :-
+    dv(W, N),
+    npx(S0, S1, N1, _),
+    pp(S1, S, PP).
+
+% ----------------------------------------------------------------
+% Dictionary: one fact per word, first-argument selectable.
+% ----------------------------------------------------------------
+
+% LCP carries a realistic lexicon: the clause-indexed compiled code
+% finds an entry in one probe, while an interpreter must scan, which
+% is precisely where the paper's Table 1 has the DEC-2060 winning on
+% LCP.
+det(the, _).
+det(a, sg).
+det(an, sg).
+det(every, sg).
+det(each, sg).
+det(some, _).
+det(no, _).
+det(all, pl).
+det(most, pl).
+det(few, pl).
+
+noun(dog, sg).    noun(dogs, pl).
+noun(cat, sg).    noun(cats, pl).
+noun(man, sg).    noun(men, pl).
+noun(woman, sg).  noun(women, pl).
+noun(park, sg).   noun(parks, pl).
+noun(bone, sg).   noun(bones, pl).
+noun(smile, sg).  noun(smiles, pl).
+noun(telescope, sg). noun(telescopes, pl).
+noun(garden, sg). noun(gardens, pl).
+noun(house, sg).  noun(houses, pl).
+noun(tree, sg).   noun(trees, pl).
+noun(bird, sg).   noun(birds, pl).
+noun(child, sg).  noun(children, pl).
+noun(teacher, sg). noun(teachers, pl).
+noun(student, sg). noun(students, pl).
+noun(book, sg).   noun(books, pl).
+noun(letter, sg). noun(letters, pl).
+noun(river, sg).  noun(rivers, pl).
+noun(bridge, sg). noun(bridges, pl).
+noun(street, sg). noun(streets, pl).
+noun(friend, sg). noun(friends, pl).
+
+pn(john).  pn(mary).  pn(peter).  pn(susan).
+pn(tokyo). pn(kyoto). pn(fido).   pn(rex).
+
+adj(big).  adj(old).  adj(small).  adj(young).
+adj(tall). adj(short). adj(happy). adj(lazy).
+adj(clever). adj(quiet).
+
+prep(in).  prep(with).  prep(of).  prep(near).
+prep(on).  prep(under). prep(by).  prep(behind).
+
+tv(sees, sg).   tv(see, pl).
+tv(likes, sg).  tv(like, pl).
+tv(finds, sg).  tv(find, pl).
+tv(chases, sg). tv(chase, pl).
+tv(reads, sg).  tv(read, pl).
+iv(sleeps, sg).  iv(sleep, pl).
+iv(runs, sg).    iv(run, pl).
+iv(smiles, sg).  iv(smile, pl).
+dv(gives, sg).  dv(give, pl).
+dv(sends, sg).  dv(send, pl).
+dv(shows, sg).  dv(show, pl).
+
+% ----------------------------------------------------------------
+% Benchmark sentences (same suite as BUP).
+% ----------------------------------------------------------------
+
+sentence(1, [the, dog, sees, a, cat]).
+sentence(2, [the, big, dog, in, the, park, sees, a, cat, near, the,
+             garden]).
+sentence(3, [the, old, man, in, the, park, gives, the, big, dog,
+             of, the, woman, a, bone, with, a, smile]).
+
+lcp(N, T) :- sentence(N, S), s(S, [], T).
+)PROG";
+
+} // namespace
+
+std::vector<BenchProgram>
+lcpPrograms()
+{
+    return {
+        {"lcp1", "LCP-1", kLcpSrc, "lcp(1, T)", 1, 379, 295},
+        {"lcp2", "LCP-2", kLcpSrc, "lcp(2, T)", 1, 1387, 1071},
+        {"lcp3", "LCP-3", kLcpSrc, "lcp(3, T)", 1, 2130, 1656},
+    };
+}
+
+} // namespace programs
+} // namespace psi

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The KL0 library: the classic list and control predicates every
+ * Prolog environment ships.  Loaded by the REPL at startup and
+ * available to embedders via programs::librarySource().
+ */
+
+#include "programs/registry.hpp"
+
+namespace psi {
+namespace programs {
+
+const char *
+librarySource()
+{
+    return R"PROG(
+% ----------------------------------------------------------------
+% KL0 library predicates.
+% ----------------------------------------------------------------
+
+append([], L, L).
+append([H|T], L, [H|R]) :- append(T, L, R).
+
+member(X, [X|_]).
+member(X, [_|T]) :- member(X, T).
+
+memberchk(X, L) :- member(X, L), !.
+
+length(L, N) :- length_(L, 0, N).
+length_([], N, N).
+length_([_|T], A, N) :- A1 is A + 1, length_(T, A1, N).
+
+reverse(L, R) :- reverse_(L, [], R).
+reverse_([], A, A).
+reverse_([H|T], A, R) :- reverse_(T, [H|A], R).
+
+nth0(I, L, X) :- nth_(L, 0, I, X).
+nth1(I, L, X) :- nth_(L, 1, I, X).
+nth_([X|_], N, N, X).
+nth_([_|T], A, N, X) :- A1 is A + 1, nth_(T, A1, N, X).
+
+last([X], X).
+last([_|T], X) :- last(T, X).
+
+select(X, [X|T], T).
+select(X, [H|T], [H|R]) :- select(X, T, R).
+
+permutation([], []).
+permutation(L, [X|P]) :- select(X, L, R), permutation(R, P).
+
+between(L, H, L) :- L =< H.
+between(L, H, X) :- L < H, L1 is L + 1, between(L1, H, X).
+
+succ_of(X, Y) :- Y is X + 1.
+
+sum_list(L, S) :- sum_list_(L, 0, S).
+sum_list_([], S, S).
+sum_list_([X|T], A, S) :- A1 is A + X, sum_list_(T, A1, S).
+
+max_list([X|T], M) :- max_list_(T, X, M).
+max_list_([], M, M).
+max_list_([X|T], A, M) :- A1 is max(A, X), max_list_(T, A1, M).
+
+min_list([X|T], M) :- min_list_(T, X, M).
+min_list_([], M, M).
+min_list_([X|T], A, M) :- A1 is min(A, X), min_list_(T, A1, M).
+
+% Insertion sort with duplicates kept (msort-like).
+msort_list([], []).
+msort_list([H|T], S) :- msort_list(T, S0), insert_sorted(H, S0, S).
+insert_sorted(X, [], [X]).
+insert_sorted(X, [Y|T], [X,Y|T]) :- X @=< Y.
+insert_sorted(X, [Y|T], [Y|R]) :- X @> Y, insert_sorted(X, T, R).
+
+% delete(List, Elem, Rest): remove all unifying elements.
+delete([], _, []).
+delete([X|T], X, R) :- delete(T, X, R).
+delete([H|T], X, [H|R]) :- H \= X, delete(T, X, R).
+
+% numlist(Low, High, List)
+numlist(L, H, []) :- L > H.
+numlist(L, H, [L|T]) :- L =< H, L1 is L + 1, numlist(L1, H, T).
+
+% exclude-style filtering over a fixed test: keep positives.
+positives([], []).
+positives([X|T], [X|R]) :- X > 0, positives(T, R).
+positives([X|T], R) :- X =< 0, positives(T, R).
+)PROG";
+}
+
+} // namespace programs
+} // namespace psi

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Table 1 rows (4)-(6): a mini-Lisp interpreter written in KL0,
+ * running the three Lisp-contest workloads tarai, fib(10) and
+ * nreverse.  An interpreter-on-the-interpreter is exactly the kind
+ * of run-time-heavy program the paper's rows (4)-(6) measure.
+ */
+
+#include "programs/registry.hpp"
+
+namespace psi {
+namespace programs {
+
+namespace {
+
+const char *kLispSrc = R"PROG(
+% ----------------------------------------------------------------
+% A small Lisp evaluator.  S-expressions are KL0 lists; symbols are
+% atoms, numbers are integers, booleans are the atoms t / nil.
+% Global functions are def/3 facts; environments are b/2 lists.
+% ----------------------------------------------------------------
+
+ev(X, _, X) :- integer(X), !.
+ev(X, Env, V) :- atom(X), !, lookup(X, Env, V).
+ev([quote, X], _, X) :- !.
+ev([if, C, T, E], Env, V) :- !, ev(C, Env, CV), branch(CV, T, E, Env, V).
+ev([Op, A, B], Env, V) :-
+    prim2(Op), !,
+    ev(A, Env, AV),
+    ev(B, Env, BV),
+    ap2(Op, AV, BV, V).
+ev([Op, A], Env, V) :-
+    prim1(Op), !,
+    ev(A, Env, AV),
+    ap1(Op, AV, V).
+ev([F|As], Env, V) :-
+    def(F, Ps, B),
+    evlist(As, Env, AVs),
+    bindps(Ps, AVs, NewEnv),
+    ev(B, NewEnv, V).
+
+evlist([], _, []).
+evlist([E|Es], Env, [V|Vs]) :- ev(E, Env, V), evlist(Es, Env, Vs).
+
+branch(nil, _, E, Env, V) :- !, ev(E, Env, V).
+branch(_, T, _, Env, V) :- ev(T, Env, V).
+
+lookup(X, [b(X, V)|_], V) :- !.
+lookup(X, [_|R], V) :- lookup(X, R, V).
+
+bindps([], [], []).
+bindps([P|Ps], [V|Vs], [b(P, V)|R]) :- bindps(Ps, Vs, R).
+
+prim2(plus). prim2(sub). prim2(times).
+prim2(lt). prim2(le). prim2(eq). prim2(cons).
+prim1(car). prim1(cdr). prim1(null). prim1(sub1). prim1(add1).
+
+ap2(plus, A, B, V) :- V is A + B.
+ap2(sub, A, B, V) :- V is A - B.
+ap2(times, A, B, V) :- V is A * B.
+ap2(lt, A, B, V) :- (A < B -> V = t ; V = nil).
+ap2(le, A, B, V) :- (A =< B -> V = t ; V = nil).
+ap2(eq, A, B, V) :- (A =:= B -> V = t ; V = nil).
+ap2(cons, A, B, [A|B]).
+
+ap1(car, [H|_], H).
+ap1(cdr, [_|T], T).
+ap1(null, [], t) :- !.
+ap1(null, _, nil).
+ap1(sub1, A, V) :- V is A - 1.
+ap1(add1, A, V) :- V is A + 1.
+
+% ----------------------------------------------------------------
+% The Lisp-contest workloads, as Lisp definitions.
+% ----------------------------------------------------------------
+
+% Takeuchi's function.
+def(tarai, [x, y, z],
+    [if, [le, x, y], y,
+         [tarai, [tarai, [sub1, x], y, z],
+                 [tarai, [sub1, y], z, x],
+                 [tarai, [sub1, z], x, y]]]).
+
+% Fibonacci.
+def(fib, [n],
+    [if, [lt, n, 2], n,
+         [plus, [fib, [sub, n, 1]], [fib, [sub, n, 2]]]]).
+
+% Naive reverse over Lisp lists.
+def(nrev, [l],
+    [if, [null, l], [quote, []],
+         [app, [nrev, [cdr, l]], [cons, [car, l], [quote, []]]]]).
+def(app, [a, b],
+    [if, [null, a], b,
+         [cons, [car, a], [app, [cdr, a], b]]]).
+
+run_lisp(E, V) :- ev(E, [], V).
+
+lisp_tarai(V) :- run_lisp([tarai, 8, 4, 0], V).
+lisp_fib(V) :- run_lisp([fib, 10], V).
+lisp_nrev(V) :-
+    run_lisp([nrev, [quote, [1,2,3,4,5,6,7,8,9,10,
+                             11,12,13,14,15,16,17,18,19,20]]], V).
+)PROG";
+
+} // namespace
+
+std::vector<BenchProgram>
+lispPrograms()
+{
+    return {
+        {"lisp_tarai", "lisp (tarai3)", kLispSrc, "lisp_tarai(V)", 1,
+         4024, 4360},
+        {"lisp_fib", "lisp (fib10)", kLispSrc, "lisp_fib(V)", 1, 369,
+         402},
+        {"lisp_nrev", "lisp (nreverse)", kLispSrc, "lisp_nrev(V)", 1,
+         173, 194},
+    };
+}
+
+} // namespace programs
+} // namespace psi

@@ -1,0 +1,76 @@
+#include "programs/registry.hpp"
+
+#include "base/logging.hpp"
+
+namespace psi {
+namespace programs {
+
+const std::vector<BenchProgram> &
+allPrograms()
+{
+    static const std::vector<BenchProgram> all = [] {
+        std::vector<BenchProgram> v;
+        auto add = [&v](std::vector<BenchProgram> group) {
+            for (auto &p : group)
+                v.push_back(std::move(p));
+        };
+        // Table 1 order: contest rows first.
+        auto contest = contestPrograms();
+        // rows (1)-(3)
+        v.push_back(contest[0]);
+        v.push_back(contest[1]);
+        v.push_back(contest[2]);
+        // rows (4)-(6)
+        add(lispPrograms());
+        // rows (7)-(10)
+        v.push_back(contest[3]);
+        v.push_back(contest[4]);
+        v.push_back(contest[5]);
+        v.push_back(contest[6]);
+        // rows (11)-(19)
+        add(bupPrograms());
+        add(harmonizerPrograms());
+        add(lcpPrograms());
+        // Hardware-evaluation extras.
+        add(windowPrograms());
+        add(puzzlePrograms());
+        return v;
+    }();
+    return all;
+}
+
+const BenchProgram &
+programById(const std::string &id)
+{
+    for (const auto &p : allPrograms()) {
+        if (p.id == id)
+            return p;
+    }
+    fatal("unknown benchmark program '", id, "'");
+}
+
+std::vector<BenchProgram>
+table1Programs()
+{
+    std::vector<BenchProgram> out;
+    for (const auto &p : allPrograms()) {
+        if (p.paperPsiMs > 0.0)
+            out.push_back(p);
+    }
+    return out;
+}
+
+std::vector<BenchProgram>
+cachePrograms()
+{
+    // Tables 3-5 order: window-1..3, 8 puzzle, BUP, harmonizer, LCP.
+    return {
+        programById("window1"),   programById("window2"),
+        programById("window3"),   programById("puzzle8"),
+        programById("bup3"),      programById("harmonizer2"),
+        programById("lcp3"),
+    };
+}
+
+} // namespace programs
+} // namespace psi

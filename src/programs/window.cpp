@@ -1,0 +1,283 @@
+/**
+ * @file
+ * The WINDOW workload of Tables 2-7: an ESP-flavoured window system
+ * in the style of the PSI operating system component the paper
+ * measured.
+ *
+ * Characteristics reproduced from the paper's description:
+ *  - object-oriented "classes" whose method predicates are dispatched
+ *    through a send/3 entry (the cross-class calls that degrade code
+ *    locality);
+ *  - a very high built-in call rate (~82% of calls) - vector
+ *    accesses, arithmetic and output - with few structure
+ *    unifications and little backtracking;
+ *  - heap-vector data for the window state (the rewritable heap data
+ *    only WINDOW uses, raising its heap access share);
+ *  - window-2 and window-3 interleave an I/O service task several
+ *    times, modelling the process switching the paper blames for
+ *    their lower cache hit ratios.
+ */
+
+#include "programs/registry.hpp"
+
+namespace psi {
+namespace programs {
+
+namespace {
+
+const char *kWindowSrc = R"PROG(
+% ----------------------------------------------------------------
+% Object layout (heap vector): [Class, X, Y, W, H, Visible, Dirty,
+% Border, Cursor, Style].  Class ids: 1 window, 2 frame_window,
+% 3 text_window, 4 menu_window.
+% ----------------------------------------------------------------
+
+new_window(Class, X, Y, W, H, O) :-
+    vector_new(10, O),
+    vector_set(O, 0, Class),
+    vector_set(O, 1, X),
+    vector_set(O, 2, Y),
+    vector_set(O, 3, W),
+    vector_set(O, 4, H),
+    vector_set(O, 5, 1),
+    vector_set(O, 6, 1),
+    vector_set(O, 7, 1),
+    vector_set(O, 8, 0),
+    vector_set(O, 9, 0).
+
+% send/2: class dispatch, ESP style.
+send(O, M) :- vector_get(O, 0, C), dispatch(C, O, M), !.
+
+dispatch(1, O, M) :- window_m(M, O).
+dispatch(2, O, M) :- frame_m(M, O).
+dispatch(2, O, M) :- window_m(M, O).      % inheritance
+dispatch(3, O, M) :- text_m(M, O).
+dispatch(3, O, M) :- window_m(M, O).
+dispatch(4, O, M) :- menu_m(M, O).
+dispatch(4, O, M) :- window_m(M, O).
+
+% --- base class methods ------------------------------------------
+
+window_m(move(DX, DY), O) :- !,
+    vector_get(O, 1, X), vector_get(O, 2, Y),
+    X1 is X + DX, Y1 is Y + DY,
+    vector_set(O, 1, X1), vector_set(O, 2, Y1),
+    vector_set(O, 6, 1).
+window_m(resize(W, H), O) :- !,
+    vector_set(O, 3, W), vector_set(O, 4, H),
+    vector_set(O, 6, 1).
+window_m(show, O) :- !, vector_set(O, 5, 1), vector_set(O, 6, 1).
+window_m(hide, O) :- !, vector_set(O, 5, 0).
+window_m(draw, O) :- !,
+    vector_get(O, 5, V),
+    draw_if(V, O),
+    vector_set(O, 6, 0).
+window_m(area(A), O) :- !,
+    vector_get(O, 3, W), vector_get(O, 4, H),
+    A is W * H.
+window_m(inside(PX, PY), O) :- !,
+    vector_get(O, 1, X), vector_get(O, 2, Y),
+    vector_get(O, 3, W), vector_get(O, 4, H),
+    PX >= X, PY >= Y,
+    PX < X + W, PY < Y + H.
+
+draw_if(0, _) :- !.
+draw_if(_, O) :-
+    vector_get(O, 3, W),
+    vector_get(O, 4, H),
+    draw_border(W, H).
+
+% Border drawing: a loop of output built-ins.
+draw_border(W, H) :-
+    hline(W), vlines(W, H), hline(W).
+hline(0) :- !, nl.
+hline(N) :- N > 0, !, write(-), N1 is N - 1, hline(N1).
+vlines(_, 0) :- !.
+vlines(W, H) :-
+    H > 0, !,
+    write('|'), tab(W - 2), write('|'), nl,
+    H1 is H - 1, vlines(W, H1).
+
+% --- frame_window -------------------------------------------------
+
+frame_m(set_border(B), O) :- !, vector_set(O, 7, B).
+frame_m(thicken, O) :- !,
+    vector_get(O, 7, B), B1 is B + 1, vector_set(O, 7, B1).
+
+% --- text_window ---------------------------------------------------
+
+text_m(put_char(_), O) :- !,
+    vector_get(O, 8, C), C1 is C + 1, vector_set(O, 8, C1).
+text_m(put_line(N), O) :- !, put_chars(N, O).
+text_m(home, O) :- !, vector_set(O, 8, 0).
+text_m(scroll, O) :- !,
+    vector_get(O, 8, C),
+    vector_get(O, 3, W),
+    C1 is C mod W,
+    vector_set(O, 8, C1).
+
+put_chars(0, _) :- !.
+put_chars(N, O) :-
+    N > 0, !,
+    text_m(put_char(x), O),
+    N1 is N - 1,
+    put_chars(N1, O).
+
+% --- menu_window ----------------------------------------------------
+
+menu_m(select(I), O) :- !, vector_set(O, 9, I).
+menu_m(selected(I), O) :- !, vector_get(O, 9, I).
+menu_m(highlight, O) :- !,
+    vector_get(O, 9, I),
+    I1 is I + 100,
+    vector_set(O, 9, I1),
+    vector_set(O, 9, I).
+
+% ----------------------------------------------------------------
+% Screen management over a list of windows.
+% ----------------------------------------------------------------
+
+draw_all([]).
+draw_all([O|Os]) :- !, send(O, draw), draw_all(Os).
+
+move_all([], _, _).
+move_all([O|Os], DX, DY) :- !, send(O, move(DX, DY)), move_all(Os, DX, DY).
+
+total_area([], A, A).
+total_area([O|Os], A0, A) :-
+    !,
+    send(O, area(W)),
+    A1 is A0 + W,
+    total_area(Os, A1, A).
+
+overlap(O1, O2) :-
+    vector_get(O1, 1, X1), vector_get(O1, 3, W1),
+    vector_get(O2, 1, X2), vector_get(O2, 3, W2),
+    X1 < X2 + W2, X2 < X1 + W1,
+    vector_get(O1, 2, Y1), vector_get(O1, 4, H1),
+    vector_get(O2, 2, Y2), vector_get(O2, 4, H2),
+    Y1 < Y2 + H2, Y2 < Y1 + H1.
+
+count_overlaps([], _, N, N).
+count_overlaps([O|Os], W, N0, N) :-
+    !,
+    (overlap(O, W) -> N1 is N0 + 1 ; N1 = N0),
+    count_overlaps(Os, W, N1, N).
+
+% ----------------------------------------------------------------
+% I/O service process: drains an event queue held in its own heap
+% vector, with its own code.  Interleaving it with window work
+% models the process switching of window-2 / window-3.
+% ----------------------------------------------------------------
+
+% The service queue is a large ring (6K words, 12 pages): draining
+% it strides across far more cache blocks than the window task's
+% working set, so each service burst evicts much of the cache -
+% the process-switching pollution the paper blames for the lower
+% window-2/3 hit ratios.
+io_init :-
+    vector_new(32768, Q),
+    vector_set(Q, 0, 0),
+    global_set(0, Q).
+
+% Arity-0 service entry points run in their own process via
+% process_call/2: the heap (and so the queue vector) is shared, the
+% four stacks are the process's own logical areas.
+io_burst :-
+    global_get(0, Q),
+    io_service(Q, 500).
+
+io_service(Q, 0) :- !, vector_get(Q, 0, _).
+io_service(Q, N) :-
+    N > 0, !,
+    vector_get(Q, 0, P),
+    P1 is P + 1,
+    Slot is P1 * 151 mod 32000 + 4,
+    vector_get(Q, Slot, E),
+    io_handle(E),
+    E1 is (E + P1) mod 32,
+    vector_set(Q, Slot, E1),
+    vector_set(Q, 0, P1),
+    N1 is N - 1,
+    io_service(Q, N1).
+
+io_handle(E) :- E < 8, !, io_key(E).
+io_handle(E) :- E < 16, !, io_mouse(E).
+io_handle(E) :- E < 24, !, io_timer(E).
+io_handle(_).
+
+io_key(E) :- K is E * 3 + 1, io_log(K).
+io_mouse(E) :- X is E * 5 mod 17, Y is E * 3 mod 13, P is X + Y,
+               io_log(P).
+io_timer(E) :- T is E * E mod 29, io_log(T).
+io_log(V) :- V >= 0.
+
+% ----------------------------------------------------------------
+% Scenarios.
+% ----------------------------------------------------------------
+
+make_windows(Ws, Menus) :-
+    new_window(2, 0, 0, 40, 12, W1),
+    new_window(3, 4, 2, 30, 8, W2),
+    new_window(3, 10, 5, 24, 6, W3),
+    new_window(4, 20, 1, 12, 6, M1),
+    Ws = [W1, W2, W3],
+    Menus = [M1].
+
+session(Ws, [M1]) :-
+    draw_all(Ws),
+    move_all(Ws, 2, 1),
+    draw_all(Ws),
+    total_area(Ws, 0, _),
+    send(M1, select(3)),
+    send(M1, highlight),
+    send(M1, selected(_)),
+    Ws = [W1, W2|_],
+    send(W2, put_line(20)),
+    send(W2, scroll),
+    send(W1, thicken),
+    count_overlaps(Ws, W1, 0, _),
+    draw_all(Ws).
+
+window1 :-
+    make_windows(Ws, Ms),
+    session(Ws, Ms).
+
+window2 :-
+    make_windows(Ws, Ms),
+    io_init,
+    session(Ws, Ms),
+    process_call(1, io_burst),
+    session(Ws, Ms),
+    process_call(1, io_burst),
+    session(Ws, Ms).
+
+window3 :-
+    make_windows(Ws, Ms),
+    make_windows(Ws2, Ms2),
+    io_init,
+    session(Ws, Ms),
+    process_call(1, io_burst),
+    session(Ws2, Ms2),
+    process_call(2, io_burst),
+    session(Ws, Ms),
+    process_call(1, io_burst),
+    session(Ws2, Ms2),
+    process_call(2, io_burst),
+    session(Ws, Ms).
+)PROG";
+
+} // namespace
+
+std::vector<BenchProgram>
+windowPrograms()
+{
+    return {
+        {"window1", "window-1", kWindowSrc, "window1", 1, 0.0, 0.0},
+        {"window2", "window-2", kWindowSrc, "window2", 1, 0.0, 0.0},
+        {"window3", "window-3", kWindowSrc, "window3", 1, 0.0, 0.0},
+    };
+}
+
+} // namespace programs
+} // namespace psi

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Umbrella header: the public API of the PSI machine reproduction.
+ *
+ * Components:
+ *  - interp::Engine        the microprogrammed PSI interpreter
+ *  - baseline::WamEngine   the DEC-10-compiled-code stand-in
+ *  - programs::            the paper's benchmark workloads
+ *  - tools::               COLLECT / MAP / PMMS analysis tools
+ *  - runOnPsi/runOnBaseline  one-call workload execution
+ */
+
+#ifndef PSI_PSI_HPP
+#define PSI_PSI_HPP
+
+#include "base/logging.hpp"
+#include "base/stats.hpp"
+#include "base/table.hpp"
+#include "baseline/wam_machine.hpp"
+#include "interp/engine.hpp"
+#include "kl0/program.hpp"
+#include "kl0/reader.hpp"
+#include "mem/cache.hpp"
+#include "mem/memory_system.hpp"
+#include "micro/sequencer.hpp"
+#include "programs/registry.hpp"
+#include "system.hpp"
+#include "tools/collect.hpp"
+#include "tools/disasm.hpp"
+#include "tools/map.hpp"
+#include "tools/pmms.hpp"
+
+#endif // PSI_PSI_HPP

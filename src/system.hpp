@@ -1,0 +1,46 @@
+/**
+ * @file
+ * High-level convenience API over the two engines.
+ *
+ * Bench binaries, examples and integration tests run benchmark
+ * workloads through these helpers: one call loads a program into a
+ * fresh engine, executes the query, and returns the result together
+ * with the hardware statistics the paper's tables are built from.
+ */
+
+#ifndef PSI_SYSTEM_HPP
+#define PSI_SYSTEM_HPP
+
+#include <memory>
+#include <string>
+
+#include "baseline/wam_machine.hpp"
+#include "interp/engine.hpp"
+#include "mem/cache.hpp"
+#include "micro/sequencer.hpp"
+#include "programs/registry.hpp"
+
+namespace psi {
+
+/** Outcome of one PSI-engine workload run, with hardware stats. */
+struct PsiRun
+{
+    interp::RunResult result;
+    micro::SeqStats seq;       ///< module / branch / WF statistics
+    CacheStats cache;          ///< per-area cache statistics
+    std::uint64_t stallNs = 0; ///< memory stall time
+};
+
+/** Run @p program on a fresh PSI engine. */
+PsiRun runOnPsi(const programs::BenchProgram &program,
+                const CacheConfig &cache = CacheConfig::psi(),
+                const interp::RunLimits &limits = interp::RunLimits());
+
+/** Run @p program on a fresh baseline (DEC-model) engine. */
+interp::RunResult
+runOnBaseline(const programs::BenchProgram &program,
+              const interp::RunLimits &limits = interp::RunLimits());
+
+} // namespace psi
+
+#endif // PSI_SYSTEM_HPP

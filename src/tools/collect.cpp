@@ -1,0 +1,99 @@
+#include "tools/collect.hpp"
+
+#include <cstring>
+#include <fstream>
+
+namespace psi {
+namespace tools {
+
+void
+Collector::attach(interp::Engine &engine)
+{
+    engine.seq().setTraceSink(&_steps);
+    engine.mem().setTraceSink(&_mem);
+}
+
+void
+Collector::detach(interp::Engine &engine)
+{
+    engine.seq().setTraceSink(nullptr);
+    engine.mem().setTraceSink(nullptr);
+}
+
+void
+Collector::clear()
+{
+    _steps.clear();
+    _mem.clear();
+}
+
+std::size_t
+Collector::traceBytes() const
+{
+    return _steps.size() * sizeof(StepEvent) +
+           _mem.size() * sizeof(MemEvent);
+}
+
+namespace {
+
+/** File magic: "PSITRC" + format version. */
+constexpr char kMagic[8] = {'P', 'S', 'I', 'T', 'R', 'C', '0', '1'};
+
+} // namespace
+
+bool
+Collector::saveTo(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        return false;
+    out.write(kMagic, sizeof(kMagic));
+    std::uint64_t ns = _steps.size();
+    std::uint64_t nm = _mem.size();
+    out.write(reinterpret_cast<const char *>(&ns), sizeof(ns));
+    out.write(reinterpret_cast<const char *>(&nm), sizeof(nm));
+    out.write(reinterpret_cast<const char *>(_steps.data()),
+              static_cast<std::streamsize>(ns * sizeof(StepEvent)));
+    out.write(reinterpret_cast<const char *>(_mem.data()),
+              static_cast<std::streamsize>(nm * sizeof(MemEvent)));
+    return static_cast<bool>(out);
+}
+
+bool
+Collector::loadFrom(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    char magic[8];
+    in.read(magic, sizeof(magic));
+    if (!in || std::memcmp(magic, kMagic, sizeof(magic)) != 0)
+        return false;
+    std::uint64_t ns = 0;
+    std::uint64_t nm = 0;
+    in.read(reinterpret_cast<char *>(&ns), sizeof(ns));
+    in.read(reinterpret_cast<char *>(&nm), sizeof(nm));
+    if (!in || ns > (1u << 31) || nm > (1u << 31))
+        return false;
+    _steps.resize(ns);
+    _mem.resize(nm);
+    in.read(reinterpret_cast<char *>(_steps.data()),
+            static_cast<std::streamsize>(ns * sizeof(StepEvent)));
+    in.read(reinterpret_cast<char *>(_mem.data()),
+            static_cast<std::streamsize>(nm * sizeof(MemEvent)));
+    return static_cast<bool>(in);
+}
+
+interp::RunResult
+collectRun(interp::Engine &engine, Collector &collector,
+           const std::string &query, const interp::RunLimits &limits)
+{
+    collector.clear();
+    collector.attach(engine);
+    interp::RunResult r = engine.solve(query, limits);
+    collector.detach(engine);
+    return r;
+}
+
+} // namespace tools
+} // namespace psi

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * COLLECT - the trace collection tool.
+ *
+ * The original COLLECT ran on the PSI's console processor, stepping
+ * the CPU and dumping microinstruction addresses, registers and
+ * memory onto floppy disks.  This analogue attaches to a running
+ * Engine and records two compact streams:
+ *
+ *  - StepEvents: one record per microinstruction step (module,
+ *    branch-field operation, work-file mode per field, cache
+ *    command) - the input of the MAP pattern analyzer;
+ *  - MemEvents: one record per memory access (command, area,
+ *    physical address) - the input of the PMMS cache simulator.
+ */
+
+#ifndef PSI_TOOLS_COLLECT_HPP
+#define PSI_TOOLS_COLLECT_HPP
+
+#include <string>
+#include <vector>
+
+#include "interp/engine.hpp"
+#include "mem/trace.hpp"
+
+namespace psi {
+namespace tools {
+
+/** Trace recorder for one engine run. */
+class Collector
+{
+  public:
+    Collector() = default;
+
+    /** Start recording on @p engine (replaces previous sinks). */
+    void attach(interp::Engine &engine);
+
+    /** Stop recording on @p engine. */
+    void detach(interp::Engine &engine);
+
+    const std::vector<StepEvent> &steps() const { return _steps; }
+    const std::vector<MemEvent> &memAccesses() const { return _mem; }
+
+    void clear();
+
+    /** Rough size of the recorded traces in bytes. */
+    std::size_t traceBytes() const;
+
+    /**
+     * Persist both trace streams to a binary file (the original
+     * COLLECT dumped to flexible disks; PMMS and MAP re-read the
+     * dumps offline).
+     * @return false on I/O failure.
+     */
+    bool saveTo(const std::string &path) const;
+
+    /** Load traces written by saveTo(), replacing the current ones. */
+    bool loadFrom(const std::string &path);
+
+  private:
+    std::vector<StepEvent> _steps;
+    std::vector<MemEvent> _mem;
+};
+
+/**
+ * Convenience: run @p query on @p engine while collecting traces.
+ * @return the run result; traces are left in @p collector.
+ */
+interp::RunResult collectRun(interp::Engine &engine,
+                             Collector &collector,
+                             const std::string &query,
+                             const interp::RunLimits &limits =
+                                 interp::RunLimits());
+
+} // namespace tools
+} // namespace psi
+
+#endif // PSI_TOOLS_COLLECT_HPP

@@ -1,0 +1,246 @@
+#include "tools/disasm.hpp"
+
+#include <sstream>
+
+#include "base/strutil.hpp"
+#include "kl0/builtin_defs.hpp"
+#include "kl0/codegen.hpp"
+
+namespace psi {
+namespace tools {
+
+namespace {
+
+std::string
+hex(std::uint32_t v)
+{
+    std::ostringstream os;
+    os << v;
+    return os.str();
+}
+
+} // namespace
+
+TaggedWord
+PsiDisasm::at(std::uint32_t addr)
+{
+    return _eng->mem().peek(LogicalAddr(Area::Heap, addr));
+}
+
+std::string
+PsiDisasm::operandComment(const TaggedWord &w)
+{
+    kl0::SymbolTable &syms = _eng->symbols();
+    switch (w.tag) {
+      case Tag::HConst:
+      case Tag::AConst:
+        return "atom '" + syms.atomName(w.data) + "'";
+      case Tag::HInt:
+      case Tag::AInt:
+        return "int " + std::to_string(
+                   static_cast<std::int32_t>(w.data));
+      case Tag::HVarF:
+      case Tag::HVarS:
+      case Tag::AVar: {
+        VarSlot vs = VarSlot::decode(w.data);
+        return std::string(vs.global ? "global" : "local") +
+               " slot " + std::to_string(vs.index);
+      }
+      case Tag::HList:
+      case Tag::HStruct:
+      case Tag::AList:
+      case Tag::AStruct:
+      case Tag::AExpr:
+        return "skeleton @" +
+               hex(LogicalAddr::unpack(w.data).offset);
+      case Tag::HGroundList:
+      case Tag::HGroundStruct:
+      case Tag::AGroundList:
+      case Tag::AGroundStruct:
+        return "ground term @" +
+               hex(LogicalAddr::unpack(w.data).offset);
+      case Tag::Call:
+      case Tag::CallLast:
+        return syms.functorName(w.data) + "/" +
+               std::to_string(syms.functorArity(w.data));
+      case Tag::CallBuiltin:
+        return std::string("builtin ") +
+               kl0::builtinName(static_cast<kl0::Builtin>(w.data));
+      case Tag::PackedArgs: {
+        std::string s = "packed:";
+        for (int i = 0; i < 4; ++i) {
+            std::uint32_t op = (w.data >> (8 * i)) & 0xff;
+            if (op == 0)
+                break;
+            std::uint32_t type = op >> 5;
+            std::uint32_t idx = op & 0x1f;
+            switch (type) {
+              case kl0::kPackLocalVar:
+                s += " Y" + std::to_string(idx);
+                break;
+              case kl0::kPackGlobalVar:
+                s += " G" + std::to_string(idx);
+                break;
+              case kl0::kPackVoid:
+                s += " _";
+                break;
+              case kl0::kPackSmallInt:
+                s += " " + std::to_string(idx);
+                break;
+              default:
+                s += " ?";
+            }
+        }
+        return s;
+      }
+      case Tag::ClauseHeader:
+        return "arity=" + std::to_string(w.data & 0xff) +
+               " locals=" + std::to_string((w.data >> 8) & 0xff) +
+               " globals=" + std::to_string((w.data >> 16) & 0xff);
+      case Tag::Functor:
+        return syms.functorName(w.data) + "/" +
+               std::to_string(syms.functorArity(w.data));
+      case Tag::Atom:
+        return "atom '" + syms.atomName(w.data) + "'";
+      case Tag::Int:
+        return "int " + std::to_string(
+                   static_cast<std::int32_t>(w.data));
+      case Tag::SkelVar:
+        if (w.data & kl0::kSkelVoidBit)
+            return "void";
+        else {
+            VarSlot vs = VarSlot::decode(w.data);
+            return std::string(vs.global ? "global" : "local") +
+                   " slot " + std::to_string(vs.index);
+        }
+      default:
+        return "";
+    }
+}
+
+std::string
+PsiDisasm::word(std::uint32_t addr, const TaggedWord &w)
+{
+    std::string line = strutil::padLeft(hex(addr), 7) + ":  " +
+                       strutil::padRight(tagName(w.tag), 16);
+    std::string c = operandComment(w);
+    if (!c.empty())
+        line += "; " + c;
+    return line + "\n";
+}
+
+std::string
+PsiDisasm::skeleton(std::uint32_t addr, bool is_cons)
+{
+    std::ostringstream os;
+    std::uint32_t n = 2;
+    std::uint32_t start = addr;
+    if (!is_cons) {
+        TaggedWord f = at(addr);
+        os << word(addr, f);
+        n = _eng->symbols().functorArity(f.data);
+        start = addr + 1;
+    }
+    for (std::uint32_t k = 0; k < n; ++k)
+        os << word(start + k, at(start + k));
+    return os.str();
+}
+
+std::string
+PsiDisasm::clause(std::uint32_t addr)
+{
+    std::ostringstream os;
+    TaggedWord hdr = at(addr);
+    if (hdr.tag != Tag::ClauseHeader)
+        return "";
+    os << word(addr, hdr);
+    std::uint32_t arity = hdr.data & 0xff;
+    std::uint32_t p = addr + 1;
+    for (std::uint32_t i = 0; i < arity; ++i, ++p)
+        os << word(p, at(p));
+    // Body: walk until Proceed.
+    for (;;) {
+        TaggedWord w = at(p);
+        os << word(p, w);
+        if (w.tag == Tag::Proceed)
+            break;
+        ++p;
+        if (w.tag == Tag::Call || w.tag == Tag::CallLast ||
+            w.tag == Tag::CallBuiltin) {
+            std::uint32_t goal_arity =
+                w.tag == Tag::CallBuiltin
+                    ? kl0::builtinArity(
+                          static_cast<kl0::Builtin>(w.data))
+                    : _eng->symbols().functorArity(w.data);
+            if (goal_arity > 0) {
+                TaggedWord a0 = at(p);
+                if (a0.tag == Tag::PackedArgs) {
+                    os << word(p, a0);
+                    ++p;
+                } else {
+                    for (std::uint32_t i = 0; i < goal_arity;
+                         ++i, ++p) {
+                        os << word(p, at(p));
+                    }
+                }
+            }
+        }
+    }
+    return os.str();
+}
+
+std::string
+PsiDisasm::predicate(const std::string &name, std::uint32_t arity)
+{
+    kl0::SymbolTable &syms = _eng->symbols();
+    std::uint32_t f = syms.functor(name, arity);
+    TaggedWord dir = at(kl0::kDirBase + f);
+    if (dir.tag != Tag::ClauseRef)
+        return "";
+
+    std::ostringstream os;
+    os << "% " << name << "/" << arity << " (clause table @"
+       << dir.data << ")\n";
+    std::uint32_t t = dir.data;
+    int idx = 0;
+    for (;; ++t) {
+        TaggedWord w = at(t);
+        if (w.tag != Tag::ClauseRef)
+            break;
+        os << "% clause " << idx++ << " @" << w.data << "\n"
+           << clause(w.data);
+    }
+    return os.str();
+}
+
+std::string
+wamListing(baseline::WamEngine &engine, const std::string &name,
+           std::uint32_t arity)
+{
+    const baseline::CompiledPred *pred = engine.compiler().predicate(
+        engine.symbols().functor(name, arity));
+    if (pred == nullptr)
+        return "";
+
+    std::ostringstream os;
+    os << "% " << name << "/" << arity << ", "
+       << pred->clauses.size() << " clause(s)\n";
+    const auto &code = engine.compiler().code();
+    int idx = 0;
+    for (const auto &cl : pred->clauses) {
+        os << "% clause " << idx++ << " @" << cl.entry << "\n";
+        for (std::size_t i = cl.entry; i < code.size(); ++i) {
+            os << strutil::padLeft(std::to_string(i), 7) << ":  "
+               << code[i].str() << "\n";
+            if (code[i].op == baseline::WOp::Proceed ||
+                code[i].op == baseline::WOp::Execute ||
+                code[i].op == baseline::WOp::Halt) {
+                break;
+            }
+        }
+    }
+    return os.str();
+}
+
+} // namespace tools
+} // namespace psi

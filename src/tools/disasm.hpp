@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Disassemblers for the two machine representations:
+ *
+ *  - the PSI instruction code (the machine-resident KL0 expression
+ *    in the heap area: clause headers, head descriptors, goal
+ *    records, packed arguments, skeletons);
+ *  - the baseline engine's compiled WAM-style code.
+ *
+ * Both produce human-readable listings for debugging, tests and the
+ * documentation; the PSI side walks the predicate directory exactly
+ * as the firmware does.
+ */
+
+#ifndef PSI_TOOLS_DISASM_HPP
+#define PSI_TOOLS_DISASM_HPP
+
+#include <string>
+
+#include "baseline/wam_machine.hpp"
+#include "interp/engine.hpp"
+
+namespace psi {
+namespace tools {
+
+/** Disassembler over one PSI engine's heap image. */
+class PsiDisasm
+{
+  public:
+    explicit PsiDisasm(interp::Engine &engine) : _eng(&engine) {}
+
+    /**
+     * Listing of one predicate: its clause table and every clause's
+     * code, one word per line ("addr: tag operand  ; comment").
+     * @return empty string when the predicate is undefined.
+     */
+    std::string predicate(const std::string &name,
+                          std::uint32_t arity);
+
+    /** One clause starting at @p addr. */
+    std::string clause(std::uint32_t addr);
+
+    /** A term skeleton starting at @p addr (@p is_cons selects the
+     *  cons layout). */
+    std::string skeleton(std::uint32_t addr, bool is_cons);
+
+  private:
+    TaggedWord at(std::uint32_t addr);
+    std::string word(std::uint32_t addr, const TaggedWord &w);
+    std::string operandComment(const TaggedWord &w);
+
+    interp::Engine *_eng;
+};
+
+/**
+ * Listing of one baseline predicate's compiled code, one
+ * instruction per line with symbolic operands.
+ * @return empty string when the predicate is undefined.
+ */
+std::string wamListing(baseline::WamEngine &engine,
+                       const std::string &name, std::uint32_t arity);
+
+} // namespace tools
+} // namespace psi
+
+#endif // PSI_TOOLS_DISASM_HPP

@@ -1,0 +1,50 @@
+#include "tools/map.hpp"
+
+#include "base/stats.hpp"
+
+namespace psi {
+namespace tools {
+
+Map::Map(const std::vector<StepEvent> &trace)
+{
+    for (const StepEvent &e : trace) {
+        ++_total;
+        ++_modules[e.module];
+        ++_branch[e.branchOp];
+        ++_wf[0][e.src1Mode];
+        ++_wf[1][e.src2Mode];
+        ++_wf[2][e.destMode];
+        if (e.hasCacheCmd)
+            ++_cache[e.hasCacheCmd - 1];
+    }
+}
+
+double
+Map::modulePct(micro::Module m) const
+{
+    return stats::pct(moduleSteps(m), _total);
+}
+
+double
+Map::branchPct(micro::BranchOp op) const
+{
+    return stats::pct(branchOps(op), _total);
+}
+
+double
+Map::cachePct(CacheCmd c) const
+{
+    return stats::pct(cacheSteps(c), _total);
+}
+
+std::uint64_t
+Map::wfFieldAccesses(micro::WfField f) const
+{
+    std::uint64_t sum = 0;
+    for (int m = 1; m < micro::kNumWfModes; ++m)
+        sum += _wf[static_cast<int>(f)][m];
+    return sum;
+}
+
+} // namespace tools
+} // namespace psi

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * MAP - the microinstruction pattern analyzer.
+ *
+ * The original MAP counted occurrences of specific patterns in
+ * specific microinstruction fields over address traces produced by
+ * COLLECT.  This analogue tallies a recorded StepEvent stream into
+ * the same dynamic-frequency tables the paper reports: module step
+ * shares (Table 2), work-file access modes per field (Table 6) and
+ * branch-field operations (Table 7).
+ *
+ * The tallies are, by construction, equal to the live counters the
+ * sequencer keeps; the test suite cross-validates the two paths.
+ */
+
+#ifndef PSI_TOOLS_MAP_HPP
+#define PSI_TOOLS_MAP_HPP
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "mem/trace.hpp"
+#include "micro/sequencer.hpp"
+
+namespace psi {
+namespace tools {
+
+/** Field-pattern tallies over a step trace. */
+class Map
+{
+  public:
+    /** Tally the whole trace. */
+    explicit Map(const std::vector<StepEvent> &trace);
+
+    std::uint64_t totalSteps() const { return _total; }
+
+    /** Steps in firmware module @p m. */
+    std::uint64_t moduleSteps(micro::Module m) const
+    {
+        return _modules[static_cast<int>(m)];
+    }
+
+    /** Steps whose branch field holds @p op. */
+    std::uint64_t branchOps(micro::BranchOp op) const
+    {
+        return _branch[static_cast<int>(op)];
+    }
+
+    /** Steps whose field @p f uses WF mode @p m. */
+    std::uint64_t
+    wfMode(micro::WfField f, micro::WfMode m) const
+    {
+        return _wf[static_cast<int>(f)][static_cast<int>(m)];
+    }
+
+    /** Steps carrying cache command @p c. */
+    std::uint64_t cacheSteps(CacheCmd c) const
+    {
+        return _cache[static_cast<int>(c)];
+    }
+
+    /** Percentage helpers over the total step count. */
+    double modulePct(micro::Module m) const;
+    double branchPct(micro::BranchOp op) const;
+    double cachePct(CacheCmd c) const;
+
+    /** WF accesses through field @p f (any mode). */
+    std::uint64_t wfFieldAccesses(micro::WfField f) const;
+
+  private:
+    std::uint64_t _total = 0;
+    std::array<std::uint64_t, micro::kNumModules> _modules{};
+    std::array<std::uint64_t, micro::kNumBranchOps> _branch{};
+    std::array<std::array<std::uint64_t, micro::kNumWfModes>,
+               micro::kNumWfFields>
+        _wf{};
+    std::array<std::uint64_t, kNumCacheCmds> _cache{};
+};
+
+} // namespace tools
+} // namespace psi
+
+#endif // PSI_TOOLS_MAP_HPP

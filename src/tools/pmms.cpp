@@ -1,0 +1,57 @@
+#include "tools/pmms.hpp"
+
+#include "micro/sequencer.hpp"
+
+namespace psi {
+namespace tools {
+
+Pmms::Pmms(const std::vector<MemEvent> &trace, std::uint64_t steps)
+    : _trace(&trace), _steps(steps)
+{
+}
+
+std::uint64_t
+Pmms::noCacheTimeNs() const
+{
+    CacheConfig off;
+    off.enabled = false;
+    return _steps * micro::kStepNs +
+           static_cast<std::uint64_t>(_trace->size()) * off.noCacheNs;
+}
+
+PmmsResult
+Pmms::replay(const CacheConfig &config) const
+{
+    Cache cache(config);
+    std::uint64_t stall = 0;
+    for (const MemEvent &e : *_trace)
+        stall += cache.access(e.cmd, e.area, e.paddr);
+
+    PmmsResult r;
+    r.config = config;
+    r.stats = cache.stats();
+    r.stallNs = stall;
+    r.timeNs = _steps * micro::kStepNs + stall;
+    r.hitPct = r.stats.totalHitPct();
+    double tnc = static_cast<double>(noCacheTimeNs());
+    r.improvementPct =
+        (tnc / static_cast<double>(r.timeNs) - 1.0) * 100.0;
+    return r;
+}
+
+std::vector<PmmsResult>
+Pmms::sweepCapacity(const std::vector<std::uint32_t> &capacities,
+                    const CacheConfig &base) const
+{
+    std::vector<PmmsResult> out;
+    out.reserve(capacities.size());
+    for (std::uint32_t cap : capacities) {
+        CacheConfig cfg = base;
+        cfg.capacityWords = cap;
+        out.push_back(replay(cfg));
+    }
+    return out;
+}
+
+} // namespace tools
+} // namespace psi

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * PMMS - the trace-driven cache memory simulator.
+ *
+ * Replays a memory-access trace recorded by COLLECT through Cache
+ * instances of arbitrary configuration, exactly how the paper swept
+ * cache capacity from 8 words to 8K words (Figure 1), compared one
+ * 4K-word set against two (the direct-mapping question) and measured
+ * store-in against store-through.
+ *
+ * Execution time under a configuration is reconstructed as
+ *     T = steps * 200 ns + stall(config)
+ * and the paper's performance improvement ratio is
+ *     (T_nocache / T_cache - 1) * 100.
+ */
+
+#ifndef PSI_TOOLS_PMMS_HPP
+#define PSI_TOOLS_PMMS_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/cache.hpp"
+#include "mem/trace.hpp"
+
+namespace psi {
+namespace tools {
+
+/** Result of replaying a trace through one cache configuration. */
+struct PmmsResult
+{
+    CacheConfig config;
+    CacheStats stats;
+    std::uint64_t stallNs = 0;   ///< total memory stall time
+    std::uint64_t timeNs = 0;    ///< steps * 200 + stall
+    double hitPct = 0.0;
+
+    /** The paper's performance improvement ratio (%). */
+    double improvementPct = 0.0;
+};
+
+/** Trace-driven cache simulator. */
+class Pmms
+{
+  public:
+    /**
+     * @param trace memory accesses recorded by COLLECT.
+     * @param steps total microinstruction steps of the traced run
+     *              (cache-independent part of the execution time).
+     */
+    Pmms(const std::vector<MemEvent> &trace, std::uint64_t steps);
+
+    /** Replay through one configuration. */
+    PmmsResult replay(const CacheConfig &config) const;
+
+    /** Execution time with the cache disabled (every access slow). */
+    std::uint64_t noCacheTimeNs() const;
+
+    /**
+     * Figure 1: sweep capacity over @p capacities with the other
+     * parameters from @p base.
+     */
+    std::vector<PmmsResult>
+    sweepCapacity(const std::vector<std::uint32_t> &capacities,
+                  const CacheConfig &base = CacheConfig::psi()) const;
+
+  private:
+    const std::vector<MemEvent> *_trace;
+    std::uint64_t _steps;
+};
+
+} // namespace tools
+} // namespace psi
+
+#endif // PSI_TOOLS_PMMS_HPP

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Firmware-option (ablation) correctness and direction tests: every
+ * feature toggle must preserve semantics exactly, and the
+ * performance deltas must point the way the paper's discussion
+ * says.
+ */
+
+#include <gtest/gtest.h>
+
+#include "psi.hpp"
+
+using namespace psi;
+using namespace psi::interp;
+
+namespace {
+
+std::vector<std::string>
+solutionsWith(const FirmwareOptions &fw, const std::string &program,
+              const std::string &query, int max = 50)
+{
+    Engine eng(CacheConfig::psi(), fw);
+    eng.consult(program);
+    RunLimits lim;
+    lim.maxSolutions = max;
+    auto r = eng.solve(query, lim);
+    std::vector<std::string> out;
+    for (const auto &s : r.solutions) {
+        std::string line;
+        for (const auto &kv : s.bindings) {
+            if (!line.empty())
+                line += " ";
+            line += kv.first + "=" + kv.second->canonicalStr();
+        }
+        out.push_back(line.empty() ? "yes" : line);
+    }
+    return out;
+}
+
+/** All four single-feature variants. */
+std::vector<FirmwareOptions>
+variants()
+{
+    FirmwareOptions no_ws;
+    no_ws.writeStackCommand = false;
+    FirmwareOptions no_tb;
+    no_tb.trailBuffer = false;
+    FirmwareOptions no_fb;
+    no_fb.frameBuffers = false;
+    FirmwareOptions idx;
+    idx.firstArgIndexing = true;
+    FirmwareOptions all_off;
+    all_off.writeStackCommand = false;
+    all_off.trailBuffer = false;
+    all_off.frameBuffers = false;
+    all_off.firstArgIndexing = true;
+    return {no_ws, no_tb, no_fb, idx, all_off};
+}
+
+const char *kProg =
+    "app([], L, L). app([H|T], L, [H|R]) :- app(T, L, R).\n"
+    "pick(1). pick(2). pick(3).\n"
+    "r(0, []).\n"
+    "r(N, [C|Cs]) :- N > 0, pick(C), N1 is N - 1, r(N1, Cs).\n"
+    "t(a, 1). t(b, 2). t(c, 3).\n"
+    "m(1) :- !. m(2).\n"
+    "loc(X, Y) :- q1(X), q2(X, Y). q1(5). q2(5, ok).";
+
+} // namespace
+
+TEST(Ablations, AllVariantsPreserveSemantics)
+{
+    FirmwareOptions base;
+    const char *queries[] = {
+        "app(X, Y, [1,2,3])",
+        "r(2, L)",
+        "pick(A), pick(B), A < B",
+        "t(b, V)",
+        "t(K, V)",
+        "m(X)",
+        "loc(X, Y)",
+    };
+    for (const char *q : queries) {
+        auto expect = solutionsWith(base, kProg, q);
+        int vi = 0;
+        for (const auto &fw : variants()) {
+            EXPECT_EQ(solutionsWith(fw, kProg, q), expect)
+                << "variant " << vi << " query " << q;
+            ++vi;
+        }
+    }
+}
+
+TEST(Ablations, WorkloadsUnchangedUnderIndexing)
+{
+    FirmwareOptions idx;
+    idx.firstArgIndexing = true;
+    for (const char *id : {"queens1", "bup2", "harmonizer2", "lcp2"}) {
+        const auto &p = programs::programById(id);
+        Engine a;
+        a.consult(p.source);
+        Engine b(CacheConfig::psi(), idx);
+        b.consult(p.source);
+        auto ra = a.solve(p.query);
+        auto rb = b.solve(p.query);
+        ASSERT_EQ(ra.solutions.size(), rb.solutions.size()) << id;
+        for (std::size_t i = 0; i < ra.solutions.size(); ++i) {
+            EXPECT_EQ(ra.solutions[i].str(), rb.solutions[i].str())
+                << id;
+        }
+    }
+}
+
+TEST(Ablations, IndexingNeverSlower)
+{
+    FirmwareOptions idx;
+    idx.firstArgIndexing = true;
+    for (const char *id : {"nreverse30", "bup2", "lcp2"}) {
+        const auto &p = programs::programById(id);
+        Engine a;
+        a.consult(p.source);
+        Engine b(CacheConfig::psi(), idx);
+        b.consult(p.source);
+        auto ta = a.solve(p.query).timeNs;
+        auto tb = b.solve(p.query).timeNs;
+        // Allow 2% tolerance (probe overhead on tiny predicates).
+        EXPECT_LE(tb, ta + ta / 50) << id;
+    }
+}
+
+TEST(Ablations, NoWriteStackCostsTime)
+{
+    FirmwareOptions no_ws;
+    no_ws.writeStackCommand = false;
+    const auto &p = programs::programById("qsort50");
+    Engine a;
+    a.consult(p.source);
+    Engine b(CacheConfig::psi(), no_ws);
+    b.consult(p.source);
+    auto ta = a.solve(p.query);
+    auto tb = b.solve(p.query);
+    // Same step count, more memory stalls (write misses now fetch).
+    EXPECT_EQ(ta.steps, tb.steps);
+    EXPECT_GT(tb.timeNs, ta.timeNs);
+    // And no write-stack commands appear at all.
+    EXPECT_EQ(b.mem().cache().stats().cmdAccesses(
+                  CacheCmd::WriteStack),
+              0u);
+}
+
+TEST(Ablations, NoFrameBuffersRaisesLocalTraffic)
+{
+    FirmwareOptions no_fb;
+    no_fb.frameBuffers = false;
+    const auto &p = programs::programById("puzzle8");
+    Engine a;
+    a.consult(p.source);
+    Engine b(CacheConfig::psi(), no_fb);
+    b.consult(p.source);
+    auto ra = a.solve(p.query);
+    auto rb = b.solve(p.query);
+    ASSERT_TRUE(ra.succeeded());
+    ASSERT_TRUE(rb.succeeded());
+    EXPECT_GT(b.mem().cache().stats().areaAccesses(Area::Local),
+              a.mem().cache().stats().areaAccesses(Area::Local));
+}
+
+TEST(Ablations, NoTrailBufferMovesTrailToMemory)
+{
+    FirmwareOptions no_tb;
+    no_tb.trailBuffer = false;
+    const auto &p = programs::programById("queens1");
+    Engine a;
+    a.consult(p.source);
+    Engine b(CacheConfig::psi(), no_tb);
+    b.consult(p.source);
+    auto ra = a.solve(p.query);
+    auto rb = b.solve(p.query);
+    ASSERT_TRUE(ra.succeeded() && rb.succeeded());
+    // Every trail push now goes straight to the trail stack.
+    EXPECT_GE(b.mem().cache().stats().areaAccesses(Area::Trail),
+              a.mem().cache().stats().areaAccesses(Area::Trail));
+}

@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include "kl0/builtin_defs.hpp"
+#include "kl0/codegen.hpp"
+#include "kl0/normalize.hpp"
+#include "kl0/reader.hpp"
+#include "mem/memory_system.hpp"
+
+using namespace psi;
+using namespace psi::kl0;
+
+namespace {
+
+/** Compile @p text and return (mem, syms-owned-elsewhere) helpers. */
+struct Compiled
+{
+    MemorySystem mem;
+    SymbolTable syms;
+    CodeGen gen{mem, syms};
+
+    explicit Compiled(const std::string &text)
+    {
+        Program p;
+        p.consult(text);
+        gen.compile(normalize(p));
+    }
+
+    TaggedWord
+    at(std::uint32_t addr)
+    {
+        return mem.peek(LogicalAddr(Area::Heap, addr));
+    }
+
+    /** Address of the clause table of name/arity via the directory. */
+    std::uint32_t
+    table(const std::string &name, std::uint32_t arity)
+    {
+        std::uint32_t f = syms.functor(name, arity);
+        TaggedWord dir = at(kDirBase + f);
+        EXPECT_EQ(dir.tag, Tag::ClauseRef);
+        return dir.data;
+    }
+
+    /** Address of clause @p i of name/arity. */
+    std::uint32_t
+    clause(const std::string &name, std::uint32_t arity,
+           std::uint32_t i)
+    {
+        TaggedWord w = at(table(name, arity) + i);
+        EXPECT_EQ(w.tag, Tag::ClauseRef);
+        return w.data;
+    }
+};
+
+} // namespace
+
+TEST(Codegen, DirectoryAndClauseTable)
+{
+    Compiled c("f(1). f(2). f(3).");
+    std::uint32_t t = c.table("f", 1);
+    EXPECT_EQ(c.at(t).tag, Tag::ClauseRef);
+    EXPECT_EQ(c.at(t + 1).tag, Tag::ClauseRef);
+    EXPECT_EQ(c.at(t + 2).tag, Tag::ClauseRef);
+    EXPECT_EQ(c.at(t + 3).tag, Tag::EndClauses);
+}
+
+TEST(Codegen, UndefinedPredicateDirectoryIsUndef)
+{
+    Compiled c("f(1).");
+    std::uint32_t g = c.syms.functor("undefined_thing", 2);
+    EXPECT_EQ(c.at(kDirBase + g).tag, Tag::Undef);
+}
+
+TEST(Codegen, ClauseHeaderFields)
+{
+    // X is local (head + two top-level goal occurrences), L is
+    // global (occurs inside a list).
+    Compiled c("p(X, [L]) :- q(X), r(X, L).");
+    TaggedWord hdr = c.at(c.clause("p", 2, 0));
+    ASSERT_EQ(hdr.tag, Tag::ClauseHeader);
+    EXPECT_EQ(hdr.data & 0xff, 2u);            // arity
+    EXPECT_EQ((hdr.data >> 8) & 0xff, 1u);     // nlocals (X)
+    EXPECT_EQ((hdr.data >> 16) & 0xff, 1u);    // nglobals (L)
+}
+
+TEST(Codegen, FactBodyIsProceed)
+{
+    Compiled c("a.");
+    std::uint32_t addr = c.clause("a", 0, 0);
+    EXPECT_EQ(c.at(addr).tag, Tag::ClauseHeader);
+    EXPECT_EQ(c.at(addr + 1).tag, Tag::Proceed);
+}
+
+TEST(Codegen, HeadDescriptorKinds)
+{
+    Compiled c("p(foo, 42, [], X, _, [a|T]) :- q(X, T).");
+    std::uint32_t addr = c.clause("p", 6, 0);
+    EXPECT_EQ(c.at(addr + 1).tag, Tag::HConst);
+    EXPECT_EQ(c.at(addr + 2).tag, Tag::HInt);
+    EXPECT_EQ(c.at(addr + 2).data, 42u);
+    EXPECT_EQ(c.at(addr + 3).tag, Tag::HNil);
+    EXPECT_EQ(c.at(addr + 4).tag, Tag::HVarF);
+    EXPECT_EQ(c.at(addr + 5).tag, Tag::HVoid);
+    EXPECT_EQ(c.at(addr + 6).tag, Tag::HList);
+}
+
+TEST(Codegen, RepeatedHeadVarIsHVarS)
+{
+    Compiled c("same(X, X).");
+    std::uint32_t addr = c.clause("same", 2, 0);
+    EXPECT_EQ(c.at(addr + 1).tag, Tag::HVarF);
+    EXPECT_EQ(c.at(addr + 2).tag, Tag::HVarS);
+}
+
+TEST(Codegen, GroundHeadArgShared)
+{
+    Compiled c("conf(point(1,2)).");
+    std::uint32_t addr = c.clause("conf", 1, 0);
+    TaggedWord d = c.at(addr + 1);
+    EXPECT_EQ(d.tag, Tag::HGroundStruct);
+    // The shared skeleton is a well-formed runtime structure.
+    LogicalAddr skel = LogicalAddr::unpack(d.data);
+    EXPECT_EQ(skel.area, Area::Heap);
+    EXPECT_EQ(c.mem.peek(skel).tag, Tag::Functor);
+}
+
+TEST(Codegen, NonGroundHeadArgIsSkeleton)
+{
+    Compiled c("p(point(X, 2)) :- q(X).");
+    std::uint32_t addr = c.clause("p", 1, 0);
+    EXPECT_EQ(c.at(addr + 1).tag, Tag::HStruct);
+}
+
+TEST(Codegen, LastUserCallMarked)
+{
+    Compiled c("p :- q, r. q. r.");
+    std::uint32_t addr = c.clause("p", 0, 0);
+    EXPECT_EQ(c.at(addr + 1).tag, Tag::Call);
+    EXPECT_EQ(c.at(addr + 2).tag, Tag::CallLast);
+    EXPECT_EQ(c.at(addr + 3).tag, Tag::Proceed);
+}
+
+TEST(Codegen, BuiltinCallEmitted)
+{
+    Compiled c("p(X) :- X = 3.");
+    std::uint32_t addr = c.clause("p", 1, 0);
+    TaggedWord w = c.at(addr + 2);
+    EXPECT_EQ(w.tag, Tag::CallBuiltin);
+    EXPECT_EQ(w.data, static_cast<std::uint32_t>(Builtin::Unify));
+}
+
+TEST(Codegen, PackedArgsForSmallOperands)
+{
+    Compiled c("p(X, Y) :- q(X, Y, 3, _).  q(_,_,_,_).");
+    std::uint32_t addr = c.clause("p", 2, 0);
+    // Header, HVarF, HVarF, CallLast (q is the final goal),
+    // PackedArgs.
+    EXPECT_EQ(c.at(addr + 3).tag, Tag::CallLast);
+    TaggedWord packed = c.at(addr + 4);
+    ASSERT_EQ(packed.tag, Tag::PackedArgs);
+    // Operand 2 is the small integer 3.
+    std::uint32_t op2 = (packed.data >> 16) & 0xff;
+    EXPECT_EQ(op2 >> 5, kPackSmallInt);
+    EXPECT_EQ(op2 & 0x1f, 3u);
+    // Operand 3 is a void.
+    std::uint32_t op3 = (packed.data >> 24) & 0xff;
+    EXPECT_EQ(op3 >> 5, kPackVoid);
+}
+
+TEST(Codegen, AtomArgsNotPacked)
+{
+    Compiled c("p :- q(foo). q(_).");
+    std::uint32_t addr = c.clause("p", 0, 0);
+    EXPECT_EQ(c.at(addr + 1).tag, Tag::CallLast);
+    EXPECT_EQ(c.at(addr + 2).tag, Tag::AConst);
+}
+
+TEST(Codegen, ArithExpressionSkeleton)
+{
+    Compiled c("p(X, Y) :- Y is X + 1.");
+    std::uint32_t addr = c.clause("p", 2, 0);
+    // Header, HVarF, HVarF, CallBuiltin(is), args.
+    EXPECT_EQ(c.at(addr + 3).tag, Tag::CallBuiltin);
+    EXPECT_EQ(c.at(addr + 4).tag, Tag::AVar);   // Y
+    EXPECT_EQ(c.at(addr + 5).tag, Tag::AExpr);  // X + 1
+    // X stays local: it never needs a global cell.
+    TaggedWord hdr = c.at(addr);
+    EXPECT_EQ((hdr.data >> 16) & 0xff, 0u);  // nglobals == 0
+}
+
+TEST(Codegen, GroundGoalArgShared)
+{
+    Compiled c("p :- q([1,2,3]). q(_).");
+    std::uint32_t addr = c.clause("p", 0, 0);
+    EXPECT_EQ(c.at(addr + 2).tag, Tag::AGroundList);
+}
+
+TEST(Codegen, QueryPinsNamedVars)
+{
+    MemorySystem mem;
+    SymbolTable syms;
+    CodeGen gen(mem, syms);
+    QueryCode qc = gen.compileQuery(parseTerm("foo(X, _, Y)"));
+    EXPECT_EQ(qc.vars.count("X"), 1u);
+    EXPECT_EQ(qc.vars.count("Y"), 1u);
+    EXPECT_EQ(qc.vars.size(), 2u);
+}
+
+TEST(Codegen, ArityLimitEnforced)
+{
+    Program p;
+    p.consult("big(A1,A2,A3,A4,A5,A6,A7,A8,A9,A10,A11,A12,A13,A14,"
+              "A15,A16,A17) :- true.");
+    MemorySystem mem;
+    SymbolTable syms;
+    CodeGen gen(mem, syms);
+    EXPECT_THROW(gen.compile(normalize(p)), FatalError);
+}

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Disassembler and trace-persistence tests.
+ */
+
+#include <cstdio>
+#include <gtest/gtest.h>
+
+#include "psi.hpp"
+#include "tools/disasm.hpp"
+
+using namespace psi;
+
+TEST(PsiDisasm, ListsClausesWithComments)
+{
+    interp::Engine eng;
+    eng.consult("app([], L, L). app([H|T], L, [H|R]) :- app(T, L, R).");
+    tools::PsiDisasm dis(eng);
+    std::string s = dis.predicate("app", 3);
+    EXPECT_NE(s.find("% app/3"), std::string::npos);
+    EXPECT_NE(s.find("% clause 0"), std::string::npos);
+    EXPECT_NE(s.find("% clause 1"), std::string::npos);
+    EXPECT_NE(s.find("clause_header"), std::string::npos);
+    EXPECT_NE(s.find("h_nil"), std::string::npos);
+    EXPECT_NE(s.find("h_list"), std::string::npos);
+    EXPECT_NE(s.find("call_last"), std::string::npos);
+    EXPECT_NE(s.find("app/3"), std::string::npos);
+    EXPECT_NE(s.find("proceed"), std::string::npos);
+}
+
+TEST(PsiDisasm, ShowsBuiltinsAndPackedArgs)
+{
+    interp::Engine eng;
+    eng.consult("p(X, Y) :- Y is X + 1, q(X, Y). q(_, _).");
+    tools::PsiDisasm dis(eng);
+    std::string s = dis.predicate("p", 2);
+    EXPECT_NE(s.find("builtin is"), std::string::npos);
+    EXPECT_NE(s.find("a_expr"), std::string::npos);
+    EXPECT_NE(s.find("packed"), std::string::npos);
+}
+
+TEST(PsiDisasm, UndefinedPredicateEmpty)
+{
+    interp::Engine eng;
+    eng.consult("a.");
+    tools::PsiDisasm dis(eng);
+    EXPECT_TRUE(dis.predicate("nothing", 2).empty());
+}
+
+TEST(PsiDisasm, GroundTermsAnnotated)
+{
+    interp::Engine eng;
+    eng.consult("conf(point(1, 2)).");
+    tools::PsiDisasm dis(eng);
+    std::string s = dis.predicate("conf", 1);
+    EXPECT_NE(s.find("h_ground_struct"), std::string::npos);
+    EXPECT_NE(s.find("ground term @"), std::string::npos);
+}
+
+TEST(WamListing, ShowsCompiledInstructions)
+{
+    baseline::WamEngine eng;
+    eng.consult("app([], L, L). app([H|T], L, [H|R]) :- app(T, L, R).");
+    std::string s = tools::wamListing(eng, "app", 3);
+    EXPECT_NE(s.find("% app/3, 2 clause(s)"), std::string::npos);
+    EXPECT_NE(s.find("get_nil"), std::string::npos);
+    EXPECT_NE(s.find("get_list"), std::string::npos);
+    EXPECT_NE(s.find("unify_variable_x"), std::string::npos);
+    EXPECT_NE(s.find("execute"), std::string::npos);
+}
+
+TEST(WamListing, UndefinedEmpty)
+{
+    baseline::WamEngine eng;
+    eng.consult("a.");
+    EXPECT_TRUE(tools::wamListing(eng, "zz", 1).empty());
+}
+
+TEST(TracePersistence, RoundTripsBothStreams)
+{
+    const auto &p = programs::programById("qsort50");
+    interp::Engine eng;
+    eng.consult(p.source);
+    tools::Collector col;
+    auto r = tools::collectRun(eng, col, p.query);
+    ASSERT_TRUE(r.succeeded());
+
+    std::string path = "/tmp/psi_trace_test.bin";
+    ASSERT_TRUE(col.saveTo(path));
+
+    tools::Collector loaded;
+    ASSERT_TRUE(loaded.loadFrom(path));
+    ASSERT_EQ(loaded.steps().size(), col.steps().size());
+    ASSERT_EQ(loaded.memAccesses().size(), col.memAccesses().size());
+
+    // Replaying the loaded memory trace reproduces the cache stats.
+    tools::Pmms a(col.memAccesses(), r.steps);
+    tools::Pmms b(loaded.memAccesses(), r.steps);
+    auto ra = a.replay(CacheConfig::psi());
+    auto rb = b.replay(CacheConfig::psi());
+    EXPECT_EQ(ra.stats.totalHits(), rb.stats.totalHits());
+    EXPECT_EQ(ra.timeNs, rb.timeNs);
+
+    // And the MAP tallies agree too.
+    tools::Map ma(col.steps());
+    tools::Map mb(loaded.steps());
+    EXPECT_EQ(ma.totalSteps(), mb.totalSteps());
+    EXPECT_EQ(ma.moduleSteps(micro::Module::Unify),
+              mb.moduleSteps(micro::Module::Unify));
+    std::remove(path.c_str());
+}
+
+TEST(TracePersistence, RejectsGarbage)
+{
+    std::string path = "/tmp/psi_trace_garbage.bin";
+    {
+        FILE *f = fopen(path.c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        fputs("not a trace file", f);
+        fclose(f);
+    }
+    tools::Collector col;
+    EXPECT_FALSE(col.loadFrom(path));
+    EXPECT_FALSE(col.loadFrom("/no/such/path"));
+    std::remove(path.c_str());
+}

@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Language-level semantics of the PSI firmware interpreter: facts,
+ * unification, arithmetic, type tests, term inspection, output and
+ * heap vectors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "interp/engine.hpp"
+
+using namespace psi;
+using namespace psi::interp;
+
+namespace {
+
+/** Solve @p query against @p program; return all binding strings. */
+std::vector<std::string>
+solutions(const std::string &program, const std::string &query,
+          int max = 50)
+{
+    Engine eng;
+    eng.consult(program);
+    RunLimits lim;
+    lim.maxSolutions = max;
+    auto r = eng.solve(query, lim);
+    std::vector<std::string> out;
+    for (const auto &s : r.solutions) {
+        std::string line;
+        for (const auto &kv : s.bindings) {
+            if (!line.empty())
+                line += " ";
+            line += kv.first + "=" + kv.second->canonicalStr();
+        }
+        out.push_back(line.empty() ? "yes" : line);
+    }
+    return out;
+}
+
+bool
+succeeds(const std::string &program, const std::string &query)
+{
+    return !solutions(program, query, 1).empty();
+}
+
+std::string
+first(const std::string &program, const std::string &query)
+{
+    auto v = solutions(program, query, 1);
+    return v.empty() ? "<fail>" : v[0];
+}
+
+} // namespace
+
+TEST(EngineBasic, FactSucceeds)
+{
+    EXPECT_TRUE(succeeds("a.", "a"));
+    EXPECT_FALSE(succeeds("a.", "b_undefined"));
+}
+
+TEST(EngineBasic, FactWithArgs)
+{
+    EXPECT_EQ(first("color(sky, blue).", "color(sky, X)"), "X=blue");
+    EXPECT_FALSE(succeeds("color(sky, blue).", "color(sea, blue)"));
+}
+
+TEST(EngineBasic, ConjunctionBindsAcrossGoals)
+{
+    EXPECT_EQ(first("p(1). q(1).", "p(X), q(X)"), "X=1");
+    EXPECT_FALSE(succeeds("p(1). q(2).", "p(X), q(X)"));
+}
+
+TEST(EngineBasic, UnifyBuiltin)
+{
+    EXPECT_EQ(first("", "X = foo"), "X=foo");
+    EXPECT_EQ(first("", "f(X, b) = f(a, Y)"), "X=a Y=b");
+    EXPECT_FALSE(succeeds("", "a = b"));
+    EXPECT_FALSE(succeeds("", "f(X) = g(X)"));
+    EXPECT_FALSE(succeeds("", "f(a) = f(a, b)"));
+}
+
+TEST(EngineBasic, UnifyListsDeep)
+{
+    EXPECT_EQ(first("", "[1, X, [a|T]] = [1, 2, [a, b]]"),
+              "T=[b] X=2");
+}
+
+TEST(EngineBasic, UnifySharedVariables)
+{
+    EXPECT_EQ(first("", "X = Y, Y = 3"), "X=3 Y=3");
+    EXPECT_EQ(first("", "f(X, X) = f(a, Z)"), "X=a Z=a");
+}
+
+TEST(EngineBasic, NotUnify)
+{
+    EXPECT_TRUE(succeeds("", "a \\= b"));
+    EXPECT_FALSE(succeeds("", "a \\= a"));
+    // \= must not leave bindings behind.
+    EXPECT_EQ(first("", "(X \\= 1 ; X = 2)"), "X=2");
+}
+
+TEST(EngineBasic, StructuralEquality)
+{
+    EXPECT_TRUE(succeeds("", "f(a) == f(a)"));
+    EXPECT_FALSE(succeeds("", "f(a) == f(b)"));
+    EXPECT_FALSE(succeeds("", "X == Y"));
+    EXPECT_TRUE(succeeds("", "X == X"));
+    EXPECT_TRUE(succeeds("", "f(a) \\== f(b)"));
+}
+
+TEST(EngineBasic, StandardOrder)
+{
+    EXPECT_TRUE(succeeds("", "1 @< a"));
+    EXPECT_TRUE(succeeds("", "a @< b"));
+    EXPECT_TRUE(succeeds("", "a @< f(a)"));
+    EXPECT_TRUE(succeeds("", "f(a) @< f(b)"));
+    EXPECT_TRUE(succeeds("", "f(a) @< g(a)"));
+    EXPECT_TRUE(succeeds("", "f(a) @=< f(a)"));
+    EXPECT_TRUE(succeeds("", "g(z) @> f(a, b)") == false);
+    EXPECT_TRUE(succeeds("", "f(a, b) @> g(z)"));
+}
+
+TEST(EngineBasic, IsArithmetic)
+{
+    EXPECT_EQ(first("", "X is 2 + 3 * 4"), "X=14");
+    EXPECT_EQ(first("", "X is (2 + 3) * 4"), "X=20");
+    EXPECT_EQ(first("", "X is 7 // 2"), "X=3");
+    EXPECT_EQ(first("", "X is -7 mod 3"), "X=2");
+    EXPECT_EQ(first("", "X is abs(-5)"), "X=5");
+    EXPECT_EQ(first("", "X is min(3, 9) + max(3, 9)"), "X=12");
+    EXPECT_EQ(first("", "X is 5 /\\ 3"), "X=1");
+    EXPECT_EQ(first("", "X is 1 << 4"), "X=16");
+}
+
+TEST(EngineBasic, IsWithVariables)
+{
+    EXPECT_EQ(first("", "Y = 4, X is Y * Y"), "X=16 Y=4");
+    // Unbound operand fails.
+    EXPECT_FALSE(succeeds("", "X is Y + 1"));
+}
+
+TEST(EngineBasic, IsChecksResult)
+{
+    EXPECT_TRUE(succeeds("", "5 is 2 + 3"));
+    EXPECT_FALSE(succeeds("", "6 is 2 + 3"));
+}
+
+TEST(EngineBasic, DivisionByZeroFails)
+{
+    EXPECT_FALSE(succeeds("", "X is 1 // 0"));
+    EXPECT_FALSE(succeeds("", "X is 1 mod 0"));
+}
+
+TEST(EngineBasic, ArithmeticComparisons)
+{
+    EXPECT_TRUE(succeeds("", "1 < 2"));
+    EXPECT_FALSE(succeeds("", "2 < 1"));
+    EXPECT_TRUE(succeeds("", "2 >= 2"));
+    EXPECT_TRUE(succeeds("", "1 + 1 =:= 2"));
+    EXPECT_TRUE(succeeds("", "1 + 1 =\\= 3"));
+    EXPECT_TRUE(succeeds("", "3 * 3 > 2 * 4"));
+}
+
+TEST(EngineBasic, TypeTests)
+{
+    EXPECT_TRUE(succeeds("", "var(X)"));
+    EXPECT_FALSE(succeeds("", "X = 1, var(X)"));
+    EXPECT_TRUE(succeeds("", "X = 1, nonvar(X)"));
+    EXPECT_TRUE(succeeds("", "atom(foo)"));
+    EXPECT_TRUE(succeeds("", "atom([])"));
+    EXPECT_FALSE(succeeds("", "atom(1)"));
+    EXPECT_TRUE(succeeds("", "integer(42)"));
+    EXPECT_TRUE(succeeds("", "atomic(42)"));
+    EXPECT_TRUE(succeeds("", "atomic(foo)"));
+    EXPECT_FALSE(succeeds("", "atomic(f(x))"));
+    EXPECT_TRUE(succeeds("", "compound(f(x))"));
+    EXPECT_TRUE(succeeds("", "compound([1])"));
+    EXPECT_FALSE(succeeds("", "compound([])"));
+}
+
+TEST(EngineBasic, FunctorDecompose)
+{
+    EXPECT_EQ(first("", "functor(foo(a, b), F, A)"), "A=2 F=foo");
+    EXPECT_EQ(first("", "functor(atom_only, F, A)"), "A=0 F=atom_only");
+    EXPECT_EQ(first("", "functor(7, F, A)"), "A=0 F=7");
+    EXPECT_EQ(first("", "functor([1], F, A)"), "A=2 F=.");
+}
+
+TEST(EngineBasic, FunctorConstruct)
+{
+    EXPECT_EQ(first("", "functor(T, foo, 2)"), "T=foo(_A,_B)");
+    EXPECT_EQ(first("", "functor(T, bar, 0)"), "T=bar");
+}
+
+TEST(EngineBasic, ArgExtract)
+{
+    EXPECT_EQ(first("", "arg(2, foo(a, b, c), X)"), "X=b");
+    EXPECT_FALSE(succeeds("", "arg(4, foo(a, b, c), X)"));
+    EXPECT_EQ(first("", "arg(1, [h|t], X)"), "X=h");
+}
+
+TEST(EngineBasic, UnivBothDirections)
+{
+    EXPECT_EQ(first("", "foo(1, 2) =.. L"), "L=[foo,1,2]");
+    EXPECT_EQ(first("", "T =.. [bar, x]"), "T=bar(x)");
+    EXPECT_EQ(first("", "T =.. [baz]"), "T=baz");
+    EXPECT_EQ(first("", "[a] =.. L"), "L=[.,a,[]]");
+}
+
+TEST(EngineBasic, WriteProducesOutput)
+{
+    Engine eng;
+    eng.consult("greet :- write(hello), nl, write([1,2|X]), "
+                "write(f(a, 'B c')), tab(3), write(-7).");
+    auto r = eng.solve("greet");
+    ASSERT_TRUE(r.succeeded());
+    EXPECT_EQ(r.output.substr(0, 6), "hello\n");
+    EXPECT_NE(r.output.find("[1,2|_G"), std::string::npos);
+    EXPECT_NE(r.output.find("f(a,B c)"), std::string::npos);
+    EXPECT_NE(r.output.find("   -7"), std::string::npos);
+}
+
+TEST(EngineBasic, VectorsAreDestructive)
+{
+    Engine eng;
+    eng.consult(R"(
+        demo(A, B) :-
+            vector_new(4, V),
+            vector_set(V, 2, 7),
+            vector_get(V, 2, A),
+            vector_set(V, 2, 9),
+            vector_get(V, 2, B).
+    )");
+    auto r = eng.solve("demo(A, B)");
+    ASSERT_TRUE(r.succeeded());
+    EXPECT_EQ(r.solutions[0].bindings.at("A")->value(), 7);
+    EXPECT_EQ(r.solutions[0].bindings.at("B")->value(), 9);
+}
+
+TEST(EngineBasic, VectorBoundsAndSize)
+{
+    EXPECT_FALSE(succeeds("", "vector_new(2, V), vector_get(V, 2, X)"));
+    EXPECT_FALSE(succeeds("", "vector_new(2, V), vector_set(V, -1, 0)"));
+    EXPECT_EQ(first("", "vector_new(5, V), vector_size(V, N), N = N"),
+              first("", "N = 5, vector_new(5, V), vector_size(V, N)"));
+}
+
+TEST(EngineBasic, TrueAndFail)
+{
+    EXPECT_TRUE(succeeds("", "true"));
+    EXPECT_FALSE(succeeds("", "fail"));
+    EXPECT_FALSE(succeeds("", "false"));
+}
+
+TEST(EngineBasic, GroundStructuresUnifyAgainstBuilt)
+{
+    // A shared ground argument must unify with a dynamically built
+    // equivalent term.
+    EXPECT_TRUE(succeeds("k(point(1, [2, 3])).",
+                         "X = 1, k(point(X, [2, 3]))"));
+    EXPECT_FALSE(succeeds("k(point(1, [2, 3])).",
+                          "k(point(1, [2, 4]))"));
+}
+
+TEST(EngineBasic, SolutionExtractionOfStructures)
+{
+    EXPECT_EQ(first("mk(tree(leaf(1), leaf(2))).", "mk(T)"),
+              "T=tree(leaf(1),leaf(2))");
+}
+
+TEST(EngineBasic, QueryVariableLeftUnbound)
+{
+    EXPECT_EQ(first("p(_).", "p(X)"), "X=_A");
+}

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Cross-engine and invariant properties, parameterized over the full
+ * benchmark workload registry:
+ *
+ *  - the PSI interpreter and the compiled baseline produce exactly
+ *    the same solutions in the same order (alpha-equivalent terms);
+ *  - the sequencer statistics are internally consistent (module
+ *    steps sum to the total, WF field accesses never exceed steps,
+ *    cache-command steps equal the cache's access counts);
+ *  - the cache statistics are sane (hits <= accesses per area).
+ */
+
+#include <gtest/gtest.h>
+
+#include "psi.hpp"
+
+using namespace psi;
+
+namespace {
+
+std::string
+bindingsOf(const interp::Solution &s)
+{
+    std::string line;
+    for (const auto &kv : s.bindings) {
+        if (!line.empty())
+            line += " ";
+        line += kv.first + "=" + kv.second->canonicalStr();
+    }
+    return line;
+}
+
+class WorkloadProps : public ::testing::TestWithParam<const char *>
+{
+};
+
+} // namespace
+
+TEST_P(WorkloadProps, EnginesAgreeOnSolutions)
+{
+    const auto &p = programs::programById(GetParam());
+    interp::RunLimits lim;
+    lim.maxSolutions = 3;
+
+    interp::Engine psi_eng;
+    psi_eng.consult(p.source);
+    auto r1 = psi_eng.solve(p.query, lim);
+
+    baseline::WamEngine wam;
+    wam.consult(p.source);
+    auto r2 = wam.solve(p.query, lim);
+
+    ASSERT_EQ(r1.solutions.size(), r2.solutions.size());
+    ASSERT_FALSE(r1.solutions.empty())
+        << "workload must have at least one solution";
+    for (std::size_t i = 0; i < r1.solutions.size(); ++i) {
+        EXPECT_EQ(bindingsOf(r1.solutions[i]),
+                  bindingsOf(r2.solutions[i]))
+            << "solution " << i << " differs";
+    }
+    EXPECT_EQ(r1.output, r2.output);
+}
+
+TEST_P(WorkloadProps, SequencerStatsConsistent)
+{
+    const auto &p = programs::programById(GetParam());
+    PsiRun run = runOnPsi(p);
+
+    const micro::SeqStats &s = run.seq;
+    std::uint64_t total = s.totalSteps();
+    ASSERT_GT(total, 0u);
+
+    // Branch ops partition the steps.
+    std::uint64_t branch_total = 0;
+    for (auto v : s.branchOps)
+        branch_total += v;
+    EXPECT_EQ(branch_total, total);
+
+    // Every WF field is used at most once per step.
+    for (int f = 0; f < micro::kNumWfFields; ++f) {
+        EXPECT_LE(s.wfFieldAccesses(static_cast<micro::WfField>(f)),
+                  total);
+    }
+
+    // Source 2 can only address the dual-ported WF00-0F.
+    using micro::WfMode;
+    const auto &src2 = s.wfModes[1];
+    for (int m = 0; m < micro::kNumWfModes; ++m) {
+        if (m != static_cast<int>(WfMode::None) &&
+            m != static_cast<int>(WfMode::Direct00_0F)) {
+            EXPECT_EQ(src2[m], 0u)
+                << "src2 used mode " << micro::wfModeName(
+                       static_cast<WfMode>(m));
+        }
+    }
+
+    // Steps carrying cache commands match the cache's own counts.
+    for (int c = 0; c < kNumCacheCmds; ++c) {
+        EXPECT_EQ(s.cacheSteps[c],
+                  run.cache.cmdAccesses(static_cast<CacheCmd>(c)));
+    }
+}
+
+TEST_P(WorkloadProps, CacheStatsSane)
+{
+    const auto &p = programs::programById(GetParam());
+    PsiRun run = runOnPsi(p);
+
+    std::uint64_t total = run.cache.totalAccesses();
+    ASSERT_GT(total, 0u);
+    EXPECT_LE(run.cache.totalHits(), total);
+    for (int a = 0; a < kNumAreas; ++a) {
+        Area area = static_cast<Area>(a);
+        EXPECT_LE(run.cache.areaHits(area),
+                  run.cache.areaAccesses(area));
+        EXPECT_GE(run.cache.areaHitPct(area), 0.0);
+        EXPECT_LE(run.cache.areaHitPct(area), 100.0);
+    }
+    // Memory requests are a minority of the steps (the paper's
+    // "about one in five" observation; allow a loose band).
+    double cmd_share =
+        100.0 * static_cast<double>(total) /
+        static_cast<double>(run.seq.totalSteps());
+    EXPECT_GT(cmd_share, 5.0);
+    EXPECT_LT(cmd_share, 50.0);
+}
+
+TEST_P(WorkloadProps, TimingIdentityHolds)
+{
+    const auto &p = programs::programById(GetParam());
+    PsiRun run = runOnPsi(p);
+    EXPECT_EQ(run.result.timeNs,
+              run.seq.totalSteps() * micro::kStepNs + run.stallNs);
+    EXPECT_GT(run.result.inferences, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadProps,
+    ::testing::Values("nreverse30", "qsort50", "tree", "lisp_fib",
+                      "lisp_nrev", "queens1", "revfunc", "slowrev6",
+                      "bup1", "bup2", "bup3", "harmonizer1",
+                      "harmonizer2", "harmonizer3", "lcp1", "lcp2",
+                      "lcp3", "window1", "window2", "puzzle8"));
+
+// ---------------------------------------------------------------------
+// Cache-design properties over one recorded trace.
+// ---------------------------------------------------------------------
+
+namespace {
+
+struct TraceFixture
+{
+    std::vector<MemEvent> trace;
+    std::uint64_t steps = 0;
+
+    TraceFixture()
+    {
+        const auto &p = programs::programById("qsort50");
+        interp::Engine eng;
+        eng.consult(p.source);
+        eng.mem().setTraceSink(&trace);
+        auto r = eng.solve(p.query);
+        steps = r.steps;
+    }
+};
+
+TraceFixture &
+fixture()
+{
+    static TraceFixture f;
+    return f;
+}
+
+} // namespace
+
+class PmmsCapacity : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(PmmsCapacity, ImprovementMonotonicInCapacity)
+{
+    tools::Pmms pmms(fixture().trace, fixture().steps);
+    CacheConfig base = CacheConfig::psi();
+    CacheConfig half = base;
+    base.capacityWords = GetParam();
+    half.capacityWords = GetParam() / 2;
+    auto rb = pmms.replay(base);
+    auto rh = pmms.replay(half);
+    EXPECT_GE(rb.improvementPct + 1e-9, rh.improvementPct);
+    EXPECT_GE(rb.hitPct + 1e-9, rh.hitPct);
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, PmmsCapacity,
+                         ::testing::Values(16u, 64u, 256u, 1024u,
+                                           4096u, 8192u));
+
+TEST(PmmsProps, MoreWaysNeverHurtSameCapacity)
+{
+    tools::Pmms pmms(fixture().trace, fixture().steps);
+    CacheConfig one = CacheConfig::psi();
+    one.ways = 1;
+    CacheConfig two = CacheConfig::psi();
+    EXPECT_GE(pmms.replay(two).hitPct + 0.5,
+              pmms.replay(one).hitPct);
+}
+
+TEST(PmmsProps, StoreInBeatsStoreThrough)
+{
+    tools::Pmms pmms(fixture().trace, fixture().steps);
+    CacheConfig thr = CacheConfig::psi();
+    thr.storeIn = false;
+    EXPECT_GT(pmms.replay(CacheConfig::psi()).improvementPct,
+              pmms.replay(thr).improvementPct);
+}
+
+TEST(PmmsProps, CachedAlwaysBeatsUncached)
+{
+    tools::Pmms pmms(fixture().trace, fixture().steps);
+    auto r = pmms.replay(CacheConfig::psi());
+    EXPECT_LT(r.timeNs, pmms.noCacheTimeNs());
+    EXPECT_GT(r.improvementPct, 0.0);
+}

@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "mem/memory_system.hpp"
+
+using namespace psi;
+
+TEST(MemorySystem, WriteThenRead)
+{
+    MemorySystem m;
+    m.write({Area::Global, 10}, {Tag::Int, 5});
+    EXPECT_EQ(m.read({Area::Global, 10}).data, 5u);
+}
+
+TEST(MemorySystem, PeekPokeBypassCacheStats)
+{
+    MemorySystem m;
+    m.poke({Area::Heap, 3}, {Tag::Atom, 1});
+    EXPECT_EQ(m.peek({Area::Heap, 3}).tag, Tag::Atom);
+    EXPECT_EQ(m.cache().stats().totalAccesses(), 0u);
+    EXPECT_EQ(m.stallNs(), 0u);
+}
+
+TEST(MemorySystem, StallAccumulates)
+{
+    MemorySystem m;
+    m.read({Area::Heap, 0});       // miss
+    std::uint64_t s1 = m.stallNs();
+    EXPECT_GT(s1, 0u);
+    m.read({Area::Heap, 0});       // hit
+    EXPECT_EQ(m.stallNs(), s1);
+}
+
+TEST(MemorySystem, WriteStackUpdatesMemory)
+{
+    MemorySystem m;
+    m.writeStack({Area::Control, 7}, {Tag::Int, 9});
+    EXPECT_EQ(m.peek({Area::Control, 7}).data, 9u);
+    EXPECT_EQ(m.cache().stats().stackAllocs, 1u);
+}
+
+TEST(MemorySystem, TraceSinkRecordsAccesses)
+{
+    MemorySystem m;
+    std::vector<MemEvent> trace;
+    m.setTraceSink(&trace);
+    m.read({Area::Heap, 0});
+    m.write({Area::Local, 4}, {Tag::Int, 1});
+    m.setTraceSink(nullptr);
+    m.read({Area::Heap, 8});
+    ASSERT_EQ(trace.size(), 2u);
+    EXPECT_EQ(trace[0].cmd, CacheCmd::Read);
+    EXPECT_EQ(trace[0].area, Area::Heap);
+    EXPECT_EQ(trace[1].cmd, CacheCmd::Write);
+    EXPECT_EQ(trace[1].area, Area::Local);
+}
+
+TEST(MemorySystem, ResetStatsKeepsContents)
+{
+    MemorySystem m;
+    m.write({Area::Global, 1}, {Tag::Int, 42});
+    m.resetStats();
+    EXPECT_EQ(m.stallNs(), 0u);
+    EXPECT_EQ(m.cache().stats().totalAccesses(), 0u);
+    EXPECT_EQ(m.peek({Area::Global, 1}).data, 42u);
+}

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "kl0/normalize.hpp"
+#include "kl0/reader.hpp"
+
+using namespace psi::kl0;
+
+namespace {
+
+/** True if any clause body goal satisfies @p pred. */
+template <typename F>
+bool
+anyGoal(const Program &p, F pred)
+{
+    for (const auto &id : p.predicates()) {
+        for (const auto &cl : p.clauses(id)) {
+            for (const auto &g : cl.body) {
+                if (pred(g))
+                    return true;
+            }
+        }
+    }
+    return false;
+}
+
+bool
+isControl(const TermPtr &g)
+{
+    return g->isCallable(";", 2) || g->isCallable("->", 2) ||
+           g->isCallable("\\+", 1) || g->isCallable(",", 2) ||
+           g->isCallable("not", 1);
+}
+
+} // namespace
+
+TEST(Normalize, DisjunctionBecomesAuxPredicate)
+{
+    Program p;
+    p.consult("f(X) :- (a(X) ; b(X)).");
+    Program n = normalize(p);
+    EXPECT_FALSE(anyGoal(n, isControl));
+    // The aux predicate has two clauses.
+    bool found = false;
+    for (const auto &id : n.predicates()) {
+        if (id.name.rfind("$aux", 0) == 0) {
+            found = true;
+            EXPECT_EQ(n.clauses(id).size(), 2u);
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Normalize, AuxCapturesVariables)
+{
+    Program p;
+    p.consult("f(X, Y) :- (a(X) ; b(Y)), c(X, Y).");
+    Program n = normalize(p);
+    // The aux call must pass both X and Y.
+    const auto &cl = n.clauses({"f", 2})[0];
+    const TermPtr &aux_call = cl.body[0];
+    EXPECT_EQ(aux_call->arity(), 2u);
+}
+
+TEST(Normalize, IfThenElseUsesCut)
+{
+    Program p;
+    p.consult("f(X) :- (t(X) -> u(X) ; v(X)).");
+    Program n = normalize(p);
+    EXPECT_FALSE(anyGoal(n, isControl));
+    // Some aux clause contains a cut.
+    bool has_cut = anyGoal(n, [](const TermPtr &g) {
+        return g->isAtom() && g->name() == "!";
+    });
+    EXPECT_TRUE(has_cut);
+}
+
+TEST(Normalize, BareIfThenGetsFailElse)
+{
+    Program p;
+    p.consult("f(X) :- (t(X) -> u(X)).");
+    Program n = normalize(p);
+    bool has_fail = anyGoal(n, [](const TermPtr &g) {
+        return g->isAtom() && g->name() == "fail";
+    });
+    EXPECT_TRUE(has_fail);
+}
+
+TEST(Normalize, NegationBecomesCutFail)
+{
+    Program p;
+    p.consult("f(X) :- \\+ bad(X), ok(X).");
+    Program n = normalize(p);
+    EXPECT_FALSE(anyGoal(n, isControl));
+    bool has_fail = anyGoal(n, [](const TermPtr &g) {
+        return g->isAtom() && g->name() == "fail";
+    });
+    EXPECT_TRUE(has_fail);
+}
+
+TEST(Normalize, NestedControlFullyExpanded)
+{
+    Program p;
+    p.consult("f(X) :- (a(X) ; (b(X) ; \\+ c(X))).");
+    Program n = normalize(p);
+    EXPECT_FALSE(anyGoal(n, isControl));
+}
+
+TEST(Normalize, PlainClausesUntouched)
+{
+    Program p;
+    p.consult("f(X) :- g(X), h(X). g(1). h(1).");
+    Program n = normalize(p);
+    EXPECT_EQ(n.clauses({"f", 1})[0].body.size(), 2u);
+    EXPECT_EQ(n.predicates().size(), 3u);
+}
+
+TEST(Normalize, CollectVarsOrder)
+{
+    auto t = parseTerm("f(B, g(A, B), C)");
+    auto vars = collectVars(t);
+    ASSERT_EQ(vars.size(), 3u);
+    EXPECT_EQ(vars[0]->name(), "B");
+    EXPECT_EQ(vars[1]->name(), "A");
+    EXPECT_EQ(vars[2]->name(), "C");
+}
+
+TEST(Normalize, NormalizeGoalProducesFlatList)
+{
+    Program aux;
+    auto goals = normalizeGoal(parseTerm("(a, (b ; c), d)"), aux);
+    ASSERT_EQ(goals.size(), 3u);
+    EXPECT_EQ(goals[0]->str(), "a");
+    EXPECT_EQ(goals[2]->str(), "d");
+    EXPECT_EQ(aux.predicates().size(), 1u);
+}

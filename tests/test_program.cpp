@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "base/logging.hpp"
+#include "kl0/program.hpp"
+#include "kl0/reader.hpp"
+
+using namespace psi::kl0;
+using psi::FatalError;
+
+TEST(Program, ConsultGroupsByPredicate)
+{
+    Program p;
+    p.consult("f(1). g(x). f(2).");
+    ASSERT_EQ(p.predicates().size(), 2u);
+    EXPECT_EQ(p.predicates()[0].str(), "f/1");
+    EXPECT_EQ(p.predicates()[1].str(), "g/1");
+    EXPECT_EQ(p.clauses({"f", 1}).size(), 2u);
+}
+
+TEST(Program, RulesSplitHeadAndBody)
+{
+    Program p;
+    p.consult("h(X) :- a(X), b(X), c.");
+    const auto &cl = p.clauses({"h", 1})[0];
+    EXPECT_EQ(cl.head->str(), "h(X)");
+    ASSERT_EQ(cl.body.size(), 3u);
+    EXPECT_EQ(cl.body[0]->str(), "a(X)");
+    EXPECT_EQ(cl.body[2]->str(), "c");
+}
+
+TEST(Program, FactsHaveEmptyBody)
+{
+    Program p;
+    p.consult("fact(1).");
+    EXPECT_TRUE(p.clauses({"fact", 1})[0].body.empty());
+}
+
+TEST(Program, FlattenConjunctionOrder)
+{
+    auto t = parseTerm("(a, (b, c), d)");
+    auto goals = Program::flattenConjunction(t);
+    ASSERT_EQ(goals.size(), 4u);
+    EXPECT_EQ(goals[0]->str(), "a");
+    EXPECT_EQ(goals[1]->str(), "b");
+    EXPECT_EQ(goals[3]->str(), "d");
+}
+
+TEST(Program, DirectivesRecorded)
+{
+    Program p;
+    p.consult(":- some_directive. f(1).");
+    ASSERT_EQ(p.directives().size(), 1u);
+    EXPECT_EQ(p.directives()[0]->str(), "some_directive");
+    EXPECT_TRUE(p.defined({"f", 1}));
+}
+
+TEST(Program, ClauseCount)
+{
+    Program p;
+    p.consult("a. a. b. c(1) :- a.");
+    EXPECT_EQ(p.clauseCount(), 4u);
+}
+
+TEST(Program, InvalidHeadThrows)
+{
+    Program p;
+    EXPECT_THROW(p.consult("123."), FatalError);
+}
+
+TEST(Program, DefinedLookup)
+{
+    Program p;
+    p.consult("foo(a, b).");
+    EXPECT_TRUE(p.defined({"foo", 2}));
+    EXPECT_FALSE(p.defined({"foo", 1}));
+    EXPECT_FALSE(p.defined({"bar", 2}));
+}

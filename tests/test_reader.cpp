@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "base/logging.hpp"
+#include "kl0/reader.hpp"
+
+using namespace psi::kl0;
+using psi::FatalError;
+
+namespace {
+
+std::string
+parsed(const std::string &text)
+{
+    return parseTerm(text)->str();
+}
+
+} // namespace
+
+TEST(Reader, SimpleAtomAndCompound)
+{
+    EXPECT_EQ(parsed("foo"), "foo");
+    EXPECT_EQ(parsed("f(a,b)"), "f(a,b)");
+    EXPECT_EQ(parsed("f(g(h(x)))"), "f(g(h(x)))");
+}
+
+TEST(Reader, OperatorPrecedenceArithmetic)
+{
+    // * binds tighter than +.
+    EXPECT_EQ(parsed("1+2*3"), "+(1,*(2,3))");
+    EXPECT_EQ(parsed("(1+2)*3"), "*(+(1,2),3)");
+}
+
+TEST(Reader, LeftAssociativity)
+{
+    EXPECT_EQ(parsed("1-2-3"), "-(-(1,2),3)");
+    EXPECT_EQ(parsed("8//2//2"), "//(//(8,2),2)");
+}
+
+TEST(Reader, RightAssociativeComma)
+{
+    EXPECT_EQ(parsed("(a,b,c)"), "','(a,','(b,c))");
+}
+
+TEST(Reader, ClauseOperator)
+{
+    EXPECT_EQ(parsed("h :- b1, b2"), ":-(h,','(b1,b2))");
+}
+
+TEST(Reader, ComparisonOperators)
+{
+    EXPECT_EQ(parsed("X is Y + 1"), "is(X,+(Y,1))");
+    EXPECT_EQ(parsed("A =< B"), "=<(A,B)");
+    EXPECT_EQ(parsed("A =.. B"), "=..(A,B)");
+}
+
+TEST(Reader, NegativeNumberLiterals)
+{
+    TermPtr t = parseTerm("-5");
+    EXPECT_TRUE(t->isInt());
+    EXPECT_EQ(t->value(), -5);
+    // Binary minus still parses as an operator.
+    EXPECT_EQ(parsed("3 - 5"), "-(3,5)");
+}
+
+TEST(Reader, PrefixOperators)
+{
+    EXPECT_EQ(parsed("\\+ foo"), "\\+(foo)");
+    EXPECT_EQ(parsed("- X"), "-(X)");
+}
+
+TEST(Reader, OperatorAsPlainAtom)
+{
+    EXPECT_EQ(parsed("f(-)"), "f(-)");
+}
+
+TEST(Reader, Lists)
+{
+    EXPECT_EQ(parsed("[]"), "[]");
+    EXPECT_EQ(parsed("[1,2,3]"), "[1,2,3]");
+    EXPECT_EQ(parsed("[H|T]"), "[H|T]");
+    EXPECT_EQ(parsed("[a,b|T]"), "[a,b|T]");
+    EXPECT_EQ(parsed("[[1],[2]]"), "[[1],[2]]");
+}
+
+TEST(Reader, IfThenElse)
+{
+    // -> binds tighter than ;.
+    EXPECT_EQ(parsed("(c -> t ; e)"), ";(->(c,t),e)");
+}
+
+TEST(Reader, AnonymousVarsAreDistinct)
+{
+    TermPtr t = parseTerm("f(_, _)");
+    EXPECT_NE(t->args()[0]->name(), t->args()[1]->name());
+}
+
+TEST(Reader, SameNameVarsShareName)
+{
+    TermPtr t = parseTerm("f(X, X)");
+    EXPECT_EQ(t->args()[0]->name(), t->args()[1]->name());
+}
+
+TEST(Reader, ReadAllClauses)
+{
+    auto cs = parseProgram("a. b :- c. d(1).");
+    ASSERT_EQ(cs.size(), 3u);
+    EXPECT_EQ(cs[0]->str(), "a");
+    EXPECT_EQ(cs[2]->str(), "d(1)");
+}
+
+TEST(Reader, CurlyBraces)
+{
+    EXPECT_EQ(parsed("{}"), "{}");
+    EXPECT_EQ(parsed("{a}"), "{}(a)");
+}
+
+TEST(Reader, QuotedAtomCompound)
+{
+    EXPECT_EQ(parsed("'my atom'(1)"), "'my atom'(1)");
+}
+
+TEST(Reader, MissingParenThrows)
+{
+    EXPECT_THROW(parseTerm("f(a"), FatalError);
+}
+
+TEST(Reader, MissingClauseEndThrows)
+{
+    Reader r("foo");
+    EXPECT_THROW(r.readClause(), FatalError);
+}
+
+TEST(Reader, MissingBracketThrows)
+{
+    EXPECT_THROW(parseTerm("[1,2"), FatalError);
+}
+
+TEST(Reader, CommaArgumentsRespectPriority)
+{
+    // Inside an argument list, ',' separates arguments.
+    TermPtr t = parseTerm("f(a, b)");
+    EXPECT_EQ(t->arity(), 2u);
+    // A parenthesized conjunction is one argument.
+    TermPtr t2 = parseTerm("f((a, b))");
+    EXPECT_EQ(t2->arity(), 1u);
+}

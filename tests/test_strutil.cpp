@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "base/strutil.hpp"
+
+using namespace psi::strutil;
+
+TEST(Strutil, SplitBasic)
+{
+    auto v = split("a,b,c", ',');
+    ASSERT_EQ(v.size(), 3u);
+    EXPECT_EQ(v[0], "a");
+    EXPECT_EQ(v[1], "b");
+    EXPECT_EQ(v[2], "c");
+}
+
+TEST(Strutil, SplitKeepsEmptyFields)
+{
+    auto v = split(",a,,", ',');
+    ASSERT_EQ(v.size(), 4u);
+    EXPECT_EQ(v[0], "");
+    EXPECT_EQ(v[2], "");
+    EXPECT_EQ(v[3], "");
+}
+
+TEST(Strutil, SplitSingle)
+{
+    auto v = split("abc", ',');
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_EQ(v[0], "abc");
+}
+
+TEST(Strutil, TrimBothSides)
+{
+    EXPECT_EQ(trim("  x y  "), "x y");
+}
+
+TEST(Strutil, TrimEmpty)
+{
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim(""), "");
+}
+
+TEST(Strutil, TrimNoWhitespace)
+{
+    EXPECT_EQ(trim("abc"), "abc");
+}
+
+TEST(Strutil, Join)
+{
+    EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+    EXPECT_EQ(join({}, ","), "");
+    EXPECT_EQ(join({"x"}, ","), "x");
+}
+
+TEST(Strutil, StartsWith)
+{
+    EXPECT_TRUE(startsWith("hello", "he"));
+    EXPECT_TRUE(startsWith("hello", ""));
+    EXPECT_FALSE(startsWith("he", "hello"));
+    EXPECT_FALSE(startsWith("hello", "lo"));
+}
+
+TEST(Strutil, PadLeft)
+{
+    EXPECT_EQ(padLeft("ab", 4), "  ab");
+    EXPECT_EQ(padLeft("abcd", 2), "abcd");
+}
+
+TEST(Strutil, PadRight)
+{
+    EXPECT_EQ(padRight("ab", 4), "ab  ");
+    EXPECT_EQ(padRight("abcd", 4), "abcd");
+}
+
+TEST(Strutil, AtomQuoting)
+{
+    EXPECT_FALSE(atomNeedsQuotes("foo"));
+    EXPECT_FALSE(atomNeedsQuotes("fooBar_1"));
+    EXPECT_FALSE(atomNeedsQuotes("[]"));
+    EXPECT_FALSE(atomNeedsQuotes("!"));
+    EXPECT_FALSE(atomNeedsQuotes("=.."));
+    EXPECT_FALSE(atomNeedsQuotes("+"));
+    EXPECT_TRUE(atomNeedsQuotes("Foo"));
+    EXPECT_TRUE(atomNeedsQuotes("_x"));
+    EXPECT_TRUE(atomNeedsQuotes("hello world"));
+    EXPECT_TRUE(atomNeedsQuotes(""));
+    EXPECT_TRUE(atomNeedsQuotes("1abc"));
+}

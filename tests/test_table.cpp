@@ -1,0 +1,57 @@
+#include <gtest/gtest.h>
+
+#include "base/table.hpp"
+
+using psi::Table;
+
+TEST(Table, RendersHeaderAndRows)
+{
+    Table t("My Table");
+    t.setHeader({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22"});
+    std::string s = t.str();
+    EXPECT_NE(s.find("My Table"), std::string::npos);
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("22"), std::string::npos);
+}
+
+TEST(Table, FirstColumnLeftAlignedRestRight)
+{
+    Table t("t");
+    t.setHeader({"aa", "bb"});
+    t.addRow({"x", "y"});
+    std::string s = t.str();
+    // Label column padded on the right, value column on the left.
+    EXPECT_NE(s.find("x "), std::string::npos);
+    EXPECT_NE(s.find(" y"), std::string::npos);
+}
+
+TEST(Table, SeparatorLine)
+{
+    Table t("t");
+    t.setHeader({"a"});
+    t.addRow({"1"});
+    t.addSeparator();
+    t.addRow({"2"});
+    EXPECT_EQ(t.rowCount(), 3u);
+    // A separator renders as a dashed line.
+    EXPECT_NE(t.str().find("---"), std::string::npos);
+}
+
+TEST(Table, RowCountExcludesNothing)
+{
+    Table t("t");
+    t.setHeader({"a", "b", "c"});
+    EXPECT_EQ(t.rowCount(), 0u);
+    t.addRow({"1", "2", "3"});
+    EXPECT_EQ(t.rowCount(), 1u);
+}
+
+TEST(TableDeathTest, MismatchedRowWidthPanics)
+{
+    Table t("t");
+    t.setHeader({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "row width");
+}

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "kl0/term.hpp"
+
+using namespace psi::kl0;
+
+TEST(Term, AtomBasics)
+{
+    TermPtr a = Term::atom("foo");
+    EXPECT_TRUE(a->isAtom());
+    EXPECT_EQ(a->name(), "foo");
+    EXPECT_EQ(a->arity(), 0u);
+    EXPECT_FALSE(a->isVar());
+}
+
+TEST(Term, IntegerBasics)
+{
+    TermPtr i = Term::integer(-42);
+    EXPECT_TRUE(i->isInt());
+    EXPECT_EQ(i->value(), -42);
+}
+
+TEST(Term, VarBasics)
+{
+    TermPtr v = Term::var("X");
+    EXPECT_TRUE(v->isVar());
+    EXPECT_EQ(v->name(), "X");
+}
+
+TEST(Term, CompoundBasics)
+{
+    TermPtr c = Term::compound("f", {Term::atom("a"), Term::integer(1)});
+    EXPECT_TRUE(c->isCompound());
+    EXPECT_EQ(c->name(), "f");
+    EXPECT_EQ(c->arity(), 2u);
+    EXPECT_TRUE(c->isCallable("f", 2));
+    EXPECT_FALSE(c->isCallable("f", 1));
+    EXPECT_FALSE(c->isCallable("g", 2));
+}
+
+TEST(Term, CompoundWithNoArgsIsAtom)
+{
+    TermPtr c = Term::compound("f", {});
+    EXPECT_TRUE(c->isAtom());
+}
+
+TEST(Term, NilAndCons)
+{
+    EXPECT_TRUE(Term::nil()->isNil());
+    TermPtr l = Term::list({Term::integer(1)});
+    EXPECT_TRUE(l->isCons());
+    EXPECT_TRUE(l->args()[1]->isNil());
+}
+
+TEST(Term, ListWithTail)
+{
+    TermPtr l = Term::list({Term::integer(1), Term::integer(2)},
+                           Term::var("T"));
+    EXPECT_TRUE(l->isCons());
+    EXPECT_EQ(l->str(), "[1,2|T]");
+}
+
+TEST(Term, EqualsStructural)
+{
+    TermPtr a = Term::compound("f", {Term::var("X"), Term::integer(3)});
+    TermPtr b = Term::compound("f", {Term::var("X"), Term::integer(3)});
+    TermPtr c = Term::compound("f", {Term::var("Y"), Term::integer(3)});
+    EXPECT_TRUE(a->equals(*b));
+    EXPECT_FALSE(a->equals(*c));
+}
+
+TEST(Term, StrListNotation)
+{
+    TermPtr l = Term::list({Term::atom("a"), Term::atom("b")});
+    EXPECT_EQ(l->str(), "[a,b]");
+}
+
+TEST(Term, StrQuotesOddAtoms)
+{
+    EXPECT_EQ(Term::atom("Foo")->str(), "'Foo'");
+    EXPECT_EQ(Term::atom("foo")->str(), "foo");
+}
+
+TEST(Term, StrNestedCompound)
+{
+    TermPtr t = Term::compound(
+        "point", {Term::integer(1),
+                  Term::compound("g", {Term::atom("z")})});
+    EXPECT_EQ(t->str(), "point(1,g(z))");
+}
+
+TEST(Term, CanonicalStrRenamesVars)
+{
+    TermPtr t1 = Term::compound("f", {Term::var("Foo"), Term::var("Bar"),
+                                      Term::var("Foo")});
+    TermPtr t2 = Term::compound("f", {Term::var("A"), Term::var("B"),
+                                      Term::var("A")});
+    EXPECT_EQ(t1->canonicalStr(), t2->canonicalStr());
+    EXPECT_EQ(t1->canonicalStr(), "f(_A,_B,_A)");
+}
+
+TEST(Term, CanonicalStrDistinguishesPattern)
+{
+    TermPtr t1 = Term::compound("f", {Term::var("X"), Term::var("X")});
+    TermPtr t2 = Term::compound("f", {Term::var("X"), Term::var("Y")});
+    EXPECT_NE(t1->canonicalStr(), t2->canonicalStr());
+}

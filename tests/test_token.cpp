@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "base/logging.hpp"
+#include "kl0/token.hpp"
+
+using namespace psi::kl0;
+using psi::FatalError;
+
+TEST(Token, Integers)
+{
+    auto ts = tokenize("42 007");
+    ASSERT_GE(ts.size(), 3u);
+    EXPECT_EQ(ts[0].kind, TokKind::Int);
+    EXPECT_EQ(ts[0].value, 42);
+    EXPECT_EQ(ts[1].value, 7);
+}
+
+TEST(Token, CharCodeLiteral)
+{
+    auto ts = tokenize("0'a");
+    EXPECT_EQ(ts[0].kind, TokKind::Int);
+    EXPECT_EQ(ts[0].value, 'a');
+}
+
+TEST(Token, AtomsLowercase)
+{
+    auto ts = tokenize("foo barBaz_1");
+    EXPECT_EQ(ts[0].kind, TokKind::Atom);
+    EXPECT_EQ(ts[0].text, "foo");
+    EXPECT_EQ(ts[1].text, "barBaz_1");
+}
+
+TEST(Token, Variables)
+{
+    auto ts = tokenize("X _foo Abc");
+    EXPECT_EQ(ts[0].kind, TokKind::Var);
+    EXPECT_EQ(ts[1].kind, TokKind::Var);
+    EXPECT_EQ(ts[2].kind, TokKind::Var);
+}
+
+TEST(Token, QuotedAtoms)
+{
+    auto ts = tokenize("'hello world' 'it''s'");
+    EXPECT_EQ(ts[0].kind, TokKind::Atom);
+    EXPECT_EQ(ts[0].text, "hello world");
+    EXPECT_EQ(ts[1].text, "it's");
+}
+
+TEST(Token, QuotedEscapes)
+{
+    auto ts = tokenize("'a\\nb'");
+    EXPECT_EQ(ts[0].text, "a\nb");
+}
+
+TEST(Token, SymbolicAtoms)
+{
+    auto ts = tokenize(":- =.. \\+ @< ->");
+    EXPECT_EQ(ts[0].text, ":-");
+    EXPECT_EQ(ts[1].text, "=..");
+    EXPECT_EQ(ts[2].text, "\\+");
+    EXPECT_EQ(ts[3].text, "@<");
+    EXPECT_EQ(ts[4].text, "->");
+}
+
+TEST(Token, ClauseEnd)
+{
+    auto ts = tokenize("foo.");
+    EXPECT_EQ(ts[0].kind, TokKind::Atom);
+    EXPECT_EQ(ts[1].kind, TokKind::End);
+}
+
+TEST(Token, Punctuation)
+{
+    auto ts = tokenize("( ) [ ] { } , |");
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(ts[i].kind, TokKind::Punct) << i;
+}
+
+TEST(Token, CutAndSemicolonAreAtoms)
+{
+    auto ts = tokenize("! ;");
+    EXPECT_TRUE(ts[0].isAtom("!"));
+    EXPECT_TRUE(ts[1].isAtom(";"));
+}
+
+TEST(Token, LineComments)
+{
+    auto ts = tokenize("a % comment\nb");
+    EXPECT_EQ(ts[0].text, "a");
+    EXPECT_EQ(ts[1].text, "b");
+    EXPECT_EQ(ts[2].kind, TokKind::Eof);
+}
+
+TEST(Token, BlockComments)
+{
+    auto ts = tokenize("a /* x\ny */ b");
+    EXPECT_EQ(ts[0].text, "a");
+    EXPECT_EQ(ts[1].text, "b");
+}
+
+TEST(Token, LineNumbersTracked)
+{
+    auto ts = tokenize("a\nb\n\nc");
+    EXPECT_EQ(ts[0].line, 1);
+    EXPECT_EQ(ts[1].line, 2);
+    EXPECT_EQ(ts[2].line, 4);
+}
+
+TEST(Token, UnterminatedQuoteThrows)
+{
+    EXPECT_THROW(tokenize("'abc"), FatalError);
+}
+
+TEST(Token, UnterminatedBlockCommentThrows)
+{
+    EXPECT_THROW(tokenize("/* abc"), FatalError);
+}
+
+TEST(Token, EofAlwaysAppended)
+{
+    auto ts = tokenize("");
+    ASSERT_EQ(ts.size(), 1u);
+    EXPECT_EQ(ts[0].kind, TokKind::Eof);
+}

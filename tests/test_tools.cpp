@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests of the COLLECT / MAP / PMMS tool chain, including the two
+ * strong cross-validation properties:
+ *  - MAP tallies over a collected trace equal the sequencer's live
+ *    counters;
+ *  - a PMMS replay of a collected memory trace through the production
+ *    cache configuration reproduces the engine's own cache stats.
+ */
+
+#include <gtest/gtest.h>
+
+#include "psi.hpp"
+
+using namespace psi;
+
+namespace {
+
+struct Collected
+{
+    interp::Engine eng;
+    tools::Collector col;
+    interp::RunResult result;
+    micro::SeqStats seq;
+    CacheStats cache;
+
+    explicit Collected(const std::string &id)
+    {
+        const auto &p = programs::programById(id);
+        eng.consult(p.source);
+        result = tools::collectRun(eng, col, p.query);
+        seq = eng.seq().stats();
+        cache = eng.mem().cache().stats();
+    }
+};
+
+} // namespace
+
+TEST(Collector, CapturesBothStreams)
+{
+    Collected c("qsort50");
+    EXPECT_TRUE(c.result.succeeded());
+    EXPECT_EQ(c.col.steps().size(), c.seq.totalSteps());
+    EXPECT_EQ(c.col.memAccesses().size(), c.cache.totalAccesses());
+    EXPECT_GT(c.col.traceBytes(), 0u);
+}
+
+TEST(Collector, DetachStopsRecording)
+{
+    Collected c("nreverse30");
+    std::size_t n = c.col.steps().size();
+    auto r2 = c.eng.solve("true");
+    EXPECT_TRUE(r2.succeeded());
+    EXPECT_EQ(c.col.steps().size(), n);
+}
+
+TEST(Map, MatchesLiveModuleCounters)
+{
+    Collected c("puzzle8");
+    tools::Map map(c.col.steps());
+    EXPECT_EQ(map.totalSteps(), c.seq.totalSteps());
+    for (int m = 0; m < micro::kNumModules; ++m) {
+        auto mod = static_cast<micro::Module>(m);
+        EXPECT_EQ(map.moduleSteps(mod), c.seq.moduleSteps[m])
+            << micro::moduleName(mod);
+    }
+}
+
+TEST(Map, MatchesLiveBranchCounters)
+{
+    Collected c("bup2");
+    tools::Map map(c.col.steps());
+    for (int b = 0; b < micro::kNumBranchOps; ++b) {
+        auto op = static_cast<micro::BranchOp>(b);
+        EXPECT_EQ(map.branchOps(op), c.seq.branchOps[b])
+            << micro::branchOpName(op);
+    }
+}
+
+TEST(Map, MatchesLiveWfModeCounters)
+{
+    Collected c("lcp2");
+    tools::Map map(c.col.steps());
+    for (int f = 0; f < micro::kNumWfFields; ++f) {
+        for (int m = 0; m < micro::kNumWfModes; ++m) {
+            EXPECT_EQ(map.wfMode(static_cast<micro::WfField>(f),
+                                 static_cast<micro::WfMode>(m)),
+                      c.seq.wfModes[f][m]);
+        }
+    }
+}
+
+TEST(Map, MatchesCacheCommandCounters)
+{
+    Collected c("harmonizer1");
+    tools::Map map(c.col.steps());
+    for (int cc = 0; cc < kNumCacheCmds; ++cc) {
+        EXPECT_EQ(map.cacheSteps(static_cast<CacheCmd>(cc)),
+                  c.seq.cacheSteps[cc]);
+    }
+}
+
+TEST(Map, PercentagesSumSensibly)
+{
+    Collected c("window1");
+    tools::Map map(c.col.steps());
+    double total = 0.0;
+    for (int m = 0; m < micro::kNumModules; ++m)
+        total += map.modulePct(static_cast<micro::Module>(m));
+    EXPECT_NEAR(total, 100.0, 1e-6);
+}
+
+TEST(Pmms, ReplayReproducesEngineCacheStats)
+{
+    Collected c("qsort50");
+    tools::Pmms pmms(c.col.memAccesses(), c.seq.totalSteps());
+    auto r = pmms.replay(CacheConfig::psi());
+    EXPECT_EQ(r.stats.totalAccesses(), c.cache.totalAccesses());
+    EXPECT_EQ(r.stats.totalHits(), c.cache.totalHits());
+    EXPECT_EQ(r.stats.readIns, c.cache.readIns);
+    EXPECT_EQ(r.stats.writeBacks, c.cache.writeBacks);
+    for (int a = 0; a < kNumAreas; ++a) {
+        EXPECT_EQ(r.stats.areaHits(static_cast<Area>(a)),
+                  c.cache.areaHits(static_cast<Area>(a)));
+    }
+    // And the reconstructed time matches the engine's model time.
+    EXPECT_EQ(r.timeNs, c.result.timeNs);
+}
+
+TEST(Pmms, SweepCoversRequestedCapacities)
+{
+    Collected c("nreverse30");
+    tools::Pmms pmms(c.col.memAccesses(), c.seq.totalSteps());
+    auto rs = pmms.sweepCapacity({8, 64, 512, 8192});
+    ASSERT_EQ(rs.size(), 4u);
+    EXPECT_EQ(rs[0].config.capacityWords, 8u);
+    EXPECT_EQ(rs[3].config.capacityWords, 8192u);
+    // Monotone improvement across the sweep.
+    for (std::size_t i = 1; i < rs.size(); ++i)
+        EXPECT_GE(rs[i].improvementPct + 1e-9,
+                  rs[i - 1].improvementPct);
+}
+
+TEST(Pmms, NoCacheTimeExceedsCachedTime)
+{
+    Collected c("tree");
+    tools::Pmms pmms(c.col.memAccesses(), c.seq.totalSteps());
+    auto r = pmms.replay(CacheConfig::psi());
+    EXPECT_GT(pmms.noCacheTimeNs(), r.timeNs);
+}

@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "mem/translation.hpp"
+
+using namespace psi;
+
+TEST(Translation, SameAddressTranslatesStably)
+{
+    MainMemory mem;
+    TranslationTable t(mem);
+    auto p1 = t.translate({Area::Heap, 100});
+    auto p2 = t.translate({Area::Heap, 100});
+    EXPECT_EQ(p1, p2);
+}
+
+TEST(Translation, AreasAreIndependentSpaces)
+{
+    MainMemory mem;
+    TranslationTable t(mem);
+    auto ph = t.translate({Area::Heap, 5});
+    auto pl = t.translate({Area::Local, 5});
+    EXPECT_NE(ph, pl);
+}
+
+TEST(Translation, ContiguityWithinPage)
+{
+    MainMemory mem;
+    TranslationTable t(mem);
+    auto p0 = t.translate({Area::Global, 0});
+    auto p1 = t.translate({Area::Global, 1});
+    EXPECT_EQ(p1, p0 + 1);
+}
+
+TEST(Translation, SparsePagesAllocatedLazily)
+{
+    MainMemory mem;
+    TranslationTable t(mem);
+    // Touch a far page; only one frame should be backed.
+    t.translate({Area::Heap, 100 * kPageWords});
+    EXPECT_EQ(t.pageCount(Area::Heap), 1u);
+    EXPECT_EQ(mem.size(), kPageWords);
+    // Touching a nearer page maps a second frame.
+    t.translate({Area::Heap, 0});
+    EXPECT_EQ(t.pageCount(Area::Heap), 2u);
+}
+
+TEST(Translation, DistinctPagesDistinctFrames)
+{
+    MainMemory mem;
+    TranslationTable t(mem);
+    auto a = t.translate({Area::Trail, 0});
+    auto b = t.translate({Area::Trail, kPageWords});
+    EXPECT_NE(a / kPageWords, b / kPageWords);
+}
+
+TEST(MainMemoryTest, ReadBackWrites)
+{
+    MainMemory mem;
+    auto base = mem.allocFrame();
+    mem.write(base + 3, {Tag::Int, 77});
+    EXPECT_EQ(mem.read(base + 3).data, 77u);
+    EXPECT_EQ(mem.read(base + 4).tag, Tag::Undef);
+}

@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Baseline (compiled-code) engine tests: compilation shape, clause
+ * indexing behaviour, control, and the cost model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baseline/wam_machine.hpp"
+
+using namespace psi;
+using namespace psi::baseline;
+
+namespace {
+
+std::vector<std::string>
+solutions(const std::string &program, const std::string &query,
+          int max = 50)
+{
+    WamEngine eng;
+    eng.consult(program);
+    interp::RunLimits lim;
+    lim.maxSolutions = max;
+    auto r = eng.solve(query, lim);
+    std::vector<std::string> out;
+    for (const auto &s : r.solutions) {
+        std::string line;
+        for (const auto &kv : s.bindings) {
+            if (!line.empty())
+                line += " ";
+            line += kv.first + "=" + kv.second->canonicalStr();
+        }
+        out.push_back(line.empty() ? "yes" : line);
+    }
+    return out;
+}
+
+/** Count occurrences of @p op in the clause code of name/arity. */
+int
+countOps(WamEngine &eng, const std::string &name,
+         std::uint32_t arity, WOp op)
+{
+    const CompiledPred *pred =
+        eng.compiler().predicate(eng.symbols().functor(name, arity));
+    EXPECT_NE(pred, nullptr);
+    int n = 0;
+    for (const auto &cl : pred->clauses) {
+        // Scan forward to the clause-terminating control transfer.
+        for (std::size_t i = cl.entry;
+             i < eng.compiler().code().size(); ++i) {
+            const WInstr &w = eng.compiler().code()[i];
+            if (w.op == op)
+                ++n;
+            if (w.op == WOp::Proceed || w.op == WOp::Execute ||
+                w.op == WOp::Halt) {
+                break;
+            }
+        }
+    }
+    return n;
+}
+
+} // namespace
+
+TEST(WamCompile, FactIsGetProceed)
+{
+    WamEngine eng;
+    eng.consult("color(red).");
+    EXPECT_EQ(countOps(eng, "color", 1, WOp::GetConstant), 1);
+    EXPECT_EQ(countOps(eng, "color", 1, WOp::Proceed), 1);
+    EXPECT_EQ(countOps(eng, "color", 1, WOp::Allocate), 0);
+}
+
+TEST(WamCompile, LastCallOptimized)
+{
+    WamEngine eng;
+    eng.consult("p :- q. q.");
+    EXPECT_EQ(countOps(eng, "p", 0, WOp::Execute), 1);
+    EXPECT_EQ(countOps(eng, "p", 0, WOp::Call), 0);
+    EXPECT_EQ(countOps(eng, "p", 0, WOp::Allocate), 0);
+}
+
+TEST(WamCompile, EnvironmentOnlyWhenNeeded)
+{
+    WamEngine eng;
+    eng.consult("two :- a, b. a. b.");
+    EXPECT_EQ(countOps(eng, "two", 0, WOp::Allocate), 1);
+    EXPECT_EQ(countOps(eng, "two", 0, WOp::Deallocate), 1);
+    EXPECT_EQ(countOps(eng, "two", 0, WOp::Call), 1);
+    EXPECT_EQ(countOps(eng, "two", 0, WOp::Execute), 1);
+}
+
+TEST(WamCompile, PermanentVariablesUseY)
+{
+    WamEngine eng;
+    eng.consult("p(X, Y) :- q(X), r(Y). q(_). r(_).");
+    // Y survives the first call: it must be a permanent variable.
+    EXPECT_GE(countOps(eng, "p", 2, WOp::GetVariableY), 1);
+}
+
+TEST(WamCompile, TemporariesStayInX)
+{
+    WamEngine eng;
+    eng.consult("p(X) :- q(X). q(_).");
+    EXPECT_EQ(countOps(eng, "p", 1, WOp::GetVariableY), 0);
+}
+
+TEST(WamCompile, ListHeadUsesGetListStream)
+{
+    WamEngine eng;
+    eng.consult("first([H|_], H).");
+    EXPECT_EQ(countOps(eng, "first", 2, WOp::GetList), 1);
+    EXPECT_GE(countOps(eng, "first", 2, WOp::UnifyVariableX), 1);
+    EXPECT_EQ(countOps(eng, "first", 2, WOp::UnifyVoid), 1);
+}
+
+TEST(WamCompile, NestedStructureBreadthFirst)
+{
+    WamEngine eng;
+    eng.consult("deep(f(g(1))).");
+    EXPECT_EQ(countOps(eng, "deep", 1, WOp::GetStruct), 2);
+}
+
+TEST(WamCompile, CutCompilation)
+{
+    WamEngine eng;
+    eng.consult("neck(X) :- !, q(X). late(X) :- q(X), !, r(X). "
+                "q(_). r(_).");
+    EXPECT_EQ(countOps(eng, "neck", 1, WOp::NeckCut), 1);
+    EXPECT_EQ(countOps(eng, "late", 1, WOp::GetLevel), 1);
+    EXPECT_EQ(countOps(eng, "late", 1, WOp::CutY), 1);
+}
+
+TEST(WamIndex, FirstArgumentIndexingSkipsChoicePoints)
+{
+    WamEngine eng;
+    eng.consult("t(a, 1). t(b, 2). t(c, 3).");
+    auto r = eng.solve("t(b, X)");
+    ASSERT_TRUE(r.succeeded());
+    // A bound, discriminating first argument: no choice point.
+    EXPECT_EQ(eng.counters().tries, 0u);
+    EXPECT_EQ(eng.counters().indexes, 1u);
+}
+
+TEST(WamIndex, UnboundFirstArgTriesAll)
+{
+    WamEngine eng;
+    eng.consult("t(a, 1). t(b, 2). t(c, 3).");
+    interp::RunLimits lim;
+    lim.maxSolutions = 10;
+    auto r = eng.solve("t(K, V)", lim);
+    EXPECT_EQ(r.solutions.size(), 3u);
+    EXPECT_GE(eng.counters().tries, 1u);
+}
+
+TEST(WamIndex, StructKeyDiscriminates)
+{
+    WamEngine eng;
+    eng.consult("s(f(1), yes). s(g(W), no(W)).");
+    auto r = eng.solve("s(g(9), X)");
+    ASSERT_TRUE(r.succeeded());
+    EXPECT_EQ(r.solutions[0].bindings.at("X")->str(), "no(9)");
+    EXPECT_EQ(eng.counters().tries, 0u);
+}
+
+TEST(WamIndex, ConstKeyMismatchFailsFast)
+{
+    WamEngine eng;
+    eng.consult("u(a). u(b).");
+    auto r = eng.solve("u(zzz)");
+    EXPECT_FALSE(r.succeeded());
+    EXPECT_EQ(eng.counters().tries, 0u);
+}
+
+TEST(WamControl, EnumerationMatchesSourceOrder)
+{
+    auto v = solutions("w(b). w(a). w(c).", "w(X)");
+    ASSERT_EQ(v.size(), 3u);
+    EXPECT_EQ(v[0], "X=b");
+}
+
+TEST(WamControl, CutSemantics)
+{
+    auto v = solutions("m(1) :- !. m(2).", "m(X)");
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_EQ(v[0], "X=1");
+}
+
+TEST(WamControl, NegationAndIfThenElse)
+{
+    EXPECT_EQ(solutions("", "\\+ 1 > 2").size(), 1u);
+    EXPECT_TRUE(solutions("", "\\+ 1 < 2").empty());
+    auto v = solutions("", "(2 > 1 -> X = a ; X = b)");
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_EQ(v[0], "X=a");
+}
+
+TEST(WamControl, IncrementalConsultAppends)
+{
+    WamEngine eng;
+    eng.consult("pick(1).");
+    eng.consult("pick(2).");
+    interp::RunLimits lim;
+    lim.maxSolutions = 10;
+    auto r = eng.solve("pick(X)", lim);
+    EXPECT_EQ(r.solutions.size(), 2u);
+}
+
+TEST(WamControl, DeepRecursion)
+{
+    auto v = solutions(
+        "count(0). count(N) :- N > 0, N1 is N - 1, count(N1).",
+        "count(30000)", 1);
+    EXPECT_EQ(v.size(), 1u);
+}
+
+TEST(WamControl, StepLimit)
+{
+    WamEngine eng;
+    eng.consult("spin :- spin.");
+    interp::RunLimits lim;
+    lim.maxSteps = 5000;
+    auto r = eng.solve("spin", lim);
+    EXPECT_TRUE(r.stepLimitHit);
+}
+
+TEST(WamBuiltins, ArithmeticAndComparison)
+{
+    EXPECT_EQ(solutions("", "X is 3 * 4 - 2")[0], "X=10");
+    EXPECT_EQ(solutions("", "X is -9 mod 4")[0], "X=3");
+    EXPECT_TRUE(solutions("", "2 + 2 =:= 4").size() == 1);
+    EXPECT_TRUE(solutions("", "1 > 2").empty());
+}
+
+TEST(WamBuiltins, TermInspection)
+{
+    EXPECT_EQ(solutions("", "functor(f(a,b), F, A)")[0], "A=2 F=f");
+    EXPECT_EQ(solutions("", "arg(1, f(x,y), V)")[0], "V=x");
+    EXPECT_EQ(solutions("", "g(7) =.. L")[0], "L=[g,7]");
+    EXPECT_EQ(solutions("", "T =.. [h, 1, 2]")[0], "T=h(1,2)");
+}
+
+TEST(WamBuiltins, Vectors)
+{
+    auto v = solutions(
+        "", "vector_new(3, V), vector_set(V, 1, 5), "
+            "vector_get(V, 1, X), vector_size(V, N), X = X, N = N");
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_NE(v[0].find("X=5"), std::string::npos);
+    EXPECT_NE(v[0].find("N=3"), std::string::npos);
+}
+
+TEST(WamBuiltins, WriteOutput)
+{
+    WamEngine eng;
+    eng.consult("go :- write(f([1, 2], x)), nl.");
+    auto r = eng.solve("go");
+    ASSERT_TRUE(r.succeeded());
+    EXPECT_EQ(r.output, "f([1,2],x)\n");
+}
+
+TEST(WamCost, TimeGrowsWithWork)
+{
+    WamEngine eng;
+    eng.consult("len([], 0). len([_|T], N) :- len(T, N0), N is N0 + 1.");
+    auto r1 = eng.solve("len([1,2,3], N)");
+    auto t1 = r1.timeNs;
+    auto r2 = eng.solve("len([1,2,3,4,5,6,7,8,9,10], N)");
+    EXPECT_GT(r2.timeNs, t1);
+    EXPECT_GT(r1.timeNs, 0u);
+}
+
+TEST(WamCost, CountersFeedModel)
+{
+    WamEngine eng;
+    eng.consult("p(X) :- X is 1 + 1.");
+    auto r = eng.solve("p(X)");
+    ASSERT_TRUE(r.succeeded());
+    const CostCounters &c = eng.counters();
+    EXPECT_GT(c.totalInstr(), 0u);
+    EXPECT_GE(c.arithNodes, 3u);  // the +, and both leaves
+    EXPECT_EQ(r.timeNs, c.timeNs(CostModel::dec2060()));
+}
