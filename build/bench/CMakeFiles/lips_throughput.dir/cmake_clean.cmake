@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lips_throughput.dir/lips_throughput.cpp.o"
+  "CMakeFiles/lips_throughput.dir/lips_throughput.cpp.o.d"
+  "lips_throughput"
+  "lips_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lips_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

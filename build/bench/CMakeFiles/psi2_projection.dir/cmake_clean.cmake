@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psi2_projection.dir/psi2_projection.cpp.o"
+  "CMakeFiles/psi2_projection.dir/psi2_projection.cpp.o.d"
+  "psi2_projection"
+  "psi2_projection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psi2_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

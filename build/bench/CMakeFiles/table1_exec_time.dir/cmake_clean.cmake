@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_exec_time.dir/table1_exec_time.cpp.o"
+  "CMakeFiles/table1_exec_time.dir/table1_exec_time.cpp.o.d"
+  "table1_exec_time"
+  "table1_exec_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_exec_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

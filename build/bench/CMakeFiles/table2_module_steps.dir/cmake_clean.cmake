@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_module_steps.dir/table2_module_steps.cpp.o"
+  "CMakeFiles/table2_module_steps.dir/table2_module_steps.cpp.o.d"
+  "table2_module_steps"
+  "table2_module_steps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_module_steps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_cache_commands.dir/table3_cache_commands.cpp.o"
+  "CMakeFiles/table3_cache_commands.dir/table3_cache_commands.cpp.o.d"
+  "table3_cache_commands"
+  "table3_cache_commands.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_cache_commands.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_area_access.dir/table4_area_access.cpp.o"
+  "CMakeFiles/table4_area_access.dir/table4_area_access.cpp.o.d"
+  "table4_area_access"
+  "table4_area_access.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_area_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

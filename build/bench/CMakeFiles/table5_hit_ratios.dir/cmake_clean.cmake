@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_hit_ratios.dir/table5_hit_ratios.cpp.o"
+  "CMakeFiles/table5_hit_ratios.dir/table5_hit_ratios.cpp.o.d"
+  "table5_hit_ratios"
+  "table5_hit_ratios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_hit_ratios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

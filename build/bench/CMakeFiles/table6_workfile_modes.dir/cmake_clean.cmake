@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_workfile_modes.dir/table6_workfile_modes.cpp.o"
+  "CMakeFiles/table6_workfile_modes.dir/table6_workfile_modes.cpp.o.d"
+  "table6_workfile_modes"
+  "table6_workfile_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_workfile_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_branch_ops.dir/table7_branch_ops.cpp.o"
+  "CMakeFiles/table7_branch_ops.dir/table7_branch_ops.cpp.o.d"
+  "table7_branch_ops"
+  "table7_branch_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_branch_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

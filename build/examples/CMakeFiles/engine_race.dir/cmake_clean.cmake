@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_race.dir/engine_race.cpp.o"
+  "CMakeFiles/engine_race.dir/engine_race.cpp.o.d"
+  "engine_race"
+  "engine_race.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_race.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microarch_report.dir/microarch_report.cpp.o"
+  "CMakeFiles/microarch_report.dir/microarch_report.cpp.o.d"
+  "microarch_report"
+  "microarch_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microarch_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parser_demo.dir/parser_demo.cpp.o"
+  "CMakeFiles/parser_demo.dir/parser_demo.cpp.o.d"
+  "parser_demo"
+  "parser_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parser_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

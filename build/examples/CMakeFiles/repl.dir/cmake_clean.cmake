@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repl.dir/repl.cpp.o"
+  "CMakeFiles/repl.dir/repl.cpp.o.d"
+  "repl"
+  "repl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/run_workloads.dir/run_workloads.cpp.o"
+  "CMakeFiles/run_workloads.dir/run_workloads.cpp.o.d"
+  "run_workloads"
+  "run_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/run_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/logging.cpp" "src/CMakeFiles/psi.dir/base/logging.cpp.o" "gcc" "src/CMakeFiles/psi.dir/base/logging.cpp.o.d"
+  "/root/repo/src/base/stats.cpp" "src/CMakeFiles/psi.dir/base/stats.cpp.o" "gcc" "src/CMakeFiles/psi.dir/base/stats.cpp.o.d"
+  "/root/repo/src/base/strutil.cpp" "src/CMakeFiles/psi.dir/base/strutil.cpp.o" "gcc" "src/CMakeFiles/psi.dir/base/strutil.cpp.o.d"
+  "/root/repo/src/base/table.cpp" "src/CMakeFiles/psi.dir/base/table.cpp.o" "gcc" "src/CMakeFiles/psi.dir/base/table.cpp.o.d"
+  "/root/repo/src/baseline/cost_model.cpp" "src/CMakeFiles/psi.dir/baseline/cost_model.cpp.o" "gcc" "src/CMakeFiles/psi.dir/baseline/cost_model.cpp.o.d"
+  "/root/repo/src/baseline/wam_builtins.cpp" "src/CMakeFiles/psi.dir/baseline/wam_builtins.cpp.o" "gcc" "src/CMakeFiles/psi.dir/baseline/wam_builtins.cpp.o.d"
+  "/root/repo/src/baseline/wam_compiler.cpp" "src/CMakeFiles/psi.dir/baseline/wam_compiler.cpp.o" "gcc" "src/CMakeFiles/psi.dir/baseline/wam_compiler.cpp.o.d"
+  "/root/repo/src/baseline/wam_machine.cpp" "src/CMakeFiles/psi.dir/baseline/wam_machine.cpp.o" "gcc" "src/CMakeFiles/psi.dir/baseline/wam_machine.cpp.o.d"
+  "/root/repo/src/interp/builtins.cpp" "src/CMakeFiles/psi.dir/interp/builtins.cpp.o" "gcc" "src/CMakeFiles/psi.dir/interp/builtins.cpp.o.d"
+  "/root/repo/src/interp/builtins_arith.cpp" "src/CMakeFiles/psi.dir/interp/builtins_arith.cpp.o" "gcc" "src/CMakeFiles/psi.dir/interp/builtins_arith.cpp.o.d"
+  "/root/repo/src/interp/builtins_term.cpp" "src/CMakeFiles/psi.dir/interp/builtins_term.cpp.o" "gcc" "src/CMakeFiles/psi.dir/interp/builtins_term.cpp.o.d"
+  "/root/repo/src/interp/engine.cpp" "src/CMakeFiles/psi.dir/interp/engine.cpp.o" "gcc" "src/CMakeFiles/psi.dir/interp/engine.cpp.o.d"
+  "/root/repo/src/interp/machine.cpp" "src/CMakeFiles/psi.dir/interp/machine.cpp.o" "gcc" "src/CMakeFiles/psi.dir/interp/machine.cpp.o.d"
+  "/root/repo/src/interp/process.cpp" "src/CMakeFiles/psi.dir/interp/process.cpp.o" "gcc" "src/CMakeFiles/psi.dir/interp/process.cpp.o.d"
+  "/root/repo/src/interp/unify.cpp" "src/CMakeFiles/psi.dir/interp/unify.cpp.o" "gcc" "src/CMakeFiles/psi.dir/interp/unify.cpp.o.d"
+  "/root/repo/src/kl0/builtin_defs.cpp" "src/CMakeFiles/psi.dir/kl0/builtin_defs.cpp.o" "gcc" "src/CMakeFiles/psi.dir/kl0/builtin_defs.cpp.o.d"
+  "/root/repo/src/kl0/codegen.cpp" "src/CMakeFiles/psi.dir/kl0/codegen.cpp.o" "gcc" "src/CMakeFiles/psi.dir/kl0/codegen.cpp.o.d"
+  "/root/repo/src/kl0/normalize.cpp" "src/CMakeFiles/psi.dir/kl0/normalize.cpp.o" "gcc" "src/CMakeFiles/psi.dir/kl0/normalize.cpp.o.d"
+  "/root/repo/src/kl0/program.cpp" "src/CMakeFiles/psi.dir/kl0/program.cpp.o" "gcc" "src/CMakeFiles/psi.dir/kl0/program.cpp.o.d"
+  "/root/repo/src/kl0/reader.cpp" "src/CMakeFiles/psi.dir/kl0/reader.cpp.o" "gcc" "src/CMakeFiles/psi.dir/kl0/reader.cpp.o.d"
+  "/root/repo/src/kl0/symbols.cpp" "src/CMakeFiles/psi.dir/kl0/symbols.cpp.o" "gcc" "src/CMakeFiles/psi.dir/kl0/symbols.cpp.o.d"
+  "/root/repo/src/kl0/term.cpp" "src/CMakeFiles/psi.dir/kl0/term.cpp.o" "gcc" "src/CMakeFiles/psi.dir/kl0/term.cpp.o.d"
+  "/root/repo/src/kl0/token.cpp" "src/CMakeFiles/psi.dir/kl0/token.cpp.o" "gcc" "src/CMakeFiles/psi.dir/kl0/token.cpp.o.d"
+  "/root/repo/src/mem/cache.cpp" "src/CMakeFiles/psi.dir/mem/cache.cpp.o" "gcc" "src/CMakeFiles/psi.dir/mem/cache.cpp.o.d"
+  "/root/repo/src/mem/main_memory.cpp" "src/CMakeFiles/psi.dir/mem/main_memory.cpp.o" "gcc" "src/CMakeFiles/psi.dir/mem/main_memory.cpp.o.d"
+  "/root/repo/src/mem/memory_system.cpp" "src/CMakeFiles/psi.dir/mem/memory_system.cpp.o" "gcc" "src/CMakeFiles/psi.dir/mem/memory_system.cpp.o.d"
+  "/root/repo/src/mem/tagged_word.cpp" "src/CMakeFiles/psi.dir/mem/tagged_word.cpp.o" "gcc" "src/CMakeFiles/psi.dir/mem/tagged_word.cpp.o.d"
+  "/root/repo/src/mem/translation.cpp" "src/CMakeFiles/psi.dir/mem/translation.cpp.o" "gcc" "src/CMakeFiles/psi.dir/mem/translation.cpp.o.d"
+  "/root/repo/src/micro/sequencer.cpp" "src/CMakeFiles/psi.dir/micro/sequencer.cpp.o" "gcc" "src/CMakeFiles/psi.dir/micro/sequencer.cpp.o.d"
+  "/root/repo/src/micro/work_file.cpp" "src/CMakeFiles/psi.dir/micro/work_file.cpp.o" "gcc" "src/CMakeFiles/psi.dir/micro/work_file.cpp.o.d"
+  "/root/repo/src/programs/bup.cpp" "src/CMakeFiles/psi.dir/programs/bup.cpp.o" "gcc" "src/CMakeFiles/psi.dir/programs/bup.cpp.o.d"
+  "/root/repo/src/programs/contest.cpp" "src/CMakeFiles/psi.dir/programs/contest.cpp.o" "gcc" "src/CMakeFiles/psi.dir/programs/contest.cpp.o.d"
+  "/root/repo/src/programs/harmonizer.cpp" "src/CMakeFiles/psi.dir/programs/harmonizer.cpp.o" "gcc" "src/CMakeFiles/psi.dir/programs/harmonizer.cpp.o.d"
+  "/root/repo/src/programs/lcp.cpp" "src/CMakeFiles/psi.dir/programs/lcp.cpp.o" "gcc" "src/CMakeFiles/psi.dir/programs/lcp.cpp.o.d"
+  "/root/repo/src/programs/library.cpp" "src/CMakeFiles/psi.dir/programs/library.cpp.o" "gcc" "src/CMakeFiles/psi.dir/programs/library.cpp.o.d"
+  "/root/repo/src/programs/lispint.cpp" "src/CMakeFiles/psi.dir/programs/lispint.cpp.o" "gcc" "src/CMakeFiles/psi.dir/programs/lispint.cpp.o.d"
+  "/root/repo/src/programs/registry.cpp" "src/CMakeFiles/psi.dir/programs/registry.cpp.o" "gcc" "src/CMakeFiles/psi.dir/programs/registry.cpp.o.d"
+  "/root/repo/src/programs/window.cpp" "src/CMakeFiles/psi.dir/programs/window.cpp.o" "gcc" "src/CMakeFiles/psi.dir/programs/window.cpp.o.d"
+  "/root/repo/src/system.cpp" "src/CMakeFiles/psi.dir/system.cpp.o" "gcc" "src/CMakeFiles/psi.dir/system.cpp.o.d"
+  "/root/repo/src/tools/collect.cpp" "src/CMakeFiles/psi.dir/tools/collect.cpp.o" "gcc" "src/CMakeFiles/psi.dir/tools/collect.cpp.o.d"
+  "/root/repo/src/tools/disasm.cpp" "src/CMakeFiles/psi.dir/tools/disasm.cpp.o" "gcc" "src/CMakeFiles/psi.dir/tools/disasm.cpp.o.d"
+  "/root/repo/src/tools/map.cpp" "src/CMakeFiles/psi.dir/tools/map.cpp.o" "gcc" "src/CMakeFiles/psi.dir/tools/map.cpp.o.d"
+  "/root/repo/src/tools/pmms.cpp" "src/CMakeFiles/psi.dir/tools/pmms.cpp.o" "gcc" "src/CMakeFiles/psi.dir/tools/pmms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

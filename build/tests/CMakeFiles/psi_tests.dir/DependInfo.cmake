@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_ablations.cpp" "tests/CMakeFiles/psi_tests.dir/test_ablations.cpp.o" "gcc" "tests/CMakeFiles/psi_tests.dir/test_ablations.cpp.o.d"
+  "/root/repo/tests/test_cache.cpp" "tests/CMakeFiles/psi_tests.dir/test_cache.cpp.o" "gcc" "tests/CMakeFiles/psi_tests.dir/test_cache.cpp.o.d"
+  "/root/repo/tests/test_codegen.cpp" "tests/CMakeFiles/psi_tests.dir/test_codegen.cpp.o" "gcc" "tests/CMakeFiles/psi_tests.dir/test_codegen.cpp.o.d"
+  "/root/repo/tests/test_disasm.cpp" "tests/CMakeFiles/psi_tests.dir/test_disasm.cpp.o" "gcc" "tests/CMakeFiles/psi_tests.dir/test_disasm.cpp.o.d"
+  "/root/repo/tests/test_engine_basic.cpp" "tests/CMakeFiles/psi_tests.dir/test_engine_basic.cpp.o" "gcc" "tests/CMakeFiles/psi_tests.dir/test_engine_basic.cpp.o.d"
+  "/root/repo/tests/test_engine_control.cpp" "tests/CMakeFiles/psi_tests.dir/test_engine_control.cpp.o" "gcc" "tests/CMakeFiles/psi_tests.dir/test_engine_control.cpp.o.d"
+  "/root/repo/tests/test_engine_props.cpp" "tests/CMakeFiles/psi_tests.dir/test_engine_props.cpp.o" "gcc" "tests/CMakeFiles/psi_tests.dir/test_engine_props.cpp.o.d"
+  "/root/repo/tests/test_library.cpp" "tests/CMakeFiles/psi_tests.dir/test_library.cpp.o" "gcc" "tests/CMakeFiles/psi_tests.dir/test_library.cpp.o.d"
+  "/root/repo/tests/test_memory_system.cpp" "tests/CMakeFiles/psi_tests.dir/test_memory_system.cpp.o" "gcc" "tests/CMakeFiles/psi_tests.dir/test_memory_system.cpp.o.d"
+  "/root/repo/tests/test_normalize.cpp" "tests/CMakeFiles/psi_tests.dir/test_normalize.cpp.o" "gcc" "tests/CMakeFiles/psi_tests.dir/test_normalize.cpp.o.d"
+  "/root/repo/tests/test_process.cpp" "tests/CMakeFiles/psi_tests.dir/test_process.cpp.o" "gcc" "tests/CMakeFiles/psi_tests.dir/test_process.cpp.o.d"
+  "/root/repo/tests/test_program.cpp" "tests/CMakeFiles/psi_tests.dir/test_program.cpp.o" "gcc" "tests/CMakeFiles/psi_tests.dir/test_program.cpp.o.d"
+  "/root/repo/tests/test_reader.cpp" "tests/CMakeFiles/psi_tests.dir/test_reader.cpp.o" "gcc" "tests/CMakeFiles/psi_tests.dir/test_reader.cpp.o.d"
+  "/root/repo/tests/test_robustness.cpp" "tests/CMakeFiles/psi_tests.dir/test_robustness.cpp.o" "gcc" "tests/CMakeFiles/psi_tests.dir/test_robustness.cpp.o.d"
+  "/root/repo/tests/test_sequencer.cpp" "tests/CMakeFiles/psi_tests.dir/test_sequencer.cpp.o" "gcc" "tests/CMakeFiles/psi_tests.dir/test_sequencer.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/psi_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/psi_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_strutil.cpp" "tests/CMakeFiles/psi_tests.dir/test_strutil.cpp.o" "gcc" "tests/CMakeFiles/psi_tests.dir/test_strutil.cpp.o.d"
+  "/root/repo/tests/test_symbols.cpp" "tests/CMakeFiles/psi_tests.dir/test_symbols.cpp.o" "gcc" "tests/CMakeFiles/psi_tests.dir/test_symbols.cpp.o.d"
+  "/root/repo/tests/test_table.cpp" "tests/CMakeFiles/psi_tests.dir/test_table.cpp.o" "gcc" "tests/CMakeFiles/psi_tests.dir/test_table.cpp.o.d"
+  "/root/repo/tests/test_term.cpp" "tests/CMakeFiles/psi_tests.dir/test_term.cpp.o" "gcc" "tests/CMakeFiles/psi_tests.dir/test_term.cpp.o.d"
+  "/root/repo/tests/test_token.cpp" "tests/CMakeFiles/psi_tests.dir/test_token.cpp.o" "gcc" "tests/CMakeFiles/psi_tests.dir/test_token.cpp.o.d"
+  "/root/repo/tests/test_tools.cpp" "tests/CMakeFiles/psi_tests.dir/test_tools.cpp.o" "gcc" "tests/CMakeFiles/psi_tests.dir/test_tools.cpp.o.d"
+  "/root/repo/tests/test_translation.cpp" "tests/CMakeFiles/psi_tests.dir/test_translation.cpp.o" "gcc" "tests/CMakeFiles/psi_tests.dir/test_translation.cpp.o.d"
+  "/root/repo/tests/test_wam.cpp" "tests/CMakeFiles/psi_tests.dir/test_wam.cpp.o" "gcc" "tests/CMakeFiles/psi_tests.dir/test_wam.cpp.o.d"
+  "/root/repo/tests/test_workfile.cpp" "tests/CMakeFiles/psi_tests.dir/test_workfile.cpp.o" "gcc" "tests/CMakeFiles/psi_tests.dir/test_workfile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/psi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
