@@ -1,0 +1,113 @@
+/**
+ * @file
+ * psid scaling curve: run the full workload registry through the
+ * engine pool at 1/2/4/8 workers and report aggregate throughput
+ * (model inferences completed per host second) plus latency
+ * percentiles - the repo's first many-query scaling measurement.
+ *
+ *     $ ./bench/farm_throughput                 # full registry
+ *     $ ./bench/farm_throughput queens1 bup3    # selected workloads
+ *
+ * Each job is an isolated engine simulation, so throughput should
+ * scale near-linearly with workers up to the host's core count; the
+ * `speedup` column makes the knee visible.  One JSON line per round
+ * is printed for machine consumption.
+ */
+
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace psi;
+using clock_type = std::chrono::steady_clock;
+
+struct Round
+{
+    unsigned workers;
+    std::uint64_t wallNs;
+    service::MetricsSnapshot snap;
+};
+
+Round
+runRound(const std::vector<programs::BenchProgram> &batch,
+         unsigned workers)
+{
+    service::EnginePool::Config config;
+    config.workers = workers;
+    config.queueCapacity = batch.size();
+    service::EnginePool pool(config);
+
+    auto t0 = clock_type::now();
+    std::vector<std::future<service::JobOutcome>> futures;
+    futures.reserve(batch.size());
+    for (const auto &p : batch) {
+        auto fut = pool.submit(service::QueryJob{p});
+        if (fut)
+            futures.push_back(std::move(*fut));
+    }
+    for (auto &f : futures)
+        f.get();
+    auto wall = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            clock_type::now() - t0)
+            .count());
+    return Round{workers, wall, pool.metrics()};
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace psi;
+
+    std::vector<programs::BenchProgram> batch;
+    for (int i = 1; i < argc; ++i) {
+        if (const auto *p = programs::findProgramById(argv[i])) {
+            batch.push_back(*p);
+        } else {
+            std::cerr << "unknown workload '" << argv[i]
+                      << "'; available: "
+                      << programs::programIdList() << "\n";
+            return 1;
+        }
+    }
+    if (batch.empty())
+        batch = programs::allPrograms();
+
+    bench::banner("psid farm throughput (" +
+                  std::to_string(batch.size()) + " jobs per round)");
+
+    Table t("worker scaling");
+    t.setHeader({"workers", "wall ms", "agg LIPS", "speedup",
+                 "p50 ms", "p95 ms", "p99 ms", "timeouts"});
+
+    double base_lips = 0.0;
+    std::vector<Round> rounds;
+    for (unsigned workers : {1u, 2u, 4u, 8u}) {
+        Round r = runRound(batch, workers);
+        double lips = r.snap.hostLips(r.wallNs);
+        if (workers == 1)
+            base_lips = lips;
+        t.addRow({std::to_string(workers),
+                  bench::f2(r.wallNs / 1e6),
+                  stats::fixed(lips, 0),
+                  bench::f2(base_lips > 0 ? lips / base_lips : 0.0),
+                  bench::f2(r.snap.total.latency.quantileNs(0.50) / 1e6),
+                  bench::f2(r.snap.total.latency.quantileNs(0.95) / 1e6),
+                  bench::f2(r.snap.total.latency.quantileNs(0.99) / 1e6),
+                  std::to_string(r.snap.total.timedOut)});
+        rounds.push_back(std::move(r));
+    }
+    t.print(std::cout);
+
+    std::cout << "\n";
+    for (const auto &r : rounds)
+        std::cout << "JSON: " << r.snap.json(r.wallNs) << "\n";
+    return 0;
+}

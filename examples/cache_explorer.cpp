@@ -19,7 +19,14 @@ main(int argc, char **argv)
     using namespace psi;
 
     std::string id = argc > 1 ? argv[1] : "window3";
-    const auto &prog = programs::programById(id);
+    const auto *found = programs::findProgramById(id);
+    if (!found) {
+        std::cerr << "unknown workload '" << id
+                  << "'; available: " << programs::programIdList()
+                  << "\n";
+        return 1;
+    }
+    const auto &prog = *found;
 
     // Record the trace once (COLLECT).
     interp::Engine machine;

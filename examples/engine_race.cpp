@@ -50,8 +50,16 @@ main(int argc, char **argv)
     using namespace psi;
 
     if (argc > 1) {
-        for (int i = 1; i < argc; ++i)
-            race(programs::programById(argv[i]));
+        for (int i = 1; i < argc; ++i) {
+            const auto *p = programs::findProgramById(argv[i]);
+            if (!p) {
+                std::cerr << "unknown workload '" << argv[i]
+                          << "'; available: "
+                          << programs::programIdList() << "\n";
+                return 1;
+            }
+            race(*p);
+        }
         return 0;
     }
     for (const auto &p : programs::table1Programs())

@@ -21,7 +21,14 @@ main(int argc, char **argv)
     using micro::WfField;
 
     std::string id = argc > 1 ? argv[1] : "bup3";
-    const auto &prog = programs::programById(id);
+    const auto *found = programs::findProgramById(id);
+    if (!found) {
+        std::cerr << "unknown workload '" << id
+                  << "'; available: " << programs::programIdList()
+                  << "\n";
+        return 1;
+    }
+    const auto &prog = *found;
 
     interp::Engine machine;
     machine.consult(prog.source);

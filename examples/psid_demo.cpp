@@ -1,0 +1,111 @@
+/**
+ * @file
+ * psid demo: submit a batch of workloads to an EnginePool and print
+ * the per-job outcomes plus the aggregated service metrics (table
+ * and machine-readable JSON).
+ *
+ *     $ ./examples/psid_demo                        # registry, 4 workers
+ *     $ ./examples/psid_demo -w 8                   # 8 workers
+ *     $ ./examples/psid_demo -d 100 queens1 bup3    # 100 ms deadline
+ *
+ * Flags: -w N workers, -q N queue capacity, -d MS per-job deadline.
+ */
+
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "psi.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace psi;
+    using clock = std::chrono::steady_clock;
+
+    unsigned workers = 4;
+    std::size_t capacity = 0;  // 0 = sized to the batch
+    std::uint64_t deadline_ms = 0;
+    std::vector<programs::BenchProgram> batch;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::cerr << "missing value after " << arg << "\n";
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (arg == "-w") {
+            workers = static_cast<unsigned>(std::atoi(value()));
+        } else if (arg == "-q") {
+            capacity = static_cast<std::size_t>(std::atoll(value()));
+        } else if (arg == "-d") {
+            deadline_ms =
+                static_cast<std::uint64_t>(std::atoll(value()));
+        } else if (const auto *p = programs::findProgramById(arg)) {
+            batch.push_back(*p);
+        } else {
+            std::cerr << "unknown workload '" << arg
+                      << "'; available: "
+                      << programs::programIdList() << "\n";
+            return 1;
+        }
+    }
+    if (batch.empty())
+        batch = programs::allPrograms();
+
+    service::EnginePool::Config config;
+    config.workers = workers;
+    config.queueCapacity = capacity ? capacity : batch.size();
+    service::EnginePool pool(config);
+
+    interp::RunLimits limits;
+    limits.deadlineNs = deadline_ms * 1'000'000ull;
+
+    std::cout << "psid: " << batch.size() << " jobs, "
+              << pool.workers() << " workers, queue capacity "
+              << pool.queueCapacity() << "\n\n";
+
+    auto t0 = clock::now();
+    std::vector<std::future<service::JobOutcome>> futures;
+    futures.reserve(batch.size());
+    for (const auto &p : batch) {
+        auto fut = pool.submit(
+            service::QueryJob{p, CacheConfig::psi(), limits});
+        if (!fut) {
+            std::cerr << "submit refused for " << p.id << "\n";
+            return 1;
+        }
+        futures.push_back(std::move(*fut));
+    }
+
+    for (auto &fut : futures) {
+        service::JobOutcome out = fut.get();
+        std::cout << "  " << out.id << ": ";
+        if (!out.ok()) {
+            std::cout << "ERROR " << out.error << "\n";
+            continue;
+        }
+        std::cout << interp::runStatusName(out.status()) << ", "
+                  << out.run.result.inferences << " inferences, "
+                  << stats::fixed(out.run.result.timeNs / 1e6, 2)
+                  << " model ms, "
+                  << stats::fixed(out.latencyNs / 1e6, 2)
+                  << " ms latency (queue "
+                  << stats::fixed(out.queueNs / 1e6, 2) << " ms)\n";
+    }
+    auto wall_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            clock::now() - t0)
+            .count());
+
+    auto snap = pool.metrics();
+    std::cout << "\n";
+    snap.table(wall_ns).print(std::cout);
+    std::cout << "\nJSON: " << snap.json(wall_ns) << "\n";
+    return 0;
+}

@@ -17,6 +17,12 @@ main(int argc, char **argv)
 {
     using namespace psi;
     std::string only = argc > 1 ? argv[1] : "";
+    if (!only.empty() && !programs::findProgramById(only)) {
+        std::cerr << "unknown workload '" << only
+                  << "'; available: " << programs::programIdList()
+                  << "\n";
+        return 1;
+    }
 
     for (const auto &p : programs::allPrograms()) {
         if (!only.empty() && p.id != only)
@@ -40,7 +46,10 @@ main(int argc, char **argv)
                       << (r.inferences
                               ? double(r.steps) / double(r.inferences)
                               : 0)
-                      << (r.stepLimitHit ? " STEP-LIMIT" : "")
+                      << (r.status == interp::RunStatus::Ok
+                              ? ""
+                              : r.stepLimitHit ? " STEP-LIMIT"
+                                               : " TIMEOUT")
                       << "\n";
             if (r.succeeded() && !r.solutions[0].bindings.empty()) {
                 std::cout << "    " << r.solutions[0].str().substr(0, 120)

@@ -564,9 +564,18 @@ WamEngine::run(const WamQuery &q, const interp::RunLimits &limits)
     PSI_ASSERT(pred && pred->clauses.size() == 1, "bad query pred");
     _p = pred->clauses[0].entry;
 
+    const interp::Deadline deadline(limits.deadlineNs);
+    std::uint32_t poll = 0;
     for (;;) {
         if (_cnt.totalInstr() > limits.maxSteps) {
+            result.status = interp::RunStatus::StepLimit;
             result.stepLimitHit = true;
+            break;
+        }
+        // Same amortized wall-clock check as the PSI main loop.
+        if (deadline.armed() && (++poll & 0xfffu) == 0 &&
+            deadline.expired()) {
+            result.status = interp::RunStatus::Timeout;
             break;
         }
         if (_failFlag) {

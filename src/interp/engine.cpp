@@ -110,7 +110,8 @@ Engine::run(const kl0::QueryCode &qc, const RunLimits &limits)
     if (!started)
         started = backtrack();
     if (started)
-        result.stepLimitHit = !mainLoop(qc, result, limits);
+        mainLoop(qc, result, limits);
+    result.stepLimitHit = result.status == RunStatus::StepLimit;
 
     result.inferences = _inferences;
     result.steps = _seq.stats().totalSteps();
@@ -120,18 +121,29 @@ Engine::run(const kl0::QueryCode &qc, const RunLimits &limits)
     return result;
 }
 
-bool
+void
 Engine::mainLoop(const kl0::QueryCode &qc, RunResult &result,
                  const RunLimits &limits)
 {
+    const Deadline deadline(limits.deadlineNs);
+    std::uint32_t poll = 0;
     for (;;) {
-        if (_seq.stats().totalSteps() > limits.maxSteps)
-            return false;
+        if (_seq.stats().totalSteps() > limits.maxSteps) {
+            result.status = RunStatus::StepLimit;
+            return;
+        }
+        // Wall-clock deadline, polled every 4096 dispatches so the
+        // clock read is amortized away.
+        if (deadline.armed() && (++poll & 0xfffu) == 0 &&
+            deadline.expired()) {
+            result.status = RunStatus::Timeout;
+            return;
+        }
 
         if (_failFlag) {
             _failFlag = false;
             if (!backtrack())
-                return true;
+                return;
             continue;
         }
 
@@ -169,7 +181,7 @@ Engine::mainLoop(const kl0::QueryCode &qc, RunResult &result,
                 extractSolution(qc, result);
                 if (static_cast<int>(result.solutions.size()) >=
                     limits.maxSolutions) {
-                    return true;
+                    return;
                 }
                 _failFlag = true;
                 break;

@@ -99,7 +99,8 @@ class Engine
     // ----- engine.cpp: control ---------------------------------------
     void resetRun();
     RunResult run(const kl0::QueryCode &qc, const RunLimits &limits);
-    bool mainLoop(const kl0::QueryCode &qc, RunResult &result,
+    /** Sets result.status when a limit ends the run early. */
+    void mainLoop(const kl0::QueryCode &qc, RunResult &result,
                   const RunLimits &limits);
     /** Load call arguments at _cp into A registers; advances _cp. */
     void loadArgs(std::uint32_t arity, Module m);

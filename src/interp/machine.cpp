@@ -5,6 +5,20 @@
 namespace psi {
 namespace interp {
 
+const char *
+runStatusName(RunStatus s)
+{
+    switch (s) {
+      case RunStatus::Ok:
+        return "ok";
+      case RunStatus::StepLimit:
+        return "step-limit";
+      case RunStatus::Timeout:
+        return "timeout";
+    }
+    return "?";
+}
+
 std::string
 Solution::str() const
 {

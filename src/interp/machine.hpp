@@ -27,6 +27,7 @@
 #ifndef PSI_INTERP_MACHINE_HPP
 #define PSI_INTERP_MACHINE_HPP
 
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -143,6 +144,56 @@ struct RunLimits
     int maxSolutions = 1;
     std::uint64_t maxSteps = 2'000'000'000;  ///< safety valve
     std::size_t maxOutputBytes = 1 << 20;
+    /**
+     * Wall-clock execution budget in host nanoseconds; 0 = unlimited.
+     * Checked periodically in the engine main loops, so a runaway
+     * query returns RunStatus::Timeout with partial statistics
+     * instead of wedging its caller (or a psid pool worker).
+     */
+    std::uint64_t deadlineNs = 0;
+};
+
+/** How a query run ended. */
+enum class RunStatus : std::uint8_t
+{
+    Ok = 0,        ///< ran to completion (success or final failure)
+    StepLimit = 1, ///< RunLimits::maxSteps exhausted
+    Timeout = 2,   ///< RunLimits::deadlineNs wall-clock budget spent
+};
+
+/** Short name for reports ("ok" / "step-limit" / "timeout"). */
+const char *runStatusName(RunStatus s);
+
+/**
+ * Armed wall-clock deadline for RunLimits::deadlineNs.
+ *
+ * Constructed at run entry; the engine main loops poll expired()
+ * every few thousand iterations, so the check costs one clock read
+ * amortized over ~1 ms of host work and never perturbs the model
+ * statistics (the model clock is driven by microsteps, not host
+ * time).
+ */
+class Deadline
+{
+  public:
+    explicit Deadline(std::uint64_t budget_ns)
+        : _armed(budget_ns != 0),
+          _expiry(std::chrono::steady_clock::now() +
+                  std::chrono::nanoseconds(budget_ns))
+    {}
+
+    bool armed() const { return _armed; }
+
+    bool
+    expired() const
+    {
+        return _armed &&
+               std::chrono::steady_clock::now() >= _expiry;
+    }
+
+  private:
+    bool _armed;
+    std::chrono::steady_clock::time_point _expiry;
 };
 
 /** One solution: bindings of the named query variables. */
@@ -160,10 +211,12 @@ struct RunResult
     std::uint64_t inferences = 0;  ///< user-predicate calls
     std::uint64_t timeNs = 0;      ///< model time (steps + stalls)
     std::uint64_t steps = 0;       ///< microinstruction steps
-    bool stepLimitHit = false;
+    RunStatus status = RunStatus::Ok;
+    bool stepLimitHit = false;     ///< status == StepLimit (legacy)
     std::string output;            ///< text written by write/nl/tab
 
     bool succeeded() const { return !solutions.empty(); }
+    bool timedOut() const { return status == RunStatus::Timeout; }
 
     /** Logical inferences per second under the model clock. */
     double

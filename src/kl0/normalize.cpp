@@ -1,5 +1,6 @@
 #include "kl0/normalize.hpp"
 
+#include <atomic>
 #include <set>
 
 #include "base/logging.hpp"
@@ -80,9 +81,12 @@ class Normalizer
     {
         // The counter is process-global so auxiliary predicates from a
         // program and from later queries against it never collide in
-        // the predicate directory.
-        static std::uint64_t counter = 0;
-        std::string name = "$aux" + std::to_string(++counter);
+        // the predicate directory.  Atomic because engine-pool workers
+        // normalize concurrently.
+        static std::atomic<std::uint64_t> counter{0};
+        std::string name =
+            "$aux" + std::to_string(counter.fetch_add(
+                         1, std::memory_order_relaxed) + 1);
         std::vector<TermPtr> vars = collectVars(scope);
         if (vars.size() > 16) {
             fatal("control construct captures ", vars.size(),

@@ -39,14 +39,35 @@ allPrograms()
     return all;
 }
 
-const BenchProgram &
-programById(const std::string &id)
+const BenchProgram *
+findProgramById(const std::string &id)
 {
     for (const auto &p : allPrograms()) {
         if (p.id == id)
-            return p;
+            return &p;
     }
-    fatal("unknown benchmark program '", id, "'");
+    return nullptr;
+}
+
+std::string
+programIdList()
+{
+    std::string out;
+    for (const auto &p : allPrograms()) {
+        if (!out.empty())
+            out += ", ";
+        out += p.id;
+    }
+    return out;
+}
+
+const BenchProgram &
+programById(const std::string &id)
+{
+    if (const BenchProgram *p = findProgramById(id))
+        return *p;
+    fatal("unknown benchmark program '", id,
+          "'; available: ", programIdList());
 }
 
 std::vector<BenchProgram>

@@ -47,8 +47,18 @@ std::vector<BenchProgram> puzzlePrograms();      ///< 8 puzzle
 /** All workloads, Table 1 order first, then window / 8 puzzle. */
 const std::vector<BenchProgram> &allPrograms();
 
-/** Look up by id; fatal() if unknown. */
+/** Look up by id; @return nullptr if unknown. */
+const BenchProgram *findProgramById(const std::string &id);
+
+/**
+ * Look up by id; fatal() if unknown, with the full list of
+ * registered ids in the message so a mistyped workload name on a
+ * bench / example command line is immediately actionable.
+ */
 const BenchProgram &programById(const std::string &id);
+
+/** Every registered workload id, registry order, comma-separated. */
+std::string programIdList();
 
 /** The KL0 library predicates (append, member, length, ...). */
 const char *librarySource();

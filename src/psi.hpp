@@ -7,7 +7,9 @@
  *  - baseline::WamEngine   the DEC-10-compiled-code stand-in
  *  - programs::            the paper's benchmark workloads
  *  - tools::               COLLECT / MAP / PMMS analysis tools
+ *  - service::             psid - the concurrent batch-query service
  *  - runOnPsi/runOnBaseline  one-call workload execution
+ *  - runBatchOnPsi           pool-backed batch execution
  */
 
 #ifndef PSI_PSI_HPP
@@ -24,6 +26,7 @@
 #include "mem/memory_system.hpp"
 #include "micro/sequencer.hpp"
 #include "programs/registry.hpp"
+#include "service/service.hpp"
 #include "system.hpp"
 #include "tools/collect.hpp"
 #include "tools/disasm.hpp"

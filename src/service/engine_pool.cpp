@@ -1,0 +1,123 @@
+#include "service/engine_pool.hpp"
+
+#include "base/logging.hpp"
+
+namespace psi {
+namespace service {
+
+EnginePool::EnginePool() : EnginePool(Config()) {}
+
+EnginePool::EnginePool(const Config &config)
+    : _config(config), _queue(config.queueCapacity)
+{
+    if (_config.workers == 0)
+        _config.workers = 1;
+    _shards.reserve(_config.workers);
+    _threads.reserve(_config.workers);
+    for (unsigned i = 0; i < _config.workers; ++i)
+        _shards.push_back(std::make_unique<Shard>());
+    for (unsigned i = 0; i < _config.workers; ++i)
+        _threads.emplace_back([this, i] { workerMain(i); });
+}
+
+EnginePool::~EnginePool()
+{
+    shutdown();
+}
+
+std::optional<std::future<JobOutcome>>
+EnginePool::submit(QueryJob query, Submit mode)
+{
+    Job job;
+    job.query = std::move(query);
+    job.submitted = std::chrono::steady_clock::now();
+    std::future<JobOutcome> fut = job.promise.get_future();
+
+    bool accepted = mode == Submit::Block ? _queue.push(std::move(job))
+                                          : _queue.tryPush(job);
+    if (!accepted) {
+        _rejected.fetch_add(1, std::memory_order_relaxed);
+        return std::nullopt;
+    }
+
+    _submitted.fetch_add(1, std::memory_order_relaxed);
+    std::uint64_t depth = _queue.size();
+    std::uint64_t peak = _peakDepth.load(std::memory_order_relaxed);
+    while (depth > peak &&
+           !_peakDepth.compare_exchange_weak(
+               peak, depth, std::memory_order_relaxed)) {
+    }
+    return fut;
+}
+
+void
+EnginePool::workerMain(unsigned index)
+{
+    Shard &shard = *_shards[index];
+    while (std::optional<Job> job = _queue.pop()) {
+        auto picked = std::chrono::steady_clock::now();
+
+        JobOutcome out;
+        out.id = job->query.program.id;
+        try {
+            // A fresh, thread-private Engine + MemorySystem per job:
+            // identical code path to the sequential helper, so the
+            // concurrent batch is deterministic.
+            out.run = runOnPsi(job->query.program, job->query.cache,
+                               job->query.limits);
+        } catch (const FatalError &e) {
+            out.error = e.what();
+        }
+
+        auto done = std::chrono::steady_clock::now();
+        auto ns = [](auto from, auto to) {
+            return static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    to - from)
+                    .count());
+        };
+        out.queueNs = ns(job->submitted, picked);
+        out.execNs = ns(picked, done);
+        out.latencyNs = ns(job->submitted, done);
+
+        // Record before fulfilling the promise so a caller who has
+        // waited on the future observes the job in the metrics.
+        {
+            std::lock_guard<std::mutex> lock(shard.m);
+            shard.wm.record(out);
+        }
+        job->promise.set_value(std::move(out));
+    }
+}
+
+void
+EnginePool::shutdown()
+{
+    bool expected = false;
+    if (!_shutdown.compare_exchange_strong(expected, true))
+        return;
+    _queue.close();
+    for (auto &t : _threads) {
+        if (t.joinable())
+            t.join();
+    }
+}
+
+MetricsSnapshot
+EnginePool::metrics() const
+{
+    MetricsSnapshot snap;
+    for (const auto &shard : _shards) {
+        std::lock_guard<std::mutex> lock(shard->m);
+        snap.total.merge(shard->wm);
+    }
+    snap.submitted = _submitted.load(std::memory_order_relaxed);
+    snap.rejected = _rejected.load(std::memory_order_relaxed);
+    snap.queueDepth = _queue.size();
+    snap.peakQueueDepth = _peakDepth.load(std::memory_order_relaxed);
+    snap.workers = _config.workers;
+    return snap;
+}
+
+} // namespace service
+} // namespace psi

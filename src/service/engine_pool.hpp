@@ -1,0 +1,148 @@
+/**
+ * @file
+ * psid engine pool: N worker threads serving batch queries.
+ *
+ * Architecture (one box per worker):
+ *
+ *     submit() ──> BoundedQueue<Job> ──> worker 0 [Engine+MemorySystem]
+ *        │             (backpressure)    worker 1 [Engine+MemorySystem]
+ *        └─ std::future<JobOutcome>      ...      [metrics shard each]
+ *
+ * PSI engines are stateful and non-reentrant (heap image, work file,
+ * cache), so the pool never shares one between threads: every worker
+ * builds a private Engine + MemorySystem per job, exactly as the
+ * sequential runOnPsi() helper does.  A concurrent batch therefore
+ * produces byte-identical per-program results and hardware
+ * statistics to sequential execution - the property the service
+ * tests pin down.
+ *
+ * Deadlines ride in RunLimits::deadlineNs: a runaway query returns
+ * RunStatus::Timeout with partial statistics and its worker moves on
+ * to the next job instead of wedging.
+ */
+
+#ifndef PSI_SERVICE_ENGINE_POOL_HPP
+#define PSI_SERVICE_ENGINE_POOL_HPP
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "interp/machine.hpp"
+#include "mem/cache.hpp"
+#include "programs/registry.hpp"
+#include "service/job_queue.hpp"
+#include "service/metrics.hpp"
+#include "system.hpp"
+
+namespace psi {
+namespace service {
+
+/** One batch query: a workload plus its machine configuration. */
+struct QueryJob
+{
+    programs::BenchProgram program;
+    CacheConfig cache = CacheConfig::psi();
+    interp::RunLimits limits;   ///< includes the deadlineNs budget
+};
+
+/** What the pool hands back through the job's future. */
+struct JobOutcome
+{
+    std::string id;             ///< program id, for correlation
+    PsiRun run;                 ///< result + hardware statistics
+    std::string error;          ///< FatalError text; empty = ran
+    std::uint64_t queueNs = 0;  ///< host: submit -> worker pickup
+    std::uint64_t execNs = 0;   ///< host: consult + solve
+    std::uint64_t latencyNs = 0;///< host: submit -> completion
+
+    bool ok() const { return error.empty(); }
+    interp::RunStatus status() const { return run.result.status; }
+};
+
+/** Submission policy when the queue is full. */
+enum class Submit
+{
+    Block,    ///< wait for space (backpressure onto the producer)
+    FailFast, ///< refuse immediately; the pool counts the rejection
+};
+
+/** Fixed-size pool of isolated PSI engine workers. */
+class EnginePool
+{
+  public:
+    struct Config
+    {
+        unsigned workers = 4;
+        std::size_t queueCapacity = 64;
+    };
+
+    EnginePool();
+    explicit EnginePool(const Config &config);
+    ~EnginePool();
+
+    EnginePool(const EnginePool &) = delete;
+    EnginePool &operator=(const EnginePool &) = delete;
+
+    /**
+     * Submit one job.
+     *
+     * @return a future for the job's outcome, or std::nullopt when
+     *         the job was refused (FailFast with a full queue, or
+     *         the pool is shut down).
+     */
+    std::optional<std::future<JobOutcome>>
+    submit(QueryJob job, Submit mode = Submit::Block);
+
+    /**
+     * Stop accepting jobs, drain the queue and join the workers.
+     * Idempotent; also run by the destructor.
+     */
+    void shutdown();
+
+    /** Merge every worker shard into one snapshot. */
+    MetricsSnapshot metrics() const;
+
+    unsigned workers() const { return _config.workers; }
+    std::size_t queueCapacity() const { return _queue.capacity(); }
+    std::size_t queueDepth() const { return _queue.size(); }
+
+  private:
+    struct Job
+    {
+        QueryJob query;
+        std::promise<JobOutcome> promise;
+        std::chrono::steady_clock::time_point submitted;
+    };
+
+    /** Per-worker metrics shard; the lock is shard-private, so
+     *  workers never contend with each other, only with a
+     *  concurrent metrics() reader. */
+    struct Shard
+    {
+        mutable std::mutex m;
+        WorkerMetrics wm;
+    };
+
+    void workerMain(unsigned index);
+
+    Config _config;
+    BoundedQueue<Job> _queue;
+    std::vector<std::unique_ptr<Shard>> _shards;
+    std::vector<std::thread> _threads;
+    std::atomic<std::uint64_t> _submitted{0};
+    std::atomic<std::uint64_t> _rejected{0};
+    std::atomic<std::uint64_t> _peakDepth{0};
+    std::atomic<bool> _shutdown{false};
+};
+
+} // namespace service
+} // namespace psi
+
+#endif // PSI_SERVICE_ENGINE_POOL_HPP

@@ -1,0 +1,96 @@
+#include "service/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace psi {
+namespace service {
+
+int
+LatencyHistogram::bucketOf(std::uint64_t ns)
+{
+    constexpr std::uint64_t kLinearMax = 1ull << kSubBits;
+    if (ns < kLinearMax)
+        return static_cast<int>(ns);
+    int shift = std::bit_width(ns) - 1 - kSubBits;
+    int sub = static_cast<int>((ns >> shift) & (kLinearMax - 1));
+    int idx = ((shift + 1) << kSubBits) + sub;
+    return std::min(idx, kBuckets - 1);
+}
+
+std::uint64_t
+LatencyHistogram::bucketUpperNs(int bucket)
+{
+    constexpr int kLinear = 1 << kSubBits;
+    if (bucket < kLinear)
+        return static_cast<std::uint64_t>(bucket);
+    int shift = (bucket >> kSubBits) - 1;
+    std::uint64_t sub = static_cast<std::uint64_t>(bucket & (kLinear - 1));
+    std::uint64_t base = (static_cast<std::uint64_t>(kLinear) + sub)
+                         << shift;
+    return base + ((1ull << shift) - 1);
+}
+
+void
+LatencyHistogram::record(std::uint64_t ns)
+{
+    ++_counts[bucketOf(ns)];
+    ++_count;
+    _sum += ns;
+    _min = std::min(_min, ns);
+    _max = std::max(_max, ns);
+}
+
+void
+LatencyHistogram::merge(const LatencyHistogram &other)
+{
+    if (other._count == 0)
+        return;
+    for (int i = 0; i < kBuckets; ++i)
+        _counts[i] += other._counts[i];
+    _count += other._count;
+    _sum += other._sum;
+    _min = std::min(_min, other._min);
+    _max = std::max(_max, other._max);
+}
+
+double
+LatencyHistogram::meanNs() const
+{
+    return _count == 0
+        ? 0.0
+        : static_cast<double>(_sum) / static_cast<double>(_count);
+}
+
+std::uint64_t
+LatencyHistogram::quantileNs(double q) const
+{
+    if (_count == 0)
+        return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(_count)));
+    rank = std::max<std::uint64_t>(rank, 1);
+
+    std::uint64_t seen = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+        seen += _counts[i];
+        if (seen >= rank)
+            return std::min(bucketUpperNs(i), _max);
+    }
+    return _max;
+}
+
+void
+LatencyHistogram::reset()
+{
+    _counts.fill(0);
+    _count = 0;
+    _sum = 0;
+    _min = std::numeric_limits<std::uint64_t>::max();
+    _max = 0;
+}
+
+} // namespace service
+} // namespace psi

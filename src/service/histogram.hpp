@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Log-linear latency histogram (HDR-style).
+ *
+ * Buckets are 2^kSubBits linear sub-divisions of each power-of-two
+ * range, so any recorded value lands in a bucket whose width is at
+ * most 1/2^kSubBits of the value: quantile estimates carry a bounded
+ * ~12% relative error with a fixed 512-counter footprint, and two
+ * histograms merge by adding counters - exactly what the psid
+ * metrics aggregator needs to combine per-worker shards.
+ */
+
+#ifndef PSI_SERVICE_HISTOGRAM_HPP
+#define PSI_SERVICE_HISTOGRAM_HPP
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace psi {
+namespace service {
+
+/** Mergeable nanosecond-latency histogram with quantile queries. */
+class LatencyHistogram
+{
+  public:
+    static constexpr int kSubBits = 3;  ///< 8 sub-buckets per octave
+    static constexpr int kBuckets = (61 << kSubBits);
+
+    /** Add one sample. */
+    void record(std::uint64_t ns);
+
+    /** Add every sample of @p other (per-worker shard merge). */
+    void merge(const LatencyHistogram &other);
+
+    std::uint64_t count() const { return _count; }
+    std::uint64_t minNs() const { return _count ? _min : 0; }
+    std::uint64_t maxNs() const { return _max; }
+    std::uint64_t sumNs() const { return _sum; }
+    double meanNs() const;
+
+    /**
+     * Upper bound of the bucket holding the @p q quantile sample
+     * (q in [0, 1]); 0 when the histogram is empty.  p50/p95/p99
+     * reports use q = 0.50 / 0.95 / 0.99.
+     */
+    std::uint64_t quantileNs(double q) const;
+
+    void reset();
+
+  private:
+    static int bucketOf(std::uint64_t ns);
+    static std::uint64_t bucketUpperNs(int bucket);
+
+    std::array<std::uint64_t, kBuckets> _counts{};
+    std::uint64_t _count = 0;
+    std::uint64_t _sum = 0;
+    std::uint64_t _min = std::numeric_limits<std::uint64_t>::max();
+    std::uint64_t _max = 0;
+};
+
+} // namespace service
+} // namespace psi
+
+#endif // PSI_SERVICE_HISTOGRAM_HPP

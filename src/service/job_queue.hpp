@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Bounded MPMC job queue with backpressure.
+ *
+ * The psid service feeds its engine pool through one of these: any
+ * number of producers submit jobs, the pool's worker threads consume
+ * them.  The queue is bounded so a burst of submissions exerts
+ * backpressure instead of growing without limit; the producer picks
+ * the policy per call (push() blocks until space, tryPush() fails
+ * fast so the caller can reject the request).
+ *
+ * close() starts shutdown: producers are refused from that point,
+ * consumers drain the remaining items and then see end-of-stream.
+ */
+
+#ifndef PSI_SERVICE_JOB_QUEUE_HPP
+#define PSI_SERVICE_JOB_QUEUE_HPP
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace psi {
+namespace service {
+
+/** Bounded multi-producer / multi-consumer FIFO. */
+template <typename T>
+class BoundedQueue
+{
+  public:
+    explicit BoundedQueue(std::size_t capacity)
+        : _capacity(capacity == 0 ? 1 : capacity)
+    {}
+
+    /**
+     * Enqueue, blocking while the queue is full.
+     * @return false when the queue was closed (item dropped).
+     */
+    bool
+    push(T item)
+    {
+        std::unique_lock<std::mutex> lock(_m);
+        _notFull.wait(lock, [this] {
+            return _closed || _items.size() < _capacity;
+        });
+        if (_closed)
+            return false;
+        _items.push_back(std::move(item));
+        _notEmpty.notify_one();
+        return true;
+    }
+
+    /**
+     * Enqueue without blocking.
+     * @return false when the queue is full or closed; @p item is
+     *         left untouched so the caller can report the rejection.
+     */
+    bool
+    tryPush(T &item)
+    {
+        std::lock_guard<std::mutex> lock(_m);
+        if (_closed || _items.size() >= _capacity)
+            return false;
+        _items.push_back(std::move(item));
+        _notEmpty.notify_one();
+        return true;
+    }
+
+    /**
+     * Dequeue, blocking while the queue is empty.
+     * @return std::nullopt once the queue is closed and drained.
+     */
+    std::optional<T>
+    pop()
+    {
+        std::unique_lock<std::mutex> lock(_m);
+        _notEmpty.wait(lock,
+                       [this] { return _closed || !_items.empty(); });
+        if (_items.empty())
+            return std::nullopt;
+        T item = std::move(_items.front());
+        _items.pop_front();
+        _notFull.notify_one();
+        return item;
+    }
+
+    /** Refuse new items; wake every waiter. Idempotent. */
+    void
+    close()
+    {
+        std::lock_guard<std::mutex> lock(_m);
+        _closed = true;
+        _notFull.notify_all();
+        _notEmpty.notify_all();
+    }
+
+    std::size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(_m);
+        return _items.size();
+    }
+
+    std::size_t capacity() const { return _capacity; }
+
+    bool
+    closed() const
+    {
+        std::lock_guard<std::mutex> lock(_m);
+        return _closed;
+    }
+
+  private:
+    const std::size_t _capacity;
+    mutable std::mutex _m;
+    std::condition_variable _notFull;
+    std::condition_variable _notEmpty;
+    std::deque<T> _items;
+    bool _closed = false;
+};
+
+} // namespace service
+} // namespace psi
+
+#endif // PSI_SERVICE_JOB_QUEUE_HPP

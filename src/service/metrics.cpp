@@ -1,0 +1,197 @@
+#include "service/metrics.hpp"
+
+#include <sstream>
+
+#include "base/stats.hpp"
+#include "service/engine_pool.hpp"
+
+namespace psi {
+namespace service {
+
+void
+accumulate(micro::SeqStats &into, const micro::SeqStats &from)
+{
+    for (std::size_t i = 0; i < into.moduleSteps.size(); ++i)
+        into.moduleSteps[i] += from.moduleSteps[i];
+    for (std::size_t i = 0; i < into.branchOps.size(); ++i)
+        into.branchOps[i] += from.branchOps[i];
+    for (std::size_t f = 0; f < into.wfModes.size(); ++f) {
+        for (std::size_t m = 0; m < into.wfModes[f].size(); ++m)
+            into.wfModes[f][m] += from.wfModes[f][m];
+    }
+    for (std::size_t i = 0; i < into.cacheSteps.size(); ++i)
+        into.cacheSteps[i] += from.cacheSteps[i];
+}
+
+void
+accumulate(CacheStats &into, const CacheStats &from)
+{
+    for (std::size_t a = 0; a < into.accesses.size(); ++a) {
+        for (std::size_t c = 0; c < into.accesses[a].size(); ++c) {
+            into.accesses[a][c] += from.accesses[a][c];
+            into.hits[a][c] += from.hits[a][c];
+        }
+    }
+    into.readIns += from.readIns;
+    into.writeBacks += from.writeBacks;
+    into.stackAllocs += from.stackAllocs;
+    into.throughWrites += from.throughWrites;
+}
+
+void
+WorkerMetrics::record(const JobOutcome &outcome)
+{
+    ++completed;
+    if (!outcome.ok()) {
+        ++errored;
+    } else {
+        switch (outcome.status()) {
+          case interp::RunStatus::Timeout:
+            ++timedOut;
+            break;
+          case interp::RunStatus::StepLimit:
+            ++stepLimited;
+            break;
+          case interp::RunStatus::Ok:
+            if (outcome.run.result.succeeded())
+                ++succeeded;
+            break;
+        }
+    }
+
+    inferences += outcome.run.result.inferences;
+    modelNs += outcome.run.result.timeNs;
+    stallNs += outcome.run.stallNs;
+    hostExecNs += outcome.execNs;
+    accumulate(seq, outcome.run.seq);
+    accumulate(cache, outcome.run.cache);
+    latency.record(outcome.latencyNs);
+    queueWait.record(outcome.queueNs);
+}
+
+void
+WorkerMetrics::merge(const WorkerMetrics &other)
+{
+    completed += other.completed;
+    succeeded += other.succeeded;
+    timedOut += other.timedOut;
+    stepLimited += other.stepLimited;
+    errored += other.errored;
+    inferences += other.inferences;
+    modelNs += other.modelNs;
+    stallNs += other.stallNs;
+    hostExecNs += other.hostExecNs;
+    accumulate(seq, other.seq);
+    accumulate(cache, other.cache);
+    latency.merge(other.latency);
+    queueWait.merge(other.queueWait);
+}
+
+double
+MetricsSnapshot::hostLips(std::uint64_t wall_ns) const
+{
+    return wall_ns == 0
+        ? 0.0
+        : static_cast<double>(total.inferences) * 1e9 /
+              static_cast<double>(wall_ns);
+}
+
+namespace {
+
+std::string
+ms(std::uint64_t ns, int prec = 2)
+{
+    return stats::fixed(static_cast<double>(ns) / 1e6, prec);
+}
+
+} // namespace
+
+Table
+MetricsSnapshot::table(std::uint64_t wall_ns) const
+{
+    Table t("psid service metrics");
+    t.setHeader({"metric", "value"});
+    auto row = [&t](const std::string &k, const std::string &v) {
+        t.addRow({k, v});
+    };
+
+    row("workers", std::to_string(workers));
+    row("jobs submitted", std::to_string(submitted));
+    row("jobs completed", std::to_string(total.completed));
+    row("jobs succeeded", std::to_string(total.succeeded));
+    row("jobs timed out", std::to_string(total.timedOut));
+    row("jobs step-limited", std::to_string(total.stepLimited));
+    row("jobs errored", std::to_string(total.errored));
+    row("jobs rejected", std::to_string(rejected));
+    row("queue depth", std::to_string(queueDepth));
+    row("queue depth peak", std::to_string(peakQueueDepth));
+    t.addSeparator();
+    row("inferences", std::to_string(total.inferences));
+    row("microsteps", std::to_string(total.steps()));
+    row("model time ms", ms(total.modelNs));
+    row("memory stall ms", ms(total.stallNs));
+    row("host exec ms", ms(total.hostExecNs));
+    row("cache hit %",
+        stats::fixed(total.cache.totalHitPct(), 1));
+    t.addSeparator();
+    row("latency p50 ms", ms(total.latency.quantileNs(0.50)));
+    row("latency p95 ms", ms(total.latency.quantileNs(0.95)));
+    row("latency p99 ms", ms(total.latency.quantileNs(0.99)));
+    row("latency max ms", ms(total.latency.maxNs()));
+    row("queue wait p50 ms", ms(total.queueWait.quantileNs(0.50)));
+    if (wall_ns != 0) {
+        t.addSeparator();
+        row("wall time ms", ms(wall_ns));
+        row("aggregate LIPS", stats::fixed(hostLips(wall_ns), 0));
+    }
+    return t;
+}
+
+std::string
+MetricsSnapshot::json(std::uint64_t wall_ns) const
+{
+    std::ostringstream os;
+    bool first = true;
+    auto num = [&](const std::string &k, const std::string &v) {
+        os << (first ? "" : ", ") << '"' << k << "\": " << v;
+        first = false;
+    };
+    auto u = [&](const std::string &k, std::uint64_t v) {
+        num(k, std::to_string(v));
+    };
+
+    os << "{";
+    u("workers", workers);
+    u("submitted", submitted);
+    u("completed", total.completed);
+    u("succeeded", total.succeeded);
+    u("timed_out", total.timedOut);
+    u("step_limited", total.stepLimited);
+    u("errored", total.errored);
+    u("rejected", rejected);
+    u("queue_depth", queueDepth);
+    u("peak_queue_depth", peakQueueDepth);
+    u("inferences", total.inferences);
+    u("microsteps", total.steps());
+    u("model_ns", total.modelNs);
+    u("stall_ns", total.stallNs);
+    u("host_exec_ns", total.hostExecNs);
+    num("cache_hit_pct", stats::fixed(total.cache.totalHitPct(), 3));
+    u("latency_p50_ns", total.latency.quantileNs(0.50));
+    u("latency_p95_ns", total.latency.quantileNs(0.95));
+    u("latency_p99_ns", total.latency.quantileNs(0.99));
+    u("latency_min_ns", total.latency.minNs());
+    u("latency_max_ns", total.latency.maxNs());
+    num("latency_mean_ns", stats::fixed(total.latency.meanNs(), 0));
+    u("queue_wait_p50_ns", total.queueWait.quantileNs(0.50));
+    u("queue_wait_p99_ns", total.queueWait.quantileNs(0.99));
+    if (wall_ns != 0) {
+        u("wall_ns", wall_ns);
+        num("aggregate_lips", stats::fixed(hostLips(wall_ns), 1));
+    }
+    os << "}";
+    return os.str();
+}
+
+} // namespace service
+} // namespace psi

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * psid metrics: per-worker shards and the merged service snapshot.
+ *
+ * Each pool worker owns a WorkerMetrics shard and records into it
+ * with no cross-worker contention; the aggregator merges every shard
+ * (plus the pool-level submit/reject gauges) into a MetricsSnapshot
+ * on demand.  The snapshot renders through the repo's base/table
+ * machinery for humans and as a flat JSON object for machines.
+ *
+ * Aggregated quantities: job counters (completed / succeeded /
+ * timed-out / step-limited / errored, plus pool-level submitted /
+ * rejected and queue depth), the merged hardware statistics
+ * (micro::SeqStats, CacheStats, model time, stall time) and two
+ * latency histograms (queue wait and total submit-to-completion)
+ * with p50/p95/p99 queries.
+ */
+
+#ifndef PSI_SERVICE_METRICS_HPP
+#define PSI_SERVICE_METRICS_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "base/table.hpp"
+#include "mem/cache.hpp"
+#include "micro/sequencer.hpp"
+#include "service/histogram.hpp"
+
+namespace psi {
+namespace service {
+
+struct JobOutcome;
+
+/** @name Hardware-statistics merge helpers (shard aggregation) */
+/// @{
+void accumulate(micro::SeqStats &into, const micro::SeqStats &from);
+void accumulate(CacheStats &into, const CacheStats &from);
+/// @}
+
+/** One worker's (mergeable) slice of the service metrics. */
+struct WorkerMetrics
+{
+    std::uint64_t completed = 0;   ///< jobs finished (any status)
+    std::uint64_t succeeded = 0;   ///< ... with >= 1 solution
+    std::uint64_t timedOut = 0;    ///< ... RunStatus::Timeout
+    std::uint64_t stepLimited = 0; ///< ... RunStatus::StepLimit
+    std::uint64_t errored = 0;     ///< ... FatalError from the engine
+
+    std::uint64_t inferences = 0;  ///< user-predicate calls
+    std::uint64_t modelNs = 0;     ///< model clock (steps + stalls)
+    std::uint64_t stallNs = 0;     ///< memory stall share
+    std::uint64_t hostExecNs = 0;  ///< host time spent executing
+
+    micro::SeqStats seq;           ///< merged firmware statistics
+    CacheStats cache;              ///< merged cache statistics
+    LatencyHistogram latency;      ///< submit -> completion (host ns)
+    LatencyHistogram queueWait;    ///< submit -> worker pickup
+
+    std::uint64_t steps() const { return seq.totalSteps(); }
+
+    /** Fold one finished job into this shard. */
+    void record(const JobOutcome &outcome);
+
+    /** Fold another shard into this one. */
+    void merge(const WorkerMetrics &other);
+};
+
+/** Point-in-time aggregate over the whole pool. */
+struct MetricsSnapshot
+{
+    WorkerMetrics total;               ///< all worker shards merged
+    std::uint64_t submitted = 0;       ///< jobs accepted into the queue
+    std::uint64_t rejected = 0;        ///< fail-fast submissions refused
+    std::uint64_t queueDepth = 0;      ///< jobs waiting right now
+    std::uint64_t peakQueueDepth = 0;  ///< high-water mark
+    unsigned workers = 0;
+
+    /**
+     * Aggregate service throughput: model inferences completed per
+     * host second over @p wall_ns of service wall time.
+     */
+    double hostLips(std::uint64_t wall_ns) const;
+
+    /** Human-readable report (@p wall_ns 0 = omit throughput row). */
+    Table table(std::uint64_t wall_ns = 0) const;
+
+    /** Machine-readable flat JSON object. */
+    std::string json(std::uint64_t wall_ns = 0) const;
+};
+
+} // namespace service
+} // namespace psi
+
+#endif // PSI_SERVICE_METRICS_HPP

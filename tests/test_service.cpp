@@ -1,0 +1,381 @@
+/**
+ * @file
+ * psid service tests: queue backpressure, deadline handling,
+ * pool-vs-sequential determinism and metrics aggregation.
+ *
+ * These run in their own binary labeled `service` so the whole
+ * group can be exercised under TSan in one command:
+ *
+ *     cmake -B build-tsan -S . -DPSI_SANITIZE=thread
+ *     cmake --build build-tsan -j
+ *     ctest --test-dir build-tsan -L service --output-on-failure
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "psi.hpp"
+
+namespace {
+
+using namespace psi;
+using service::BoundedQueue;
+using service::EnginePool;
+using service::JobOutcome;
+using service::LatencyHistogram;
+using service::QueryJob;
+using service::Submit;
+
+constexpr std::uint64_t kMsNs = 1'000'000ull;
+
+/** A workload that never terminates (tail-recursive loop). */
+programs::BenchProgram
+loopProgram()
+{
+    programs::BenchProgram p;
+    p.id = "loop_forever";
+    p.title = "loop forever";
+    p.source = "loop :- loop.\n";
+    p.query = "loop";
+    return p;
+}
+
+interp::RunLimits
+deadlineLimits(std::uint64_t ms)
+{
+    interp::RunLimits limits;
+    limits.deadlineNs = ms * kMsNs;
+    return limits;
+}
+
+// ---------------------------------------------------------------------
+// Bounded queue
+// ---------------------------------------------------------------------
+
+TEST(JobQueue, FailFastBackpressure)
+{
+    BoundedQueue<int> q(2);
+    int a = 1, b = 2, c = 3;
+    EXPECT_TRUE(q.tryPush(a));
+    EXPECT_TRUE(q.tryPush(b));
+    EXPECT_FALSE(q.tryPush(c));  // full: refused, not queued
+    EXPECT_EQ(q.size(), 2u);
+
+    EXPECT_EQ(q.pop().value(), 1);
+    EXPECT_TRUE(q.tryPush(c));   // space again
+    EXPECT_EQ(q.pop().value(), 2);
+    EXPECT_EQ(q.pop().value(), 3);
+}
+
+TEST(JobQueue, BlockingPushWaitsForSpace)
+{
+    BoundedQueue<int> q(1);
+    EXPECT_TRUE(q.push(1));
+
+    std::thread consumer([&q] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        EXPECT_EQ(q.pop().value(), 1);
+        EXPECT_EQ(q.pop().value(), 2);
+    });
+    EXPECT_TRUE(q.push(2));  // blocks until the consumer drains one
+    consumer.join();
+    EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(JobQueue, CloseDrainsThenEndsStream)
+{
+    BoundedQueue<int> q(4);
+    EXPECT_TRUE(q.push(1));
+    EXPECT_TRUE(q.push(2));
+    q.close();
+
+    int x = 9;
+    EXPECT_FALSE(q.push(3));
+    EXPECT_FALSE(q.tryPush(x));
+    EXPECT_EQ(q.pop().value(), 1);   // items already queued drain
+    EXPECT_EQ(q.pop().value(), 2);
+    EXPECT_FALSE(q.pop().has_value()); // then end-of-stream
+}
+
+// ---------------------------------------------------------------------
+// Latency histogram
+// ---------------------------------------------------------------------
+
+TEST(Histogram, QuantilesWithinBucketError)
+{
+    LatencyHistogram h;
+    for (std::uint64_t ms = 1; ms <= 100; ++ms)
+        h.record(ms * kMsNs);
+
+    EXPECT_EQ(h.count(), 100u);
+    EXPECT_EQ(h.minNs(), 1 * kMsNs);
+    EXPECT_EQ(h.maxNs(), 100 * kMsNs);
+
+    // Upper-bound estimates: exact value <= estimate <= value * 9/8.
+    for (auto [q, exact] : {std::pair<double, std::uint64_t>{0.50, 50},
+                            {0.95, 95},
+                            {0.99, 99}}) {
+        std::uint64_t est = h.quantileNs(q);
+        EXPECT_GE(est, exact * kMsNs) << "q=" << q;
+        EXPECT_LE(est, exact * kMsNs * 9 / 8) << "q=" << q;
+    }
+}
+
+TEST(Histogram, MergeMatchesCombinedRecording)
+{
+    LatencyHistogram lo, hi, all;
+    for (std::uint64_t ms = 1; ms <= 50; ++ms) {
+        lo.record(ms * kMsNs);
+        all.record(ms * kMsNs);
+    }
+    for (std::uint64_t ms = 51; ms <= 100; ++ms) {
+        hi.record(ms * kMsNs);
+        all.record(ms * kMsNs);
+    }
+    lo.merge(hi);
+    EXPECT_EQ(lo.count(), all.count());
+    EXPECT_EQ(lo.sumNs(), all.sumNs());
+    EXPECT_EQ(lo.minNs(), all.minNs());
+    EXPECT_EQ(lo.maxNs(), all.maxNs());
+    for (double q : {0.1, 0.5, 0.9, 0.99})
+        EXPECT_EQ(lo.quantileNs(q), all.quantileNs(q)) << "q=" << q;
+}
+
+// ---------------------------------------------------------------------
+// Deadlines in the engines
+// ---------------------------------------------------------------------
+
+TEST(Deadline, PsiEngineTimesOutWithPartialStats)
+{
+    const auto p = loopProgram();
+    PsiRun run = runOnPsi(p, CacheConfig::psi(), deadlineLimits(50));
+    EXPECT_EQ(run.result.status, interp::RunStatus::Timeout);
+    EXPECT_TRUE(run.result.timedOut());
+    EXPECT_FALSE(run.result.stepLimitHit);
+    EXPECT_FALSE(run.result.succeeded());
+    // Partial statistics are still reported.
+    EXPECT_GT(run.result.steps, 0u);
+    EXPECT_GT(run.result.inferences, 0u);
+    EXPECT_GT(run.seq.totalSteps(), 0u);
+}
+
+TEST(Deadline, BaselineEngineTimesOut)
+{
+    const auto p = loopProgram();
+    interp::RunResult r = runOnBaseline(p, deadlineLimits(50));
+    EXPECT_EQ(r.status, interp::RunStatus::Timeout);
+    EXPECT_FALSE(r.stepLimitHit);
+    EXPECT_FALSE(r.succeeded());
+    EXPECT_GT(r.steps, 0u);
+}
+
+TEST(Deadline, StepLimitKeepsDistinctStatus)
+{
+    const auto p = loopProgram();
+    interp::RunLimits limits;
+    limits.maxSteps = 10'000;
+    PsiRun run = runOnPsi(p, CacheConfig::psi(), limits);
+    EXPECT_EQ(run.result.status, interp::RunStatus::StepLimit);
+    EXPECT_TRUE(run.result.stepLimitHit);
+    EXPECT_FALSE(run.result.timedOut());
+}
+
+// ---------------------------------------------------------------------
+// Engine pool
+// ---------------------------------------------------------------------
+
+/** Concurrent batch == sequential execution, bit for bit. */
+TEST(EnginePool, BatchMatchesSequentialOnFullRegistry)
+{
+    const auto &programs = programs::allPrograms();
+    std::vector<PsiRun> sequential;
+    sequential.reserve(programs.size());
+    for (const auto &p : programs)
+        sequential.push_back(runOnPsi(p));
+
+    std::vector<PsiRun> pooled =
+        runBatchOnPsi(programs, CacheConfig::psi(),
+                      interp::RunLimits(), 4);
+
+    ASSERT_EQ(pooled.size(), sequential.size());
+    for (std::size_t i = 0; i < programs.size(); ++i) {
+        SCOPED_TRACE(programs[i].id);
+        const PsiRun &s = sequential[i];
+        const PsiRun &c = pooled[i];
+
+        // Logical results.
+        ASSERT_EQ(c.result.solutions.size(),
+                  s.result.solutions.size());
+        for (std::size_t k = 0; k < s.result.solutions.size(); ++k)
+            EXPECT_EQ(c.result.solutions[k].str(),
+                      s.result.solutions[k].str());
+        EXPECT_EQ(c.result.output, s.result.output);
+        EXPECT_EQ(c.result.status, s.result.status);
+
+        // Model clock and work.
+        EXPECT_EQ(c.result.inferences, s.result.inferences);
+        EXPECT_EQ(c.result.steps, s.result.steps);
+        EXPECT_EQ(c.result.timeNs, s.result.timeNs);
+        EXPECT_EQ(c.stallNs, s.stallNs);
+
+        // Hardware statistics, field by field.
+        EXPECT_EQ(c.seq.moduleSteps, s.seq.moduleSteps);
+        EXPECT_EQ(c.seq.branchOps, s.seq.branchOps);
+        EXPECT_EQ(c.seq.wfModes, s.seq.wfModes);
+        EXPECT_EQ(c.seq.cacheSteps, s.seq.cacheSteps);
+        EXPECT_EQ(c.cache.accesses, s.cache.accesses);
+        EXPECT_EQ(c.cache.hits, s.cache.hits);
+        EXPECT_EQ(c.cache.readIns, s.cache.readIns);
+        EXPECT_EQ(c.cache.writeBacks, s.cache.writeBacks);
+        EXPECT_EQ(c.cache.stackAllocs, s.cache.stackAllocs);
+        EXPECT_EQ(c.cache.throughWrites, s.cache.throughWrites);
+    }
+}
+
+TEST(EnginePool, FullQueueAppliesBackpressure)
+{
+    EnginePool::Config config;
+    config.workers = 1;
+    config.queueCapacity = 1;
+    EnginePool pool(config);
+
+    // Occupy the single worker, then fill the single queue slot.
+    auto running = pool.submit({loopProgram(), CacheConfig::psi(),
+                                deadlineLimits(750)});
+    ASSERT_TRUE(running.has_value());
+    // Wait until the worker has picked the first job up so the
+    // queued one cannot be consumed before the fail-fast probe.
+    while (pool.queueDepth() > 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    auto queued = pool.submit({loopProgram(), CacheConfig::psi(),
+                               deadlineLimits(750)});
+    ASSERT_TRUE(queued.has_value());
+
+    // Queue full: a fail-fast submission is refused immediately.
+    auto rejected = pool.submit({programs::programById("nreverse30"),
+                                 CacheConfig::psi(),
+                                 interp::RunLimits()},
+                                Submit::FailFast);
+    EXPECT_FALSE(rejected.has_value());
+
+    JobOutcome first = running->get();
+    JobOutcome second = queued->get();
+    EXPECT_EQ(first.status(), interp::RunStatus::Timeout);
+    EXPECT_EQ(second.status(), interp::RunStatus::Timeout);
+
+    auto snap = pool.metrics();
+    EXPECT_EQ(snap.submitted, 2u);
+    EXPECT_EQ(snap.rejected, 1u);
+    EXPECT_EQ(snap.total.completed, 2u);
+    EXPECT_EQ(snap.total.timedOut, 2u);
+    EXPECT_GE(snap.peakQueueDepth, 1u);
+}
+
+/** A deadline-exceeded job must free its worker for the next job. */
+TEST(EnginePool, TimeoutFreesWorkerForNextJob)
+{
+    EnginePool::Config config;
+    config.workers = 1;
+    config.queueCapacity = 4;
+    EnginePool pool(config);
+
+    auto runaway = pool.submit({loopProgram(), CacheConfig::psi(),
+                                deadlineLimits(100)});
+    auto normal = pool.submit({programs::programById("nreverse30"),
+                               CacheConfig::psi(),
+                               interp::RunLimits()});
+    ASSERT_TRUE(runaway.has_value());
+    ASSERT_TRUE(normal.has_value());
+
+    JobOutcome r1 = runaway->get();
+    JobOutcome r2 = normal->get();
+    EXPECT_EQ(r1.status(), interp::RunStatus::Timeout);
+    EXPECT_EQ(r2.status(), interp::RunStatus::Ok);
+    EXPECT_TRUE(r2.run.result.succeeded());
+
+    auto snap = pool.metrics();
+    EXPECT_EQ(snap.total.completed, 2u);
+    EXPECT_EQ(snap.total.timedOut, 1u);
+    EXPECT_EQ(snap.total.succeeded, 1u);
+}
+
+TEST(EnginePool, ShutdownRefusesNewJobs)
+{
+    EnginePool pool(EnginePool::Config{2, 8});
+    auto fut = pool.submit({programs::programById("nreverse30"),
+                            CacheConfig::psi(), interp::RunLimits()});
+    ASSERT_TRUE(fut.has_value());
+    EXPECT_TRUE(fut->get().ok());
+    pool.shutdown();
+    auto refused = pool.submit({programs::programById("nreverse30"),
+                                CacheConfig::psi(),
+                                interp::RunLimits()});
+    EXPECT_FALSE(refused.has_value());
+}
+
+TEST(EnginePool, MetricsAggregateAcrossWorkers)
+{
+    const auto &programs = programs::allPrograms();
+    EnginePool::Config config;
+    config.workers = 4;
+    config.queueCapacity = programs.size();
+    EnginePool pool(config);
+
+    std::vector<std::future<JobOutcome>> futures;
+    std::uint64_t want_inferences = 0;
+    for (const auto &p : programs) {
+        auto fut = pool.submit({p, CacheConfig::psi(),
+                                interp::RunLimits()});
+        ASSERT_TRUE(fut.has_value());
+        futures.push_back(std::move(*fut));
+    }
+    for (auto &f : futures)
+        want_inferences += f.get().run.result.inferences;
+
+    auto snap = pool.metrics();
+    EXPECT_EQ(snap.workers, 4u);
+    EXPECT_EQ(snap.submitted, programs.size());
+    EXPECT_EQ(snap.total.completed, programs.size());
+    EXPECT_EQ(snap.total.succeeded, programs.size());
+    EXPECT_EQ(snap.total.inferences, want_inferences);
+    EXPECT_EQ(snap.total.latency.count(), programs.size());
+    EXPECT_GT(snap.total.steps(), 0u);
+    EXPECT_GT(snap.total.cache.totalAccesses(), 0u);
+
+    // Renderings carry the aggregates.
+    std::string json = snap.json(1'000'000'000ull);
+    EXPECT_NE(json.find("\"completed\": " +
+                        std::to_string(programs.size())),
+              std::string::npos);
+    EXPECT_NE(json.find("\"aggregate_lips\""), std::string::npos);
+    EXPECT_GT(snap.table(1'000'000'000ull).rowCount(), 10u);
+}
+
+// ---------------------------------------------------------------------
+// Registry lookups (actionable failures)
+// ---------------------------------------------------------------------
+
+TEST(Registry, FindProgramByIdReturnsNullForUnknown)
+{
+    EXPECT_EQ(programs::findProgramById("no_such_workload"), nullptr);
+    ASSERT_NE(programs::findProgramById("nreverse30"), nullptr);
+    EXPECT_EQ(programs::findProgramById("nreverse30")->id,
+              "nreverse30");
+}
+
+TEST(Registry, ProgramByIdErrorListsAvailableNames)
+{
+    try {
+        programs::programById("no_such_workload");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("no_such_workload"), std::string::npos);
+        EXPECT_NE(msg.find("available"), std::string::npos);
+        EXPECT_NE(msg.find("nreverse30"), std::string::npos);
+    }
+}
+
+} // namespace
