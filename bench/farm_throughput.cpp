@@ -7,11 +7,13 @@
  *
  *     $ ./bench/farm_throughput                 # full registry
  *     $ ./bench/farm_throughput queens1 bup3    # selected workloads
+ *     $ ./bench/farm_throughput --json          # JSON lines only
  *
  * Each job is an isolated engine simulation, so throughput should
  * scale near-linearly with workers up to the host's core count; the
  * `speedup` column makes the knee visible.  One JSON line per round
- * is printed for machine consumption.
+ * is printed for machine consumption; --json suppresses the human
+ * table so perf trajectories can be collected by scripts.
  */
 
 #include <chrono>
@@ -66,22 +68,26 @@ main(int argc, char **argv)
 {
     using namespace psi;
 
-    std::vector<programs::BenchProgram> batch;
-    for (int i = 1; i < argc; ++i) {
-        if (const auto *p = programs::findProgramById(argv[i])) {
-            batch.push_back(*p);
-        } else {
-            std::cerr << "unknown workload '" << argv[i]
-                      << "'; available: "
-                      << programs::programIdList() << "\n";
-            return 1;
-        }
-    }
-    if (batch.empty())
-        batch = programs::allPrograms();
+    bool json = false;
+    Flags flags("farm_throughput [options] [workload ...]");
+    flags.flag("--json", &json,
+               "print only the per-round metrics JSON lines");
+    std::vector<std::string> ids;
+    if (!flags.parse(argc, argv, &ids))
+        return 1;
 
-    bench::banner("psid farm throughput (" +
-                  std::to_string(batch.size()) + " jobs per round)");
+    std::vector<programs::BenchProgram> batch;
+    try {
+        batch = programs::resolveProgramsOrAll(ids);
+    } catch (const FatalError &e) {
+        std::cerr << e.what() << "\n";
+        return 1;
+    }
+
+    if (!json)
+        bench::banner("psid farm throughput (" +
+                      std::to_string(batch.size()) +
+                      " jobs per round)");
 
     Table t("worker scaling");
     t.setHeader({"workers", "wall ms", "agg LIPS", "speedup",
@@ -104,8 +110,17 @@ main(int argc, char **argv)
                   std::to_string(r.snap.total.timedOut)});
         rounds.push_back(std::move(r));
     }
-    t.print(std::cout);
 
+    // The snapshot's own JSON renderer carries the whole round
+    // (workers, wall_ns, aggregate_lips, quantiles, ...), so the
+    // machine-readable mode is one line of it per round.
+    if (json) {
+        for (const auto &r : rounds)
+            std::cout << r.snap.json(r.wallNs) << "\n";
+        return 0;
+    }
+
+    t.print(std::cout);
     std::cout << "\n";
     for (const auto &r : rounds)
         std::cout << "JSON: " << r.snap.json(r.wallNs) << "\n";

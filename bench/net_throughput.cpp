@@ -1,0 +1,317 @@
+/**
+ * @file
+ * psinet open-loop load generator over loopback.
+ *
+ * Starts an in-process PsiServer per round, then drives it the way a
+ * population of independent clients would: requests are launched on
+ * a fixed schedule (the offered rate) regardless of how fast replies
+ * come back, so queueing delay shows up in the measured latency
+ * instead of silently throttling the load - the open-loop
+ * discipline that closed-loop (submit, wait, repeat) generators get
+ * wrong.  Each connection runs a sender thread (paced SUBMITs,
+ * pipelined) and a receiver thread (RESULTs in completion order).
+ *
+ *     $ ./bench/net_throughput                  # defaults
+ *     $ ./bench/net_throughput -r 500 -n 1000   # 500 req/s, 1000 reqs
+ *     $ ./bench/net_throughput -W queens1 --json
+ *
+ * Per worker count (1/2/4/8) it reports achieved throughput,
+ * client-observed p50/p95/p99 latency and the OVERLOADED reply count
+ * (fail-fast backpressure surfaced end-to-end).  Results are
+ * recorded in EXPERIMENTS.md.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace psi;
+using clock_type = std::chrono::steady_clock;
+
+struct ConnStats
+{
+    service::LatencyHistogram latency;
+    std::uint64_t ok = 0;
+    std::uint64_t timedOut = 0;
+    std::uint64_t overloaded = 0;
+    std::uint64_t otherRefused = 0;
+    std::uint64_t lost = 0; ///< connection died before the RESULT
+    clock_type::time_point lastReply{};
+};
+
+struct RoundConfig
+{
+    unsigned workers;
+    std::uint64_t connections;
+    std::uint64_t requests;
+    double ratePerSec;
+    std::string workload;
+    std::uint64_t deadlineNs;
+    std::uint64_t queueCapacity;
+};
+
+struct RoundResult
+{
+    unsigned workers = 0;
+    double offeredRps = 0;
+    double achievedRps = 0;
+    ConnStats total;
+};
+
+/** One connection's sender + receiver pair. */
+void
+driveConnection(const RoundConfig &config, std::uint16_t port,
+                std::uint64_t connIndex,
+                clock_type::time_point start, ConnStats &stats)
+{
+    net::PsiClient client;
+    std::string error;
+    if (!client.connect("127.0.0.1", port, &error)) {
+        std::cerr << "net_throughput: " << error << "\n";
+        stats.lost = (config.requests + config.connections - 1 -
+                      connIndex) /
+                     config.connections;
+        return;
+    }
+
+    // Global request k fires at start + k/rate; this connection owns
+    // every k congruent to its index.  Send times are published with
+    // release stores so the receiver thread reads them safely.
+    std::vector<std::uint64_t> myRequests;
+    for (std::uint64_t k = connIndex; k < config.requests;
+         k += config.connections)
+        myRequests.push_back(k);
+    std::vector<std::atomic<std::uint64_t>> sentAtNs(
+        myRequests.size());
+
+    std::atomic<std::uint64_t> sent{0};
+    std::thread sender([&] {
+        for (std::size_t i = 0; i < myRequests.size(); ++i) {
+            auto due = start + std::chrono::nanoseconds(
+                                   static_cast<std::uint64_t>(
+                                       1e9 * myRequests[i] /
+                                       config.ratePerSec));
+            std::this_thread::sleep_until(due);
+            auto now = clock_type::now();
+            sentAtNs[i].store(
+                static_cast<std::uint64_t>(
+                    std::chrono::duration_cast<
+                        std::chrono::nanoseconds>(now - start)
+                        .count()),
+                std::memory_order_release);
+            if (!client.sendSubmit(config.workload,
+                                   config.deadlineNs))
+                break;
+            sent.fetch_add(1, std::memory_order_release);
+        }
+        sent.fetch_add(1u << 31, std::memory_order_release);
+    });
+
+    // Receiver: tags are 1..n in send order; latency is measured
+    // from the scheduled send, so queueing shows up in the numbers.
+    std::uint64_t received = 0;
+    for (;;) {
+        std::uint64_t progress = sent.load(std::memory_order_acquire);
+        bool senderDone = (progress & (1u << 31)) != 0;
+        std::uint64_t nsent = progress & ((1u << 31) - 1);
+        if (senderDone && received >= nsent)
+            break;
+
+        auto result = client.recvResult(senderDone ? 30000 : 100);
+        if (!result) {
+            if (!client.connected()) {
+                stats.lost += nsent - received;
+                break;
+            }
+            continue; // poll timeout; re-check sender progress
+        }
+        ++received;
+        stats.lastReply = clock_type::now();
+
+        std::uint64_t sentNs =
+            sentAtNs[result->tag - 1].load(std::memory_order_acquire);
+        std::uint64_t nowNs = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                stats.lastReply - start)
+                .count());
+        stats.latency.record(nowNs - sentNs);
+
+        switch (result->status) {
+          case net::WireStatus::Ok:
+          case net::WireStatus::StepLimit:
+            ++stats.ok;
+            break;
+          case net::WireStatus::Timeout:
+            ++stats.timedOut;
+            break;
+          case net::WireStatus::Overloaded:
+            ++stats.overloaded;
+            break;
+          default:
+            ++stats.otherRefused;
+            break;
+        }
+    }
+    sender.join();
+}
+
+RoundResult
+runRound(const RoundConfig &config)
+{
+    net::PsiServer::Config serverConfig;
+    serverConfig.port = 0;
+    serverConfig.workers = config.workers;
+    serverConfig.queueCapacity =
+        static_cast<std::size_t>(config.queueCapacity);
+    serverConfig.submitMode = service::Submit::FailFast;
+
+    net::PsiServer server(serverConfig);
+    std::string error;
+    if (!server.start(&error)) {
+        std::cerr << "net_throughput: " << error << "\n";
+        std::exit(1);
+    }
+    std::thread serverThread([&server] { server.run(); });
+
+    auto start = clock_type::now() + std::chrono::milliseconds(20);
+    std::vector<ConnStats> stats(config.connections);
+    std::vector<std::thread> drivers;
+    for (std::uint64_t c = 0; c < config.connections; ++c)
+        drivers.emplace_back(driveConnection, std::cref(config),
+                             server.port(), c, start,
+                             std::ref(stats[c]));
+    for (auto &t : drivers)
+        t.join();
+
+    server.requestDrain();
+    serverThread.join();
+
+    RoundResult result;
+    result.workers = config.workers;
+    result.offeredRps = config.ratePerSec;
+    auto lastReply = start;
+    for (const auto &s : stats) {
+        result.total.latency.merge(s.latency);
+        result.total.ok += s.ok;
+        result.total.timedOut += s.timedOut;
+        result.total.overloaded += s.overloaded;
+        result.total.otherRefused += s.otherRefused;
+        result.total.lost += s.lost;
+        if (s.lastReply > lastReply)
+            lastReply = s.lastReply;
+    }
+    auto span = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    lastReply - start)
+                    .count();
+    std::uint64_t replies = result.total.latency.count();
+    result.achievedRps =
+        span > 0 ? static_cast<double>(replies) * 1e9 /
+                       static_cast<double>(span)
+                 : 0.0;
+    return result;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    RoundConfig config;
+    config.connections = 4;
+    config.requests = 200;
+    config.ratePerSec = 200.0;
+    config.workload = "nreverse30";
+    config.deadlineNs = 0;
+    config.queueCapacity = 64;
+    std::uint64_t deadline_ms = 0;
+    bool json = false;
+
+    Flags flags("net_throughput [options]");
+    flags.opt("-c", &config.connections,
+              "concurrent connections (default 4)")
+        .opt("-n", &config.requests,
+             "total requests per round (default 200)")
+        .opt("-r", &config.ratePerSec,
+             "offered request rate per second (default 200)")
+        .opt("-W", &config.workload,
+             "workload id to submit (default nreverse30)")
+        .opt("-d", &deadline_ms,
+             "per-request deadline in ms (0 = none)")
+        .opt("-q", &config.queueCapacity,
+             "server queue capacity (default 64)")
+        .flag("--json", &json, "JSON lines only");
+    if (!flags.parse(argc, argv))
+        return 1;
+    config.deadlineNs = deadline_ms * 1'000'000ull;
+    if (config.connections == 0 || config.requests == 0 ||
+        config.ratePerSec <= 0) {
+        std::cerr << "net_throughput: -c, -n and -r must be > 0\n";
+        return 1;
+    }
+    if (programs::findProgramById(config.workload) == nullptr) {
+        std::cerr << "unknown workload '" << config.workload
+                  << "'; available: " << programs::programIdList()
+                  << "\n";
+        return 1;
+    }
+
+    if (!json)
+        bench::banner(
+            "psinet open-loop load (" + config.workload + ", " +
+            std::to_string(config.requests) + " reqs @ " +
+            bench::f1(config.ratePerSec) + "/s over " +
+            std::to_string(config.connections) + " connections)");
+
+    Table t("worker scaling over TCP loopback");
+    t.setHeader({"workers", "offered r/s", "achieved r/s", "ok",
+                 "overloaded", "timeouts", "p50 ms", "p95 ms",
+                 "p99 ms"});
+
+    std::vector<RoundResult> rounds;
+    for (unsigned workers : {1u, 2u, 4u, 8u}) {
+        RoundConfig round = config;
+        round.workers = workers;
+        RoundResult r = runRound(round);
+        t.addRow({std::to_string(r.workers),
+                  bench::f1(r.offeredRps),
+                  bench::f1(r.achievedRps),
+                  std::to_string(r.total.ok),
+                  std::to_string(r.total.overloaded),
+                  std::to_string(r.total.timedOut),
+                  bench::f2(r.total.latency.quantileNs(0.50) / 1e6),
+                  bench::f2(r.total.latency.quantileNs(0.95) / 1e6),
+                  bench::f2(r.total.latency.quantileNs(0.99) / 1e6)});
+        rounds.push_back(std::move(r));
+    }
+
+    if (!json)
+        t.print(std::cout);
+    for (const auto &r : rounds) {
+        if (!json)
+            std::cout << (&r == &rounds.front() ? "\n" : "");
+        std::cout << (json ? "" : "JSON: ") << "{\"workers\": "
+                  << r.workers << ", \"workload\": \""
+                  << config.workload << "\", \"offered_rps\": "
+                  << bench::f1(r.offeredRps)
+                  << ", \"achieved_rps\": "
+                  << bench::f1(r.achievedRps)
+                  << ", \"ok\": " << r.total.ok
+                  << ", \"overloaded\": " << r.total.overloaded
+                  << ", \"timed_out\": " << r.total.timedOut
+                  << ", \"lost\": " << r.total.lost
+                  << ", \"latency_p50_ns\": "
+                  << r.total.latency.quantileNs(0.50)
+                  << ", \"latency_p95_ns\": "
+                  << r.total.latency.quantileNs(0.95)
+                  << ", \"latency_p99_ns\": "
+                  << r.total.latency.quantileNs(0.99) << "}\n";
+    }
+    return 0;
+}

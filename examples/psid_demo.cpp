@@ -26,41 +26,29 @@ main(int argc, char **argv)
     using clock = std::chrono::steady_clock;
 
     unsigned workers = 4;
-    std::size_t capacity = 0;  // 0 = sized to the batch
+    std::uint64_t capacity = 0;  // 0 = sized to the batch
     std::uint64_t deadline_ms = 0;
-    std::vector<programs::BenchProgram> batch;
 
-    for (int i = 1; i < argc; ++i) {
-        std::string arg = argv[i];
-        auto value = [&]() -> const char * {
-            if (i + 1 >= argc) {
-                std::cerr << "missing value after " << arg << "\n";
-                std::exit(1);
-            }
-            return argv[++i];
-        };
-        if (arg == "-w") {
-            workers = static_cast<unsigned>(std::atoi(value()));
-        } else if (arg == "-q") {
-            capacity = static_cast<std::size_t>(std::atoll(value()));
-        } else if (arg == "-d") {
-            deadline_ms =
-                static_cast<std::uint64_t>(std::atoll(value()));
-        } else if (const auto *p = programs::findProgramById(arg)) {
-            batch.push_back(*p);
-        } else {
-            std::cerr << "unknown workload '" << arg
-                      << "'; available: "
-                      << programs::programIdList() << "\n";
-            return 1;
-        }
+    Flags flags("psid_demo [options] [workload ...]");
+    flags.opt("-w", &workers, "worker threads (default 4)")
+        .opt("-q", &capacity, "queue capacity (default: batch size)")
+        .opt("-d", &deadline_ms, "per-job deadline in ms (0 = none)");
+    std::vector<std::string> ids;
+    if (!flags.parse(argc, argv, &ids))
+        return 1;
+
+    std::vector<programs::BenchProgram> batch;
+    try {
+        batch = programs::resolveProgramsOrAll(ids);
+    } catch (const FatalError &e) {
+        std::cerr << e.what() << "\n";
+        return 1;
     }
-    if (batch.empty())
-        batch = programs::allPrograms();
 
     service::EnginePool::Config config;
     config.workers = workers;
-    config.queueCapacity = capacity ? capacity : batch.size();
+    config.queueCapacity =
+        capacity ? static_cast<std::size_t>(capacity) : batch.size();
     service::EnginePool pool(config);
 
     interp::RunLimits limits;

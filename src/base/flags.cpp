@@ -1,0 +1,165 @@
+#include "base/flags.hpp"
+
+#include <iostream>
+#include <sstream>
+
+namespace psi {
+
+namespace {
+
+/** Parse an unsigned decimal; empty return = ok. */
+std::string
+parseU64(const std::string &text, std::uint64_t &out)
+{
+    if (text.empty())
+        return "expected a number, got nothing";
+    std::uint64_t value = 0;
+    for (char c : text) {
+        if (c < '0' || c > '9')
+            return "expected a number, got '" + text + "'";
+        std::uint64_t next = value * 10 + (c - '0');
+        if (next < value)
+            return "number '" + text + "' is out of range";
+        value = next;
+    }
+    out = value;
+    return "";
+}
+
+} // namespace
+
+Flags::Flags(std::string usage) : _usage(std::move(usage)) {}
+
+Flags &
+Flags::add(Spec spec)
+{
+    _specs.push_back(std::move(spec));
+    return *this;
+}
+
+Flags &
+Flags::opt(const std::string &name, unsigned *target,
+           const std::string &help)
+{
+    return add({name, "N", help, [target](const std::string &v) {
+                    std::uint64_t value;
+                    std::string err = parseU64(v, value);
+                    if (err.empty())
+                        *target = static_cast<unsigned>(value);
+                    return err;
+                }});
+}
+
+Flags &
+Flags::opt(const std::string &name, std::uint64_t *target,
+           const std::string &help)
+{
+    return add({name, "N", help, [target](const std::string &v) {
+                    return parseU64(v, *target);
+                }});
+}
+
+Flags &
+Flags::opt(const std::string &name, double *target,
+           const std::string &help)
+{
+    return add({name, "X", help, [target](const std::string &v) {
+                    std::size_t used = 0;
+                    try {
+                        *target = std::stod(v, &used);
+                    } catch (const std::exception &) {
+                        used = 0;
+                    }
+                    return used == v.size() && !v.empty()
+                        ? std::string()
+                        : "expected a number, got '" + v + "'";
+                }});
+}
+
+Flags &
+Flags::opt(const std::string &name, std::string *target,
+           const std::string &help)
+{
+    return add({name, "S", help, [target](const std::string &v) {
+                    *target = v;
+                    return std::string();
+                }});
+}
+
+Flags &
+Flags::flag(const std::string &name, bool *target,
+            const std::string &help)
+{
+    return add({name, "", help, [target](const std::string &) {
+                    *target = true;
+                    return std::string();
+                }});
+}
+
+std::string
+Flags::usage() const
+{
+    std::ostringstream os;
+    os << "usage: " << _usage << "\n";
+    for (const auto &spec : _specs) {
+        std::string head = "  " + spec.name +
+                           (spec.valueName.empty()
+                                ? ""
+                                : " " + spec.valueName);
+        os << head << std::string(head.size() < 16
+                                      ? 16 - head.size()
+                                      : 1,
+                                  ' ')
+           << spec.help << "\n";
+    }
+    return os.str();
+}
+
+bool
+Flags::parse(int argc, char **argv,
+             std::vector<std::string> *positional) const
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "-h" || arg == "--help") {
+            std::cerr << usage();
+            return false;
+        }
+
+        const Spec *match = nullptr;
+        for (const auto &spec : _specs) {
+            if (spec.name == arg) {
+                match = &spec;
+                break;
+            }
+        }
+
+        if (match == nullptr) {
+            if (positional != nullptr && !arg.empty() &&
+                arg[0] != '-') {
+                positional->push_back(std::move(arg));
+                continue;
+            }
+            std::cerr << "unknown flag '" << arg << "'\n" << usage();
+            return false;
+        }
+
+        std::string value;
+        if (!match->valueName.empty()) {
+            if (i + 1 >= argc) {
+                std::cerr << "missing value after " << arg << "\n"
+                          << usage();
+                return false;
+            }
+            value = argv[++i];
+        }
+        std::string err = match->apply(value);
+        if (!err.empty()) {
+            std::cerr << arg << ": " << err << "\n" << usage();
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace psi

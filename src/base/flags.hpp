@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Tiny command-line flag parser for the example and bench binaries.
+ *
+ * The same "-w N workers, -d MS deadline, workloads as positionals"
+ * loop used to be hand-rolled in every CLI; this centralizes it:
+ *
+ *     unsigned workers = 4;
+ *     bool json = false;
+ *     Flags flags("farm_throughput [options] [workload ...]");
+ *     flags.opt("-w", &workers, "worker threads");
+ *     flags.flag("--json", &json, "machine-readable output only");
+ *     std::vector<std::string> positional;
+ *     if (!flags.parse(argc, argv, &positional))
+ *         return 1;   // message + usage already on stderr
+ *
+ * Values are validated (a non-numeric count is an actionable error,
+ * not atoi()'s silent zero) and -h / --help prints the usage table.
+ */
+
+#ifndef PSI_BASE_FLAGS_HPP
+#define PSI_BASE_FLAGS_HPP
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace psi {
+
+/** Declarative command-line flags with typed value parsing. */
+class Flags
+{
+  public:
+    /** @param usage one-line synopsis shown in error/help output. */
+    explicit Flags(std::string usage);
+
+    /** @name Value-taking options (the next argv entry) */
+    /// @{
+    Flags &opt(const std::string &name, unsigned *target,
+               const std::string &help);
+    Flags &opt(const std::string &name, std::uint64_t *target,
+               const std::string &help);
+    Flags &opt(const std::string &name, double *target,
+               const std::string &help);
+    Flags &opt(const std::string &name, std::string *target,
+               const std::string &help);
+    /// @}
+
+    /** Boolean switch (no value). */
+    Flags &flag(const std::string &name, bool *target,
+                const std::string &help);
+
+    /**
+     * Parse @p argv.  Non-flag arguments are appended to
+     * @p positional (nullptr = positionals are an error).
+     * @return false after printing the problem + usage to stderr;
+     *         also false (with no error) for -h / --help.
+     */
+    bool parse(int argc, char **argv,
+               std::vector<std::string> *positional = nullptr) const;
+
+    /** The formatted usage text (also printed on parse errors). */
+    std::string usage() const;
+
+  private:
+    struct Spec
+    {
+        std::string name;
+        std::string valueName; ///< empty for boolean switches
+        std::string help;
+        /** Parses the value (or flips the switch); empty string on
+         *  success, else the error text. */
+        std::function<std::string(const std::string &)> apply;
+    };
+
+    Flags &add(Spec spec);
+
+    std::string _usage;
+    std::vector<Spec> _specs;
+};
+
+} // namespace psi
+
+#endif // PSI_BASE_FLAGS_HPP

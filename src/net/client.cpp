@@ -1,0 +1,285 @@
+#include "net/client.hpp"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "base/logging.hpp"
+
+namespace psi {
+namespace net {
+
+namespace {
+
+void
+setError(std::string *error, const std::string &what)
+{
+    if (error)
+        *error = what;
+}
+
+} // namespace
+
+PsiClient::~PsiClient()
+{
+    close();
+}
+
+void
+PsiClient::close()
+{
+    if (_fd >= 0) {
+        ::close(_fd);
+        _fd = -1;
+    }
+    _rbuf.clear();
+    _pending.clear();
+}
+
+bool
+PsiClient::connect(const std::string &host, std::uint16_t port,
+                   std::string *error)
+{
+    close();
+
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo *result = nullptr;
+    int rc = ::getaddrinfo(host.c_str(),
+                           std::to_string(port).c_str(), &hints,
+                           &result);
+    if (rc != 0) {
+        setError(error, "resolve " + host + ": " + gai_strerror(rc));
+        return false;
+    }
+
+    for (addrinfo *ai = result; ai != nullptr; ai = ai->ai_next) {
+        int fd = ::socket(ai->ai_family, ai->ai_socktype,
+                          ai->ai_protocol);
+        if (fd < 0)
+            continue;
+        if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+            int one = 1;
+            ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
+                         sizeof(one));
+            _fd = fd;
+            break;
+        }
+        ::close(fd);
+    }
+    ::freeaddrinfo(result);
+
+    if (_fd < 0) {
+        setError(error, "connect " + host + ":" +
+                            std::to_string(port) + ": " +
+                            std::strerror(errno));
+        return false;
+    }
+    return true;
+}
+
+bool
+PsiClient::sendAll(const std::string &bytes, std::string *error)
+{
+    if (_fd < 0) {
+        setError(error, "not connected");
+        return false;
+    }
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+        ssize_t n = ::send(_fd, bytes.data() + off,
+                           bytes.size() - off, MSG_NOSIGNAL);
+        if (n > 0) {
+            off += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (errno == EINTR)
+            continue;
+        setError(error,
+                 std::string("send: ") + std::strerror(errno));
+        close();
+        return false;
+    }
+    return true;
+}
+
+std::optional<Message>
+PsiClient::recvMessage(int timeoutMs, std::string *error)
+{
+    if (_fd < 0) {
+        setError(error, "not connected");
+        return std::nullopt;
+    }
+
+    using clock = std::chrono::steady_clock;
+    auto deadline = clock::now() + std::chrono::milliseconds(
+                                       timeoutMs < 0 ? 0 : timeoutMs);
+
+    std::string payload;
+    for (;;) {
+        switch (extractFrame(_rbuf, payload)) {
+          case FrameResult::Frame: {
+            std::string derror;
+            std::optional<Message> msg = decode(payload, &derror);
+            if (!msg) {
+                setError(error, "protocol error: " + derror);
+                close();
+            }
+            return msg;
+          }
+          case FrameResult::Bad:
+            setError(error, "protocol error: bad frame from server");
+            close();
+            return std::nullopt;
+          case FrameResult::NeedMore:
+            break;
+        }
+
+        int wait = -1;
+        if (timeoutMs >= 0) {
+            auto left =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    deadline - clock::now())
+                    .count();
+            if (left <= 0) {
+                setError(error, "timed out waiting for reply");
+                return std::nullopt;
+            }
+            wait = static_cast<int>(left);
+        }
+
+        pollfd pfd{_fd, POLLIN, 0};
+        int ready = ::poll(&pfd, 1, wait);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            setError(error,
+                     std::string("poll: ") + std::strerror(errno));
+            close();
+            return std::nullopt;
+        }
+        if (ready == 0) {
+            setError(error, "timed out waiting for reply");
+            return std::nullopt;
+        }
+
+        char chunk[64 * 1024];
+        ssize_t n = ::recv(_fd, chunk, sizeof(chunk), 0);
+        if (n > 0) {
+            _rbuf.append(chunk, static_cast<std::size_t>(n));
+        } else if (n == 0) {
+            setError(error, "connection closed by server");
+            close();
+            return std::nullopt;
+        } else if (errno != EINTR) {
+            setError(error,
+                     std::string("recv: ") + std::strerror(errno));
+            close();
+            return std::nullopt;
+        }
+    }
+}
+
+bool
+PsiClient::sendSubmit(const std::string &workload,
+                      std::uint64_t deadlineNs,
+                      std::uint64_t *tagOut, std::string *error)
+{
+    SubmitMsg msg;
+    msg.tag = _nextTag++;
+    msg.workload = workload;
+    msg.deadlineNs = deadlineNs;
+    if (tagOut)
+        *tagOut = msg.tag;
+    return sendAll(encode(Message(std::move(msg))), error);
+}
+
+std::optional<ResultMsg>
+PsiClient::recvResult(int timeoutMs, std::string *error)
+{
+    if (!_pending.empty()) {
+        ResultMsg result = std::move(_pending.front());
+        _pending.pop_front();
+        return result;
+    }
+    std::optional<Message> msg = recvMessage(timeoutMs, error);
+    if (!msg)
+        return std::nullopt;
+    if (auto *result = std::get_if<ResultMsg>(&*msg))
+        return std::move(*result);
+    setError(error, "unexpected reply (wanted RESULT)");
+    close();
+    return std::nullopt;
+}
+
+std::optional<ResultMsg>
+PsiClient::submit(const std::string &workload,
+                  std::uint64_t deadlineNs, int timeoutMs,
+                  std::string *error)
+{
+    std::uint64_t tag = 0;
+    if (!sendSubmit(workload, deadlineNs, &tag, error))
+        return std::nullopt;
+    for (;;) {
+        std::optional<ResultMsg> result = recvResult(timeoutMs, error);
+        if (!result)
+            return std::nullopt;
+        if (result->tag == tag)
+            return result;
+        // An earlier pipelined reply; park it for recvResult().
+        _pending.push_back(std::move(*result));
+    }
+}
+
+std::optional<std::string>
+PsiClient::stats(int timeoutMs, std::string *error)
+{
+    if (!sendAll(encode(Message(StatsMsg{})), error))
+        return std::nullopt;
+    for (;;) {
+        std::optional<Message> msg = recvMessage(timeoutMs, error);
+        if (!msg)
+            return std::nullopt;
+        if (auto *reply = std::get_if<StatsReplyMsg>(&*msg))
+            return std::move(reply->json);
+        if (auto *result = std::get_if<ResultMsg>(&*msg)) {
+            _pending.push_back(std::move(*result));
+            continue; // pipelined RESULT passing by
+        }
+        setError(error, "unexpected reply (wanted STATS_REPLY)");
+        close();
+        return std::nullopt;
+    }
+}
+
+bool
+PsiClient::drain(int timeoutMs, std::string *error)
+{
+    if (!sendAll(encode(Message(DrainMsg{})), error))
+        return false;
+    for (;;) {
+        std::optional<Message> msg = recvMessage(timeoutMs, error);
+        if (!msg)
+            return false;
+        if (std::get_if<DrainAckMsg>(&*msg) != nullptr)
+            return true;
+        if (auto *result = std::get_if<ResultMsg>(&*msg)) {
+            _pending.push_back(std::move(*result));
+            continue;
+        }
+        setError(error, "unexpected reply (wanted DRAIN_ACK)");
+        close();
+        return false;
+    }
+}
+
+} // namespace net
+} // namespace psi

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * PsiClient: blocking client library for the psinet wire protocol.
+ *
+ * One instance owns one TCP connection.  Two usage models:
+ *
+ *  - Request/response: submit() sends a SUBMIT and blocks until the
+ *    matching RESULT arrives; stats() and drain() likewise.
+ *
+ *  - Pipelined: sendSubmit() queues requests without waiting and
+ *    recvResult() collects RESULTs as they complete (completion
+ *    order, not submission order - correlate by tag).  One sender
+ *    thread and one receiver thread may use the same client
+ *    concurrently; that split is exactly what the open-loop load
+ *    generator (bench/net_throughput) does.
+ *
+ * Every receive path takes a timeout in milliseconds (-1 = wait
+ * forever); on timeout the call fails without consuming a partial
+ * frame, so the connection stays usable.
+ */
+
+#ifndef PSI_NET_CLIENT_HPP
+#define PSI_NET_CLIENT_HPP
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+
+#include "net/wire.hpp"
+
+namespace psi {
+namespace net {
+
+/** Blocking connection to a PsiServer. */
+class PsiClient
+{
+  public:
+    PsiClient() = default;
+    ~PsiClient();
+
+    PsiClient(const PsiClient &) = delete;
+    PsiClient &operator=(const PsiClient &) = delete;
+
+    /** Connect to @p host : @p port (IPv4 dotted quad or name). */
+    bool connect(const std::string &host, std::uint16_t port,
+                 std::string *error = nullptr);
+
+    void close();
+    bool connected() const { return _fd >= 0; }
+
+    /**
+     * Submit @p workload and wait for its RESULT.
+     * @param deadlineNs per-request engine budget; 0 = none.
+     * @param timeoutMs  client-side wait bound; -1 = forever.
+     */
+    std::optional<ResultMsg>
+    submit(const std::string &workload, std::uint64_t deadlineNs = 0,
+           int timeoutMs = -1, std::string *error = nullptr);
+
+    /**
+     * Pipelined send half: queue one SUBMIT and return immediately.
+     * @param tagOut receives the correlation tag of this request.
+     */
+    bool sendSubmit(const std::string &workload,
+                    std::uint64_t deadlineNs = 0,
+                    std::uint64_t *tagOut = nullptr,
+                    std::string *error = nullptr);
+
+    /** Pipelined receive half: next RESULT in completion order. */
+    std::optional<ResultMsg> recvResult(int timeoutMs = -1,
+                                        std::string *error = nullptr);
+
+    /** Fetch the server's aggregated metrics JSON. */
+    std::optional<std::string> stats(int timeoutMs = -1,
+                                     std::string *error = nullptr);
+
+    /** Ask the server to drain; true once DRAIN_ACK arrives. */
+    bool drain(int timeoutMs = -1, std::string *error = nullptr);
+
+  private:
+    bool sendAll(const std::string &bytes, std::string *error);
+    std::optional<Message> recvMessage(int timeoutMs,
+                                       std::string *error);
+
+    int _fd = -1;
+    std::string _rbuf;
+    std::uint64_t _nextTag = 1;
+    /** RESULTs that arrived while a control reply (STATS_REPLY,
+     *  DRAIN_ACK) or another tag was awaited; recvResult() serves
+     *  these before reading the socket, so pipelined results are
+     *  never dropped. */
+    std::deque<ResultMsg> _pending;
+};
+
+} // namespace net
+} // namespace psi
+
+#endif // PSI_NET_CLIENT_HPP

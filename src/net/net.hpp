@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Umbrella header for psinet, the TCP front end of the psid service:
+ *
+ *  - net::wire       length-prefixed framed messages (wire.hpp)
+ *  - net::PsiServer  poll-based non-blocking server over EnginePool
+ *  - net::PsiClient  blocking client library (also pipelined)
+ *
+ * Frame layout and message types are specified in docs/PROTOCOL.md.
+ */
+
+#ifndef PSI_NET_NET_HPP
+#define PSI_NET_NET_HPP
+
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "net/wire.hpp"
+
+#endif // PSI_NET_NET_HPP

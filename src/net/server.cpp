@@ -1,0 +1,494 @@
+#include "net/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+
+#include "base/logging.hpp"
+#include "programs/registry.hpp"
+
+namespace psi {
+namespace net {
+
+namespace {
+
+/** Target of the SIGINT/SIGTERM drain handler. */
+std::atomic<PsiServer *> g_signalServer{nullptr};
+
+extern "C" void
+drainSignalHandler(int)
+{
+    if (PsiServer *server = g_signalServer.load())
+        server->requestDrain();
+}
+
+bool
+setNonBlocking(int fd)
+{
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    return flags >= 0 &&
+           ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+void
+closeFd(int &fd)
+{
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+}
+
+std::uint64_t
+nsSince(std::chrono::steady_clock::time_point from)
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - from)
+            .count());
+}
+
+} // namespace
+
+PsiServer::PsiServer() : PsiServer(Config()) {}
+
+PsiServer::PsiServer(const Config &config)
+    : _config(config),
+      _pool(service::EnginePool::Config{config.workers,
+                                        config.queueCapacity}),
+      _started(std::chrono::steady_clock::now())
+{}
+
+PsiServer::~PsiServer()
+{
+    if (g_signalServer.load() == this)
+        g_signalServer.store(nullptr);
+    for (auto &entry : _conns)
+        closeFd(entry.second.fd);
+    closeFd(_listenFd);
+    closeFd(_wakeRead);
+    closeFd(_wakeWrite);
+}
+
+bool
+PsiServer::start(std::string *error)
+{
+    auto fail = [&](const std::string &what) {
+        if (error)
+            *error = what + ": " + std::strerror(errno);
+        closeFd(_listenFd);
+        closeFd(_wakeRead);
+        closeFd(_wakeWrite);
+        return false;
+    };
+
+    int pipefds[2];
+    if (::pipe(pipefds) != 0)
+        return fail("pipe");
+    _wakeRead = pipefds[0];
+    _wakeWrite = pipefds[1];
+    if (!setNonBlocking(_wakeRead) || !setNonBlocking(_wakeWrite))
+        return fail("fcntl(wake pipe)");
+
+    _listenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (_listenFd < 0)
+        return fail("socket");
+    int one = 1;
+    ::setsockopt(_listenFd, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(_config.port);
+    if (::inet_pton(AF_INET, _config.bindAddr.c_str(),
+                    &addr.sin_addr) != 1) {
+        if (error)
+            *error = "bad bind address '" + _config.bindAddr + "'";
+        closeFd(_listenFd);
+        closeFd(_wakeRead);
+        closeFd(_wakeWrite);
+        return false;
+    }
+    if (::bind(_listenFd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0)
+        return fail("bind " + _config.bindAddr + ":" +
+                    std::to_string(_config.port));
+    if (::listen(_listenFd, 128) != 0)
+        return fail("listen");
+    if (!setNonBlocking(_listenFd))
+        return fail("fcntl(listener)");
+
+    socklen_t len = sizeof(addr);
+    if (::getsockname(_listenFd, reinterpret_cast<sockaddr *>(&addr),
+                      &len) != 0)
+        return fail("getsockname");
+    _port = ntohs(addr.sin_port);
+    return true;
+}
+
+void
+PsiServer::requestDrain()
+{
+    _drain.store(true, std::memory_order_release);
+    // Wake the poll loop; write(2) is async-signal-safe and the pipe
+    // is non-blocking, so this is safe inside a signal handler.
+    if (_wakeWrite >= 0) {
+        char byte = 'd';
+        [[maybe_unused]] ssize_t n = ::write(_wakeWrite, &byte, 1);
+    }
+}
+
+void
+PsiServer::installSignalHandlers()
+{
+    g_signalServer.store(this);
+    struct sigaction sa{};
+    sa.sa_handler = drainSignalHandler;
+    sigemptyset(&sa.sa_mask);
+    ::sigaction(SIGINT, &sa, nullptr);
+    ::sigaction(SIGTERM, &sa, nullptr);
+}
+
+void
+PsiServer::run()
+{
+    PSI_ASSERT(_listenFd >= 0, "PsiServer::run() before start()");
+    while (!drainComplete())
+        pollOnce();
+
+    for (auto &entry : _conns)
+        closeFd(entry.second.fd);
+    _conns.clear();
+    _pool.shutdown();
+}
+
+bool
+PsiServer::drainComplete() const
+{
+    if (!_drain.load(std::memory_order_acquire))
+        return false;
+    if (_inFlight != 0)
+        return false;
+    {
+        std::lock_guard<std::mutex> lock(_completionMutex);
+        if (!_completions.empty())
+            return false;
+    }
+    for (const auto &entry : _conns) {
+        const Conn &conn = entry.second;
+        if (conn.woff < conn.wbuf.size())
+            return false;
+    }
+    return true;
+}
+
+void
+PsiServer::pollOnce()
+{
+    bool draining = _drain.load(std::memory_order_acquire);
+    if (draining)
+        closeFd(_listenFd); // stop accepting; run() owns the exit
+
+    std::vector<pollfd> fds;
+    fds.reserve(_conns.size() + 2);
+    fds.push_back({_wakeRead, POLLIN, 0});
+    std::size_t listenerSlot = 0;
+    if (!draining && _listenFd >= 0) {
+        listenerSlot = fds.size();
+        fds.push_back({_listenFd, POLLIN, 0});
+    }
+
+    std::vector<std::uint64_t> order;
+    order.reserve(_conns.size());
+    for (auto &entry : _conns) {
+        Conn &conn = entry.second;
+        short events = POLLIN;
+        if (conn.woff < conn.wbuf.size())
+            events |= POLLOUT;
+        fds.push_back({conn.fd, events, 0});
+        order.push_back(conn.id);
+    }
+
+    int ready = ::poll(fds.data(), fds.size(), -1);
+    if (ready < 0) {
+        if (errno == EINTR)
+            return;
+        panic("poll failed: ", std::strerror(errno));
+    }
+
+    if (fds[0].revents & POLLIN)
+        drainWakePipe();
+    if (!draining && _listenFd >= 0 &&
+        (fds[listenerSlot].revents & POLLIN))
+        acceptConnections();
+
+    std::size_t base = fds.size() - order.size();
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        auto it = _conns.find(order[i]);
+        if (it == _conns.end())
+            continue;
+        Conn &conn = it->second;
+        short revents = fds[base + i].revents;
+        bool ok = true;
+        if (revents & (POLLERR | POLLHUP | POLLNVAL))
+            ok = (revents & POLLIN) != 0; // drain final bytes first
+        if (ok && (revents & POLLIN))
+            ok = handleReadable(conn);
+        if (ok && (revents & POLLOUT))
+            ok = flushWrites(conn);
+        if (!ok)
+            _closing.push_back(conn.id);
+    }
+
+    processCompletions();
+
+    for (std::uint64_t id : _closing)
+        closeConn(id);
+    _closing.clear();
+}
+
+void
+PsiServer::acceptConnections()
+{
+    for (;;) {
+        int fd = ::accept(_listenFd, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EAGAIN || errno == EWOULDBLOCK ||
+                errno == EINTR)
+                return;
+            warn("psinet: accept failed: ", std::strerror(errno));
+            return;
+        }
+        if (!setNonBlocking(fd)) {
+            ::close(fd);
+            continue;
+        }
+        int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+        Conn conn;
+        conn.fd = fd;
+        conn.id = _nextConnId++;
+        _conns.emplace(conn.id, std::move(conn));
+    }
+}
+
+bool
+PsiServer::handleReadable(Conn &conn)
+{
+    char chunk[64 * 1024];
+    for (;;) {
+        ssize_t n = ::recv(conn.fd, chunk, sizeof(chunk), 0);
+        if (n > 0) {
+            conn.rbuf.append(chunk, static_cast<std::size_t>(n));
+            if (n < static_cast<ssize_t>(sizeof(chunk)))
+                break;
+            continue;
+        }
+        if (n == 0)
+            return false; // peer closed
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            break;
+        if (errno == EINTR)
+            continue;
+        return false;
+    }
+
+    std::string payload;
+    for (;;) {
+        switch (extractFrame(conn.rbuf, payload)) {
+          case FrameResult::NeedMore:
+            return true;
+          case FrameResult::Bad:
+            warn("psinet: dropping connection ", conn.id,
+                 " (oversized or empty frame)");
+            return false;
+          case FrameResult::Frame:
+            break;
+        }
+        std::string derror;
+        std::optional<Message> msg = decode(payload, &derror);
+        if (!msg) {
+            warn("psinet: dropping connection ", conn.id, " (",
+                 derror, ")");
+            return false;
+        }
+        if (!handleMessage(conn, std::move(*msg)))
+            return false;
+    }
+}
+
+bool
+PsiServer::handleMessage(Conn &conn, Message &&msg)
+{
+    if (auto *submit = std::get_if<SubmitMsg>(&msg)) {
+        handleSubmit(conn, std::move(*submit));
+        return true;
+    }
+    if (std::get_if<StatsMsg>(&msg) != nullptr) {
+        StatsReplyMsg reply;
+        reply.json = _pool.metrics().json(nsSince(_started));
+        queueReply(conn, Message(std::move(reply)));
+        return flushWrites(conn);
+    }
+    if (std::get_if<DrainMsg>(&msg) != nullptr) {
+        // Flag first, ack second: a client that has seen DRAIN_ACK
+        // must be able to observe draining() == true.
+        requestDrain();
+        queueReply(conn, Message(DrainAckMsg{}));
+        return flushWrites(conn);
+    }
+    // RESULT / STATS_REPLY / DRAIN_ACK are server-to-client only.
+    warn("psinet: dropping connection ", conn.id,
+         " (unexpected client message type ",
+         static_cast<int>(messageType(msg)), ")");
+    return false;
+}
+
+void
+PsiServer::handleSubmit(Conn &conn, SubmitMsg &&msg)
+{
+    auto refuse = [&](WireStatus status, std::string why) {
+        ResultMsg reply;
+        reply.tag = msg.tag;
+        reply.status = status;
+        reply.error = std::move(why);
+        queueReply(conn, Message(std::move(reply)));
+        flushWrites(conn);
+    };
+
+    if (_drain.load(std::memory_order_acquire)) {
+        refuse(WireStatus::Draining, "server is draining");
+        return;
+    }
+
+    const programs::BenchProgram *program =
+        programs::findProgramById(msg.workload);
+    if (program == nullptr) {
+        refuse(WireStatus::UnknownWorkload,
+               "unknown workload '" + msg.workload +
+                   "'; available: " + programs::programIdList());
+        return;
+    }
+
+    service::QueryJob job;
+    job.program = *program;
+    job.limits.deadlineNs = msg.deadlineNs;
+
+    std::uint64_t connId = conn.id;
+    std::uint64_t tag = msg.tag;
+    auto done = [this, connId, tag](service::JobOutcome outcome) {
+        {
+            std::lock_guard<std::mutex> lock(_completionMutex);
+            _completions.push_back(
+                {connId, resultFromOutcome(tag, std::move(outcome))});
+        }
+        char byte = 'c';
+        [[maybe_unused]] ssize_t n = ::write(_wakeWrite, &byte, 1);
+    };
+
+    std::optional<service::SubmitError> refused =
+        _pool.submitAsync(std::move(job), std::move(done),
+                          _config.submitMode);
+    if (!refused) {
+        ++_inFlight;
+        return;
+    }
+    switch (*refused) {
+      case service::SubmitError::QueueFull:
+        refuse(WireStatus::Overloaded,
+               "queue full (" +
+                   std::to_string(_pool.queueCapacity()) +
+                   " jobs); retry later");
+        break;
+      case service::SubmitError::ShutDown:
+        refuse(WireStatus::Draining, "server is draining");
+        break;
+    }
+}
+
+void
+PsiServer::queueReply(Conn &conn, const Message &msg)
+{
+    conn.wbuf.append(encode(msg));
+    if (conn.wbuf.size() - conn.woff > _config.maxWriteBuffer) {
+        warn("psinet: dropping slow consumer connection ", conn.id);
+        _closing.push_back(conn.id);
+    }
+}
+
+bool
+PsiServer::flushWrites(Conn &conn)
+{
+    while (conn.woff < conn.wbuf.size()) {
+        ssize_t n = ::send(conn.fd, conn.wbuf.data() + conn.woff,
+                           conn.wbuf.size() - conn.woff,
+                           MSG_NOSIGNAL);
+        if (n > 0) {
+            conn.woff += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            break;
+        if (errno == EINTR)
+            continue;
+        return false;
+    }
+    if (conn.woff == conn.wbuf.size()) {
+        conn.wbuf.clear();
+        conn.woff = 0;
+    } else if (conn.woff > (1u << 20)) {
+        conn.wbuf.erase(0, conn.woff);
+        conn.woff = 0;
+    }
+    return true;
+}
+
+void
+PsiServer::closeConn(std::uint64_t id)
+{
+    auto it = _conns.find(id);
+    if (it == _conns.end())
+        return;
+    closeFd(it->second.fd);
+    _conns.erase(it);
+}
+
+void
+PsiServer::drainWakePipe()
+{
+    char buf[256];
+    while (::read(_wakeRead, buf, sizeof(buf)) > 0) {
+    }
+}
+
+void
+PsiServer::processCompletions()
+{
+    std::vector<Completion> batch;
+    {
+        std::lock_guard<std::mutex> lock(_completionMutex);
+        batch.swap(_completions);
+    }
+    for (auto &completion : batch) {
+        PSI_ASSERT(_inFlight > 0, "completion without in-flight job");
+        --_inFlight;
+        auto it = _conns.find(completion.connId);
+        if (it == _conns.end())
+            continue; // client went away; drop the reply
+        queueReply(it->second, Message(std::move(completion.msg)));
+        if (!flushWrites(it->second))
+            _closing.push_back(completion.connId);
+    }
+}
+
+} // namespace net
+} // namespace psi

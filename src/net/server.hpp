@@ -1,0 +1,153 @@
+/**
+ * @file
+ * PsiServer: the psinet TCP front end over a service::EnginePool.
+ *
+ * Single-threaded poll(2) event loop plus the pool's worker threads:
+ *
+ *     client conns ──► poll loop ──► EnginePool (N workers)
+ *        ▲   read state machine          │ completion callback
+ *        │   (buffer -> frames)          ▼
+ *        └── write state machine ◄── completion queue + wake pipe
+ *            (frames -> buffer)
+ *
+ * Every socket is non-blocking.  Each connection owns a read buffer
+ * that bytes accumulate into until extractFrame() cuts complete
+ * frames off the front, and a write buffer that encoded replies
+ * drain from whenever the socket is writable - the loop never
+ * blocks on a peer.
+ *
+ * Backpressure is surfaced, not absorbed: a SUBMIT that meets a full
+ * job queue in fail-fast mode gets an OVERLOADED reply immediately
+ * instead of stalling the accept path (Submit::Block retains the
+ * old behavior for single-tenant use).
+ *
+ * Graceful drain (SIGINT / SIGTERM / a DRAIN message /
+ * requestDrain()): stop accepting connections, refuse new SUBMITs
+ * with DRAINING, finish every accepted job, flush every reply, then
+ * shut the pool down and return from run().
+ */
+
+#ifndef PSI_NET_SERVER_HPP
+#define PSI_NET_SERVER_HPP
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "net/wire.hpp"
+#include "service/engine_pool.hpp"
+
+namespace psi {
+namespace net {
+
+/** Non-blocking TCP server exposing an EnginePool. */
+class PsiServer
+{
+  public:
+    struct Config
+    {
+        std::string bindAddr = "127.0.0.1";
+        std::uint16_t port = 0;  ///< 0 = ephemeral (see port())
+        unsigned workers = 4;
+        std::size_t queueCapacity = 64;
+        /** Full-queue policy: FailFast -> OVERLOADED replies. */
+        service::Submit submitMode = service::Submit::FailFast;
+        /** A connection buffering more reply bytes than this is a
+         *  slow consumer and gets dropped. */
+        std::size_t maxWriteBuffer = 8u << 20;
+    };
+
+    PsiServer();
+    explicit PsiServer(const Config &config);
+    ~PsiServer();
+
+    PsiServer(const PsiServer &) = delete;
+    PsiServer &operator=(const PsiServer &) = delete;
+
+    /**
+     * Bind + listen (the pool is already running).
+     * @return false with @p error set when the address is unusable.
+     */
+    bool start(std::string *error = nullptr);
+
+    /** Actual listening port (after an ephemeral bind). */
+    std::uint16_t port() const { return _port; }
+
+    /** Event loop; returns after a drain completes. */
+    void run();
+
+    /**
+     * Begin graceful drain.  Async-signal-safe: callable from a
+     * SIGINT/SIGTERM handler (installSignalHandlers() does exactly
+     * that) or from any thread.
+     */
+    void requestDrain();
+
+    bool draining() const
+    {
+        return _drain.load(std::memory_order_acquire);
+    }
+
+    /** Route SIGINT and SIGTERM to this server's requestDrain(). */
+    void installSignalHandlers();
+
+    service::MetricsSnapshot metrics() const
+    {
+        return _pool.metrics();
+    }
+
+  private:
+    struct Conn
+    {
+        int fd = -1;
+        std::uint64_t id = 0;
+        std::string rbuf;        ///< bytes read, not yet framed
+        std::string wbuf;        ///< encoded replies, not yet sent
+        std::size_t woff = 0;    ///< sent prefix of wbuf
+    };
+
+    struct Completion
+    {
+        std::uint64_t connId;
+        ResultMsg msg;
+    };
+
+    void pollOnce();
+    void acceptConnections();
+    bool handleReadable(Conn &conn);
+    bool handleMessage(Conn &conn, Message &&msg);
+    void handleSubmit(Conn &conn, SubmitMsg &&msg);
+    void queueReply(Conn &conn, const Message &msg);
+    bool flushWrites(Conn &conn);
+    void closeConn(std::uint64_t id);
+    void drainWakePipe();
+    void processCompletions();
+    bool drainComplete() const;
+
+    Config _config;
+    service::EnginePool _pool;
+    int _listenFd = -1;
+    int _wakeRead = -1;
+    int _wakeWrite = -1;
+    std::uint16_t _port = 0;
+    std::uint64_t _nextConnId = 1;
+    std::map<std::uint64_t, Conn> _conns;
+    std::vector<std::uint64_t> _closing;
+
+    mutable std::mutex _completionMutex;
+    std::vector<Completion> _completions;
+    /** Jobs accepted by the pool whose RESULT is not yet queued. */
+    std::size_t _inFlight = 0;
+
+    std::atomic<bool> _drain{false};
+    std::chrono::steady_clock::time_point _started;
+};
+
+} // namespace net
+} // namespace psi
+
+#endif // PSI_NET_SERVER_HPP

@@ -1,0 +1,422 @@
+#include "net/wire.hpp"
+
+#include "service/engine_pool.hpp"
+
+namespace psi {
+namespace net {
+
+const char *
+wireStatusName(WireStatus s)
+{
+    switch (s) {
+      case WireStatus::Ok:              return "ok";
+      case WireStatus::StepLimit:       return "step-limit";
+      case WireStatus::Timeout:         return "timeout";
+      case WireStatus::EngineError:     return "engine-error";
+      case WireStatus::UnknownWorkload: return "unknown-workload";
+      case WireStatus::Overloaded:      return "overloaded";
+      case WireStatus::Draining:        return "draining";
+    }
+    return "?";
+}
+
+WireStatus
+wireStatus(interp::RunStatus s)
+{
+    switch (s) {
+      case interp::RunStatus::Ok:        return WireStatus::Ok;
+      case interp::RunStatus::StepLimit: return WireStatus::StepLimit;
+      case interp::RunStatus::Timeout:   return WireStatus::Timeout;
+    }
+    return WireStatus::EngineError;
+}
+
+MsgType
+messageType(const Message &msg)
+{
+    struct Visitor
+    {
+        MsgType operator()(const SubmitMsg &) { return MsgType::Submit; }
+        MsgType operator()(const ResultMsg &) { return MsgType::Result; }
+        MsgType operator()(const StatsMsg &) { return MsgType::Stats; }
+        MsgType operator()(const StatsReplyMsg &)
+        {
+            return MsgType::StatsReply;
+        }
+        MsgType operator()(const DrainMsg &) { return MsgType::Drain; }
+        MsgType operator()(const DrainAckMsg &)
+        {
+            return MsgType::DrainAck;
+        }
+    };
+    return std::visit(Visitor{}, msg);
+}
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Primitive writers (big-endian, strings/arrays length-prefixed)
+// ---------------------------------------------------------------------
+
+void
+putU8(std::string &out, std::uint8_t v)
+{
+    out.push_back(static_cast<char>(v));
+}
+
+void
+putU32(std::string &out, std::uint32_t v)
+{
+    for (int shift = 24; shift >= 0; shift -= 8)
+        out.push_back(static_cast<char>((v >> shift) & 0xff));
+}
+
+void
+putU64(std::string &out, std::uint64_t v)
+{
+    for (int shift = 56; shift >= 0; shift -= 8)
+        out.push_back(static_cast<char>((v >> shift) & 0xff));
+}
+
+void
+putString(std::string &out, const std::string &s)
+{
+    putU32(out, static_cast<std::uint32_t>(s.size()));
+    out.append(s);
+}
+
+template <std::size_t N>
+void
+putArray(std::string &out, const std::array<std::uint64_t, N> &a)
+{
+    putU32(out, static_cast<std::uint32_t>(N));
+    for (std::uint64_t v : a)
+        putU64(out, v);
+}
+
+template <std::size_t Rows, std::size_t Cols>
+void
+putMatrix(std::string &out,
+          const std::array<std::array<std::uint64_t, Cols>, Rows> &m)
+{
+    putU32(out, static_cast<std::uint32_t>(Rows));
+    putU32(out, static_cast<std::uint32_t>(Cols));
+    for (const auto &row : m)
+        for (std::uint64_t v : row)
+            putU64(out, v);
+}
+
+// ---------------------------------------------------------------------
+// Primitive readers (bounds-checked; false = truncated)
+// ---------------------------------------------------------------------
+
+struct Reader
+{
+    std::string_view data;
+    std::size_t pos = 0;
+
+    bool
+    getU8(std::uint8_t &v)
+    {
+        if (pos + 1 > data.size())
+            return false;
+        v = static_cast<std::uint8_t>(data[pos++]);
+        return true;
+    }
+
+    bool
+    getU32(std::uint32_t &v)
+    {
+        if (pos + 4 > data.size())
+            return false;
+        v = 0;
+        for (int i = 0; i < 4; ++i)
+            v = (v << 8) |
+                static_cast<std::uint8_t>(data[pos++]);
+        return true;
+    }
+
+    bool
+    getU64(std::uint64_t &v)
+    {
+        if (pos + 8 > data.size())
+            return false;
+        v = 0;
+        for (int i = 0; i < 8; ++i)
+            v = (v << 8) |
+                static_cast<std::uint8_t>(data[pos++]);
+        return true;
+    }
+
+    bool
+    getString(std::string &s)
+    {
+        std::uint32_t n;
+        if (!getU32(n) || pos + n > data.size())
+            return false;
+        s.assign(data.substr(pos, n));
+        pos += n;
+        return true;
+    }
+
+    template <std::size_t N>
+    bool
+    getArray(std::array<std::uint64_t, N> &a)
+    {
+        std::uint32_t n;
+        if (!getU32(n) || n != N)
+            return false;
+        for (std::uint64_t &v : a)
+            if (!getU64(v))
+                return false;
+        return true;
+    }
+
+    template <std::size_t Rows, std::size_t Cols>
+    bool
+    getMatrix(std::array<std::array<std::uint64_t, Cols>, Rows> &m)
+    {
+        std::uint32_t rows, cols;
+        if (!getU32(rows) || !getU32(cols) || rows != Rows ||
+            cols != Cols)
+            return false;
+        for (auto &row : m)
+            for (std::uint64_t &v : row)
+                if (!getU64(v))
+                    return false;
+        return true;
+    }
+
+    bool done() const { return pos == data.size(); }
+};
+
+// ---------------------------------------------------------------------
+// Message bodies
+// ---------------------------------------------------------------------
+
+void
+putBody(std::string &out, const SubmitMsg &m)
+{
+    putU64(out, m.tag);
+    putString(out, m.workload);
+    putU64(out, m.deadlineNs);
+}
+
+void
+putBody(std::string &out, const ResultMsg &m)
+{
+    putU64(out, m.tag);
+    putU8(out, static_cast<std::uint8_t>(m.status));
+    putString(out, m.error);
+    putU32(out, static_cast<std::uint32_t>(m.solutions.size()));
+    for (const auto &s : m.solutions)
+        putString(out, s);
+    putString(out, m.output);
+    putU64(out, m.inferences);
+    putU64(out, m.steps);
+    putU64(out, m.modelNs);
+    putU64(out, m.stallNs);
+    putArray(out, m.seq.moduleSteps);
+    putArray(out, m.seq.branchOps);
+    putMatrix(out, m.seq.wfModes);
+    putArray(out, m.seq.cacheSteps);
+    putMatrix(out, m.cache.accesses);
+    putMatrix(out, m.cache.hits);
+    putU64(out, m.cache.readIns);
+    putU64(out, m.cache.writeBacks);
+    putU64(out, m.cache.stackAllocs);
+    putU64(out, m.cache.throughWrites);
+    putU64(out, m.queueNs);
+    putU64(out, m.execNs);
+    putU64(out, m.latencyNs);
+}
+
+void
+putBody(std::string &, const StatsMsg &)
+{}
+
+void
+putBody(std::string &out, const StatsReplyMsg &m)
+{
+    putString(out, m.json);
+}
+
+void
+putBody(std::string &, const DrainMsg &)
+{}
+
+void
+putBody(std::string &, const DrainAckMsg &)
+{}
+
+bool
+getBody(Reader &r, SubmitMsg &m)
+{
+    return r.getU64(m.tag) && r.getString(m.workload) &&
+           r.getU64(m.deadlineNs);
+}
+
+bool
+getBody(Reader &r, ResultMsg &m)
+{
+    std::uint8_t status;
+    std::uint32_t nsolutions;
+    if (!r.getU64(m.tag) || !r.getU8(status) ||
+        !r.getString(m.error) || !r.getU32(nsolutions))
+        return false;
+    m.status = static_cast<WireStatus>(status);
+    m.solutions.resize(nsolutions);
+    for (auto &s : m.solutions)
+        if (!r.getString(s))
+            return false;
+    return r.getString(m.output) && r.getU64(m.inferences) &&
+           r.getU64(m.steps) && r.getU64(m.modelNs) &&
+           r.getU64(m.stallNs) && r.getArray(m.seq.moduleSteps) &&
+           r.getArray(m.seq.branchOps) && r.getMatrix(m.seq.wfModes) &&
+           r.getArray(m.seq.cacheSteps) &&
+           r.getMatrix(m.cache.accesses) &&
+           r.getMatrix(m.cache.hits) && r.getU64(m.cache.readIns) &&
+           r.getU64(m.cache.writeBacks) &&
+           r.getU64(m.cache.stackAllocs) &&
+           r.getU64(m.cache.throughWrites) && r.getU64(m.queueNs) &&
+           r.getU64(m.execNs) && r.getU64(m.latencyNs);
+}
+
+bool
+getBody(Reader &, StatsMsg &)
+{
+    return true;
+}
+
+bool
+getBody(Reader &r, StatsReplyMsg &m)
+{
+    return r.getString(m.json);
+}
+
+bool
+getBody(Reader &, DrainMsg &)
+{
+    return true;
+}
+
+bool
+getBody(Reader &, DrainAckMsg &)
+{
+    return true;
+}
+
+template <typename T>
+std::optional<Message>
+decodeAs(Reader &r, std::string *error)
+{
+    T msg;
+    if (!getBody(r, msg)) {
+        if (error)
+            *error = "truncated message body";
+        return std::nullopt;
+    }
+    if (!r.done()) {
+        if (error)
+            *error = "trailing bytes after message body";
+        return std::nullopt;
+    }
+    return Message(std::move(msg));
+}
+
+} // namespace
+
+std::string
+encode(const Message &msg)
+{
+    std::string payload;
+    putU8(payload, static_cast<std::uint8_t>(messageType(msg)));
+    std::visit([&payload](const auto &m) { putBody(payload, m); },
+               msg);
+
+    std::string frame;
+    frame.reserve(kFrameHeaderBytes + payload.size());
+    putU32(frame, static_cast<std::uint32_t>(payload.size()));
+    frame.append(payload);
+    return frame;
+}
+
+FrameResult
+extractFrame(std::string &buffer, std::string &payload)
+{
+    if (buffer.size() < kFrameHeaderBytes)
+        return FrameResult::NeedMore;
+    std::uint32_t length = 0;
+    for (int i = 0; i < 4; ++i)
+        length = (length << 8) |
+                 static_cast<std::uint8_t>(buffer[i]);
+    if (length == 0 || length > kMaxFramePayload)
+        return FrameResult::Bad;
+    if (buffer.size() < kFrameHeaderBytes + length)
+        return FrameResult::NeedMore;
+    payload.assign(buffer, kFrameHeaderBytes, length);
+    buffer.erase(0, kFrameHeaderBytes + length);
+    return FrameResult::Frame;
+}
+
+std::optional<Message>
+decode(std::string_view payload, std::string *error)
+{
+    Reader r{payload};
+    std::uint8_t type;
+    if (!r.getU8(type)) {
+        if (error)
+            *error = "empty payload";
+        return std::nullopt;
+    }
+    switch (static_cast<MsgType>(type)) {
+      case MsgType::Submit:
+        return decodeAs<SubmitMsg>(r, error);
+      case MsgType::Result:
+        return decodeAs<ResultMsg>(r, error);
+      case MsgType::Stats:
+        return decodeAs<StatsMsg>(r, error);
+      case MsgType::StatsReply:
+        return decodeAs<StatsReplyMsg>(r, error);
+      case MsgType::Drain:
+        return decodeAs<DrainMsg>(r, error);
+      case MsgType::DrainAck:
+        return decodeAs<DrainAckMsg>(r, error);
+    }
+    if (error)
+        *error = "unknown message type " + std::to_string(type);
+    return std::nullopt;
+}
+
+ResultMsg
+resultFromOutcome(std::uint64_t tag,
+                  const service::JobOutcome &outcome)
+{
+    ResultMsg msg;
+    msg.tag = tag;
+    if (!outcome.ok()) {
+        msg.status = WireStatus::EngineError;
+        msg.error = outcome.error;
+    } else {
+        msg.status = wireStatus(outcome.status());
+    }
+
+    const interp::RunResult &r = outcome.run.result;
+    msg.solutions.reserve(r.solutions.size());
+    for (const auto &s : r.solutions)
+        msg.solutions.push_back(s.str());
+    msg.output = r.output;
+    msg.inferences = r.inferences;
+    msg.steps = r.steps;
+    msg.modelNs = r.timeNs;
+    msg.stallNs = outcome.run.stallNs;
+    msg.seq = outcome.run.seq;
+    msg.cache = outcome.run.cache;
+    msg.queueNs = outcome.queueNs;
+    msg.execNs = outcome.execNs;
+    msg.latencyNs = outcome.latencyNs;
+    return msg;
+}
+
+} // namespace net
+} // namespace psi

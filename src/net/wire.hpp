@@ -1,0 +1,184 @@
+/**
+ * @file
+ * psinet wire protocol: length-prefixed framed messages.
+ *
+ * Every message travels in one frame:
+ *
+ *     +-------------------+---------+----------------+
+ *     | u32 payload bytes | u8 type | type body ...  |
+ *     +-------------------+---------+----------------+
+ *       big-endian          ^------- payload -------^
+ *
+ * The length covers the payload (type byte included) and is capped at
+ * kMaxFramePayload; a peer announcing a larger frame is a protocol
+ * error and the connection is dropped without buffering the payload.
+ * Integers are fixed-width big-endian, strings and arrays carry a u32
+ * count before their elements, so every message round-trips through
+ * encode()/decode() byte-exactly (pinned by tests/test_net.cpp).
+ *
+ * Message flow (see docs/PROTOCOL.md for the full layout):
+ *
+ *   client                         server
+ *     SUBMIT(tag, workload, ddl) ->
+ *                                <- RESULT(tag, status, answer, stats)
+ *     STATS                      ->
+ *                                <- STATS_REPLY(metrics json)
+ *     DRAIN                      ->
+ *                                <- DRAIN_ACK, then graceful drain
+ *
+ * Requests are correlated by the client-chosen tag, so a connection
+ * may pipeline many SUBMITs; RESULTs come back in completion order,
+ * not submission order.
+ */
+
+#ifndef PSI_NET_WIRE_HPP
+#define PSI_NET_WIRE_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "interp/machine.hpp"
+#include "mem/cache.hpp"
+#include "micro/sequencer.hpp"
+
+namespace psi {
+namespace service {
+struct JobOutcome;
+}
+
+namespace net {
+
+/** Hard cap on one frame's payload (type byte + body). */
+constexpr std::uint32_t kMaxFramePayload = 4u << 20;
+
+/** Bytes of frame header (the big-endian payload length). */
+constexpr std::size_t kFrameHeaderBytes = 4;
+
+/** Payload type byte. */
+enum class MsgType : std::uint8_t
+{
+    Submit = 1,     ///< client -> server: run one workload
+    Result = 2,     ///< server -> client: outcome + statistics
+    Stats = 3,      ///< client -> server: request service metrics
+    StatsReply = 4, ///< server -> client: metrics JSON
+    Drain = 5,      ///< client -> server: start graceful drain
+    DrainAck = 6,   ///< server -> client: drain acknowledged
+};
+
+/**
+ * Status of one RESULT.  The first three values mirror
+ * interp::RunStatus (the job ran on an engine); the rest are
+ * service-level refusals that never reached an engine.
+ */
+enum class WireStatus : std::uint8_t
+{
+    Ok = 0,              ///< ran to completion
+    StepLimit = 1,       ///< RunLimits::maxSteps exhausted
+    Timeout = 2,         ///< deadline budget spent
+    EngineError = 16,    ///< FatalError from the engine (see error)
+    UnknownWorkload = 17,///< workload id not in the registry
+    Overloaded = 18,     ///< fail-fast queue rejection (backpressure)
+    Draining = 19,       ///< server is draining, no new work
+};
+
+const char *wireStatusName(WireStatus s);
+
+/** Map an engine run status onto the wire. */
+WireStatus wireStatus(interp::RunStatus s);
+
+/** SUBMIT body. */
+struct SubmitMsg
+{
+    std::uint64_t tag = 0;        ///< client-chosen correlation id
+    std::string workload;         ///< registry id, e.g. "queens1"
+    std::uint64_t deadlineNs = 0; ///< per-request budget; 0 = none
+};
+
+/** RESULT body: the full JobOutcome, serialized. */
+struct ResultMsg
+{
+    std::uint64_t tag = 0;
+    WireStatus status = WireStatus::Ok;
+    std::string error;            ///< refusal / engine error text
+
+    std::vector<std::string> solutions; ///< rendered bindings
+    std::string output;           ///< text written by write/nl/tab
+
+    std::uint64_t inferences = 0; ///< user-predicate calls
+    std::uint64_t steps = 0;      ///< microinstruction steps
+    std::uint64_t modelNs = 0;    ///< model clock (steps + stalls)
+    std::uint64_t stallNs = 0;    ///< memory stall share
+    micro::SeqStats seq{};        ///< firmware statistics
+    CacheStats cache{};           ///< cache statistics
+
+    std::uint64_t queueNs = 0;    ///< server: submit -> worker pickup
+    std::uint64_t execNs = 0;     ///< server: consult + solve
+    std::uint64_t latencyNs = 0;  ///< server: submit -> completion
+
+    /** True when the job reached an engine (statistics are valid). */
+    bool
+    ran() const
+    {
+        return status == WireStatus::Ok ||
+               status == WireStatus::StepLimit ||
+               status == WireStatus::Timeout;
+    }
+};
+
+struct StatsMsg
+{};
+
+struct StatsReplyMsg
+{
+    std::string json; ///< service::MetricsSnapshot::json()
+};
+
+struct DrainMsg
+{};
+
+struct DrainAckMsg
+{};
+
+using Message = std::variant<SubmitMsg, ResultMsg, StatsMsg,
+                             StatsReplyMsg, DrainMsg, DrainAckMsg>;
+
+MsgType messageType(const Message &msg);
+
+/** Encode @p msg as one complete frame (header + payload). */
+std::string encode(const Message &msg);
+
+/** Outcome of scanning a receive buffer for one frame. */
+enum class FrameResult : std::uint8_t
+{
+    Frame,    ///< one payload extracted and consumed
+    NeedMore, ///< incomplete; buffer untouched, read more bytes
+    Bad,      ///< oversized or empty frame announced: drop the peer
+};
+
+/**
+ * Cut one complete frame's payload off the front of @p buffer.
+ * On Frame, @p payload holds the type byte + body and the frame is
+ * consumed from @p buffer; otherwise @p buffer is left untouched.
+ */
+FrameResult extractFrame(std::string &buffer, std::string &payload);
+
+/**
+ * Decode one frame payload.
+ * @return the message, or std::nullopt with @p error set when the
+ *         payload is truncated, trailing-garbage or of unknown type.
+ */
+std::optional<Message> decode(std::string_view payload,
+                              std::string *error = nullptr);
+
+/** Build the RESULT for a finished pool job. */
+ResultMsg resultFromOutcome(std::uint64_t tag,
+                            const service::JobOutcome &outcome);
+
+} // namespace net
+} // namespace psi
+
+#endif // PSI_NET_WIRE_HPP

@@ -71,6 +71,18 @@ programById(const std::string &id)
 }
 
 std::vector<BenchProgram>
+resolveProgramsOrAll(const std::vector<std::string> &ids)
+{
+    if (ids.empty())
+        return allPrograms();
+    std::vector<BenchProgram> out;
+    out.reserve(ids.size());
+    for (const auto &id : ids)
+        out.push_back(programById(id));
+    return out;
+}
+
+std::vector<BenchProgram>
 table1Programs()
 {
     std::vector<BenchProgram> out;

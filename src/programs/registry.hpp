@@ -60,6 +60,14 @@ const BenchProgram &programById(const std::string &id);
 /** Every registered workload id, registry order, comma-separated. */
 std::string programIdList();
 
+/**
+ * Resolve command-line workload positionals: every id via
+ * programById() (so a typo fails with the actionable id list), or
+ * the full registry when @p ids is empty.
+ */
+std::vector<BenchProgram>
+resolveProgramsOrAll(const std::vector<std::string> &ids);
+
 /** The KL0 library predicates (append, member, length, ...). */
 const char *librarySource();
 

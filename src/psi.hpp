@@ -8,6 +8,8 @@
  *  - programs::            the paper's benchmark workloads
  *  - tools::               COLLECT / MAP / PMMS analysis tools
  *  - service::             psid - the concurrent batch-query service
+ *  - net::                 psinet - psid on the wire (TCP server,
+ *                          framed protocol, client library)
  *  - runOnPsi/runOnBaseline  one-call workload execution
  *  - runBatchOnPsi           pool-backed batch execution
  */
@@ -15,6 +17,7 @@
 #ifndef PSI_PSI_HPP
 #define PSI_PSI_HPP
 
+#include "base/flags.hpp"
 #include "base/logging.hpp"
 #include "base/stats.hpp"
 #include "base/table.hpp"
@@ -25,6 +28,7 @@
 #include "mem/cache.hpp"
 #include "mem/memory_system.hpp"
 #include "micro/sequencer.hpp"
+#include "net/net.hpp"
 #include "programs/registry.hpp"
 #include "service/service.hpp"
 #include "system.hpp"

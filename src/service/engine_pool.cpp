@@ -25,19 +25,14 @@ EnginePool::~EnginePool()
     shutdown();
 }
 
-std::optional<std::future<JobOutcome>>
-EnginePool::submit(QueryJob query, Submit mode)
+bool
+EnginePool::enqueue(Job &&job, Submit mode)
 {
-    Job job;
-    job.query = std::move(query);
-    job.submitted = std::chrono::steady_clock::now();
-    std::future<JobOutcome> fut = job.promise.get_future();
-
     bool accepted = mode == Submit::Block ? _queue.push(std::move(job))
                                           : _queue.tryPush(job);
     if (!accepted) {
         _rejected.fetch_add(1, std::memory_order_relaxed);
-        return std::nullopt;
+        return false;
     }
 
     _submitted.fetch_add(1, std::memory_order_relaxed);
@@ -47,7 +42,39 @@ EnginePool::submit(QueryJob query, Submit mode)
            !_peakDepth.compare_exchange_weak(
                peak, depth, std::memory_order_relaxed)) {
     }
+    return true;
+}
+
+std::optional<std::future<JobOutcome>>
+EnginePool::submit(QueryJob query, Submit mode)
+{
+    Job job;
+    job.query = std::move(query);
+    job.submitted = std::chrono::steady_clock::now();
+    std::future<JobOutcome> fut = job.promise.get_future();
+
+    if (!enqueue(std::move(job), mode))
+        return std::nullopt;
     return fut;
+}
+
+std::optional<SubmitError>
+EnginePool::submitAsync(QueryJob query,
+                        std::function<void(JobOutcome)> done,
+                        Submit mode)
+{
+    Job job;
+    job.query = std::move(query);
+    job.done = std::move(done);
+    job.submitted = std::chrono::steady_clock::now();
+
+    if (!enqueue(std::move(job), mode)) {
+        // The queue refuses for exactly two reasons; closed wins the
+        // (benign) race so a drain never masquerades as overload.
+        return _queue.closed() ? SubmitError::ShutDown
+                               : SubmitError::QueueFull;
+    }
+    return std::nullopt;
 }
 
 void
@@ -86,7 +113,10 @@ EnginePool::workerMain(unsigned index)
             std::lock_guard<std::mutex> lock(shard.m);
             shard.wm.record(out);
         }
-        job->promise.set_value(std::move(out));
+        if (job->done)
+            job->done(std::move(out));
+        else
+            job->promise.set_value(std::move(out));
     }
 }
 

@@ -27,6 +27,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <optional>
@@ -73,6 +74,17 @@ enum class Submit
     FailFast, ///< refuse immediately; the pool counts the rejection
 };
 
+/**
+ * Why a submission was refused.  Network front ends map QueueFull to
+ * an OVERLOADED reply (backpressure surfaced to the client) and
+ * ShutDown to a DRAINING reply.
+ */
+enum class SubmitError : std::uint8_t
+{
+    QueueFull, ///< fail-fast submission against a full queue
+    ShutDown,  ///< the pool is draining / shut down
+};
+
 /** Fixed-size pool of isolated PSI engine workers. */
 class EnginePool
 {
@@ -101,8 +113,24 @@ class EnginePool
     submit(QueryJob job, Submit mode = Submit::Block);
 
     /**
+     * Callback flavor of submit() for event-loop callers (psinet):
+     * @p done runs on the worker thread that executed the job, so it
+     * must be cheap and thread-safe (typically: push the outcome
+     * onto a completion queue and wake the loop).
+     *
+     * @return std::nullopt when the job was accepted, otherwise the
+     *         refusal reason so the caller can tell overload
+     *         (QueueFull) from drain (ShutDown) apart.
+     */
+    std::optional<SubmitError>
+    submitAsync(QueryJob job, std::function<void(JobOutcome)> done,
+                Submit mode = Submit::FailFast);
+
+    /**
      * Stop accepting jobs, drain the queue and join the workers.
-     * Idempotent; also run by the destructor.
+     * Idempotent; also run by the destructor.  This is the graceful
+     * drain: jobs already accepted still execute and complete their
+     * futures/callbacks before the workers exit.
      */
     void shutdown();
 
@@ -118,8 +146,12 @@ class EnginePool
     {
         QueryJob query;
         std::promise<JobOutcome> promise;
+        /** Set for submitAsync() jobs; used instead of the promise. */
+        std::function<void(JobOutcome)> done;
         std::chrono::steady_clock::time_point submitted;
     };
+
+    bool enqueue(Job &&job, Submit mode);
 
     /** Per-worker metrics shard; the lock is shard-private, so
      *  workers never contend with each other, only with a

@@ -1,0 +1,534 @@
+/**
+ * @file
+ * psinet tests: wire-protocol framing and the TCP loopback path.
+ *
+ *  - property-style encode/decode round-trips for every message kind
+ *  - truncated-frame and oversized-frame rejection
+ *  - loopback integration: answers and engine statistics over TCP
+ *    are byte-identical to sequential runOnPsi() for the full
+ *    workload registry, deadlines propagate as RunStatus::Timeout,
+ *    and fail-fast queue saturation surfaces as OVERLOADED replies
+ *  - graceful drain: DRAIN ack, event-loop exit, refused reconnect
+ *
+ * The binary carries the `net` ctest label so the group runs under
+ * ThreadSanitizer alongside `service`:
+ *
+ *     cmake -B build-tsan -S . -DPSI_SANITIZE=thread
+ *     cmake --build build-tsan -j
+ *     ctest --test-dir build-tsan -L "service|net"
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <thread>
+
+#include "psi.hpp"
+
+namespace {
+
+using namespace psi;
+using net::DrainAckMsg;
+using net::DrainMsg;
+using net::FrameResult;
+using net::Message;
+using net::ResultMsg;
+using net::StatsMsg;
+using net::StatsReplyMsg;
+using net::SubmitMsg;
+using net::WireStatus;
+
+// ---------------------------------------------------------------------
+// Wire protocol: round trips
+// ---------------------------------------------------------------------
+
+std::string
+randomString(std::mt19937_64 &rng, std::size_t maxLen)
+{
+    std::uniform_int_distribution<std::size_t> len(0, maxLen);
+    std::uniform_int_distribution<int> byte(0, 255);
+    std::string s(len(rng), '\0');
+    for (char &c : s)
+        c = static_cast<char>(byte(rng));
+    return s;
+}
+
+SubmitMsg
+randomSubmit(std::mt19937_64 &rng)
+{
+    SubmitMsg m;
+    m.tag = rng();
+    m.workload = randomString(rng, 64);
+    m.deadlineNs = rng();
+    return m;
+}
+
+ResultMsg
+randomResult(std::mt19937_64 &rng)
+{
+    ResultMsg m;
+    m.tag = rng();
+    m.status = static_cast<WireStatus>(rng() % 20);
+    m.error = randomString(rng, 128);
+    std::uniform_int_distribution<std::size_t> nsol(0, 5);
+    m.solutions.resize(nsol(rng));
+    for (auto &s : m.solutions)
+        s = randomString(rng, 200);
+    m.output = randomString(rng, 300);
+    m.inferences = rng();
+    m.steps = rng();
+    m.modelNs = rng();
+    m.stallNs = rng();
+    for (auto &v : m.seq.moduleSteps)
+        v = rng();
+    for (auto &v : m.seq.branchOps)
+        v = rng();
+    for (auto &row : m.seq.wfModes)
+        for (auto &v : row)
+            v = rng();
+    for (auto &v : m.seq.cacheSteps)
+        v = rng();
+    for (auto &row : m.cache.accesses)
+        for (auto &v : row)
+            v = rng();
+    for (auto &row : m.cache.hits)
+        for (auto &v : row)
+            v = rng();
+    m.cache.readIns = rng();
+    m.cache.writeBacks = rng();
+    m.cache.stackAllocs = rng();
+    m.cache.throughWrites = rng();
+    m.queueNs = rng();
+    m.execNs = rng();
+    m.latencyNs = rng();
+    return m;
+}
+
+void
+expectEq(const SubmitMsg &a, const SubmitMsg &b)
+{
+    EXPECT_EQ(a.tag, b.tag);
+    EXPECT_EQ(a.workload, b.workload);
+    EXPECT_EQ(a.deadlineNs, b.deadlineNs);
+}
+
+void
+expectEq(const ResultMsg &a, const ResultMsg &b)
+{
+    EXPECT_EQ(a.tag, b.tag);
+    EXPECT_EQ(a.status, b.status);
+    EXPECT_EQ(a.error, b.error);
+    EXPECT_EQ(a.solutions, b.solutions);
+    EXPECT_EQ(a.output, b.output);
+    EXPECT_EQ(a.inferences, b.inferences);
+    EXPECT_EQ(a.steps, b.steps);
+    EXPECT_EQ(a.modelNs, b.modelNs);
+    EXPECT_EQ(a.stallNs, b.stallNs);
+    EXPECT_EQ(a.seq.moduleSteps, b.seq.moduleSteps);
+    EXPECT_EQ(a.seq.branchOps, b.seq.branchOps);
+    EXPECT_EQ(a.seq.wfModes, b.seq.wfModes);
+    EXPECT_EQ(a.seq.cacheSteps, b.seq.cacheSteps);
+    EXPECT_EQ(a.cache.accesses, b.cache.accesses);
+    EXPECT_EQ(a.cache.hits, b.cache.hits);
+    EXPECT_EQ(a.cache.readIns, b.cache.readIns);
+    EXPECT_EQ(a.cache.writeBacks, b.cache.writeBacks);
+    EXPECT_EQ(a.cache.stackAllocs, b.cache.stackAllocs);
+    EXPECT_EQ(a.cache.throughWrites, b.cache.throughWrites);
+    EXPECT_EQ(a.queueNs, b.queueNs);
+    EXPECT_EQ(a.execNs, b.execNs);
+    EXPECT_EQ(a.latencyNs, b.latencyNs);
+}
+
+/** encode -> frame extraction -> decode, returning the message. */
+Message
+roundTrip(const Message &msg)
+{
+    std::string buffer = net::encode(msg);
+    std::string payload;
+    EXPECT_EQ(net::extractFrame(buffer, payload),
+              FrameResult::Frame);
+    EXPECT_TRUE(buffer.empty());
+    std::string error;
+    std::optional<Message> out = net::decode(payload, &error);
+    EXPECT_TRUE(out.has_value()) << error;
+    return out.value_or(Message(StatsMsg{}));
+}
+
+TEST(Wire, SubmitRoundTripsProperty)
+{
+    std::mt19937_64 rng(20260805);
+    for (int i = 0; i < 100; ++i) {
+        SubmitMsg msg = randomSubmit(rng);
+        Message out = roundTrip(Message(msg));
+        ASSERT_TRUE(std::holds_alternative<SubmitMsg>(out));
+        expectEq(msg, std::get<SubmitMsg>(out));
+    }
+}
+
+TEST(Wire, ResultRoundTripsProperty)
+{
+    std::mt19937_64 rng(42);
+    for (int i = 0; i < 50; ++i) {
+        ResultMsg msg = randomResult(rng);
+        Message out = roundTrip(Message(msg));
+        ASSERT_TRUE(std::holds_alternative<ResultMsg>(out));
+        expectEq(msg, std::get<ResultMsg>(out));
+    }
+}
+
+TEST(Wire, ControlMessagesRoundTrip)
+{
+    EXPECT_TRUE(std::holds_alternative<StatsMsg>(
+        roundTrip(Message(StatsMsg{}))));
+    EXPECT_TRUE(std::holds_alternative<DrainMsg>(
+        roundTrip(Message(DrainMsg{}))));
+    EXPECT_TRUE(std::holds_alternative<DrainAckMsg>(
+        roundTrip(Message(DrainAckMsg{}))));
+
+    StatsReplyMsg stats;
+    stats.json = "{\"completed\": 7}";
+    Message out = roundTrip(Message(stats));
+    ASSERT_TRUE(std::holds_alternative<StatsReplyMsg>(out));
+    EXPECT_EQ(std::get<StatsReplyMsg>(out).json, stats.json);
+}
+
+// ---------------------------------------------------------------------
+// Wire protocol: framing rejection
+// ---------------------------------------------------------------------
+
+TEST(Wire, PartialFrameNeedsMoreAndLeavesBufferIntact)
+{
+    std::mt19937_64 rng(7);
+    std::string frame = net::encode(Message(randomResult(rng)));
+
+    // Every proper prefix is an incomplete frame, never an error.
+    for (std::size_t cut : {std::size_t(0), std::size_t(1),
+                            std::size_t(3), frame.size() / 2,
+                            frame.size() - 1}) {
+        std::string buffer = frame.substr(0, cut);
+        std::string payload;
+        EXPECT_EQ(net::extractFrame(buffer, payload),
+                  FrameResult::NeedMore)
+            << "cut=" << cut;
+        EXPECT_EQ(buffer, frame.substr(0, cut));
+    }
+}
+
+TEST(Wire, ChunkedDeliveryReassembles)
+{
+    std::mt19937_64 rng(11);
+    ResultMsg msg = randomResult(rng);
+    std::string frame = net::encode(Message(msg));
+
+    // Deliver 3 bytes at a time, as a slow TCP peer would.
+    std::string buffer, payload;
+    for (std::size_t off = 0; off < frame.size(); off += 3) {
+        buffer.append(frame.substr(off, 3));
+        FrameResult r = net::extractFrame(buffer, payload);
+        if (off + 3 < frame.size())
+            ASSERT_EQ(r, FrameResult::NeedMore);
+        else
+            ASSERT_EQ(r, FrameResult::Frame);
+    }
+    std::optional<Message> out = net::decode(payload);
+    ASSERT_TRUE(out.has_value());
+    expectEq(msg, std::get<ResultMsg>(*out));
+}
+
+TEST(Wire, TruncatedPayloadRejectedAtEveryCut)
+{
+    std::mt19937_64 rng(13);
+    std::string frame = net::encode(Message(randomResult(rng)));
+    std::string payload = frame.substr(net::kFrameHeaderBytes);
+
+    for (std::size_t cut = 1; cut < payload.size(); ++cut) {
+        std::string error;
+        EXPECT_FALSE(
+            net::decode(payload.substr(0, cut), &error).has_value())
+            << "cut=" << cut;
+        EXPECT_FALSE(error.empty());
+    }
+    // The untruncated payload still decodes (sanity).
+    EXPECT_TRUE(net::decode(payload).has_value());
+}
+
+TEST(Wire, TrailingGarbageRejected)
+{
+    std::string frame = net::encode(Message(StatsMsg{}));
+    std::string payload = frame.substr(net::kFrameHeaderBytes);
+    payload.push_back('x');
+    std::string error;
+    EXPECT_FALSE(net::decode(payload, &error).has_value());
+    EXPECT_NE(error.find("trailing"), std::string::npos);
+}
+
+TEST(Wire, OversizedFrameRejected)
+{
+    std::uint32_t huge = net::kMaxFramePayload + 1;
+    std::string buffer;
+    for (int shift = 24; shift >= 0; shift -= 8)
+        buffer.push_back(static_cast<char>((huge >> shift) & 0xff));
+    buffer.append("payload bytes that must never be buffered");
+    std::string payload;
+    EXPECT_EQ(net::extractFrame(buffer, payload), FrameResult::Bad);
+}
+
+TEST(Wire, EmptyFrameRejected)
+{
+    std::string buffer(net::kFrameHeaderBytes, '\0'); // length 0
+    std::string payload;
+    EXPECT_EQ(net::extractFrame(buffer, payload), FrameResult::Bad);
+}
+
+TEST(Wire, UnknownMessageTypeRejected)
+{
+    std::string payload(1, static_cast<char>(0x63));
+    std::string error;
+    EXPECT_FALSE(net::decode(payload, &error).has_value());
+    EXPECT_NE(error.find("unknown message type"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Loopback integration
+// ---------------------------------------------------------------------
+
+/** A PsiServer running its event loop on a background thread. */
+struct ServerHarness
+{
+    net::PsiServer server;
+    std::thread loop;
+
+    explicit ServerHarness(const net::PsiServer::Config &config)
+        : server(config)
+    {
+        std::string error;
+        if (!server.start(&error))
+            throw std::runtime_error("server start: " + error);
+        loop = std::thread([this] { server.run(); });
+    }
+
+    ~ServerHarness()
+    {
+        server.requestDrain();
+        if (loop.joinable())
+            loop.join();
+    }
+
+    std::uint16_t port() const { return server.port(); }
+};
+
+net::PsiServer::Config
+serverConfig(unsigned workers, std::size_t capacity)
+{
+    net::PsiServer::Config config;
+    config.port = 0; // ephemeral
+    config.workers = workers;
+    config.queueCapacity = capacity;
+    config.submitMode = service::Submit::FailFast;
+    return config;
+}
+
+/** Full registry over TCP == sequential execution, bit for bit. */
+TEST(Loopback, RegistryMatchesSequentialByteForByte)
+{
+    ServerHarness harness(serverConfig(4, 32));
+    net::PsiClient client;
+    std::string error;
+    ASSERT_TRUE(client.connect("127.0.0.1", harness.port(), &error))
+        << error;
+
+    for (const auto &program : programs::allPrograms()) {
+        SCOPED_TRACE(program.id);
+        PsiRun want = runOnPsi(program);
+        auto got = client.submit(program.id, 0, -1, &error);
+        ASSERT_TRUE(got.has_value()) << error;
+
+        EXPECT_EQ(got->status, net::wireStatus(want.result.status));
+        ASSERT_EQ(got->solutions.size(),
+                  want.result.solutions.size());
+        for (std::size_t i = 0; i < got->solutions.size(); ++i)
+            EXPECT_EQ(got->solutions[i],
+                      want.result.solutions[i].str());
+        EXPECT_EQ(got->output, want.result.output);
+
+        EXPECT_EQ(got->inferences, want.result.inferences);
+        EXPECT_EQ(got->steps, want.result.steps);
+        EXPECT_EQ(got->modelNs, want.result.timeNs);
+        EXPECT_EQ(got->stallNs, want.stallNs);
+        EXPECT_EQ(got->seq.moduleSteps, want.seq.moduleSteps);
+        EXPECT_EQ(got->seq.branchOps, want.seq.branchOps);
+        EXPECT_EQ(got->seq.wfModes, want.seq.wfModes);
+        EXPECT_EQ(got->seq.cacheSteps, want.seq.cacheSteps);
+        EXPECT_EQ(got->cache.accesses, want.cache.accesses);
+        EXPECT_EQ(got->cache.hits, want.cache.hits);
+        EXPECT_EQ(got->cache.readIns, want.cache.readIns);
+        EXPECT_EQ(got->cache.writeBacks, want.cache.writeBacks);
+        EXPECT_EQ(got->cache.stackAllocs, want.cache.stackAllocs);
+        EXPECT_EQ(got->cache.throughWrites,
+                  want.cache.throughWrites);
+        EXPECT_GT(got->latencyNs, 0u);
+    }
+}
+
+/** An expired per-request deadline comes back as Timeout. */
+TEST(Loopback, DeadlinePropagatesAsTimeout)
+{
+    ServerHarness harness(serverConfig(1, 8));
+    net::PsiClient client;
+    std::string error;
+    ASSERT_TRUE(client.connect("127.0.0.1", harness.port(), &error))
+        << error;
+
+    // 1 ns: expired by the engine's first deadline poll, so the
+    // RESULT carries Timeout plus the partial statistics.
+    auto result = client.submit("bup3", 1, -1, &error);
+    ASSERT_TRUE(result.has_value()) << error;
+    EXPECT_EQ(result->status, WireStatus::Timeout);
+    EXPECT_GT(result->steps, 0u);
+    EXPECT_GT(result->inferences, 0u);
+}
+
+TEST(Loopback, SaturatedQueueRepliesOverloaded)
+{
+    // One worker, one queue slot, fail-fast: a burst of pipelined
+    // submits must overflow and the overflow must be surfaced as
+    // OVERLOADED replies, not an accept stall.
+    ServerHarness harness(serverConfig(1, 1));
+    net::PsiClient client;
+    std::string error;
+    ASSERT_TRUE(client.connect("127.0.0.1", harness.port(), &error))
+        << error;
+
+    constexpr int kBurst = 8;
+    constexpr std::uint64_t kDeadlineNs = 200'000'000; // bound runtime
+    for (int i = 0; i < kBurst; ++i)
+        ASSERT_TRUE(client.sendSubmit("bup3", kDeadlineNs, nullptr,
+                                      &error))
+            << error;
+
+    int overloaded = 0, ran = 0;
+    for (int i = 0; i < kBurst; ++i) {
+        auto result = client.recvResult(-1, &error);
+        ASSERT_TRUE(result.has_value()) << error;
+        if (result->status == WireStatus::Overloaded) {
+            ++overloaded;
+            EXPECT_NE(result->error.find("queue full"),
+                      std::string::npos);
+        } else {
+            ++ran;
+            EXPECT_TRUE(result->ran());
+        }
+    }
+    // The worker can hold one job and the queue one more; the rest
+    // of the burst (sent faster than any consult can finish) must
+    // have been refused.
+    EXPECT_GE(overloaded, kBurst - 2);
+    EXPECT_GE(ran, 1);
+
+    auto snap = harness.server.metrics();
+    EXPECT_EQ(snap.rejected,
+              static_cast<std::uint64_t>(overloaded));
+}
+
+TEST(Loopback, UnknownWorkloadIsActionable)
+{
+    ServerHarness harness(serverConfig(1, 4));
+    net::PsiClient client;
+    std::string error;
+    ASSERT_TRUE(client.connect("127.0.0.1", harness.port(), &error))
+        << error;
+
+    auto result = client.submit("no_such_workload", 0, -1, &error);
+    ASSERT_TRUE(result.has_value()) << error;
+    EXPECT_EQ(result->status, WireStatus::UnknownWorkload);
+    EXPECT_NE(result->error.find("no_such_workload"),
+              std::string::npos);
+    EXPECT_NE(result->error.find("available"), std::string::npos);
+    EXPECT_NE(result->error.find("nreverse30"), std::string::npos);
+}
+
+TEST(Loopback, StatsReplyCarriesServiceMetricsJson)
+{
+    ServerHarness harness(serverConfig(2, 8));
+    net::PsiClient client;
+    std::string error;
+    ASSERT_TRUE(client.connect("127.0.0.1", harness.port(), &error))
+        << error;
+
+    auto result = client.submit("nreverse30", 0, -1, &error);
+    ASSERT_TRUE(result.has_value()) << error;
+    EXPECT_EQ(result->status, WireStatus::Ok);
+
+    auto json = client.stats(-1, &error);
+    ASSERT_TRUE(json.has_value()) << error;
+    EXPECT_NE(json->find("\"completed\": 1"), std::string::npos);
+    EXPECT_NE(json->find("\"workers\": 2"), std::string::npos);
+    EXPECT_NE(json->find("\"aggregate_lips\""), std::string::npos);
+}
+
+TEST(Loopback, DrainFinishesInFlightAndStopsAccepting)
+{
+    auto harness = std::make_unique<ServerHarness>(serverConfig(2, 8));
+    std::uint16_t port = harness->port();
+
+    net::PsiClient client;
+    std::string error;
+    ASSERT_TRUE(client.connect("127.0.0.1", port, &error)) << error;
+
+    // Pipeline work, then ask for drain before collecting it: the
+    // drain must still deliver every in-flight RESULT.
+    ASSERT_TRUE(client.sendSubmit("nreverse30", 0, nullptr, &error))
+        << error;
+    ASSERT_TRUE(client.sendSubmit("queens1", 0, nullptr, &error))
+        << error;
+    ASSERT_TRUE(client.drain(-1, &error)) << error;
+    EXPECT_TRUE(harness->server.draining());
+
+    int completed = 0;
+    for (int i = 0; i < 2; ++i) {
+        auto result = client.recvResult(-1, &error);
+        ASSERT_TRUE(result.has_value()) << error;
+        EXPECT_TRUE(result->ran());
+        ++completed;
+    }
+    EXPECT_EQ(completed, 2);
+
+    // The event loop exits once everything is flushed...
+    harness.reset();
+
+    // ... and the listener is gone: reconnecting is refused.
+    net::PsiClient after;
+    EXPECT_FALSE(after.connect("127.0.0.1", port, &error));
+}
+
+TEST(Loopback, DrainingServerRefusesNewSubmits)
+{
+    ServerHarness harness(serverConfig(1, 4));
+    net::PsiClient client;
+    std::string error;
+    ASSERT_TRUE(client.connect("127.0.0.1", harness.port(), &error))
+        << error;
+
+    // Park a long job so the drain has something in flight, then
+    // drain and immediately submit again on the same connection.
+    ASSERT_TRUE(
+        client.sendSubmit("bup3", 500'000'000ull, nullptr, &error))
+        << error;
+    ASSERT_TRUE(client.drain(-1, &error)) << error;
+    ASSERT_TRUE(client.sendSubmit("queens1", 0, nullptr, &error))
+        << error;
+
+    bool sawDraining = false, sawFirstJob = false;
+    for (int i = 0; i < 2; ++i) {
+        auto result = client.recvResult(-1, &error);
+        ASSERT_TRUE(result.has_value()) << error;
+        if (result->status == WireStatus::Draining)
+            sawDraining = true;
+        else if (result->ran())
+            sawFirstJob = true;
+    }
+    EXPECT_TRUE(sawDraining);
+    EXPECT_TRUE(sawFirstJob);
+}
+
+} // namespace
