@@ -35,10 +35,10 @@ PsiClient::~PsiClient()
 void
 PsiClient::close()
 {
-    if (_fd >= 0) {
-        ::close(_fd);
-        _fd = -1;
-    }
+    int fd = _fd.exchange(-1, std::memory_order_acq_rel);
+    if (fd >= 0)
+        ::close(fd);
+    _sendFailed.store(false, std::memory_order_release);
     _rbuf.clear();
     _pending.clear();
 }
@@ -61,41 +61,48 @@ PsiClient::connect(const std::string &host, std::uint16_t port,
         return false;
     }
 
+    int connectedFd = -1;
+    int lastErr = ECONNREFUSED;
     for (addrinfo *ai = result; ai != nullptr; ai = ai->ai_next) {
         int fd = ::socket(ai->ai_family, ai->ai_socktype,
                           ai->ai_protocol);
-        if (fd < 0)
+        if (fd < 0) {
+            lastErr = errno;
             continue;
+        }
         if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
             int one = 1;
             ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
                          sizeof(one));
-            _fd = fd;
+            connectedFd = fd;
             break;
         }
+        lastErr = errno;
         ::close(fd);
     }
     ::freeaddrinfo(result);
 
-    if (_fd < 0) {
+    if (connectedFd < 0) {
         setError(error, "connect " + host + ":" +
                             std::to_string(port) + ": " +
-                            std::strerror(errno));
+                            std::strerror(lastErr));
         return false;
     }
+    _fd.store(connectedFd, std::memory_order_release);
     return true;
 }
 
 bool
 PsiClient::sendAll(const std::string &bytes, std::string *error)
 {
-    if (_fd < 0) {
+    int fd = _fd.load(std::memory_order_acquire);
+    if (fd < 0 || _sendFailed.load(std::memory_order_acquire)) {
         setError(error, "not connected");
         return false;
     }
     std::size_t off = 0;
     while (off < bytes.size()) {
-        ssize_t n = ::send(_fd, bytes.data() + off,
+        ssize_t n = ::send(fd, bytes.data() + off,
                            bytes.size() - off, MSG_NOSIGNAL);
         if (n > 0) {
             off += static_cast<std::size_t>(n);
@@ -105,7 +112,11 @@ PsiClient::sendAll(const std::string &bytes, std::string *error)
             continue;
         setError(error,
                  std::string("send: ") + std::strerror(errno));
-        close();
+        // Don't close() from the sender half: the receiver thread may
+        // be reading _rbuf / polling _fd right now.  Shut the socket
+        // down so the receiver observes EOF and does the teardown.
+        _sendFailed.store(true, std::memory_order_release);
+        ::shutdown(fd, SHUT_RDWR);
         return false;
     }
     return true;
@@ -114,7 +125,8 @@ PsiClient::sendAll(const std::string &bytes, std::string *error)
 std::optional<Message>
 PsiClient::recvMessage(int timeoutMs, std::string *error)
 {
-    if (_fd < 0) {
+    int fd = _fd.load(std::memory_order_acquire);
+    if (fd < 0) {
         setError(error, "not connected");
         return std::nullopt;
     }
@@ -156,7 +168,7 @@ PsiClient::recvMessage(int timeoutMs, std::string *error)
             wait = static_cast<int>(left);
         }
 
-        pollfd pfd{_fd, POLLIN, 0};
+        pollfd pfd{fd, POLLIN, 0};
         int ready = ::poll(&pfd, 1, wait);
         if (ready < 0) {
             if (errno == EINTR)
@@ -172,7 +184,7 @@ PsiClient::recvMessage(int timeoutMs, std::string *error)
         }
 
         char chunk[64 * 1024];
-        ssize_t n = ::recv(_fd, chunk, sizeof(chunk), 0);
+        ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
         if (n > 0) {
             _rbuf.append(chunk, static_cast<std::size_t>(n));
         } else if (n == 0) {

@@ -22,6 +22,7 @@
 #ifndef PSI_NET_CLIENT_HPP
 #define PSI_NET_CLIENT_HPP
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <optional>
@@ -46,8 +47,19 @@ class PsiClient
     bool connect(const std::string &host, std::uint16_t port,
                  std::string *error = nullptr);
 
+    /**
+     * Tear down the connection and clear buffered state.  Not safe
+     * concurrently with the receiver half: only the receiving thread
+     * (or a single-threaded owner) may call it.  The sender half
+     * never closes - on a send failure it shuts the socket down and
+     * lets the receiver observe EOF and do the teardown.
+     */
     void close();
-    bool connected() const { return _fd >= 0; }
+    bool connected() const
+    {
+        return _fd.load(std::memory_order_acquire) >= 0 &&
+               !_sendFailed.load(std::memory_order_acquire);
+    }
 
     /**
      * Submit @p workload and wait for its RESULT.
@@ -83,7 +95,10 @@ class PsiClient
     std::optional<Message> recvMessage(int timeoutMs,
                                        std::string *error);
 
-    int _fd = -1;
+    std::atomic<int> _fd{-1};
+    /** Set by the sender half on a send failure; the receiver (or a
+     *  single-threaded owner) sees EOF and performs the close(). */
+    std::atomic<bool> _sendFailed{false};
     std::string _rbuf;
     std::uint64_t _nextTag = 1;
     /** RESULTs that arrived while a control reply (STATS_REPLY,

@@ -71,6 +71,13 @@ PsiServer::~PsiServer()
 {
     if (g_signalServer.load() == this)
         g_signalServer.store(nullptr);
+    // Drain the pool while the completion queue, its mutex and the
+    // wake pipe are still alive: in-flight done-callbacks lock
+    // _completionMutex and write to _wakeWrite, so letting member
+    // destruction (reverse declaration order) reach them first
+    // would hand the callbacks destroyed state.  Idempotent when
+    // run() already shut the pool down.
+    _pool.shutdown();
     for (auto &entry : _conns)
         closeFd(entry.second.fd);
     closeFd(_listenFd);

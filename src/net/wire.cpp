@@ -265,6 +265,12 @@ getBody(Reader &r, ResultMsg &m)
         !r.getString(m.error) || !r.getU32(nsolutions))
         return false;
     m.status = static_cast<WireStatus>(status);
+    // An untrusted count: each solution needs at least a 4-byte
+    // length prefix, so more than remaining/4 entries cannot decode.
+    // Checking before resize() keeps a tiny malicious frame from
+    // forcing a multi-GB allocation.
+    if (nsolutions > (r.data.size() - r.pos) / 4)
+        return false;
     m.solutions.resize(nsolutions);
     for (auto &s : m.solutions)
         if (!r.getString(s))

@@ -288,6 +288,30 @@ TEST(Wire, UnknownMessageTypeRejected)
     EXPECT_NE(error.find("unknown message type"), std::string::npos);
 }
 
+TEST(Wire, MaliciousSolutionCountRejectedWithoutAllocation)
+{
+    // A ~18-byte RESULT payload claiming 2^32-1 solutions: decode()
+    // must reject it from the count/remaining-bytes check instead of
+    // attempting a multi-GB vector resize.
+    std::string payload;
+    payload.push_back(
+        static_cast<char>(net::MsgType::Result)); // type
+    payload.append(8, '\0');                      // tag u64
+    payload.push_back('\0');                      // status u8
+    payload.append(4, '\0');                      // error len = 0
+    payload.append(4, '\xff');                    // nsolutions = 2^32-1
+
+    std::string error;
+    EXPECT_FALSE(net::decode(payload, &error).has_value());
+    EXPECT_NE(error.find("truncated"), std::string::npos);
+
+    // Same with a count that fits a u32 but not the payload.
+    payload.resize(payload.size() - 4);
+    payload.append({'\0', '\0', '\x01', '\0'}); // nsolutions = 256
+    payload.append(16, '\0');                   // only 4 fit
+    EXPECT_FALSE(net::decode(payload, &error).has_value());
+}
+
 // ---------------------------------------------------------------------
 // Loopback integration
 // ---------------------------------------------------------------------
