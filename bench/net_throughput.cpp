@@ -17,12 +17,17 @@
  *
  * Per worker count (1/2/4/8) it reports achieved throughput,
  * client-observed p50/p95/p99 latency and the OVERLOADED reply count
- * (fail-fast backpressure surfaced end-to-end).  Results are
+ * (fail-fast backpressure surfaced end-to-end), plus the server's
+ * own view fetched via STATS before drain: the mean per-request
+ * setup/solve host-time split and the compiled-program cache
+ * hit/miss counters (one miss per round - the first request
+ * compiles, every later request reuses the image).  Results are
  * recorded in EXPERIMENTS.md.
  */
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <thread>
@@ -63,7 +68,26 @@ struct RoundResult
     double offeredRps = 0;
     double achievedRps = 0;
     ConnStats total;
+    /** Server-side means from the STATS reply: where each request's
+     *  host time went (program install vs query execution) and how
+     *  often the compiled-program cache was hit. */
+    std::uint64_t setupMeanNs = 0;
+    std::uint64_t solveMeanNs = 0;
+    std::uint64_t cacheHits = 0;
+    std::uint64_t cacheMisses = 0;
 };
+
+/** Pull one unsigned field out of the flat metrics JSON. */
+std::uint64_t
+jsonU64(const std::string &json, const std::string &key)
+{
+    std::string needle = "\"" + key + "\": ";
+    std::size_t at = json.find(needle);
+    if (at == std::string::npos)
+        return 0;
+    return std::strtoull(json.c_str() + at + needle.size(), nullptr,
+                         10);
+}
 
 /** One connection's sender + receiver pair. */
 void
@@ -190,12 +214,35 @@ runRound(const RoundConfig &config)
     for (auto &t : drivers)
         t.join();
 
-    server.requestDrain();
-    serverThread.join();
-
     RoundResult result;
     result.workers = config.workers;
     result.offeredRps = config.ratePerSec;
+
+    // Fetch the server's own view of the round (STATS over the wire)
+    // before draining: the per-request setup/solve split and the
+    // program-cache counters only exist on the server side.
+    {
+        net::PsiClient statsClient;
+        std::string error;
+        if (statsClient.connect("127.0.0.1", server.port(), &error)) {
+            if (auto json = statsClient.stats(5000, &error)) {
+                std::uint64_t completed = jsonU64(*json, "completed");
+                if (completed > 0) {
+                    result.setupMeanNs =
+                        jsonU64(*json, "host_setup_ns") / completed;
+                    result.solveMeanNs =
+                        jsonU64(*json, "host_solve_ns") / completed;
+                }
+                result.cacheHits =
+                    jsonU64(*json, "program_cache_hits");
+                result.cacheMisses =
+                    jsonU64(*json, "program_cache_misses");
+            }
+        }
+    }
+
+    server.requestDrain();
+    serverThread.join();
     auto lastReply = start;
     for (const auto &s : stats) {
         result.total.latency.merge(s.latency);
@@ -272,7 +319,7 @@ main(int argc, char **argv)
     Table t("worker scaling over TCP loopback");
     t.setHeader({"workers", "offered r/s", "achieved r/s", "ok",
                  "overloaded", "timeouts", "p50 ms", "p95 ms",
-                 "p99 ms"});
+                 "p99 ms", "setup us", "solve us", "cache h/m"});
 
     std::vector<RoundResult> rounds;
     for (unsigned workers : {1u, 2u, 4u, 8u}) {
@@ -287,7 +334,11 @@ main(int argc, char **argv)
                   std::to_string(r.total.timedOut),
                   bench::f2(r.total.latency.quantileNs(0.50) / 1e6),
                   bench::f2(r.total.latency.quantileNs(0.95) / 1e6),
-                  bench::f2(r.total.latency.quantileNs(0.99) / 1e6)});
+                  bench::f2(r.total.latency.quantileNs(0.99) / 1e6),
+                  bench::f2(r.setupMeanNs / 1e3),
+                  bench::f2(r.solveMeanNs / 1e3),
+                  std::to_string(r.cacheHits) + "/" +
+                      std::to_string(r.cacheMisses)});
         rounds.push_back(std::move(r));
     }
 
@@ -311,7 +362,12 @@ main(int argc, char **argv)
                   << ", \"latency_p95_ns\": "
                   << r.total.latency.quantileNs(0.95)
                   << ", \"latency_p99_ns\": "
-                  << r.total.latency.quantileNs(0.99) << "}\n";
+                  << r.total.latency.quantileNs(0.99)
+                  << ", \"host_setup_mean_ns\": " << r.setupMeanNs
+                  << ", \"host_solve_mean_ns\": " << r.solveMeanNs
+                  << ", \"program_cache_hits\": " << r.cacheHits
+                  << ", \"program_cache_misses\": " << r.cacheMisses
+                  << "}\n";
     }
     return 0;
 }

@@ -1,6 +1,8 @@
 #include "base/flags.hpp"
 
+#include <cstdint>
 #include <iostream>
+#include <limits>
 #include <sstream>
 
 namespace psi {
@@ -17,10 +19,15 @@ parseU64(const std::string &text, std::uint64_t &out)
     for (char c : text) {
         if (c < '0' || c > '9')
             return "expected a number, got '" + text + "'";
-        std::uint64_t next = value * 10 + (c - '0');
-        if (next < value)
+        // Test BEFORE multiplying: `value * 10 + digit` can wrap all
+        // the way around to a value that still compares plausibly
+        // (e.g. 2^64 + 159 ends up as exactly 2^64 - 1), so a
+        // post-hoc `next < value` check misses most overflows.
+        std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+        if (value >
+            (std::numeric_limits<std::uint64_t>::max() - digit) / 10)
             return "number '" + text + "' is out of range";
-        value = next;
+        value = value * 10 + digit;
     }
     out = value;
     return "";
@@ -44,9 +51,12 @@ Flags::opt(const std::string &name, unsigned *target,
     return add({name, "N", help, [target](const std::string &v) {
                     std::uint64_t value;
                     std::string err = parseU64(v, value);
-                    if (err.empty())
-                        *target = static_cast<unsigned>(value);
-                    return err;
+                    if (!err.empty())
+                        return err;
+                    if (value > std::numeric_limits<unsigned>::max())
+                        return "number '" + v + "' is out of range";
+                    *target = static_cast<unsigned>(value);
+                    return std::string();
                 }});
 }
 

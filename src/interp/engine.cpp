@@ -66,6 +66,41 @@ Engine::consult(const std::string &text)
     load(p);
 }
 
+void
+Engine::resetMachine()
+{
+    _mem.reset();
+    _seq.reset();
+    _syms = kl0::SymbolTable();
+    _codegen.restore(kl0::CodeGen::Snapshot{});
+    resetRun();
+    _vecTop = kl0::kVectorBase;
+    _maxOutputBytes = 1 << 20;
+    _inProcessCall = false;
+    _warnedUndefined.clear();
+    _procTops = {};
+}
+
+void
+Engine::load(const kl0::CompiledProgram &image)
+{
+    resetMachine();
+    _syms = image.symbols();
+    _codegen.restore(image.codegen());
+    // Replay in emission order so pages are touched (and physical
+    // frames allocated) exactly as the original compile touched them.
+    for (const PokeRecord &p : image.image())
+        _mem.poke(p.addr, p.word);
+}
+
+void
+Engine::load(const kl0::CompiledProgram &image,
+             const CacheConfig &cache)
+{
+    _mem.reconfigure(cache);
+    load(image);
+}
+
 RunResult
 Engine::solve(const std::string &query_text, const RunLimits &limits)
 {

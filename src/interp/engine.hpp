@@ -26,6 +26,7 @@
 #include "interp/machine.hpp"
 #include "kl0/builtin_defs.hpp"
 #include "kl0/codegen.hpp"
+#include "kl0/compiled_program.hpp"
 #include "kl0/program.hpp"
 #include "kl0/symbols.hpp"
 #include "mem/memory_system.hpp"
@@ -68,6 +69,31 @@ class Engine
 
     /** Convenience: parse @p text and load it. */
     void consult(const std::string &text);
+
+    /**
+     * Install a precompiled image into a fully reset machine.
+     *
+     * Equivalent to constructing a fresh Engine and consulting the
+     * image's source - results and every hardware statistic are
+     * byte-identical (the image replays its heap stores in emission
+     * order, reproducing the physical layout of a consult) - but
+     * without paying parse/normalize/codegen on this thread.  This
+     * is the warm-engine hot path of the psid worker loop.
+     */
+    void load(const kl0::CompiledProgram &image);
+
+    /** Same, first re-configuring the cache model for this run. */
+    void load(const kl0::CompiledProgram &image,
+              const CacheConfig &cache);
+
+    /**
+     * Return the machine to its just-constructed state: memory
+     * contents and mappings, cache residency, work file, texture
+     * ring, statistics, registers, vector/process state.  The symbol
+     * table and heap image are cleared with everything else, so a
+     * load()/consult() must follow before the next solve().
+     */
+    void resetMachine();
 
     /** Compile and run a query given as text, e.g. "append(X,Y,[1])". */
     RunResult solve(const std::string &query_text,

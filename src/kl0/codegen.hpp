@@ -110,6 +110,35 @@ class CodeGen
     /** Total instruction-code words emitted (for reports). */
     std::uint32_t codeWords() const { return _cursor - kCodeBase; }
 
+    /**
+     * The generator's whole post-compile state: the heap cursor and
+     * the per-functor clause-address table.  Captured once by the
+     * program compiler and restored into any engine that installs the
+     * matching heap image (CompiledProgram / Engine::load).
+     */
+    struct Snapshot
+    {
+        std::uint32_t cursor = kCodeBase;
+        std::map<std::uint32_t, std::vector<std::uint32_t>> clauses;
+    };
+
+    Snapshot snapshot() const { return Snapshot{_cursor, _clauses}; }
+
+    /**
+     * Restore a snapshot.  The query counter restarts at zero so the
+     * first query compiled afterwards names its predicate `$query1`,
+     * exactly as on a freshly consulted engine - part of the
+     * byte-identity contract of the warm-engine path.
+     */
+    void
+    restore(const Snapshot &s)
+    {
+        _cursor = s.cursor;
+        _clauses = s.clauses;
+        _queryCounter = 0;
+        _exprSkel = false;
+    }
+
   private:
     struct VarInfo
     {

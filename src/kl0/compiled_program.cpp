@@ -1,0 +1,43 @@
+#include "kl0/compiled_program.hpp"
+
+#include "kl0/normalize.hpp"
+#include "kl0/program.hpp"
+
+namespace psi {
+namespace kl0 {
+
+std::uint64_t
+CompiledProgram::hashSource(const std::string &source)
+{
+    // FNV-1a 64.
+    std::uint64_t h = 14695981039346656037ull;
+    for (unsigned char c : source) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+CompiledProgram
+CompiledProgram::compile(const std::string &source)
+{
+    Program program;
+    program.consult(source);
+
+    CompiledProgram out;
+    // Scratch machine: the cache model is never engaged (the code
+    // generator stores through poke()), so the default configuration
+    // is fine regardless of what the eventual engine runs with.
+    MemorySystem mem;
+    CodeGen codegen(mem, out._syms);
+    mem.setPokeLog(&out._image);
+    codegen.compile(normalize(program));
+    mem.setPokeLog(nullptr);
+
+    out._snapshot = codegen.snapshot();
+    out._hash = hashSource(source);
+    return out;
+}
+
+} // namespace kl0
+} // namespace psi

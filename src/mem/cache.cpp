@@ -99,6 +99,20 @@ Cache::reset()
     _stats = CacheStats{};
 }
 
+void
+Cache::reconfigure(const CacheConfig &config)
+{
+    PSI_ASSERT(config.blockWords > 0 && config.ways > 0,
+               "degenerate cache geometry");
+    _config = config;
+    _numSets = config.numIndexSets();
+    PSI_ASSERT((_numSets & (_numSets - 1)) == 0,
+               "set count must be a power of two, got ", _numSets);
+    _lines.assign(_numSets * config.ways, Line{});
+    _clock = 0;
+    _stats = CacheStats{};
+}
+
 int
 Cache::lookup(std::uint32_t set, std::uint32_t tag) const
 {

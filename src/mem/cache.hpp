@@ -119,6 +119,13 @@ class Cache
     /** Drop all residency state and statistics. */
     void reset();
 
+    /**
+     * Replace geometry / policy / timing and reset.  Lets a
+     * long-lived engine serve jobs with per-job cache configurations
+     * without reconstructing the whole memory system.
+     */
+    void reconfigure(const CacheConfig &config);
+
   private:
     struct Line
     {

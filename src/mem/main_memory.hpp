@@ -47,6 +47,17 @@ class MainMemory
         return static_cast<std::uint32_t>(_words.size());
     }
 
+    /**
+     * Release every frame.  The backing storage is kept so a warm
+     * engine re-allocates its frames without touching the host
+     * allocator; the next allocFrame() hands out address 0 again,
+     * exactly as on a freshly constructed memory.
+     */
+    void reset()
+    {
+        _words.clear();
+    }
+
   private:
     std::vector<TaggedWord> _words;
 };

@@ -51,6 +51,8 @@ MemorySystem::peek(const LogicalAddr &addr)
 void
 MemorySystem::poke(const LogicalAddr &addr, const TaggedWord &w)
 {
+    if (_pokeLog)
+        _pokeLog->push_back(PokeRecord{addr, w});
     _mem.write(_xlat.translate(addr), w);
 }
 
@@ -59,6 +61,22 @@ MemorySystem::resetStats()
 {
     _cache.reset();
     _stallNs = 0;
+}
+
+void
+MemorySystem::reset()
+{
+    _mem.reset();
+    _xlat.reset();
+    _cache.reset();
+    _stallNs = 0;
+}
+
+void
+MemorySystem::reconfigure(const CacheConfig &config)
+{
+    reset();
+    _cache.reconfigure(config);
 }
 
 } // namespace psi

@@ -24,6 +24,19 @@
 
 namespace psi {
 
+/**
+ * One untimed word store recorded by the poke log: the logical
+ * address and the word written.  Replaying a log through poke() in
+ * record order reproduces the page-allocation order of the original
+ * stores, and with it the exact physical layout (and therefore cache
+ * behaviour) of the original machine.
+ */
+struct PokeRecord
+{
+    LogicalAddr addr;
+    TaggedWord word;
+};
+
 /** Translation + cache + main memory, with timing and tracing. */
 class MemorySystem
 {
@@ -55,8 +68,22 @@ class MemorySystem
     /** Enable trace capture into @p sink (nullptr disables). */
     void setTraceSink(std::vector<MemEvent> *sink) { _trace = sink; }
 
+    /** Record every poke() into @p sink (nullptr disables).  Used by
+     *  the program compiler to capture the emitted heap image. */
+    void setPokeLog(std::vector<PokeRecord> *sink) { _pokeLog = sink; }
+
     /** Clear cache state, stall time and statistics (not contents). */
     void resetStats();
+
+    /**
+     * Full reset: drop memory contents, address mappings, cache state
+     * and stall time.  Afterwards the unit is indistinguishable from
+     * a freshly constructed one with the same configuration.
+     */
+    void reset();
+
+    /** Full reset plus a new cache configuration. */
+    void reconfigure(const CacheConfig &config);
 
   private:
     std::uint64_t doAccess(CacheCmd cmd, const LogicalAddr &addr,
@@ -67,6 +94,7 @@ class MemorySystem
     Cache _cache;
     std::uint64_t _stallNs = 0;
     std::vector<MemEvent> *_trace = nullptr;
+    std::vector<PokeRecord> *_pokeLog = nullptr;
 };
 
 } // namespace psi

@@ -42,6 +42,18 @@ class TranslationTable
         return n;
     }
 
+    /**
+     * Drop every mapping.  Frames are re-allocated on first touch in
+     * access order, so a reset table paired with a reset MainMemory
+     * reproduces the exact logical-to-physical assignment of a fresh
+     * machine - the property the warm-engine reuse path relies on.
+     */
+    void reset()
+    {
+        for (auto &table : _tables)
+            table.clear();
+    }
+
   private:
     /** Sentinel for a page that has never been touched. */
     static constexpr std::uint32_t kUnmapped = 0xffffffffu;

@@ -224,6 +224,21 @@ class Sequencer
         _stats = SeqStats{};
     }
 
+    /**
+     * Full reset for warm-engine reuse: statistics, the work file
+     * (contents and address registers) and the texture ring position.
+     * The ring position matters for determinism - it selects which
+     * Table 6/7 pattern the next texture step charges, so a reused
+     * engine must restart the ring exactly where a fresh one would.
+     */
+    void
+    reset()
+    {
+        _stats = SeqStats{};
+        _wf = WorkFile{};
+        _texturePos = 0;
+    }
+
     /** Stream step events to @p sink (nullptr disables). */
     void setTraceSink(std::vector<StepEvent> *sink) { _trace = sink; }
 

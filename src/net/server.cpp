@@ -62,8 +62,13 @@ PsiServer::PsiServer() : PsiServer(Config()) {}
 
 PsiServer::PsiServer(const Config &config)
     : _config(config),
-      _pool(service::EnginePool::Config{config.workers,
-                                        config.queueCapacity}),
+      // A server-owned ProgramCache shared by every pool worker:
+      // each distinct workload source is compiled once for the
+      // lifetime of the server, and its hit/miss counters ride the
+      // STATS reply with the rest of the metrics snapshot.
+      _pool(service::EnginePool::Config{
+          config.workers, config.queueCapacity,
+          std::make_shared<service::ProgramCache>()}),
       _started(std::chrono::steady_clock::now())
 {}
 

@@ -1,6 +1,7 @@
 #include "service/engine_pool.hpp"
 
 #include "base/logging.hpp"
+#include "interp/engine.hpp"
 
 namespace psi {
 namespace service {
@@ -8,7 +9,11 @@ namespace service {
 EnginePool::EnginePool() : EnginePool(Config()) {}
 
 EnginePool::EnginePool(const Config &config)
-    : _config(config), _queue(config.queueCapacity)
+    : _config(config),
+      _programCache(config.programCache
+                        ? config.programCache
+                        : std::make_shared<ProgramCache>()),
+      _queue(config.queueCapacity)
 {
     if (_config.workers == 0)
         _config.workers = 1;
@@ -80,30 +85,59 @@ EnginePool::submitAsync(QueryJob query,
 void
 EnginePool::workerMain(unsigned index)
 {
+    auto ns = [](auto from, auto to) {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                to - from)
+                .count());
+    };
+
     Shard &shard = *_shards[index];
+    // One long-lived engine per worker.  load() fully resets machine,
+    // memory and statistics state between jobs, so each job still
+    // observes a machine indistinguishable from a fresh construction
+    // - without paying the construction, or the per-request KL0
+    // compile the shared ProgramCache now absorbs.
+    interp::Engine engine;
     while (std::optional<Job> job = _queue.pop()) {
         auto picked = std::chrono::steady_clock::now();
 
         JobOutcome out;
         out.id = job->query.program.id;
-        try {
-            // A fresh, thread-private Engine + MemorySystem per job:
-            // identical code path to the sequential helper, so the
-            // concurrent batch is deterministic.
-            out.run = runOnPsi(job->query.program, job->query.cache,
-                               job->query.limits);
-        } catch (const FatalError &e) {
-            out.error = e.what();
+        out.queueNs = ns(job->submitted, picked);
+
+        // The deadline budget starts at submit, so queue wait counts
+        // against it.  Dead-on-arrival jobs complete as Timeout right
+        // here instead of burning a worker on a doomed run.
+        const std::uint64_t budget = job->query.limits.deadlineNs;
+        if (budget != 0 && out.queueNs >= budget) {
+            out.expired = true;
+            out.run.result.status = interp::RunStatus::Timeout;
+        } else {
+            try {
+                ProgramCache::ProgramPtr image =
+                    _programCache->get(job->query.program.source);
+                engine.load(*image, job->query.cache);
+                auto loaded = std::chrono::steady_clock::now();
+
+                interp::RunLimits limits = job->query.limits;
+                if (budget != 0)
+                    limits.deadlineNs = budget - out.queueNs;
+                out.run.result =
+                    engine.solve(job->query.program.query, limits);
+                out.run.seq = engine.seq().stats();
+                out.run.cache = engine.mem().cache().stats();
+                out.run.stallNs = engine.mem().stallNs();
+
+                auto solved = std::chrono::steady_clock::now();
+                out.setupNs = ns(picked, loaded);
+                out.solveNs = ns(loaded, solved);
+            } catch (const FatalError &e) {
+                out.error = e.what();
+            }
         }
 
         auto done = std::chrono::steady_clock::now();
-        auto ns = [](auto from, auto to) {
-            return static_cast<std::uint64_t>(
-                std::chrono::duration_cast<std::chrono::nanoseconds>(
-                    to - from)
-                    .count());
-        };
-        out.queueNs = ns(job->submitted, picked);
         out.execNs = ns(picked, done);
         out.latencyNs = ns(job->submitted, done);
 
@@ -146,6 +180,10 @@ EnginePool::metrics() const
     snap.queueDepth = _queue.size();
     snap.peakQueueDepth = _peakDepth.load(std::memory_order_relaxed);
     snap.workers = _config.workers;
+    ProgramCache::Stats pc = _programCache->stats();
+    snap.programCacheHits = pc.hits;
+    snap.programCacheMisses = pc.misses;
+    snap.programCacheEntries = pc.entries;
     return snap;
 }
 

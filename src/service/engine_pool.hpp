@@ -4,21 +4,32 @@
  *
  * Architecture (one box per worker):
  *
- *     submit() ──> BoundedQueue<Job> ──> worker 0 [Engine+MemorySystem]
- *        │             (backpressure)    worker 1 [Engine+MemorySystem]
+ *     submit() ──> BoundedQueue<Job> ──> worker 0 [warm Engine]
+ *        │             (backpressure)    worker 1 [warm Engine]
  *        └─ std::future<JobOutcome>      ...      [metrics shard each]
+ *                                          │
+ *                               shared ProgramCache
+ *                            (compile once per source)
  *
  * PSI engines are stateful and non-reentrant (heap image, work file,
- * cache), so the pool never shares one between threads: every worker
- * builds a private Engine + MemorySystem per job, exactly as the
- * sequential runOnPsi() helper does.  A concurrent batch therefore
- * produces byte-identical per-program results and hardware
- * statistics to sequential execution - the property the service
- * tests pin down.
+ * cache), so the pool never shares one between threads.  Each worker
+ * keeps one long-lived private Engine; per job it fetches the
+ * immutable kl0::CompiledProgram from the shared ProgramCache
+ * (compiling only on the first sight of a source) and installs it
+ * with Engine::load(), which fully resets machine, memory, cache and
+ * statistics state.  The reset/replay path reproduces the physical
+ * memory layout of a fresh consult exactly, so a concurrent batch
+ * still produces byte-identical per-program results and hardware
+ * statistics to sequential runOnPsi() - the property the service
+ * tests pin down - while keeping parse/normalize/codegen off the
+ * per-request hot path.
  *
- * Deadlines ride in RunLimits::deadlineNs: a runaway query returns
- * RunStatus::Timeout with partial statistics and its worker moves on
- * to the next job instead of wedging.
+ * Deadlines ride in RunLimits::deadlineNs and cover the whole
+ * request, starting at submit: queue wait is charged against the
+ * budget, a job that expires while queued completes as
+ * RunStatus::Timeout without touching an engine, and a runaway query
+ * returns RunStatus::Timeout with partial statistics so its worker
+ * moves on instead of wedging.
  */
 
 #ifndef PSI_SERVICE_ENGINE_POOL_HPP
@@ -40,6 +51,7 @@
 #include "programs/registry.hpp"
 #include "service/job_queue.hpp"
 #include "service/metrics.hpp"
+#include "service/program_cache.hpp"
 #include "system.hpp"
 
 namespace psi {
@@ -60,8 +72,13 @@ struct JobOutcome
     PsiRun run;                 ///< result + hardware statistics
     std::string error;          ///< FatalError text; empty = ran
     std::uint64_t queueNs = 0;  ///< host: submit -> worker pickup
-    std::uint64_t execNs = 0;   ///< host: consult + solve
+    std::uint64_t execNs = 0;   ///< host: setup + solve
+    std::uint64_t setupNs = 0;  ///< host: program fetch + load
+    std::uint64_t solveNs = 0;  ///< host: query compile + run
     std::uint64_t latencyNs = 0;///< host: submit -> completion
+    /** True when the deadline budget was exhausted by queue wait
+     *  alone; the job completed as Timeout without running. */
+    bool expired = false;
 
     bool ok() const { return error.empty(); }
     interp::RunStatus status() const { return run.result.status; }
@@ -93,6 +110,10 @@ class EnginePool
     {
         unsigned workers = 4;
         std::size_t queueCapacity = 64;
+        /** Compiled-program cache shared by the workers.  Leave null
+         *  and the pool creates a private one; inject an instance to
+         *  share compiles across pools (or to pre-warm it). */
+        std::shared_ptr<ProgramCache> programCache;
     };
 
     EnginePool();
@@ -137,6 +158,9 @@ class EnginePool
     /** Merge every worker shard into one snapshot. */
     MetricsSnapshot metrics() const;
 
+    /** The shared compiled-program cache (for tests and tools). */
+    ProgramCache &programCache() { return *_programCache; }
+
     unsigned workers() const { return _config.workers; }
     std::size_t queueCapacity() const { return _queue.capacity(); }
     std::size_t queueDepth() const { return _queue.size(); }
@@ -165,6 +189,7 @@ class EnginePool
     void workerMain(unsigned index);
 
     Config _config;
+    std::shared_ptr<ProgramCache> _programCache;
     BoundedQueue<Job> _queue;
     std::vector<std::unique_ptr<Shard>> _shards;
     std::vector<std::thread> _threads;

@@ -48,6 +48,8 @@ WorkerMetrics::record(const JobOutcome &outcome)
         switch (outcome.status()) {
           case interp::RunStatus::Timeout:
             ++timedOut;
+            if (outcome.expired)
+                ++expiredInQueue;
             break;
           case interp::RunStatus::StepLimit:
             ++stepLimited;
@@ -63,6 +65,8 @@ WorkerMetrics::record(const JobOutcome &outcome)
     modelNs += outcome.run.result.timeNs;
     stallNs += outcome.run.stallNs;
     hostExecNs += outcome.execNs;
+    hostSetupNs += outcome.setupNs;
+    hostSolveNs += outcome.solveNs;
     accumulate(seq, outcome.run.seq);
     accumulate(cache, outcome.run.cache);
     latency.record(outcome.latencyNs);
@@ -77,10 +81,13 @@ WorkerMetrics::merge(const WorkerMetrics &other)
     timedOut += other.timedOut;
     stepLimited += other.stepLimited;
     errored += other.errored;
+    expiredInQueue += other.expiredInQueue;
     inferences += other.inferences;
     modelNs += other.modelNs;
     stallNs += other.stallNs;
     hostExecNs += other.hostExecNs;
+    hostSetupNs += other.hostSetupNs;
+    hostSolveNs += other.hostSolveNs;
     accumulate(seq, other.seq);
     accumulate(cache, other.cache);
     latency.merge(other.latency);
@@ -120,6 +127,7 @@ MetricsSnapshot::table(std::uint64_t wall_ns) const
     row("jobs completed", std::to_string(total.completed));
     row("jobs succeeded", std::to_string(total.succeeded));
     row("jobs timed out", std::to_string(total.timedOut));
+    row("  expired in queue", std::to_string(total.expiredInQueue));
     row("jobs step-limited", std::to_string(total.stepLimited));
     row("jobs errored", std::to_string(total.errored));
     row("jobs rejected", std::to_string(rejected));
@@ -131,8 +139,13 @@ MetricsSnapshot::table(std::uint64_t wall_ns) const
     row("model time ms", ms(total.modelNs));
     row("memory stall ms", ms(total.stallNs));
     row("host exec ms", ms(total.hostExecNs));
+    row("  setup ms", ms(total.hostSetupNs));
+    row("  solve ms", ms(total.hostSolveNs));
     row("cache hit %",
         stats::fixed(total.cache.totalHitPct(), 1));
+    row("program cache hits", std::to_string(programCacheHits));
+    row("program cache misses", std::to_string(programCacheMisses));
+    row("program cache entries", std::to_string(programCacheEntries));
     t.addSeparator();
     row("latency p50 ms", ms(total.latency.quantileNs(0.50)));
     row("latency p95 ms", ms(total.latency.quantileNs(0.95)));
@@ -166,6 +179,7 @@ MetricsSnapshot::json(std::uint64_t wall_ns) const
     u("completed", total.completed);
     u("succeeded", total.succeeded);
     u("timed_out", total.timedOut);
+    u("expired_in_queue", total.expiredInQueue);
     u("step_limited", total.stepLimited);
     u("errored", total.errored);
     u("rejected", rejected);
@@ -176,7 +190,12 @@ MetricsSnapshot::json(std::uint64_t wall_ns) const
     u("model_ns", total.modelNs);
     u("stall_ns", total.stallNs);
     u("host_exec_ns", total.hostExecNs);
+    u("host_setup_ns", total.hostSetupNs);
+    u("host_solve_ns", total.hostSolveNs);
     num("cache_hit_pct", stats::fixed(total.cache.totalHitPct(), 3));
+    u("program_cache_hits", programCacheHits);
+    u("program_cache_misses", programCacheMisses);
+    u("program_cache_entries", programCacheEntries);
     u("latency_p50_ns", total.latency.quantileNs(0.50));
     u("latency_p95_ns", total.latency.quantileNs(0.95));
     u("latency_p99_ns", total.latency.quantileNs(0.99));

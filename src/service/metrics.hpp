@@ -46,11 +46,16 @@ struct WorkerMetrics
     std::uint64_t timedOut = 0;    ///< ... RunStatus::Timeout
     std::uint64_t stepLimited = 0; ///< ... RunStatus::StepLimit
     std::uint64_t errored = 0;     ///< ... FatalError from the engine
+    /** Timeouts whose whole budget was spent queueing: completed as
+     *  RunStatus::Timeout without ever touching an engine. */
+    std::uint64_t expiredInQueue = 0;
 
     std::uint64_t inferences = 0;  ///< user-predicate calls
     std::uint64_t modelNs = 0;     ///< model clock (steps + stalls)
     std::uint64_t stallNs = 0;     ///< memory stall share
     std::uint64_t hostExecNs = 0;  ///< host time spent executing
+    std::uint64_t hostSetupNs = 0; ///< ... program fetch + load share
+    std::uint64_t hostSolveNs = 0; ///< ... query compile + run share
 
     micro::SeqStats seq;           ///< merged firmware statistics
     CacheStats cache;              ///< merged cache statistics
@@ -75,6 +80,13 @@ struct MetricsSnapshot
     std::uint64_t queueDepth = 0;      ///< jobs waiting right now
     std::uint64_t peakQueueDepth = 0;  ///< high-water mark
     unsigned workers = 0;
+
+    /** @name Shared ProgramCache counters (compile-once hot path) */
+    /// @{
+    std::uint64_t programCacheHits = 0;
+    std::uint64_t programCacheMisses = 0;
+    std::uint64_t programCacheEntries = 0;
+    /// @}
 
     /**
      * Aggregate service throughput: model inferences completed per

@@ -1,0 +1,66 @@
+#include "service/program_cache.hpp"
+
+namespace psi {
+namespace service {
+
+ProgramCache::ProgramPtr
+ProgramCache::get(const std::string &source)
+{
+    const std::uint64_t key = kl0::CompiledProgram::hashSource(source);
+
+    std::promise<ProgramPtr> promise;
+    std::shared_future<ProgramPtr> ready;
+    bool owner = false;
+    bool collision = false;
+    {
+        std::lock_guard<std::mutex> lock(_m);
+        auto it = _map.find(key);
+        if (it == _map.end()) {
+            ++_misses;
+            owner = true;
+            ready = promise.get_future().share();
+            _map.emplace(key, Entry{source, ready});
+        } else if (it->second.source == source) {
+            ++_hits;
+            ready = it->second.ready;
+        } else {
+            // Same 64-bit hash, different source: don't evict the
+            // resident program, just compile this one uncached.
+            ++_misses;
+            collision = true;
+        }
+    }
+
+    if (collision) {
+        return std::make_shared<const kl0::CompiledProgram>(
+            kl0::CompiledProgram::compile(source));
+    }
+
+    if (owner) {
+        try {
+            promise.set_value(
+                std::make_shared<const kl0::CompiledProgram>(
+                    kl0::CompiledProgram::compile(source)));
+        } catch (...) {
+            promise.set_exception(std::current_exception());
+            {
+                std::lock_guard<std::mutex> lock(_m);
+                _map.erase(key);
+            }
+            throw;
+        }
+    }
+
+    return ready.get(); // rethrows the owner's compile failure
+}
+
+ProgramCache::Stats
+ProgramCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(_m);
+    return Stats{_hits, _misses,
+                 static_cast<std::uint64_t>(_map.size())};
+}
+
+} // namespace service
+} // namespace psi

@@ -2,7 +2,8 @@
  * @file
  * Umbrella header for psid, the concurrent batch-query service:
  *
- *  - service::EnginePool      worker threads with isolated engines
+ *  - service::EnginePool      worker threads with warm engines
+ *  - service::ProgramCache    memoized KL0 compilation (shared)
  *  - service::BoundedQueue    MPMC job queue with backpressure
  *  - service::WorkerMetrics   mergeable per-worker statistics
  *  - service::MetricsSnapshot aggregated service report (table/JSON)
@@ -16,5 +17,6 @@
 #include "service/histogram.hpp"
 #include "service/job_queue.hpp"
 #include "service/metrics.hpp"
+#include "service/program_cache.hpp"
 
 #endif // PSI_SERVICE_SERVICE_HPP

@@ -37,6 +37,20 @@ PsiRun runOnPsi(const programs::BenchProgram &program,
                 const CacheConfig &cache = CacheConfig::psi(),
                 const interp::RunLimits &limits = interp::RunLimits());
 
+/**
+ * Run @p query against a precompiled image on @p engine, reusing the
+ * engine's machine via Engine::load().  Byte-identical in results
+ * and hardware statistics to runOnPsi() over the image's source -
+ * the warm-engine/ProgramCache hot path, exposed here so tests and
+ * tools can exercise it directly.
+ */
+PsiRun runCompiledOnPsi(interp::Engine &engine,
+                        const kl0::CompiledProgram &image,
+                        const std::string &query,
+                        const CacheConfig &cache = CacheConfig::psi(),
+                        const interp::RunLimits &limits =
+                            interp::RunLimits());
+
 /** Run @p program on a fresh baseline (DEC-model) engine. */
 interp::RunResult
 runOnBaseline(const programs::BenchProgram &program,
@@ -46,8 +60,9 @@ runOnBaseline(const programs::BenchProgram &program,
  * Run a batch of programs through a service::EnginePool of
  * @p workers threads and return the per-program runs in input
  * order.  Results are identical to calling runOnPsi() on each
- * program sequentially (every worker builds a private engine per
- * job); only wall-clock time changes with @p workers.
+ * program sequentially (every worker keeps a private warm engine
+ * whose load() path replays a fresh machine exactly); only
+ * wall-clock time changes with @p workers.
  *
  * An engine error on any job raises FatalError after the whole
  * batch has drained, matching the sequential helper's behavior.

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Flags value parsing: numeric range checking.
+ *
+ * Regression tests for two silent-corruption bugs:
+ *
+ *  - parseU64's overflow check compared *after* multiplying, so an
+ *    input that wraps modulo 2^64 back into range was accepted
+ *    ("184467440737095516159" wraps to exactly 2^64 - 1).
+ *  - opt(unsigned*) parsed through uint64 and then cast, silently
+ *    truncating values above UINT_MAX ("4294967297" became 1).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "base/flags.hpp"
+
+namespace {
+
+using psi::Flags;
+
+/** Run one "--flag value" pair through a fresh parser. */
+template <typename T>
+bool
+parseOne(const std::string &value, T *target)
+{
+    Flags flags("test [options]");
+    flags.opt("--n", target, "value under test");
+    std::string arg0 = "test";
+    std::string arg1 = "--n";
+    std::string arg2 = value;
+    char *argv[] = {arg0.data(), arg1.data(), arg2.data(), nullptr};
+    testing::internal::CaptureStderr();
+    bool ok = flags.parse(3, argv);
+    testing::internal::GetCapturedStderr();
+    return ok;
+}
+
+TEST(Flags, U64AcceptsMaxValue)
+{
+    std::uint64_t n = 0;
+    EXPECT_TRUE(parseOne("18446744073709551615", &n));
+    EXPECT_EQ(n, std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(Flags, U64RejectsOneAboveMax)
+{
+    // 2^64: overflows the accumulator on the final digit.
+    std::uint64_t n = 7;
+    EXPECT_FALSE(parseOne("18446744073709551616", &n));
+    EXPECT_EQ(n, 7u) << "target must be untouched on error";
+}
+
+TEST(Flags, U64RejectsValueThatWrapsBackIntoRange)
+{
+    // 21 digits: 2^64 + 159 wraps modulo 2^64 to exactly 2^64 - 1,
+    // which the old post-multiply check (`next < value`) accepted.
+    std::uint64_t n = 7;
+    EXPECT_FALSE(parseOne("184467440737095516159", &n));
+    EXPECT_EQ(n, 7u);
+}
+
+TEST(Flags, U64RejectsAbsurdlyLongNumber)
+{
+    std::uint64_t n = 0;
+    EXPECT_FALSE(parseOne("99999999999999999999999999999999", &n));
+}
+
+TEST(Flags, UnsignedAcceptsMaxValue)
+{
+    unsigned n = 0;
+    EXPECT_TRUE(parseOne("4294967295", &n));
+    EXPECT_EQ(n, std::numeric_limits<unsigned>::max());
+}
+
+TEST(Flags, UnsignedRejectsValueAboveUintMax)
+{
+    // Fits in uint64 but not unsigned; used to truncate to 0.
+    unsigned n = 7;
+    EXPECT_FALSE(parseOne("4294967296", &n));
+    EXPECT_EQ(n, 7u) << "target must be untouched on error";
+}
+
+TEST(Flags, UnsignedRejectsTruncationToSmallValue)
+{
+    // 2^32 + 1: the old cast silently produced 1 - the nastiest
+    // flavor, since "--workers 4294967297" ran with one worker.
+    unsigned n = 7;
+    EXPECT_FALSE(parseOne("4294967297", &n));
+    EXPECT_EQ(n, 7u);
+}
+
+TEST(Flags, RejectsNonNumericAndEmptyValues)
+{
+    std::uint64_t n = 7;
+    EXPECT_FALSE(parseOne("12x", &n));
+    EXPECT_FALSE(parseOne("", &n));
+    EXPECT_EQ(n, 7u);
+}
+
+} // namespace

@@ -403,9 +403,19 @@ TEST(Loopback, DeadlinePropagatesAsTimeout)
     ASSERT_TRUE(client.connect("127.0.0.1", harness.port(), &error))
         << error;
 
-    // 1 ns: expired by the engine's first deadline poll, so the
-    // RESULT carries Timeout plus the partial statistics.
+    // 1 ns: the budget starts at submit, so it is already spent by
+    // the time a worker picks the job up - the RESULT carries
+    // Timeout with zero statistics (the engine never ran).
     auto result = client.submit("bup3", 1, -1, &error);
+    ASSERT_TRUE(result.has_value()) << error;
+    EXPECT_EQ(result->status, WireStatus::Timeout);
+    EXPECT_EQ(result->steps, 0u);
+    EXPECT_EQ(result->inferences, 0u);
+
+    // 50 ms against a ~900 ms workload: the job starts (queue wait
+    // is microseconds here) and expires mid-run, so the RESULT
+    // carries Timeout plus the partial statistics.
+    result = client.submit("lisp_tarai", 50'000'000, -1, &error);
     ASSERT_TRUE(result.has_value()) << error;
     EXPECT_EQ(result->status, WireStatus::Timeout);
     EXPECT_GT(result->steps, 0u);

@@ -303,7 +303,7 @@ TEST(EnginePool, TimeoutFreesWorkerForNextJob)
 
 TEST(EnginePool, ShutdownRefusesNewJobs)
 {
-    EnginePool pool(EnginePool::Config{2, 8});
+    EnginePool pool(EnginePool::Config{2, 8, nullptr});
     auto fut = pool.submit({programs::programById("nreverse30"),
                             CacheConfig::psi(), interp::RunLimits()});
     ASSERT_TRUE(fut.has_value());
@@ -351,6 +351,248 @@ TEST(EnginePool, MetricsAggregateAcrossWorkers)
               std::string::npos);
     EXPECT_NE(json.find("\"aggregate_lips\""), std::string::npos);
     EXPECT_GT(snap.table(1'000'000'000ull).rowCount(), 10u);
+}
+
+// ---------------------------------------------------------------------
+// ProgramCache + warm engines (the compile-once hot path)
+// ---------------------------------------------------------------------
+
+/**
+ * Cached-compile determinism over the full registry: installing a
+ * CompiledProgram into a *reused* engine via load() must reproduce
+ * runOnPsi() - results, model clock and every hardware statistic -
+ * byte for byte.  One engine serves every program twice, so this
+ * pins both the image replay and the warm-reset path.
+ */
+TEST(ProgramCache, CachedRunsMatchRunOnPsiOnFullRegistry)
+{
+    interp::Engine engine;
+    for (int pass = 0; pass < 2; ++pass) {
+        for (const auto &p : programs::allPrograms()) {
+            SCOPED_TRACE(p.id + " pass " + std::to_string(pass));
+            PsiRun s = runOnPsi(p);
+            kl0::CompiledProgram image =
+                kl0::CompiledProgram::compile(p.source);
+            PsiRun c = runCompiledOnPsi(engine, image, p.query);
+
+            ASSERT_EQ(c.result.solutions.size(),
+                      s.result.solutions.size());
+            for (std::size_t k = 0; k < s.result.solutions.size();
+                 ++k)
+                EXPECT_EQ(c.result.solutions[k].str(),
+                          s.result.solutions[k].str());
+            EXPECT_EQ(c.result.output, s.result.output);
+            EXPECT_EQ(c.result.status, s.result.status);
+            EXPECT_EQ(c.result.inferences, s.result.inferences);
+            EXPECT_EQ(c.result.steps, s.result.steps);
+            EXPECT_EQ(c.result.timeNs, s.result.timeNs);
+            EXPECT_EQ(c.stallNs, s.stallNs);
+            EXPECT_EQ(c.seq.moduleSteps, s.seq.moduleSteps);
+            EXPECT_EQ(c.seq.branchOps, s.seq.branchOps);
+            EXPECT_EQ(c.seq.wfModes, s.seq.wfModes);
+            EXPECT_EQ(c.seq.cacheSteps, s.seq.cacheSteps);
+            EXPECT_EQ(c.cache.accesses, s.cache.accesses);
+            EXPECT_EQ(c.cache.hits, s.cache.hits);
+            EXPECT_EQ(c.cache.readIns, s.cache.readIns);
+            EXPECT_EQ(c.cache.writeBacks, s.cache.writeBacks);
+            EXPECT_EQ(c.cache.stackAllocs, s.cache.stackAllocs);
+            EXPECT_EQ(c.cache.throughWrites, s.cache.throughWrites);
+        }
+    }
+}
+
+/** Non-default cache geometry survives the warm load() path too. */
+TEST(ProgramCache, CachedRunsMatchUnderAlternateCacheConfig)
+{
+    CacheConfig small;
+    small.capacityWords = 1024;
+    small.ways = 1;
+    small.storeIn = false;
+
+    const auto &p = programs::programById("qsort50");
+    PsiRun s = runOnPsi(p, small);
+    interp::Engine engine; // constructed with the *default* config:
+                           // load() must re-configure it per run
+    kl0::CompiledProgram image =
+        kl0::CompiledProgram::compile(p.source);
+    PsiRun c = runCompiledOnPsi(engine, image, p.query, small);
+
+    EXPECT_EQ(c.result.steps, s.result.steps);
+    EXPECT_EQ(c.result.timeNs, s.result.timeNs);
+    EXPECT_EQ(c.stallNs, s.stallNs);
+    EXPECT_EQ(c.cache.accesses, s.cache.accesses);
+    EXPECT_EQ(c.cache.hits, s.cache.hits);
+    EXPECT_EQ(c.cache.readIns, s.cache.readIns);
+    EXPECT_EQ(c.cache.writeBacks, s.cache.writeBacks);
+    EXPECT_EQ(c.cache.throughWrites, s.cache.throughWrites);
+}
+
+TEST(ProgramCache, CountsHitsAndMissesPerDistinctSource)
+{
+    service::ProgramCache cache;
+    const auto &a = programs::programById("nreverse30");
+    const auto &b = programs::programById("qsort50");
+
+    auto a1 = cache.get(a.source);
+    auto a2 = cache.get(a.source);
+    auto b1 = cache.get(b.source);
+
+    EXPECT_EQ(a1.get(), a2.get()); // one shared immutable image
+    EXPECT_NE(a1.get(), b1.get());
+
+    auto stats = cache.stats();
+    EXPECT_EQ(stats.misses, 2u);
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.entries, 2u);
+}
+
+TEST(ProgramCache, CompileFailurePropagatesAndIsNotCached)
+{
+    service::ProgramCache cache;
+    EXPECT_THROW(cache.get("this is not KL0 ("), FatalError);
+    // The poisoned entry is dropped, not memoized.
+    EXPECT_EQ(cache.stats().entries, 0u);
+    EXPECT_THROW(cache.get("this is not KL0 ("), FatalError);
+    EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+/**
+ * Many threads racing on the same key: exactly one compile, everyone
+ * gets the same image.  Run under TSan by the service label.
+ */
+TEST(ProgramCache, ConcurrentGetSameKeyCompilesOnce)
+{
+    service::ProgramCache cache;
+    const std::string source =
+        programs::programById("nreverse30").source;
+    constexpr int kThreads = 8;
+
+    std::vector<service::ProgramCache::ProgramPtr> got(kThreads);
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int i = 0; i < kThreads; ++i) {
+        threads.emplace_back(
+            [&cache, &source, &got, i] { got[i] = cache.get(source); });
+    }
+    for (auto &t : threads)
+        t.join();
+
+    for (int i = 1; i < kThreads; ++i)
+        EXPECT_EQ(got[i].get(), got[0].get());
+    auto stats = cache.stats();
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.hits, static_cast<std::uint64_t>(kThreads - 1));
+    EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(EnginePool, ProgramCacheCountersSurfaceInMetrics)
+{
+    EnginePool::Config config;
+    config.workers = 1;
+    config.queueCapacity = 4;
+    EnginePool pool(config);
+
+    const auto &p = programs::programById("nreverse30");
+    for (int i = 0; i < 3; ++i) {
+        auto fut = pool.submit({p, CacheConfig::psi(),
+                                interp::RunLimits()});
+        ASSERT_TRUE(fut.has_value());
+        EXPECT_TRUE(fut->get().ok());
+    }
+
+    auto snap = pool.metrics();
+    EXPECT_EQ(snap.programCacheMisses, 1u);
+    EXPECT_EQ(snap.programCacheHits, 2u);
+    EXPECT_EQ(snap.programCacheEntries, 1u);
+    EXPECT_GT(snap.total.hostSolveNs, 0u);
+
+    std::string json = snap.json();
+    EXPECT_NE(json.find("\"program_cache_hits\": 2"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"program_cache_misses\": 1"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"host_setup_ns\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Deadline covers queue wait
+// ---------------------------------------------------------------------
+
+/**
+ * Regression: the deadline budget used to start only when the engine
+ * began executing, so a short-deadline job stuck behind a slow one
+ * still ran its full budget after the wait.  Now the budget starts
+ * at submit: a job whose budget is exhausted by queue wait completes
+ * as Timeout in ~queue-wait time, without ever touching an engine.
+ */
+TEST(EnginePool, DeadlineBudgetIncludesQueueWait)
+{
+    EnginePool::Config config;
+    config.workers = 1;
+    config.queueCapacity = 4;
+    EnginePool pool(config);
+
+    // Occupy the single worker for ~400 ms.
+    auto slow = pool.submit({loopProgram(), CacheConfig::psi(),
+                             deadlineLimits(400)});
+    ASSERT_TRUE(slow.has_value());
+    while (pool.queueDepth() > 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+    // 10 ms budget, ~400 ms of queue ahead of it: dead on arrival.
+    auto doomed = pool.submit({programs::programById("nreverse30"),
+                               CacheConfig::psi(),
+                               deadlineLimits(10)});
+    ASSERT_TRUE(doomed.has_value());
+
+    JobOutcome out = doomed->get();
+    EXPECT_EQ(out.status(), interp::RunStatus::Timeout);
+    EXPECT_TRUE(out.expired);
+    // The engine never ran: no model work, no per-run host time.
+    EXPECT_EQ(out.run.result.steps, 0u);
+    EXPECT_EQ(out.run.result.inferences, 0u);
+    EXPECT_EQ(out.setupNs, 0u);
+    EXPECT_EQ(out.solveNs, 0u);
+    // It timed out in ~queue-wait time, not queue wait + budget:
+    // completion is dominated by the wait itself.
+    EXPECT_GE(out.queueNs, 10 * kMsNs);
+    EXPECT_LT(out.latencyNs - out.queueNs, 10 * kMsNs);
+
+    EXPECT_EQ(slow->get().status(), interp::RunStatus::Timeout);
+    auto snap = pool.metrics();
+    EXPECT_EQ(snap.total.timedOut, 2u);
+    EXPECT_EQ(snap.total.expiredInQueue, 1u);
+}
+
+/** A still-live budget is reduced by the time spent queueing. */
+TEST(EnginePool, RemainingBudgetShrinksWithQueueWait)
+{
+    EnginePool::Config config;
+    config.workers = 1;
+    config.queueCapacity = 4;
+    EnginePool pool(config);
+
+    // ~1 s of queue ahead, 3 s total budget.  With the budget
+    // anchored at submit the loop job behind runs for only the
+    // *remaining* ~2 s and its whole-request latency lands near 3 s;
+    // the old engine-anchored budget would have run the full 3 s
+    // after pickup (~4 s latency).
+    auto slow = pool.submit({loopProgram(), CacheConfig::psi(),
+                             deadlineLimits(1'000)});
+    ASSERT_TRUE(slow.has_value());
+    auto behind = pool.submit({loopProgram(), CacheConfig::psi(),
+                               deadlineLimits(3'000)});
+    ASSERT_TRUE(behind.has_value());
+
+    JobOutcome out = behind->get();
+    EXPECT_EQ(out.status(), interp::RunStatus::Timeout);
+    EXPECT_FALSE(out.expired);
+    EXPECT_GT(out.run.result.steps, 0u);
+    EXPECT_GE(out.queueNs, 900 * kMsNs);
+    // Whole-request latency stays near the submit-anchored budget,
+    // with slack for the deadline poll granularity - it must not be
+    // queue wait *plus* the full budget.
+    EXPECT_LT(out.latencyNs, 3'600 * kMsNs);
 }
 
 // ---------------------------------------------------------------------
