@@ -23,12 +23,24 @@
  * hit/miss counters (one miss per round - the first request
  * compiles, every later request reuses the image).  Results are
  * recorded in EXPERIMENTS.md.
+ *
+ * With --fault-schedule SPEC a FaultProxy (src/net/faultnet.hpp) is
+ * interposed between the clients and the server, and each connection
+ * switches to a paced submitRetry() loop: one request in flight,
+ * reconnect + resubmit through the injected splits / delays / RSTs.
+ * (The pipelined sender/receiver split is deliberately not used here
+ * - reconnecting while a receiver thread reads the same socket is a
+ * race, which is exactly why submitRetry() is single-threaded.)
+ *
+ *     $ ./bench/net_throughput --fault-schedule \
+ *           "seed=7,split=0.3,delay_us=0..200,reset_after=20000"
  */
 
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -49,6 +61,7 @@ struct ConnStats
     std::uint64_t otherRefused = 0;
     std::uint64_t lost = 0; ///< connection died before the RESULT
     clock_type::time_point lastReply{};
+    net::RetryStats retries; ///< fault mode: this client's retries
 };
 
 struct RoundConfig
@@ -60,6 +73,7 @@ struct RoundConfig
     std::string workload;
     std::uint64_t deadlineNs;
     std::uint64_t queueCapacity;
+    net::FaultSchedule schedule; ///< active when schedule.enabled()
 };
 
 struct RoundResult
@@ -75,7 +89,23 @@ struct RoundResult
     std::uint64_t solveMeanNs = 0;
     std::uint64_t cacheHits = 0;
     std::uint64_t cacheMisses = 0;
+    net::FaultStats faults;  ///< fault mode: what the proxy injected
+    net::RetryStats retries; ///< fault mode: client retries, summed
 };
+
+void
+mergeRetryStats(net::RetryStats &into, const net::RetryStats &from)
+{
+    into.connectDials += from.connectDials;
+    into.connectRetries += from.connectRetries;
+    into.reconnects += from.reconnects;
+    into.resubmits += from.resubmits;
+    into.overloadedRetries += from.overloadedRetries;
+    into.drainingRetries += from.drainingRetries;
+    into.duplicatesDropped += from.duplicatesDropped;
+    into.backoffNs += from.backoffNs;
+    into.exhausted += from.exhausted;
+}
 
 /** Pull one unsigned field out of the flat metrics JSON. */
 std::uint64_t
@@ -186,6 +216,73 @@ driveConnection(const RoundConfig &config, std::uint16_t port,
     sender.join();
 }
 
+/**
+ * Fault-mode connection: paced submitRetry(), one request in flight.
+ * Latency is still measured from the scheduled send time, so time
+ * spent reconnecting and backing off lands in the percentiles.
+ */
+void
+driveFaultConnection(const RoundConfig &config, std::uint16_t port,
+                     std::uint64_t connIndex,
+                     clock_type::time_point start, ConnStats &stats)
+{
+    net::PsiClient client;
+    net::RetryPolicy policy;
+    policy.maxAttempts = 25;
+    policy.connectAttempts = 10;
+    policy.backoffBaseNs = 1'000'000;  // 1 ms: loopback reconnects
+    policy.backoffMaxNs = 50'000'000;  // are cheap, keep pace up
+    policy.seed = config.schedule.seed * 1000 + connIndex;
+    client.setRetryPolicy(policy);
+
+    std::string error;
+    if (!client.connect("127.0.0.1", port, &error)) {
+        std::cerr << "net_throughput: " << error << "\n";
+        stats.lost = (config.requests + config.connections - 1 -
+                      connIndex) /
+                     config.connections;
+        stats.retries = client.retryStats();
+        return;
+    }
+
+    for (std::uint64_t k = connIndex; k < config.requests;
+         k += config.connections) {
+        auto due = start + std::chrono::nanoseconds(
+                               static_cast<std::uint64_t>(
+                                   1e9 * k / config.ratePerSec));
+        std::this_thread::sleep_until(due);
+        auto result = client.submitRetry(config.workload,
+                                         config.deadlineNs, 30000,
+                                         &error);
+        auto now = clock_type::now();
+        if (!result) {
+            ++stats.lost;
+            continue;
+        }
+        stats.lastReply = now;
+        stats.latency.record(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                now - due)
+                .count()));
+        switch (result->status) {
+          case net::WireStatus::Ok:
+          case net::WireStatus::StepLimit:
+            ++stats.ok;
+            break;
+          case net::WireStatus::Timeout:
+            ++stats.timedOut;
+            break;
+          case net::WireStatus::Overloaded:
+            ++stats.overloaded;
+            break;
+          default:
+            ++stats.otherRefused;
+            break;
+        }
+    }
+    stats.retries = client.retryStats();
+}
+
 RoundResult
 runRound(const RoundConfig &config)
 {
@@ -204,12 +301,26 @@ runRound(const RoundConfig &config)
     }
     std::thread serverThread([&server] { server.run(); });
 
+    // Fault mode: clients talk to the proxy, which mangles the byte
+    // stream on its way to (and from) the real server.
+    const bool faulty = config.schedule.enabled();
+    std::optional<net::FaultProxy> proxy;
+    if (faulty) {
+        proxy.emplace("127.0.0.1", server.port(), config.schedule);
+        if (!proxy->start(&error)) {
+            std::cerr << "net_throughput: " << error << "\n";
+            std::exit(1);
+        }
+    }
+    std::uint16_t clientPort = faulty ? proxy->port() : server.port();
+
     auto start = clock_type::now() + std::chrono::milliseconds(20);
     std::vector<ConnStats> stats(config.connections);
     std::vector<std::thread> drivers;
     for (std::uint64_t c = 0; c < config.connections; ++c)
-        drivers.emplace_back(driveConnection, std::cref(config),
-                             server.port(), c, start,
+        drivers.emplace_back(faulty ? driveFaultConnection
+                                    : driveConnection,
+                             std::cref(config), clientPort, c, start,
                              std::ref(stats[c]));
     for (auto &t : drivers)
         t.join();
@@ -241,6 +352,10 @@ runRound(const RoundConfig &config)
         }
     }
 
+    if (proxy) {
+        result.faults = proxy->stats();
+        proxy->stop();
+    }
     server.requestDrain();
     serverThread.join();
     auto lastReply = start;
@@ -251,6 +366,7 @@ runRound(const RoundConfig &config)
         result.total.overloaded += s.overloaded;
         result.total.otherRefused += s.otherRefused;
         result.total.lost += s.lost;
+        mergeRetryStats(result.retries, s.retries);
         if (s.lastReply > lastReply)
             lastReply = s.lastReply;
     }
@@ -278,6 +394,7 @@ main(int argc, char **argv)
     config.deadlineNs = 0;
     config.queueCapacity = 64;
     std::uint64_t deadline_ms = 0;
+    std::string faultSpec;
     bool json = false;
 
     Flags flags("net_throughput [options]");
@@ -293,9 +410,21 @@ main(int argc, char **argv)
              "per-request deadline in ms (0 = none)")
         .opt("-q", &config.queueCapacity,
              "server queue capacity (default 64)")
+        .opt("--fault-schedule", &faultSpec,
+             "inject faults via a proxy, e.g. "
+             "\"seed=7,split=0.3,delay_us=0..200,reset_after=20000\"")
         .flag("--json", &json, "JSON lines only");
     if (!flags.parse(argc, argv))
         return 1;
+    if (!faultSpec.empty()) {
+        std::string error;
+        auto schedule = net::FaultSchedule::parse(faultSpec, &error);
+        if (!schedule) {
+            std::cerr << "net_throughput: " << error << "\n";
+            return 1;
+        }
+        config.schedule = *schedule;
+    }
     config.deadlineNs = deadline_ms * 1'000'000ull;
     if (config.connections == 0 || config.requests == 0 ||
         config.ratePerSec <= 0) {
@@ -309,12 +438,16 @@ main(int argc, char **argv)
         return 1;
     }
 
-    if (!json)
+    if (!json) {
         bench::banner(
             "psinet open-loop load (" + config.workload + ", " +
             std::to_string(config.requests) + " reqs @ " +
             bench::f1(config.ratePerSec) + "/s over " +
             std::to_string(config.connections) + " connections)");
+        if (config.schedule.enabled())
+            std::cout << "fault schedule: " << config.schedule.str()
+                      << "\n\n";
+    }
 
     Table t("worker scaling over TCP loopback");
     t.setHeader({"workers", "offered r/s", "achieved r/s", "ok",
@@ -342,8 +475,25 @@ main(int argc, char **argv)
         rounds.push_back(std::move(r));
     }
 
-    if (!json)
+    if (!json) {
         t.print(std::cout);
+        if (config.schedule.enabled()) {
+            std::cout << "\n";
+            for (const auto &r : rounds)
+                std::cout << "faults @ " << r.workers
+                          << "w: resets=" << r.faults.resets
+                          << " splits=" << r.faults.splits
+                          << " coalesces=" << r.faults.coalesces
+                          << " truncated=" << r.faults.truncatedBytes
+                          << "B | retries: reconnects="
+                          << r.retries.reconnects
+                          << " resubmits=" << r.retries.resubmits
+                          << " dup_dropped="
+                          << r.retries.duplicatesDropped
+                          << " exhausted=" << r.retries.exhausted
+                          << "\n";
+        }
+    }
     for (const auto &r : rounds) {
         if (!json)
             std::cout << (&r == &rounds.front() ? "\n" : "");
@@ -366,8 +516,28 @@ main(int argc, char **argv)
                   << ", \"host_setup_mean_ns\": " << r.setupMeanNs
                   << ", \"host_solve_mean_ns\": " << r.solveMeanNs
                   << ", \"program_cache_hits\": " << r.cacheHits
-                  << ", \"program_cache_misses\": " << r.cacheMisses
-                  << "}\n";
+                  << ", \"program_cache_misses\": " << r.cacheMisses;
+        if (config.schedule.enabled()) {
+            std::cout << ", \"fault_resets\": " << r.faults.resets
+                      << ", \"fault_splits\": " << r.faults.splits
+                      << ", \"fault_coalesces\": "
+                      << r.faults.coalesces
+                      << ", \"fault_truncated_bytes\": "
+                      << r.faults.truncatedBytes
+                      << ", \"retry_reconnects\": "
+                      << r.retries.reconnects
+                      << ", \"retry_resubmits\": "
+                      << r.retries.resubmits
+                      << ", \"retry_overloaded\": "
+                      << r.retries.overloadedRetries
+                      << ", \"retry_duplicates_dropped\": "
+                      << r.retries.duplicatesDropped
+                      << ", \"retry_backoff_ns\": "
+                      << r.retries.backoffNs
+                      << ", \"retry_exhausted\": "
+                      << r.retries.exhausted;
+        }
+        std::cout << "}\n";
     }
     return 0;
 }

@@ -1,0 +1,71 @@
+#include "base/backoff.hpp"
+
+namespace psi {
+
+std::uint64_t
+SplitMix64::next()
+{
+    std::uint64_t z = (_state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+SplitMix64::below(std::uint64_t bound)
+{
+    return bound == 0 ? 0 : next() % bound;
+}
+
+std::uint64_t
+SplitMix64::range(std::uint64_t lo, std::uint64_t hi)
+{
+    return hi <= lo ? lo : lo + below(hi - lo + 1);
+}
+
+double
+SplitMix64::unit()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+Backoff::Backoff(const Config &config)
+    : _config(config), _rng(config.seed), _current(config.baseNs)
+{
+    if (_config.baseNs == 0)
+        _config.baseNs = 1;
+    if (_config.maxNs < _config.baseNs)
+        _config.maxNs = _config.baseNs;
+    if (_config.multiplier < 1.0)
+        _config.multiplier = 1.0;
+    _current = _config.baseNs;
+}
+
+std::uint64_t
+Backoff::nextDelayNs()
+{
+    std::uint64_t half = _current / 2;
+    std::uint64_t delay = half + _rng.range(1, half > 0 ? half : 1);
+
+    double grown = static_cast<double>(_current) * _config.multiplier;
+    std::uint64_t cap = _config.maxNs;
+    _current = grown >= static_cast<double>(cap)
+                   ? cap
+                   : static_cast<std::uint64_t>(grown);
+    return delay;
+}
+
+void
+Backoff::raiseFloor(std::uint64_t ns)
+{
+    if (ns > _current)
+        _current = ns < _config.maxNs ? ns : _config.maxNs;
+}
+
+void
+Backoff::reset()
+{
+    _current = _config.baseNs;
+}
+
+} // namespace psi

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Seedable randomness + exponential backoff for retry loops.
+ *
+ * Everything that "waits a random amount and tries again" in this
+ * repo (the psinet retrying client, the fault-injection proxy, the
+ * wire fuzzer) draws from one tiny deterministic PRNG so a failure
+ * reproduces from its seed alone:
+ *
+ *     SplitMix64 rng(42);          // same seed -> same sequence
+ *     Backoff backoff({});         // 5 ms, x2, capped, jittered
+ *     sleep(backoff.nextDelayNs());
+ *
+ * Backoff implements "equal jitter": the k-th delay is half the
+ * current ceiling plus a uniform draw over the other half, so
+ * retries spread out (no thundering herd) while the expected delay
+ * still doubles per attempt.  raiseFloor() lets a caller that was
+ * told to back off harder (an OVERLOADED reply) jump the ceiling
+ * without restarting the schedule.
+ */
+
+#ifndef PSI_BASE_BACKOFF_HPP
+#define PSI_BASE_BACKOFF_HPP
+
+#include <cstdint>
+
+namespace psi {
+
+/** SplitMix64: tiny, fast, seedable PRNG (public-domain algorithm). */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(std::uint64_t seed = 1) : _state(seed) {}
+
+    /** Next 64 random bits. */
+    std::uint64_t next();
+
+    /** Uniform draw in [0, bound); bound 0 returns 0. */
+    std::uint64_t below(std::uint64_t bound);
+
+    /** Uniform draw in [lo, hi]; hi < lo returns lo. */
+    std::uint64_t range(std::uint64_t lo, std::uint64_t hi);
+
+    /** Uniform draw in [0, 1). */
+    double unit();
+
+  private:
+    std::uint64_t _state;
+};
+
+/** Seeded exponential backoff with equal jitter. */
+class Backoff
+{
+  public:
+    struct Config
+    {
+        std::uint64_t baseNs = 5'000'000;   ///< first-delay ceiling
+        std::uint64_t maxNs = 500'000'000;  ///< ceiling cap
+        double multiplier = 2.0;            ///< ceiling growth
+        std::uint64_t seed = 1;             ///< jitter PRNG seed
+    };
+
+    Backoff() : Backoff(Config{}) {}
+    explicit Backoff(const Config &config);
+
+    /**
+     * The next delay: cur/2 + uniform(0, cur/2], then the ceiling
+     * grows by the multiplier (capped at maxNs).
+     */
+    std::uint64_t nextDelayNs();
+
+    /** Jump the current ceiling to at least @p ns (capped at max). */
+    void raiseFloor(std::uint64_t ns);
+
+    /** Restart the schedule from the base ceiling. */
+    void reset();
+
+    /** Current ceiling (the next delay is at most this). */
+    std::uint64_t ceilingNs() const { return _current; }
+
+  private:
+    Config _config;
+    SplitMix64 _rng;
+    std::uint64_t _current;
+};
+
+} // namespace psi
+
+#endif // PSI_BASE_BACKOFF_HPP

@@ -10,6 +10,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "base/logging.hpp"
 
@@ -43,9 +44,58 @@ PsiClient::close()
     _pending.clear();
 }
 
+void
+PsiClient::setRetryPolicy(const RetryPolicy &policy)
+{
+    _policy = policy;
+    if (_policy.maxAttempts == 0)
+        _policy.maxAttempts = 1;
+    if (_policy.connectAttempts == 0)
+        _policy.connectAttempts = 1;
+}
+
+std::uint64_t
+PsiClient::backoffSleep(Backoff &backoff, std::uint64_t capNs)
+{
+    std::uint64_t delay = backoff.nextDelayNs();
+    if (delay > capNs)
+        delay = capNs;
+    if (delay > 0)
+        std::this_thread::sleep_for(std::chrono::nanoseconds(delay));
+    _retryStats.backoffNs += delay;
+    return delay;
+}
+
 bool
 PsiClient::connect(const std::string &host, std::uint16_t port,
                    std::string *error)
+{
+    _host = host;
+    _port = port;
+
+    Backoff backoff({_policy.backoffBaseNs, _policy.backoffMaxNs,
+                     _policy.backoffMultiplier,
+                     _policy.seed + _retryStats.connectDials});
+    std::string lastError;
+    for (unsigned attempt = 1;; ++attempt) {
+        ++_retryStats.connectDials;
+        if (connectOnce(host, port, &lastError))
+            return true;
+        if (attempt >= _policy.connectAttempts)
+            break;
+        ++_retryStats.connectRetries;
+        backoffSleep(backoff, UINT64_MAX);
+    }
+    setError(error, lastError + " (after " +
+                        std::to_string(_policy.connectAttempts) +
+                        (_policy.connectAttempts == 1 ? " attempt)"
+                                                      : " attempts)"));
+    return false;
+}
+
+bool
+PsiClient::connectOnce(const std::string &host, std::uint16_t port,
+                       std::string *error)
 {
     close();
 
@@ -249,6 +299,125 @@ PsiClient::submit(const std::string &workload,
         // An earlier pipelined reply; park it for recvResult().
         _pending.push_back(std::move(*result));
     }
+}
+
+std::optional<ResultMsg>
+PsiClient::submitRetry(const std::string &workload,
+                       std::uint64_t deadlineNs, int timeoutMs,
+                       std::string *error)
+{
+    using clock = std::chrono::steady_clock;
+    const auto start = clock::now();
+    auto elapsedNs = [&] {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                clock::now() - start)
+                .count());
+    };
+
+    Backoff backoff({_policy.backoffBaseNs, _policy.backoffMaxNs,
+                     _policy.backoffMultiplier,
+                     _policy.seed + _nextTag});
+    std::string lastError = "not connected";
+
+    for (unsigned attempt = 1; attempt <= _policy.maxAttempts;
+         ++attempt) {
+        std::uint64_t spent = elapsedNs();
+        if (deadlineNs != 0 && spent >= deadlineNs)
+            break; // budget gone: never retry past the deadline
+
+        if (attempt > 1)
+            backoffSleep(backoff, deadlineNs == 0
+                                      ? UINT64_MAX
+                                      : deadlineNs - spent);
+
+        // Reconnect if the previous attempt killed the connection.
+        if (!connected()) {
+            if (_host.empty()) {
+                setError(error, "not connected (no prior connect())");
+                return std::nullopt;
+            }
+            ++_retryStats.connectDials;
+            if (!connectOnce(_host, _port, &lastError))
+                continue; // dial refused: next attempt, more backoff
+            if (attempt > 1)
+                ++_retryStats.reconnects;
+        }
+
+        // Each attempt runs under the *remaining* budget and a fresh
+        // tag; any RESULT still echoing a superseded tag is a
+        // duplicate and must be dropped, not delivered.
+        spent = elapsedNs();
+        if (deadlineNs != 0 && spent >= deadlineNs)
+            break;
+        std::uint64_t remainingNs =
+            deadlineNs == 0 ? 0 : deadlineNs - spent;
+
+        std::uint64_t tag = 0;
+        if (!sendSubmit(workload, remainingNs, &tag, &lastError))
+            continue; // send failed: connection is dead, retry
+        if (attempt > 1)
+            ++_retryStats.resubmits;
+
+        for (;;) {
+            int waitMs = timeoutMs;
+            if (deadlineNs != 0) {
+                std::uint64_t el = elapsedNs();
+                std::uint64_t left =
+                    el >= deadlineNs ? 0 : deadlineNs - el;
+                int leftMs =
+                    static_cast<int>(left / 1'000'000u) + 1;
+                if (waitMs < 0 || leftMs < waitMs)
+                    waitMs = leftMs;
+            }
+            std::optional<ResultMsg> result =
+                recvResult(waitMs, &lastError);
+            if (!result) {
+                if (connected()) {
+                    // A live connection timed out: the request is
+                    // still in flight; resubmitting could deliver
+                    // its solutions twice.  Fail, don't retry.
+                    if (deadlineNs != 0 &&
+                        elapsedNs() >= deadlineNs)
+                        break; // budget exhausted, stop retrying
+                    setError(error,
+                             "timed out with request in flight "
+                             "(attempt " +
+                                 std::to_string(attempt) + "): " +
+                                 lastError);
+                    return std::nullopt;
+                }
+                break; // connection died: unacknowledged, retry
+            }
+            if (result->tag != tag) {
+                // Echo of a superseded attempt (or an unrelated
+                // pipelined call, which this single-threaded API
+                // does not support): drop it.
+                ++_retryStats.duplicatesDropped;
+                continue;
+            }
+            if (result->status == WireStatus::Overloaded) {
+                ++_retryStats.overloadedRetries;
+                backoff.raiseFloor(_policy.overloadedFloorNs);
+                lastError = "server overloaded: " + result->error;
+                break; // retryable backpressure
+            }
+            if (result->status == WireStatus::Draining) {
+                ++_retryStats.drainingRetries;
+                lastError = "server draining: " + result->error;
+                break; // retryable: a restarted server may be back
+            }
+            return result;
+        }
+    }
+
+    ++_retryStats.exhausted;
+    setError(error,
+             "gave up after " + std::to_string(_policy.maxAttempts) +
+                 " attempts" +
+                 (deadlineNs != 0 ? " (deadline budget)" : "") +
+                 ": " + lastError);
+    return std::nullopt;
 }
 
 std::optional<std::string>

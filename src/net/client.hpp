@@ -2,7 +2,7 @@
  * @file
  * PsiClient: blocking client library for the psinet wire protocol.
  *
- * One instance owns one TCP connection.  Two usage models:
+ * One instance owns one TCP connection.  Three usage models:
  *
  *  - Request/response: submit() sends a SUBMIT and blocks until the
  *    matching RESULT arrives; stats() and drain() likewise.
@@ -14,9 +14,24 @@
  *    concurrently; that split is exactly what the open-loop load
  *    generator (bench/net_throughput) does.
  *
+ *  - Resilient: submitRetry() wraps submit() in the RetryPolicy -
+ *    reconnect on a dead connection, exponential backoff with seeded
+ *    jitter, OVERLOADED/DRAINING treated as retryable backpressure,
+ *    and a deadline-aware budget that is never exceeded by retries.
+ *    Resubmission is idempotent-safe: only a request whose RESULT
+ *    never arrived (connection died, or the server refused it) is
+ *    sent again, each attempt under a fresh tag, and a stale RESULT
+ *    for a superseded attempt is detected by its echoed tag and
+ *    dropped, so no solution is ever delivered twice.
+ *
  * Every receive path takes a timeout in milliseconds (-1 = wait
  * forever); on timeout the call fails without consuming a partial
- * frame, so the connection stays usable.
+ * frame, so the connection stays usable.  A timeout on a *live*
+ * connection is deliberately not retried by submitRetry(): the
+ * request is still outstanding and a resubmit would run it twice.
+ *
+ * The retry paths (connect(), submitRetry()) are single-threaded
+ * APIs - don't mix them with the concurrent sender/receiver split.
  */
 
 #ifndef PSI_NET_CLIENT_HPP
@@ -28,10 +43,45 @@
 #include <optional>
 #include <string>
 
+#include "base/backoff.hpp"
 #include "net/wire.hpp"
 
 namespace psi {
 namespace net {
+
+/** Reconnect/retry policy for connect() and submitRetry(). */
+struct RetryPolicy
+{
+    /** submitRetry(): total tries per request (1 = no retry). */
+    unsigned maxAttempts = 4;
+    /** connect(): dial attempts before giving up (1 = no retry).
+     *  Name-resolution failures and transient connect errors
+     *  (ECONNREFUSED and friends) are retried alike. */
+    unsigned connectAttempts = 3;
+
+    std::uint64_t backoffBaseNs = 5'000'000;   ///< first ceiling
+    std::uint64_t backoffMaxNs = 500'000'000;  ///< ceiling cap
+    double backoffMultiplier = 2.0;
+    /** An OVERLOADED reply raises the backoff ceiling to at least
+     *  this: server backpressure backs off harder than a flaky
+     *  link does. */
+    std::uint64_t overloadedFloorNs = 50'000'000;
+    std::uint64_t seed = 1; ///< jitter PRNG seed (deterministic)
+};
+
+/** What the retry machinery did (single-threaded counters). */
+struct RetryStats
+{
+    std::uint64_t connectDials = 0;      ///< dial attempts, total
+    std::uint64_t connectRetries = 0;    ///< dials after a failure
+    std::uint64_t reconnects = 0;        ///< submitRetry() re-dials
+    std::uint64_t resubmits = 0;         ///< SUBMITs sent again
+    std::uint64_t overloadedRetries = 0; ///< OVERLOADED then retried
+    std::uint64_t drainingRetries = 0;   ///< DRAINING then retried
+    std::uint64_t duplicatesDropped = 0; ///< stale-tag RESULTs dropped
+    std::uint64_t backoffNs = 0;         ///< total time backing off
+    std::uint64_t exhausted = 0;         ///< gave up (attempts/budget)
+};
 
 /** Blocking connection to a PsiServer. */
 class PsiClient
@@ -43,7 +93,12 @@ class PsiClient
     PsiClient(const PsiClient &) = delete;
     PsiClient &operator=(const PsiClient &) = delete;
 
-    /** Connect to @p host : @p port (IPv4 dotted quad or name). */
+    /**
+     * Connect to @p host : @p port (IPv4 dotted quad or name),
+     * retrying transient failures per the RetryPolicy (jittered
+     * backoff between dials).  On final failure the error string
+     * carries the attempt count.
+     */
     bool connect(const std::string &host, std::uint16_t port,
                  std::string *error = nullptr);
 
@@ -71,6 +126,38 @@ class PsiClient
            int timeoutMs = -1, std::string *error = nullptr);
 
     /**
+     * Resilient submit: like submit(), but survives connection
+     * failures and server backpressure per the RetryPolicy.
+     *
+     *  - A dead connection (reset, truncation, EOF, refused dial)
+     *    reconnects with backoff and resubmits - the outstanding
+     *    request is unacknowledged, so the resubmit cannot
+     *    duplicate a delivered result.
+     *  - OVERLOADED and DRAINING RESULTs are retryable refusals;
+     *    OVERLOADED raises the backoff ceiling (the server asked
+     *    for air, give it more than a jittery link would get).
+     *  - @p deadlineNs budgets the *whole* call: backoff sleeps
+     *    never extend past the remaining budget and each resubmit
+     *    carries only the remainder to the server.
+     *  - A recv timeout on a live connection fails without retry:
+     *    the request is still in flight server-side and running it
+     *    again could hand back a duplicate.
+     *
+     * Single-threaded API (no concurrent sender/receiver split).
+     */
+    std::optional<ResultMsg>
+    submitRetry(const std::string &workload,
+                std::uint64_t deadlineNs = 0, int timeoutMs = -1,
+                std::string *error = nullptr);
+
+    /** Policy for connect()/submitRetry(); also reseeds the jitter. */
+    void setRetryPolicy(const RetryPolicy &policy);
+    const RetryPolicy &retryPolicy() const { return _policy; }
+
+    /** Counters accumulated by the retry paths (never reset). */
+    const RetryStats &retryStats() const { return _retryStats; }
+
+    /**
      * Pipelined send half: queue one SUBMIT and return immediately.
      * @param tagOut receives the correlation tag of this request.
      */
@@ -94,6 +181,18 @@ class PsiClient
     bool sendAll(const std::string &bytes, std::string *error);
     std::optional<Message> recvMessage(int timeoutMs,
                                        std::string *error);
+    /** One dial, no retry loop. */
+    bool connectOnce(const std::string &host, std::uint16_t port,
+                     std::string *error);
+    /** Jittered sleep of at most @p capNs; returns ns slept. */
+    std::uint64_t backoffSleep(Backoff &backoff,
+                               std::uint64_t capNs);
+
+    RetryPolicy _policy;
+    RetryStats _retryStats;
+    /** Last connect() target, for submitRetry() reconnects. */
+    std::string _host;
+    std::uint16_t _port = 0;
 
     std::atomic<int> _fd{-1};
     /** Set by the sender half on a send failure; the receiver (or a

@@ -4,7 +4,10 @@
  *
  *  - net::wire       length-prefixed framed messages (wire.hpp)
  *  - net::PsiServer  poll-based non-blocking server over EnginePool
- *  - net::PsiClient  blocking client library (also pipelined)
+ *  - net::PsiClient  blocking client library (also pipelined, and
+ *                    resilient via submitRetry())
+ *  - net::FaultProxy deterministic fault-injection proxy for chaos
+ *                    testing (faultnet.hpp)
  *
  * Frame layout and message types are specified in docs/PROTOCOL.md.
  */
@@ -13,6 +16,7 @@
 #define PSI_NET_NET_HPP
 
 #include "net/client.hpp"
+#include "net/faultnet.hpp"
 #include "net/server.hpp"
 #include "net/wire.hpp"
 

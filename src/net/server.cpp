@@ -176,6 +176,12 @@ PsiServer::run()
     while (!drainComplete())
         pollOnce();
 
+    // A drain can win the race before the first poll ever runs, so
+    // the listener may still be open here with connections parked in
+    // its accept queue.  Close it: the kernel resets the parked
+    // connections, turning a silent forever-hang into a clean
+    // retryable error on the client side.
+    closeFd(_listenFd);
     for (auto &entry : _conns)
         closeFd(entry.second.fd);
     _conns.clear();
@@ -290,6 +296,7 @@ PsiServer::acceptConnections()
         conn.fd = fd;
         conn.id = _nextConnId++;
         _conns.emplace(conn.id, std::move(conn));
+        _connsAccepted.fetch_add(1, std::memory_order_relaxed);
     }
 }
 
@@ -322,6 +329,8 @@ PsiServer::handleReadable(Conn &conn)
           case FrameResult::Bad:
             warn("psinet: dropping connection ", conn.id,
                  " (oversized or empty frame)");
+            _badFrames.fetch_add(1, std::memory_order_relaxed);
+            _connsDropped.fetch_add(1, std::memory_order_relaxed);
             return false;
           case FrameResult::Frame:
             break;
@@ -331,6 +340,8 @@ PsiServer::handleReadable(Conn &conn)
         if (!msg) {
             warn("psinet: dropping connection ", conn.id, " (",
                  derror, ")");
+            _decodeErrors.fetch_add(1, std::memory_order_relaxed);
+            _connsDropped.fetch_add(1, std::memory_order_relaxed);
             return false;
         }
         if (!handleMessage(conn, std::move(*msg)))
@@ -347,7 +358,7 @@ PsiServer::handleMessage(Conn &conn, Message &&msg)
     }
     if (std::get_if<StatsMsg>(&msg) != nullptr) {
         StatsReplyMsg reply;
-        reply.json = _pool.metrics().json(nsSince(_started));
+        reply.json = metrics().json(nsSince(_started));
         queueReply(conn, Message(std::move(reply)));
         return flushWrites(conn);
     }
@@ -362,6 +373,8 @@ PsiServer::handleMessage(Conn &conn, Message &&msg)
     warn("psinet: dropping connection ", conn.id,
          " (unexpected client message type ",
          static_cast<int>(messageType(msg)), ")");
+    _decodeErrors.fetch_add(1, std::memory_order_relaxed);
+    _connsDropped.fetch_add(1, std::memory_order_relaxed);
     return false;
 }
 
@@ -433,6 +446,7 @@ PsiServer::queueReply(Conn &conn, const Message &msg)
     conn.wbuf.append(encode(msg));
     if (conn.wbuf.size() - conn.woff > _config.maxWriteBuffer) {
         warn("psinet: dropping slow consumer connection ", conn.id);
+        _connsDropped.fetch_add(1, std::memory_order_relaxed);
         _closing.push_back(conn.id);
     }
 }

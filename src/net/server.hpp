@@ -95,9 +95,19 @@ class PsiServer
     /** Route SIGINT and SIGTERM to this server's requestDrain(). */
     void installSignalHandlers();
 
+    /** Pool metrics plus this server's wire-level counters. */
     service::MetricsSnapshot metrics() const
     {
-        return _pool.metrics();
+        service::MetricsSnapshot snap = _pool.metrics();
+        snap.netConnsAccepted =
+            _connsAccepted.load(std::memory_order_relaxed);
+        snap.netConnsDropped =
+            _connsDropped.load(std::memory_order_relaxed);
+        snap.netBadFrames =
+            _badFrames.load(std::memory_order_relaxed);
+        snap.netDecodeErrors =
+            _decodeErrors.load(std::memory_order_relaxed);
+        return snap;
     }
 
   private:
@@ -145,6 +155,16 @@ class PsiServer
 
     std::atomic<bool> _drain{false};
     std::chrono::steady_clock::time_point _started;
+
+    /** @name Wire-level counters (see metrics())
+     *  Atomics only because metrics() may be read from another
+     *  thread; the loop thread is the sole writer. */
+    /// @{
+    std::atomic<std::uint64_t> _connsAccepted{0};
+    std::atomic<std::uint64_t> _connsDropped{0};  ///< server-initiated
+    std::atomic<std::uint64_t> _badFrames{0};     ///< framing rejected
+    std::atomic<std::uint64_t> _decodeErrors{0};  ///< body rejected
+    /// @}
 };
 
 } // namespace net

@@ -17,6 +17,7 @@
 #ifndef PSI_PSI_HPP
 #define PSI_PSI_HPP
 
+#include "base/backoff.hpp"
 #include "base/flags.hpp"
 #include "base/logging.hpp"
 #include "base/stats.hpp"

@@ -146,6 +146,14 @@ MetricsSnapshot::table(std::uint64_t wall_ns) const
     row("program cache hits", std::to_string(programCacheHits));
     row("program cache misses", std::to_string(programCacheMisses));
     row("program cache entries", std::to_string(programCacheEntries));
+    if (netConnsAccepted != 0 || netConnsDropped != 0 ||
+        netBadFrames != 0 || netDecodeErrors != 0) {
+        t.addSeparator();
+        row("net conns accepted", std::to_string(netConnsAccepted));
+        row("net conns dropped", std::to_string(netConnsDropped));
+        row("net bad frames", std::to_string(netBadFrames));
+        row("net decode errors", std::to_string(netDecodeErrors));
+    }
     t.addSeparator();
     row("latency p50 ms", ms(total.latency.quantileNs(0.50)));
     row("latency p95 ms", ms(total.latency.quantileNs(0.95)));
@@ -196,6 +204,10 @@ MetricsSnapshot::json(std::uint64_t wall_ns) const
     u("program_cache_hits", programCacheHits);
     u("program_cache_misses", programCacheMisses);
     u("program_cache_entries", programCacheEntries);
+    u("net_conns_accepted", netConnsAccepted);
+    u("net_conns_dropped", netConnsDropped);
+    u("net_bad_frames", netBadFrames);
+    u("net_decode_errors", netDecodeErrors);
     u("latency_p50_ns", total.latency.quantileNs(0.50));
     u("latency_p95_ns", total.latency.quantileNs(0.95));
     u("latency_p99_ns", total.latency.quantileNs(0.99));

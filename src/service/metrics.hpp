@@ -88,6 +88,14 @@ struct MetricsSnapshot
     std::uint64_t programCacheEntries = 0;
     /// @}
 
+    /** @name Wire-level counters (filled by net::PsiServer) */
+    /// @{
+    std::uint64_t netConnsAccepted = 0; ///< connections accepted
+    std::uint64_t netConnsDropped = 0;  ///< dropped by the server
+    std::uint64_t netBadFrames = 0;     ///< framing-layer rejects
+    std::uint64_t netDecodeErrors = 0;  ///< body/protocol rejects
+    /// @}
+
     /**
      * Aggregate service throughput: model inferences completed per
      * host second over @p wall_ns of service wall time.

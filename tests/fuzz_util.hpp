@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Seeded mutation helpers for the wire-protocol fuzz harness.
+ *
+ * Every mutation draws from one SplitMix64, so a failing iteration
+ * reproduces from (seed, iteration) alone - the harness prints both.
+ * The mutators work on raw frame bytes (header + payload) and cover
+ * the classic framing attacks:
+ *
+ *  - bit flips anywhere in the frame
+ *  - length-field lies (header announces more/less than is there)
+ *  - truncation at an arbitrary byte
+ *  - splices of two valid frames (prefix of one + suffix of another)
+ */
+
+#ifndef PSI_TESTS_FUZZ_UTIL_HPP
+#define PSI_TESTS_FUZZ_UTIL_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/backoff.hpp"
+#include "net/wire.hpp"
+
+namespace psi {
+namespace tests {
+
+/** Deterministic byte-level mutator over a corpus of valid frames. */
+class FrameMutator
+{
+  public:
+    FrameMutator(std::uint64_t seed,
+                 std::vector<std::string> corpus)
+        : _rng(seed), _corpus(std::move(corpus))
+    {}
+
+    SplitMix64 &rng() { return _rng; }
+
+    /** A pristine corpus frame, chosen at random. */
+    const std::string &
+    pick()
+    {
+        return _corpus[_rng.below(_corpus.size())];
+    }
+
+    /** Flip 1..8 random bits. */
+    std::string
+    flipBits(std::string frame)
+    {
+        std::uint64_t flips = _rng.range(1, 8);
+        for (std::uint64_t i = 0; i < flips && !frame.empty(); ++i) {
+            std::size_t at = _rng.below(frame.size());
+            frame[at] = static_cast<char>(
+                static_cast<unsigned char>(frame[at]) ^
+                (1u << _rng.below(8)));
+        }
+        return frame;
+    }
+
+    /** Overwrite the u32 header with a lie: tiny, huge, or nearby. */
+    std::string
+    lieAboutLength(std::string frame)
+    {
+        if (frame.size() < net::kFrameHeaderBytes)
+            return frame;
+        std::uint32_t lie = 0;
+        switch (_rng.below(3)) {
+          case 0: // tiny (including the illegal zero)
+            lie = static_cast<std::uint32_t>(_rng.below(4));
+            break;
+          case 1: // huge (often past kMaxFramePayload)
+            lie = static_cast<std::uint32_t>(
+                _rng.range(net::kMaxFramePayload,
+                           net::kMaxFramePayload * 4ull));
+            break;
+          default: { // off by a little, either direction
+            std::uint64_t real =
+                frame.size() - net::kFrameHeaderBytes;
+            std::uint64_t delta = _rng.range(1, 16);
+            lie = static_cast<std::uint32_t>(
+                _rng.below(2) ? real + delta
+                              : (real > delta ? real - delta : 0));
+            break;
+          }
+        }
+        frame[0] = static_cast<char>(lie >> 24);
+        frame[1] = static_cast<char>(lie >> 16);
+        frame[2] = static_cast<char>(lie >> 8);
+        frame[3] = static_cast<char>(lie);
+        return frame;
+    }
+
+    /** Chop the frame at a random byte (possibly to nothing). */
+    std::string
+    truncate(std::string frame)
+    {
+        if (frame.empty())
+            return frame;
+        frame.resize(_rng.below(frame.size()));
+        return frame;
+    }
+
+    /** Prefix of one valid frame glued to a suffix of another. */
+    std::string
+    splice()
+    {
+        const std::string &a = pick();
+        const std::string &b = pick();
+        std::string out = a.substr(0, _rng.below(a.size() + 1));
+        out += b.substr(_rng.below(b.size() + 1));
+        return out;
+    }
+
+    /** One mutated frame, mutation kind chosen at random. */
+    std::string
+    mutate()
+    {
+        switch (_rng.below(4)) {
+          case 0:
+            return flipBits(pick());
+          case 1:
+            return lieAboutLength(pick());
+          case 2:
+            return truncate(pick());
+          default:
+            return splice();
+        }
+    }
+
+  private:
+    SplitMix64 _rng;
+    std::vector<std::string> _corpus;
+};
+
+} // namespace tests
+} // namespace psi
+
+#endif // PSI_TESTS_FUZZ_UTIL_HPP

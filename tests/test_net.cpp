@@ -20,8 +20,16 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <map>
+#include <memory>
 #include <random>
 #include <thread>
+#include <vector>
 
 #include "psi.hpp"
 
@@ -342,14 +350,30 @@ struct ServerHarness
 };
 
 net::PsiServer::Config
-serverConfig(unsigned workers, std::size_t capacity)
+serverConfig(unsigned workers, std::size_t capacity,
+             std::uint16_t port = 0)
 {
     net::PsiServer::Config config;
-    config.port = 0; // ephemeral
+    config.port = port; // 0 = ephemeral
     config.workers = workers;
     config.queueCapacity = capacity;
     config.submitMode = service::Submit::FailFast;
     return config;
+}
+
+/** A fast-paced retry policy for loopback chaos (real defaults would
+ *  make the suite sleep for seconds on every injected fault). */
+net::RetryPolicy
+testRetryPolicy(unsigned maxAttempts, unsigned connectAttempts)
+{
+    net::RetryPolicy policy;
+    policy.maxAttempts = maxAttempts;
+    policy.connectAttempts = connectAttempts;
+    policy.backoffBaseNs = 1'000'000;  // 1 ms
+    policy.backoffMaxNs = 50'000'000;  // 50 ms
+    policy.overloadedFloorNs = 10'000'000;
+    policy.seed = 20260805;
+    return policy;
 }
 
 /** Full registry over TCP == sequential execution, bit for bit. */
@@ -533,6 +557,295 @@ TEST(Loopback, DrainFinishesInFlightAndStopsAccepting)
     // ... and the listener is gone: reconnecting is refused.
     net::PsiClient after;
     EXPECT_FALSE(after.connect("127.0.0.1", port, &error));
+}
+
+// ---------------------------------------------------------------------
+// Connect retry
+// ---------------------------------------------------------------------
+
+/** Grab a loopback port nothing is listening on right now. */
+std::uint16_t
+freeLoopbackPort()
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = 0;
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    EXPECT_EQ(::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+                     sizeof(addr)),
+              0);
+    socklen_t len = sizeof(addr);
+    EXPECT_EQ(::getsockname(fd, reinterpret_cast<sockaddr *>(&addr),
+                            &len),
+              0);
+    ::close(fd);
+    return ntohs(addr.sin_port);
+}
+
+TEST(ConnectRetry, FailureReportsAttemptCount)
+{
+    net::PsiClient client;
+    client.setRetryPolicy(testRetryPolicy(4, 3));
+    std::string error;
+    EXPECT_FALSE(
+        client.connect("127.0.0.1", freeLoopbackPort(), &error));
+    EXPECT_NE(error.find("(after 3 attempts)"), std::string::npos)
+        << error;
+    EXPECT_EQ(client.retryStats().connectDials, 3u);
+    EXPECT_EQ(client.retryStats().connectRetries, 2u);
+}
+
+TEST(ConnectRetry, LateStartingServerEventuallyAccepts)
+{
+    // The server comes up ~200 ms after the client starts dialing:
+    // the early ECONNREFUSED dials must be retried, not fatal.
+    std::uint16_t port = freeLoopbackPort();
+    std::unique_ptr<ServerHarness> harness;
+    std::thread starter([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+        harness = std::make_unique<ServerHarness>(
+            serverConfig(1, 4, port));
+    });
+
+    net::PsiClient client;
+    client.setRetryPolicy(testRetryPolicy(4, 50));
+    std::string error;
+    bool ok = client.connect("127.0.0.1", port, &error);
+    starter.join();
+    ASSERT_TRUE(ok) << error;
+    EXPECT_GT(client.retryStats().connectRetries, 0u);
+
+    auto result = client.submit("nreverse30", 0, -1, &error);
+    ASSERT_TRUE(result.has_value()) << error;
+    EXPECT_EQ(result->status, WireStatus::Ok);
+}
+
+// ---------------------------------------------------------------------
+// Retrying submits
+// ---------------------------------------------------------------------
+
+TEST(Retry, OverloadedBackpressureRetriesUntilCapacityFrees)
+{
+    // One worker, one queue slot: park two bounded jobs so the pool
+    // is saturated, then submitRetry() a third from a second client.
+    // Its early attempts are refused OVERLOADED; the retry loop must
+    // back off and land the job once the deadline reaps the parked
+    // work.
+    ServerHarness harness(serverConfig(1, 1));
+    std::string error;
+
+    net::PsiClient pipeline;
+    ASSERT_TRUE(
+        pipeline.connect("127.0.0.1", harness.port(), &error))
+        << error;
+    for (int i = 0; i < 2; ++i)
+        ASSERT_TRUE(pipeline.sendSubmit("bup3", 300'000'000ull,
+                                        nullptr, &error))
+            << error;
+
+    net::PsiClient client;
+    client.setRetryPolicy(testRetryPolicy(100, 3));
+    ASSERT_TRUE(client.connect("127.0.0.1", harness.port(), &error))
+        << error;
+    auto result = client.submitRetry("nreverse30", 0, 10'000, &error);
+    ASSERT_TRUE(result.has_value()) << error;
+    EXPECT_EQ(result->status, WireStatus::Ok);
+    EXPECT_GT(client.retryStats().overloadedRetries, 0u);
+    EXPECT_EQ(client.retryStats().exhausted, 0u);
+
+    for (int i = 0; i < 2; ++i)
+        ASSERT_TRUE(pipeline.recvResult(-1, &error)) << error;
+}
+
+TEST(Retry, DeadlineBudgetBoundsTheWholeCall)
+{
+    // No server at all: every attempt fails to dial.  The call must
+    // give up within the deadline budget instead of burning through
+    // maxAttempts worth of backoff.
+    net::PsiClient client;
+    net::RetryPolicy policy = testRetryPolicy(1000, 1);
+    policy.backoffBaseNs = 20'000'000; // 20 ms per retry
+    client.setRetryPolicy(policy);
+    std::string error;
+    EXPECT_FALSE(
+        client.connect("127.0.0.1", freeLoopbackPort(), &error));
+
+    auto start = std::chrono::steady_clock::now();
+    auto result =
+        client.submitRetry("nreverse30", 200'000'000ull, -1, &error);
+    auto elapsed = std::chrono::steady_clock::now() - start;
+    EXPECT_FALSE(result.has_value());
+    EXPECT_EQ(client.retryStats().exhausted, 1u);
+    // Bounded by the 200 ms budget, not the 1000-attempt policy
+    // (generous margin: one in-flight backoff may finish late).
+    EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(
+                  elapsed)
+                  .count(),
+              2000);
+}
+
+// ---------------------------------------------------------------------
+// Chaos: the full registry through a hostile network
+// ---------------------------------------------------------------------
+
+/**
+ * The tentpole chaos run: every registry workload is submitted
+ * through a fault proxy that splits, coalesces, delays, truncates
+ * and hard-resets the byte stream on a fixed seed, and the server is
+ * killed and restarted in the middle of the batch.  The retrying
+ * client must complete the whole batch with zero hangs and zero
+ * duplicated solutions, and every delivered RESULT must be
+ * byte-identical to a fault-free sequential run.
+ */
+TEST(Chaos, FullRegistryThroughFaultsMatchesByteForByte)
+{
+    auto harness =
+        std::make_unique<ServerHarness>(serverConfig(2, 16));
+
+    // reset_after must exceed the largest RESULT frame (~17 KB for
+    // window3) or that frame could never be delivered; 20 KB still
+    // fires several resets across the ~50 KB registry run.
+    std::string spec = "seed=20260805,split=0.35,coalesce=0.2,"
+                       "delay_us=0..200,reset_after=20000";
+    std::string error;
+    auto schedule = net::FaultSchedule::parse(spec, &error);
+    ASSERT_TRUE(schedule.has_value()) << error;
+    EXPECT_EQ(schedule->str(), spec);
+
+    net::FaultProxy proxy("127.0.0.1", harness->port(), *schedule);
+    ASSERT_TRUE(proxy.start(&error)) << error;
+
+    net::PsiClient client;
+    client.setRetryPolicy(testRetryPolicy(25, 10));
+    ASSERT_TRUE(client.connect("127.0.0.1", proxy.port(), &error))
+        << error;
+
+    const auto &all = programs::allPrograms();
+    const std::size_t killAt = all.size() / 2;
+    for (std::size_t i = 0; i < all.size(); ++i) {
+        if (i == killAt) {
+            // Mid-batch kill-and-restart: drain the old server,
+            // bring up a fresh one on a new port, re-point the
+            // proxy.  The client only ever sees its proxy address.
+            harness.reset();
+            harness = std::make_unique<ServerHarness>(
+                serverConfig(2, 16));
+            proxy.setUpstream(harness->port());
+        }
+
+        const auto &program = all[i];
+        SCOPED_TRACE(program.id);
+        PsiRun want = runOnPsi(program);
+        // Generous per-request receive timeout: a live-connection
+        // timeout is deliberately not retried (duplicate risk), and
+        // the slow registry programs can take tens of seconds under
+        // TSan with the rest of the suite running alongside.
+        auto got = client.submitRetry(program.id, 0, 180'000, &error);
+        ASSERT_TRUE(got.has_value()) << error;
+
+        EXPECT_EQ(got->status, net::wireStatus(want.result.status));
+        ASSERT_EQ(got->solutions.size(),
+                  want.result.solutions.size());
+        for (std::size_t s = 0; s < got->solutions.size(); ++s)
+            EXPECT_EQ(got->solutions[s],
+                      want.result.solutions[s].str());
+        EXPECT_EQ(got->output, want.result.output);
+        EXPECT_EQ(got->inferences, want.result.inferences);
+        EXPECT_EQ(got->steps, want.result.steps);
+        EXPECT_EQ(got->modelNs, want.result.timeNs);
+        EXPECT_EQ(got->stallNs, want.stallNs);
+        EXPECT_EQ(got->seq.moduleSteps, want.seq.moduleSteps);
+        EXPECT_EQ(got->seq.branchOps, want.seq.branchOps);
+        EXPECT_EQ(got->seq.wfModes, want.seq.wfModes);
+        EXPECT_EQ(got->seq.cacheSteps, want.seq.cacheSteps);
+        EXPECT_EQ(got->cache.accesses, want.cache.accesses);
+        EXPECT_EQ(got->cache.hits, want.cache.hits);
+        EXPECT_EQ(got->cache.readIns, want.cache.readIns);
+        EXPECT_EQ(got->cache.writeBacks, want.cache.writeBacks);
+        EXPECT_EQ(got->cache.stackAllocs, want.cache.stackAllocs);
+        EXPECT_EQ(got->cache.throughWrites,
+                  want.cache.throughWrites);
+    }
+
+    // The run was actually chaotic: faults fired, the client had to
+    // recover, and it never ran out of retries.
+    net::FaultStats faults = proxy.stats();
+    EXPECT_GT(faults.resets, 0u);
+    EXPECT_GT(faults.splits, 0u);
+    EXPECT_GT(faults.truncatedBytes, 0u);
+    const net::RetryStats &retries = client.retryStats();
+    EXPECT_GT(retries.reconnects + retries.resubmits, 0u);
+    EXPECT_EQ(retries.exhausted, 0u);
+
+    proxy.stop();
+}
+
+/**
+ * DRAIN racing a pipelined batch: every request ends in exactly one
+ * RESULT or one clean connection-level error - never a hang, never a
+ * duplicate.  (Submits the server read before the drain finished get
+ * a RESULT - completed or a DRAINING refusal; submits still in the
+ * socket buffer when the loop exits are reset with the connection,
+ * which the client observes as a retryable dead link.)
+ */
+TEST(Chaos, DrainUnderPipelinedLoadGivesEachRequestOneOutcome)
+{
+    ServerHarness harness(serverConfig(2, 8));
+    net::PsiClient client;
+    std::string error;
+    ASSERT_TRUE(client.connect("127.0.0.1", harness.port(), &error))
+        << error;
+
+    constexpr int kBatch = 12;
+    std::vector<std::uint64_t> tags;
+    for (int i = 0; i < kBatch; ++i) {
+        std::uint64_t tag = 0;
+        ASSERT_TRUE(client.sendSubmit("nreverse30", 0, &tag, &error))
+            << error;
+        tags.push_back(tag);
+    }
+
+    std::map<std::uint64_t, int> outcomes;
+    // The first RESULT proves the batch is genuinely in flight; the
+    // drain then races the remaining eleven.
+    auto first = client.recvResult(20'000, &error);
+    ASSERT_TRUE(first.has_value()) << error;
+    ++outcomes[first->tag];
+    harness.server.requestDrain();
+
+    bool died = false;
+    for (int i = 1; i < kBatch && !died; ++i) {
+        auto result = client.recvResult(20'000, &error);
+        if (!result.has_value()) {
+            // Must be a clean connection death (unread submits are
+            // reset when the drained loop exits), never a timeout
+            // with the link still up - that would be a hang.
+            EXPECT_FALSE(client.connected()) << error;
+            died = true;
+            break;
+        }
+        ++outcomes[result->tag];
+        EXPECT_TRUE(result->ran() ||
+                    result->status == WireStatus::Draining ||
+                    result->status == WireStatus::Overloaded)
+            << net::wireStatusName(result->status);
+    }
+
+    // At most one outcome per request, and only requests we sent.
+    int delivered = 0;
+    for (std::uint64_t tag : tags) {
+        auto it = outcomes.find(tag);
+        if (it == outcomes.end())
+            continue;
+        EXPECT_EQ(it->second, 1) << "tag " << tag;
+        delivered += it->second;
+        outcomes.erase(it);
+    }
+    EXPECT_TRUE(outcomes.empty()) << "unsolicited RESULT tags";
+    if (!died)
+        EXPECT_EQ(delivered, kBatch);
 }
 
 TEST(Loopback, DrainingServerRefusesNewSubmits)

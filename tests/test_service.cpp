@@ -13,8 +13,13 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <atomic>
 #include <chrono>
+#include <memory>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "psi.hpp"
 
@@ -315,6 +320,51 @@ TEST(EnginePool, ShutdownRefusesNewJobs)
     EXPECT_FALSE(refused.has_value());
 }
 
+/**
+ * Race a burst of submitAsync() calls against shutdown(): every job
+ * the pool ACCEPTED must run its callback exactly once - a lost
+ * callback hangs whoever is waiting on the completion, a doubled one
+ * double-frees their state.  Run under TSan by the service label.
+ */
+TEST(EnginePool, SubmitAsyncCallbacksAcceptedBeforeShutdownFireOnce)
+{
+    const auto &p = programs::programById("nreverse30");
+    constexpr int kJobs = 16;
+
+    // Several rounds so shutdown() lands at different points of the
+    // submission burst: before it, in the middle, after it.
+    for (int round = 0; round < 4; ++round) {
+        EnginePool::Config config;
+        config.workers = 2;
+        config.queueCapacity = kJobs;
+        auto pool = std::make_unique<EnginePool>(config);
+
+        std::array<std::atomic<int>, kJobs> fired{};
+        std::array<bool, kJobs> accepted{};
+
+        std::thread closer([&pool, round] {
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(round * 300));
+            pool->shutdown();
+        });
+        for (int i = 0; i < kJobs; ++i) {
+            auto refusal = pool->submitAsync(
+                {p, CacheConfig::psi(), interp::RunLimits()},
+                [&fired, i](JobOutcome) { ++fired[i]; });
+            accepted[i] = !refusal.has_value();
+            if (refusal) {
+                EXPECT_EQ(*refusal, service::SubmitError::ShutDown);
+            }
+        }
+        closer.join();
+        pool.reset(); // joins workers: all callbacks have run
+
+        for (int i = 0; i < kJobs; ++i)
+            EXPECT_EQ(fired[i].load(), accepted[i] ? 1 : 0)
+                << "job " << i << " in round " << round;
+    }
+}
+
 TEST(EnginePool, MetricsAggregateAcrossWorkers)
 {
     const auto &programs = programs::allPrograms();
@@ -483,6 +533,45 @@ TEST(ProgramCache, ConcurrentGetSameKeyCompilesOnce)
     EXPECT_EQ(stats.misses, 1u);
     EXPECT_EQ(stats.hits, static_cast<std::uint64_t>(kThreads - 1));
     EXPECT_EQ(stats.entries, 1u);
+}
+
+/**
+ * Negative path under contention: when the shared compile fails,
+ * EVERY concurrently-waiting thread observes the failure (nobody
+ * hangs, nobody gets a null image), and the bad entry is dropped so
+ * the same cache still compiles a good program afterwards.
+ */
+TEST(ProgramCache, ConcurrentCompileFailureReachesEveryWaiter)
+{
+    service::ProgramCache cache;
+    const std::string bad = "this is not KL0 (";
+    constexpr int kThreads = 8;
+
+    std::atomic<int> threw{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int i = 0; i < kThreads; ++i) {
+        threads.emplace_back([&cache, &bad, &threw] {
+            try {
+                cache.get(bad);
+                ADD_FAILURE() << "bad source compiled";
+            } catch (const FatalError &) {
+                ++threw;
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+
+    EXPECT_EQ(threw.load(), kThreads);
+    // Not poison-cached: the failed entry is gone, a retry compiles
+    // again (and fails again), and a good program still works.
+    EXPECT_EQ(cache.stats().entries, 0u);
+    EXPECT_THROW(cache.get(bad), FatalError);
+    auto image =
+        cache.get(programs::programById("nreverse30").source);
+    EXPECT_NE(image.get(), nullptr);
+    EXPECT_EQ(cache.stats().entries, 1u);
 }
 
 TEST(EnginePool, ProgramCacheCountersSurfaceInMetrics)

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Seeded wire-protocol fuzzing: every mutated byte stream must be
+ * either rejected cleanly (non-empty error, connection-drop verdict)
+ * or decoded into a message that re-encodes byte-identically - the
+ * codec accepts only its own canonical encoding, so nothing a
+ * hostile peer sends can round-trip into different bytes, hang the
+ * framer, or make it buffer unbounded garbage.
+ *
+ * Iteration count comes from PSI_FUZZ_ITERS (default 2000; CI runs
+ * 10000).  Failures print (seed, iteration) - rerunning with the
+ * same env reproduces them exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "fuzz_util.hpp"
+#include "net/wire.hpp"
+
+using namespace psi;
+using namespace psi::net;
+using psi::tests::FrameMutator;
+
+namespace {
+
+int
+fuzzIters()
+{
+    const char *env = std::getenv("PSI_FUZZ_ITERS");
+    if (env == nullptr)
+        return 2000;
+    int n = std::atoi(env);
+    return n > 0 ? n : 2000;
+}
+
+/** A corpus hitting every message type and the interesting shapes. */
+std::vector<std::string>
+buildCorpus()
+{
+    std::vector<std::string> corpus;
+
+    SubmitMsg submit;
+    submit.tag = 42;
+    submit.workload = "queens1";
+    submit.deadlineNs = 5'000'000'000ull;
+    corpus.push_back(encode(Message(submit)));
+
+    SubmitMsg emptyWorkload;
+    emptyWorkload.tag = 0xffffffffffffffffull;
+    corpus.push_back(encode(Message(emptyWorkload)));
+
+    ResultMsg ok;
+    ok.tag = 7;
+    ok.status = WireStatus::Ok;
+    ok.solutions = {"X = 1", "X = 2", "Y = [a,b,c]"};
+    ok.output = "hello\nworld";
+    ok.inferences = 123456;
+    ok.steps = 9999999;
+    ok.modelNs = 77;
+    ok.stallNs = 33;
+    ok.queueNs = 1;
+    ok.execNs = 2;
+    ok.latencyNs = 3;
+    corpus.push_back(encode(Message(ok)));
+
+    ResultMsg refusal;
+    refusal.tag = 8;
+    refusal.status = WireStatus::Overloaded;
+    refusal.error = "queue full (64 jobs); retry later";
+    corpus.push_back(encode(Message(refusal)));
+
+    corpus.push_back(encode(Message(StatsMsg{})));
+
+    StatsReplyMsg stats;
+    stats.json = "{\"completed\": 3, \"succeeded\": 3}";
+    corpus.push_back(encode(Message(stats)));
+
+    corpus.push_back(encode(Message(DrainMsg{})));
+    corpus.push_back(encode(Message(DrainAckMsg{})));
+    return corpus;
+}
+
+std::uint64_t
+fuzzSeed()
+{
+    const char *env = std::getenv("PSI_FUZZ_SEED");
+    return env != nullptr ? std::strtoull(env, nullptr, 10)
+                          : 0xc0ffee;
+}
+
+/**
+ * The core property: a payload either decodes and re-encodes to the
+ * exact same frame, or is rejected with a non-empty error.
+ */
+void
+checkPayload(const std::string &payload, std::uint64_t seed, int iter)
+{
+    std::string error;
+    std::optional<Message> msg = decode(payload, &error);
+    if (!msg) {
+        EXPECT_FALSE(error.empty())
+            << "rejection without a reason (seed " << seed
+            << ", iter " << iter << ")";
+        return;
+    }
+    std::string reencoded = encode(*msg);
+    ASSERT_GE(reencoded.size(), kFrameHeaderBytes);
+    EXPECT_EQ(reencoded.substr(kFrameHeaderBytes), payload)
+        << "decode() accepted a non-canonical payload (seed " << seed
+        << ", iter " << iter << ")";
+}
+
+} // namespace
+
+TEST(WireFuzz, CorpusRoundTripsByteExactly)
+{
+    for (const std::string &frame : buildCorpus()) {
+        std::string buffer = frame;
+        std::string payload;
+        ASSERT_EQ(extractFrame(buffer, payload), FrameResult::Frame);
+        EXPECT_TRUE(buffer.empty());
+        std::string error;
+        std::optional<Message> msg = decode(payload, &error);
+        ASSERT_TRUE(msg) << error;
+        EXPECT_EQ(encode(*msg), frame);
+    }
+}
+
+TEST(WireFuzz, MutatedFramesRejectCleanlyOrRoundTrip)
+{
+    const std::uint64_t seed = fuzzSeed();
+    FrameMutator mutator(seed, buildCorpus());
+    const int iters = fuzzIters();
+
+    for (int i = 0; i < iters; ++i) {
+        std::string buffer = mutator.mutate();
+        std::string payload;
+        // The buffer only shrinks on Frame, so this terminates.
+        for (;;) {
+            FrameResult r = extractFrame(buffer, payload);
+            if (r == FrameResult::NeedMore ||
+                r == FrameResult::Bad)
+                break;
+            ASSERT_LE(payload.size(), kMaxFramePayload)
+                << "oversized payload extracted (seed " << seed
+                << ", iter " << i << ")";
+            checkPayload(payload, seed, i);
+        }
+    }
+}
+
+TEST(WireFuzz, MutatedPayloadsRejectCleanlyOrRoundTrip)
+{
+    const std::uint64_t seed = fuzzSeed() ^ 0x9e3779b97f4a7c15ull;
+    FrameMutator mutator(seed, buildCorpus());
+    const int iters = fuzzIters();
+
+    for (int i = 0; i < iters; ++i) {
+        // Mutate below the framing layer: strip the header and feed
+        // the mangled payload straight into decode().
+        std::string frame = mutator.mutate();
+        if (frame.size() <= kFrameHeaderBytes)
+            continue;
+        checkPayload(frame.substr(kFrameHeaderBytes), seed, i);
+    }
+}
+
+TEST(WireFuzz, ChunkedStreamNeverBuffersUnbounded)
+{
+    const std::uint64_t seed = fuzzSeed() ^ 0xbf58476d1ce4e5b9ull;
+    FrameMutator mutator(seed, buildCorpus());
+    const int iters = fuzzIters();
+
+    // A long stream of valid and mutated frames delivered in random
+    // chunk sizes: the framer must keep cutting frames off the front
+    // (bounded buffer) until it declares the stream Bad, and must
+    // never extract an oversized payload along the way.
+    std::string stream;
+    for (int i = 0; i < iters; ++i)
+        stream += mutator.rng().below(4) == 0 ? mutator.mutate()
+                                              : mutator.pick();
+
+    std::string buffer;
+    std::string payload;
+    std::size_t consumed = 0;
+    bool bad = false;
+    while (consumed < stream.size() && !bad) {
+        std::size_t chunk = static_cast<std::size_t>(
+            mutator.rng().range(1, 8192));
+        if (chunk > stream.size() - consumed)
+            chunk = stream.size() - consumed;
+        buffer.append(stream, consumed, chunk);
+        consumed += chunk;
+
+        for (;;) {
+            FrameResult r = extractFrame(buffer, payload);
+            if (r == FrameResult::NeedMore)
+                break;
+            if (r == FrameResult::Bad) {
+                bad = true; // a real server drops the peer here
+                break;
+            }
+            ASSERT_LE(payload.size(), kMaxFramePayload);
+            checkPayload(payload, seed, static_cast<int>(consumed));
+        }
+        // NeedMore keeps at most one announced frame buffered.
+        ASSERT_LE(buffer.size(),
+                  kFrameHeaderBytes + kMaxFramePayload + 8192u)
+            << "framer buffered unbounded garbage (seed " << seed
+            << ")";
+    }
+}
