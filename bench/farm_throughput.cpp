@@ -33,7 +33,6 @@
 #include <chrono>
 #include <iostream>
 #include <memory>
-#include <sstream>
 #include <string>
 #include <vector>
 
@@ -134,13 +133,14 @@ runLight(const std::vector<programs::BenchProgram> &batch,
 std::string
 lightJson(const LightRow &r)
 {
-    std::ostringstream os;
-    os << "{\"mode\": \"light\", \"workload\": \"" << r.id
-       << "\", \"reps\": " << r.reps
-       << ", \"latency_mean_ns\": " << r.latencyMeanNs
-       << ", \"setup_mean_ns\": " << r.setupMeanNs
-       << ", \"solve_mean_ns\": " << r.solveMeanNs << "}";
-    return os.str();
+    JsonWriter w;
+    w.s("mode", "light");
+    w.s("workload", r.id);
+    w.u("reps", r.reps);
+    w.u("latency_mean_ns", r.latencyMeanNs);
+    w.u("setup_mean_ns", r.setupMeanNs);
+    w.u("solve_mean_ns", r.solveMeanNs);
+    return w.str();
 }
 
 } // namespace

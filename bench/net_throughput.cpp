@@ -26,23 +26,36 @@
  *
  * With --fault-schedule SPEC a FaultProxy (src/net/faultnet.hpp) is
  * interposed between the clients and the server, and each connection
- * switches to a paced submitRetry() loop: one request in flight,
+ * switches to a paced retrying-submit loop: one request in flight,
  * reconnect + resubmit through the injected splits / delays / RSTs.
  * (The pipelined sender/receiver split is deliberately not used here
  * - reconnecting while a receiver thread reads the same socket is a
- * race, which is exactly why submitRetry() is single-threaded.)
+ * race, which is exactly why the retrying path is single-threaded.)
  *
  *     $ ./bench/net_throughput --fault-schedule \
  *           "seed=7,split=0.3,delay_us=0..200,reset_after=20000"
+ *
+ * With --trace-out FILE psitrace is enabled end to end: the server
+ * records per-request decode/queue/compile/setup/solve/encode/reply
+ * spans, the receiver threads add a client-side request span per
+ * RESULT (stitched by the trace tag the server echoes), and the
+ * merged timeline is written as Chrome trace-event JSON
+ * (chrome://tracing or Perfetto) with a per-request coverage report.
+ * --metrics-out FILE saves the last round's METRICS reply
+ * (Prometheus text exposition).
  */
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <map>
 #include <optional>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -74,6 +87,7 @@ struct RoundConfig
     std::uint64_t deadlineNs;
     std::uint64_t queueCapacity;
     net::FaultSchedule schedule; ///< active when schedule.enabled()
+    bool fetchMetrics = false;   ///< fetch METRICS before drain
 };
 
 struct RoundResult
@@ -91,6 +105,7 @@ struct RoundResult
     std::uint64_t cacheMisses = 0;
     net::FaultStats faults;  ///< fault mode: what the proxy injected
     net::RetryStats retries; ///< fault mode: client retries, summed
+    std::string metricsText; ///< METRICS reply (when fetchMetrics)
 };
 
 void
@@ -144,6 +159,8 @@ driveConnection(const RoundConfig &config, std::uint16_t port,
         myRequests.push_back(k);
     std::vector<std::atomic<std::uint64_t>> sentAtNs(
         myRequests.size());
+    std::vector<std::atomic<std::uint64_t>> sendDoneAtNs(
+        myRequests.size());
 
     std::atomic<std::uint64_t> sent{0};
     std::thread sender([&] {
@@ -163,6 +180,13 @@ driveConnection(const RoundConfig &config, std::uint16_t port,
             if (!client.sendSubmit(config.workload,
                                    config.deadlineNs))
                 break;
+            sendDoneAtNs[i].store(
+                static_cast<std::uint64_t>(
+                    std::chrono::duration_cast<
+                        std::chrono::nanoseconds>(
+                        clock_type::now() - start)
+                        .count()),
+                std::memory_order_release);
             sent.fetch_add(1, std::memory_order_release);
         }
         sent.fetch_add(1u << 31, std::memory_order_release);
@@ -197,6 +221,25 @@ driveConnection(const RoundConfig &config, std::uint16_t port,
                 .count());
         stats.latency.record(nowNs - sentNs);
 
+        // The whole client-observed request, under the tag the
+        // server minted: the coverage report divides the stage
+        // spans by this window.  The SUBMIT's encode + send syscall
+        // is recorded retroactively (the tag is only known once the
+        // RESULT echoes it back).
+        if (result->traceTag != 0 && trace::enabled()) {
+            std::uint64_t startTraceNs = trace::toNs(start);
+            trace::record(trace::Stage::Request, result->traceTag,
+                          startTraceNs + sentNs,
+                          startTraceNs + nowNs);
+            std::uint64_t sendDoneNs =
+                sendDoneAtNs[result->tag - 1].load(
+                    std::memory_order_acquire);
+            if (sendDoneNs != 0)
+                trace::record(trace::Stage::Send, result->traceTag,
+                              startTraceNs + sentNs,
+                              startTraceNs + sendDoneNs);
+        }
+
         switch (result->status) {
           case net::WireStatus::Ok:
           case net::WireStatus::StepLimit:
@@ -217,9 +260,10 @@ driveConnection(const RoundConfig &config, std::uint16_t port,
 }
 
 /**
- * Fault-mode connection: paced submitRetry(), one request in flight.
- * Latency is still measured from the scheduled send time, so time
- * spent reconnecting and backing off lands in the percentiles.
+ * Fault-mode connection: paced retrying submits, one request in
+ * flight.  Latency is still measured from the scheduled send time,
+ * so time spent reconnecting and backing off lands in the
+ * percentiles.
  */
 void
 driveFaultConnection(const RoundConfig &config, std::uint16_t port,
@@ -251,9 +295,9 @@ driveFaultConnection(const RoundConfig &config, std::uint16_t port,
                                static_cast<std::uint64_t>(
                                    1e9 * k / config.ratePerSec));
         std::this_thread::sleep_until(due);
-        auto result = client.submitRetry(config.workload,
-                                         config.deadlineNs, 30000,
-                                         &error);
+        auto result = client.submit(
+            net::Request{config.workload, config.deadlineNs, 30000},
+            &policy, &error);
         auto now = clock_type::now();
         if (!result) {
             ++stats.lost;
@@ -281,6 +325,79 @@ driveFaultConnection(const RoundConfig &config, std::uint16_t port,
         }
     }
     stats.retries = client.retryStats();
+}
+
+/** How much of each client-observed request window the recorded
+ *  stage spans account for. */
+struct TraceCoverage
+{
+    std::size_t spans = 0;    ///< all spans collected
+    std::size_t requests = 0; ///< tags with a client request span
+    double minPct = 0;        ///< worst-covered request
+    double meanPct = 0;
+};
+
+/**
+ * Per request: union of the non-request spans sharing its tag,
+ * clipped to the client-observed window, divided by the window.
+ * The uncovered remainder is wire transit + poll wakeups - the only
+ * time psitrace has no thread to charge.
+ */
+TraceCoverage
+analyzeTrace(const std::vector<trace::Span> &spans)
+{
+    TraceCoverage cov;
+    cov.spans = spans.size();
+
+    using Interval = std::pair<std::uint64_t, std::uint64_t>;
+    std::map<std::uint64_t, Interval> windows;
+    for (const auto &s : spans) {
+        if (s.stage == trace::Stage::Request)
+            windows[s.tag] = {s.startNs, s.startNs + s.durNs};
+    }
+    std::map<std::uint64_t, std::vector<Interval>> stages;
+    for (const auto &s : spans) {
+        if (s.stage == trace::Stage::Request || s.tag == 0)
+            continue;
+        auto it = windows.find(s.tag);
+        if (it == windows.end())
+            continue;
+        std::uint64_t lo = std::max(s.startNs, it->second.first);
+        std::uint64_t hi =
+            std::min(s.startNs + s.durNs, it->second.second);
+        if (hi > lo)
+            stages[s.tag].push_back({lo, hi});
+    }
+
+    double sumPct = 0;
+    cov.minPct = 100.0;
+    for (const auto &[tag, window] : windows) {
+        const std::uint64_t dur = window.second - window.first;
+        double pct = 0;
+        auto it = stages.find(tag);
+        if (it != stages.end() && dur > 0) {
+            std::vector<Interval> &ivals = it->second;
+            std::sort(ivals.begin(), ivals.end());
+            std::uint64_t covered = 0;
+            std::uint64_t cursor = window.first;
+            for (const auto &[lo, hi] : ivals) {
+                std::uint64_t from = std::max(lo, cursor);
+                if (hi > from)
+                    covered += hi - from;
+                cursor = std::max(cursor, hi);
+            }
+            pct = 100.0 * static_cast<double>(covered) /
+                  static_cast<double>(dur);
+        }
+        cov.minPct = std::min(cov.minPct, pct);
+        sumPct += pct;
+        ++cov.requests;
+    }
+    if (cov.requests == 0)
+        cov.minPct = 0;
+    else
+        cov.meanPct = sumPct / static_cast<double>(cov.requests);
+    return cov;
 }
 
 RoundResult
@@ -349,6 +466,11 @@ runRound(const RoundConfig &config)
                 result.cacheMisses =
                     jsonU64(*json, "program_cache_misses");
             }
+            if (config.fetchMetrics) {
+                if (auto text =
+                        statsClient.metricsText(5000, &error))
+                    result.metricsText = std::move(*text);
+            }
         }
     }
 
@@ -394,7 +516,10 @@ main(int argc, char **argv)
     config.deadlineNs = 0;
     config.queueCapacity = 64;
     std::uint64_t deadline_ms = 0;
+    std::uint64_t fixedWorkers = 0;
     std::string faultSpec;
+    std::string traceOut;
+    std::string metricsOut;
     bool json = false;
 
     Flags flags("net_throughput [options]");
@@ -410,9 +535,16 @@ main(int argc, char **argv)
              "per-request deadline in ms (0 = none)")
         .opt("-q", &config.queueCapacity,
              "server queue capacity (default 64)")
+        .opt("-w", &fixedWorkers,
+             "run a single round with this many workers instead of "
+             "the 1/2/4/8 sweep")
         .opt("--fault-schedule", &faultSpec,
              "inject faults via a proxy, e.g. "
              "\"seed=7,split=0.3,delay_us=0..200,reset_after=20000\"")
+        .opt("--trace-out", &traceOut,
+             "enable psitrace; write Chrome trace JSON to FILE")
+        .opt("--metrics-out", &metricsOut,
+             "write the last round's Prometheus METRICS text to FILE")
         .flag("--json", &json, "JSON lines only");
     if (!flags.parse(argc, argv))
         return 1;
@@ -426,6 +558,9 @@ main(int argc, char **argv)
         config.schedule = *schedule;
     }
     config.deadlineNs = deadline_ms * 1'000'000ull;
+    config.fetchMetrics = !metricsOut.empty();
+    if (!traceOut.empty())
+        trace::setEnabled(true);
     if (config.connections == 0 || config.requests == 0 ||
         config.ratePerSec <= 0) {
         std::cerr << "net_throughput: -c, -n and -r must be > 0\n";
@@ -454,8 +589,12 @@ main(int argc, char **argv)
                  "overloaded", "timeouts", "p50 ms", "p95 ms",
                  "p99 ms", "setup us", "solve us", "cache h/m"});
 
+    std::vector<unsigned> workerSweep{1u, 2u, 4u, 8u};
+    if (fixedWorkers != 0)
+        workerSweep = {static_cast<unsigned>(fixedWorkers)};
+
     std::vector<RoundResult> rounds;
-    for (unsigned workers : {1u, 2u, 4u, 8u}) {
+    for (unsigned workers : workerSweep) {
         RoundConfig round = config;
         round.workers = workers;
         RoundResult r = runRound(round);
@@ -497,47 +636,85 @@ main(int argc, char **argv)
     for (const auto &r : rounds) {
         if (!json)
             std::cout << (&r == &rounds.front() ? "\n" : "");
-        std::cout << (json ? "" : "JSON: ") << "{\"workers\": "
-                  << r.workers << ", \"workload\": \""
-                  << config.workload << "\", \"offered_rps\": "
-                  << bench::f1(r.offeredRps)
-                  << ", \"achieved_rps\": "
-                  << bench::f1(r.achievedRps)
-                  << ", \"ok\": " << r.total.ok
-                  << ", \"overloaded\": " << r.total.overloaded
-                  << ", \"timed_out\": " << r.total.timedOut
-                  << ", \"lost\": " << r.total.lost
-                  << ", \"latency_p50_ns\": "
-                  << r.total.latency.quantileNs(0.50)
-                  << ", \"latency_p95_ns\": "
-                  << r.total.latency.quantileNs(0.95)
-                  << ", \"latency_p99_ns\": "
-                  << r.total.latency.quantileNs(0.99)
-                  << ", \"host_setup_mean_ns\": " << r.setupMeanNs
-                  << ", \"host_solve_mean_ns\": " << r.solveMeanNs
-                  << ", \"program_cache_hits\": " << r.cacheHits
-                  << ", \"program_cache_misses\": " << r.cacheMisses;
+        JsonWriter w;
+        w.u("workers", r.workers);
+        w.s("workload", config.workload);
+        w.num("offered_rps", bench::f1(r.offeredRps));
+        w.num("achieved_rps", bench::f1(r.achievedRps));
+        w.u("ok", r.total.ok);
+        w.u("overloaded", r.total.overloaded);
+        w.u("timed_out", r.total.timedOut);
+        w.u("lost", r.total.lost);
+        w.u("latency_p50_ns", r.total.latency.quantileNs(0.50));
+        w.u("latency_p95_ns", r.total.latency.quantileNs(0.95));
+        w.u("latency_p99_ns", r.total.latency.quantileNs(0.99));
+        w.u("host_setup_mean_ns", r.setupMeanNs);
+        w.u("host_solve_mean_ns", r.solveMeanNs);
+        w.u("program_cache_hits", r.cacheHits);
+        w.u("program_cache_misses", r.cacheMisses);
         if (config.schedule.enabled()) {
-            std::cout << ", \"fault_resets\": " << r.faults.resets
-                      << ", \"fault_splits\": " << r.faults.splits
-                      << ", \"fault_coalesces\": "
-                      << r.faults.coalesces
-                      << ", \"fault_truncated_bytes\": "
-                      << r.faults.truncatedBytes
-                      << ", \"retry_reconnects\": "
-                      << r.retries.reconnects
-                      << ", \"retry_resubmits\": "
-                      << r.retries.resubmits
-                      << ", \"retry_overloaded\": "
-                      << r.retries.overloadedRetries
-                      << ", \"retry_duplicates_dropped\": "
-                      << r.retries.duplicatesDropped
-                      << ", \"retry_backoff_ns\": "
-                      << r.retries.backoffNs
-                      << ", \"retry_exhausted\": "
-                      << r.retries.exhausted;
+            w.u("fault_resets", r.faults.resets);
+            w.u("fault_splits", r.faults.splits);
+            w.u("fault_coalesces", r.faults.coalesces);
+            w.u("fault_truncated_bytes", r.faults.truncatedBytes);
+            w.u("retry_reconnects", r.retries.reconnects);
+            w.u("retry_resubmits", r.retries.resubmits);
+            w.u("retry_overloaded", r.retries.overloadedRetries);
+            w.u("retry_duplicates_dropped",
+                r.retries.duplicatesDropped);
+            w.u("retry_backoff_ns", r.retries.backoffNs);
+            w.u("retry_exhausted", r.retries.exhausted);
         }
-        std::cout << "}\n";
+        std::cout << (json ? "" : "JSON: ") << w.str() << "\n";
+    }
+
+    if (!traceOut.empty()) {
+        std::vector<trace::Span> spans = trace::collect();
+        std::ofstream out(traceOut);
+        if (!out) {
+            std::cerr << "net_throughput: cannot write " << traceOut
+                      << "\n";
+            return 1;
+        }
+        out << trace::chromeJson(spans);
+        TraceCoverage cov = analyzeTrace(spans);
+        if (json) {
+            JsonWriter w;
+            w.s("trace_file", traceOut);
+            w.u("trace_spans", cov.spans);
+            w.u("trace_dropped_spans", trace::droppedSpans());
+            w.u("trace_requests", cov.requests);
+            w.num("trace_coverage_min_pct",
+                  stats::fixed(cov.minPct, 2));
+            w.num("trace_coverage_mean_pct",
+                  stats::fixed(cov.meanPct, 2));
+            std::cout << w.str() << "\n";
+        } else {
+            std::cout << "\ntrace: wrote " << cov.spans
+                      << " spans to " << traceOut << " ("
+                      << cov.requests
+                      << " stitched requests; stage coverage of "
+                         "client latency: min "
+                      << bench::f2(cov.minPct) << "%, mean "
+                      << bench::f2(cov.meanPct) << "%)\n";
+            if (trace::droppedSpans() != 0)
+                std::cout << "trace: " << trace::droppedSpans()
+                          << " spans dropped (buffers full)\n";
+        }
+    }
+    if (!metricsOut.empty()) {
+        std::ofstream out(metricsOut);
+        if (!out) {
+            std::cerr << "net_throughput: cannot write "
+                      << metricsOut << "\n";
+            return 1;
+        }
+        out << rounds.back().metricsText;
+        if (!json)
+            std::cout << "metrics: wrote "
+                      << rounds.back().metricsText.size()
+                      << " bytes of Prometheus text to "
+                      << metricsOut << "\n";
     }
     return 0;
 }

@@ -7,12 +7,15 @@
  *     $ ./examples/psid_demo                        # registry, 4 workers
  *     $ ./examples/psid_demo -w 8                   # 8 workers
  *     $ ./examples/psid_demo -d 100 queens1 bup3    # 100 ms deadline
+ *     $ ./examples/psid_demo --trace-out trace.json # psitrace spans
  *
- * Flags: -w N workers, -q N queue capacity, -d MS per-job deadline.
+ * Flags: -w N workers, -q N queue capacity, -d MS per-job deadline,
+ * --trace-out FILE Chrome trace-event JSON of the batch.
  */
 
 #include <chrono>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -28,14 +31,19 @@ main(int argc, char **argv)
     unsigned workers = 4;
     std::uint64_t capacity = 0;  // 0 = sized to the batch
     std::uint64_t deadline_ms = 0;
+    std::string traceOut;
 
     Flags flags("psid_demo [options] [workload ...]");
     flags.opt("-w", &workers, "worker threads (default 4)")
         .opt("-q", &capacity, "queue capacity (default: batch size)")
-        .opt("-d", &deadline_ms, "per-job deadline in ms (0 = none)");
+        .opt("-d", &deadline_ms, "per-job deadline in ms (0 = none)")
+        .opt("--trace-out", &traceOut,
+             "enable psitrace; write Chrome trace JSON to FILE");
     std::vector<std::string> ids;
     if (!flags.parse(argc, argv, &ids))
         return 1;
+    if (!traceOut.empty())
+        trace::setEnabled(true);
 
     std::vector<programs::BenchProgram> batch;
     try {
@@ -62,8 +70,10 @@ main(int argc, char **argv)
     std::vector<std::future<service::JobOutcome>> futures;
     futures.reserve(batch.size());
     for (const auto &p : batch) {
-        auto fut = pool.submit(
-            service::QueryJob{p, CacheConfig::psi(), limits});
+        service::QueryJob job{p, CacheConfig::psi(), limits};
+        if (trace::enabled())
+            job.traceTag = trace::nextTag();
+        auto fut = pool.submit(std::move(job));
         if (!fut) {
             std::cerr << "submit refused for " << p.id << "\n";
             return 1;
@@ -95,5 +105,18 @@ main(int argc, char **argv)
     std::cout << "\n";
     snap.table(wall_ns).print(std::cout);
     std::cout << "\nJSON: " << snap.json(wall_ns) << "\n";
+
+    if (!traceOut.empty()) {
+        std::vector<trace::Span> spans = trace::collect();
+        std::ofstream out(traceOut);
+        if (!out) {
+            std::cerr << "psid_demo: cannot write " << traceOut
+                      << "\n";
+            return 1;
+        }
+        out << trace::chromeJson(spans);
+        std::cout << "\ntrace: wrote " << spans.size()
+                  << " spans to " << traceOut << "\n";
+    }
     return 0;
 }

@@ -2,16 +2,23 @@
  * @file
  * psinet demo: the daemon and its client in one binary.
  *
- *     $ ./examples/psinet_demo serve -P 9734 -w 4 &
+ *     $ ./examples/psinet_demo serve -P 9734 -w 4 --trace &
  *     $ ./examples/psinet_demo submit queens1 bup3
  *     $ ./examples/psinet_demo submit -d 100 harmonizer3
  *     $ ./examples/psinet_demo stats
+ *     $ ./examples/psinet_demo metrics     # Prometheus text
+ *     $ ./examples/psinet_demo trace       # Chrome trace JSON
  *     $ ./examples/psinet_demo drain
  *
  * `serve` runs the PsiServer event loop in the foreground and drains
  * gracefully on SIGINT/SIGTERM (or a client's `drain`): it stops
  * accepting, finishes in-flight jobs, flushes every reply, prints
- * the final metrics table and exits.
+ * the final metrics table and exits.  With --trace it records
+ * psitrace spans for every request, served on demand by `trace`.
+ *
+ * The client commands open with a HELLO handshake, so connecting to
+ * a future incompatible server fails with its structured ERROR
+ * instead of a silent hang.
  */
 
 #include <iostream>
@@ -33,6 +40,7 @@ cmdServe(int argc, char **argv)
     unsigned workers = 4;
     std::uint64_t capacity = 64;
     bool block = false;
+    bool traceOn = false;
 
     Flags flags("psinet_demo serve [options]");
     flags.opt("-P", &port, "TCP port (default 9734, 0 = ephemeral)")
@@ -40,9 +48,13 @@ cmdServe(int argc, char **argv)
         .opt("-q", &capacity, "job queue capacity (default 64)")
         .flag("--block",
               &block, "block full-queue submits instead of replying "
-                      "OVERLOADED");
+                      "OVERLOADED")
+        .flag("--trace", &traceOn,
+              "record psitrace spans (fetch with the trace command)");
     if (!flags.parse(argc, argv))
         return 1;
+    if (traceOn)
+        trace::setEnabled(true);
 
     net::PsiServer::Config config;
     config.port = static_cast<std::uint16_t>(port);
@@ -94,6 +106,12 @@ struct Endpoint
             std::cerr << "psinet: " << error << "\n";
             return false;
         }
+        // Version handshake up front: an incompatible server
+        // answers with a structured ERROR instead of garbage later.
+        if (!client.hello(net::kSupportedFeatures, -1, &error)) {
+            std::cerr << "psinet: " << error << "\n";
+            return false;
+        }
         return true;
     }
 };
@@ -122,8 +140,9 @@ cmdSubmit(int argc, char **argv)
     int failures = 0;
     for (const auto &id : ids) {
         std::string error;
-        auto result = client.submit(id, deadline_ms * 1'000'000ull,
-                                    -1, &error);
+        auto result = client.submit(
+            net::Request{id, deadline_ms * 1'000'000ull}, nullptr,
+            &error);
         if (!result) {
             std::cerr << "psinet: " << id << ": " << error << "\n";
             return 1;
@@ -170,6 +189,50 @@ cmdStats(int argc, char **argv)
 }
 
 int
+cmdMetrics(int argc, char **argv)
+{
+    Endpoint endpoint;
+    Flags flags("psinet_demo metrics [options]");
+    endpoint.registerWith(flags);
+    if (!flags.parse(argc, argv))
+        return 1;
+
+    net::PsiClient client;
+    if (!endpoint.connect(client))
+        return 1;
+    std::string error;
+    auto text = client.metricsText(-1, &error);
+    if (!text) {
+        std::cerr << "psinet: " << error << "\n";
+        return 1;
+    }
+    std::cout << *text;
+    return 0;
+}
+
+int
+cmdTrace(int argc, char **argv)
+{
+    Endpoint endpoint;
+    Flags flags("psinet_demo trace [options]");
+    endpoint.registerWith(flags);
+    if (!flags.parse(argc, argv))
+        return 1;
+
+    net::PsiClient client;
+    if (!endpoint.connect(client))
+        return 1;
+    std::string error;
+    auto json = client.traceJson(-1, &error);
+    if (!json) {
+        std::cerr << "psinet: " << error << "\n";
+        return 1;
+    }
+    std::cout << *json;
+    return 0;
+}
+
+int
 cmdDrain(int argc, char **argv)
 {
     Endpoint endpoint;
@@ -196,7 +259,8 @@ int
 main(int argc, char **argv)
 {
     const std::string usage =
-        "usage: psinet_demo {serve|submit|stats|drain} [options]\n"
+        "usage: psinet_demo {serve|submit|stats|metrics|trace|drain}"
+        " [options]\n"
         "       psinet_demo <command> -h   for command options\n";
     if (argc < 2) {
         std::cerr << usage;
@@ -211,6 +275,10 @@ main(int argc, char **argv)
         return cmdSubmit(argc - 1, argv + 1);
     if (command == "stats")
         return cmdStats(argc - 1, argv + 1);
+    if (command == "metrics")
+        return cmdMetrics(argc - 1, argv + 1);
+    if (command == "trace")
+        return cmdTrace(argc - 1, argv + 1);
     if (command == "drain")
         return cmdDrain(argc - 1, argv + 1);
     std::cerr << "unknown command '" << command << "'\n" << usage;

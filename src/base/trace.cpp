@@ -1,0 +1,220 @@
+#include "base/trace.hpp"
+
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+namespace psi {
+namespace trace {
+
+const char *
+stageName(Stage s)
+{
+    switch (s) {
+      case Stage::Request:  return "request";
+      case Stage::Accept:   return "accept";
+      case Stage::Decode:   return "decode";
+      case Stage::Queue:    return "queue";
+      case Stage::CacheHit: return "cache-hit";
+      case Stage::Compile:  return "compile";
+      case Stage::Setup:    return "setup";
+      case Stage::Solve:    return "solve";
+      case Stage::Encode:   return "encode";
+      case Stage::Reply:    return "reply";
+      case Stage::Send:     return "send";
+      case Stage::NumStages: break;
+    }
+    return "?";
+}
+
+namespace detail {
+
+std::atomic<bool> g_enabled{false};
+
+namespace {
+
+/**
+ * One thread's append-only span buffer.  The owning thread is the
+ * only writer; it publishes each append with a release store of
+ * head, so readers that acquire head see fully written spans.
+ * Published entries are never modified (no ring overwrite), which is
+ * what makes the concurrent collect() race-free.
+ */
+struct ThreadBuffer
+{
+    static constexpr std::size_t kCapacity = 1u << 14; // 16384 spans
+
+    std::vector<Span> spans;
+    std::atomic<std::size_t> head{0};
+    std::atomic<std::uint64_t> dropped{0};
+    std::uint32_t tid = 0;
+};
+
+/** Owns every thread's buffer for the process lifetime, so spans
+ *  survive their recording thread (pool workers are often joined
+ *  before the trace is exported). */
+struct Registry
+{
+    std::mutex m;
+    std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+};
+
+Registry &
+registry()
+{
+    static Registry r;
+    return r;
+}
+
+ThreadBuffer *
+threadBuffer()
+{
+    thread_local ThreadBuffer *buf = [] {
+        auto owned = std::make_unique<ThreadBuffer>();
+        owned->spans.resize(ThreadBuffer::kCapacity);
+        ThreadBuffer *raw = owned.get();
+        Registry &reg = registry();
+        std::lock_guard<std::mutex> lock(reg.m);
+        raw->tid = static_cast<std::uint32_t>(reg.buffers.size());
+        reg.buffers.push_back(std::move(owned));
+        return raw;
+    }();
+    return buf;
+}
+
+std::chrono::steady_clock::time_point
+epoch()
+{
+    static const auto e = std::chrono::steady_clock::now();
+    return e;
+}
+
+std::atomic<std::uint64_t> g_nextTag{1};
+
+} // namespace
+
+void
+recordSlow(Stage stage, std::uint64_t tag, std::uint64_t startNs,
+           std::uint64_t endNs)
+{
+    ThreadBuffer *buf = threadBuffer();
+    std::size_t idx = buf->head.load(std::memory_order_relaxed);
+    if (idx >= buf->spans.size()) {
+        buf->dropped.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    Span &s = buf->spans[idx];
+    s.tag = tag;
+    s.startNs = startNs;
+    s.durNs = endNs >= startNs ? endNs - startNs : 0;
+    s.tid = buf->tid;
+    s.stage = stage;
+    buf->head.store(idx + 1, std::memory_order_release);
+}
+
+} // namespace detail
+
+void
+setEnabled(bool on)
+{
+    detail::epoch(); // anchor the timeline before the first span
+    detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t
+toNs(std::chrono::steady_clock::time_point tp)
+{
+    auto e = detail::epoch();
+    if (tp <= e)
+        return 0;
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(tp - e)
+            .count());
+}
+
+std::uint64_t
+nowNs()
+{
+    return toNs(std::chrono::steady_clock::now());
+}
+
+std::uint64_t
+nextTag()
+{
+    return detail::g_nextTag.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<Span>
+collect()
+{
+    detail::Registry &reg = detail::registry();
+    std::lock_guard<std::mutex> lock(reg.m);
+    std::vector<Span> out;
+    for (const auto &buf : reg.buffers) {
+        std::size_t n = buf->head.load(std::memory_order_acquire);
+        out.insert(out.end(), buf->spans.begin(),
+                   buf->spans.begin() + static_cast<std::ptrdiff_t>(n));
+    }
+    return out;
+}
+
+std::uint64_t
+droppedSpans()
+{
+    detail::Registry &reg = detail::registry();
+    std::lock_guard<std::mutex> lock(reg.m);
+    std::uint64_t total = 0;
+    for (const auto &buf : reg.buffers)
+        total += buf->dropped.load(std::memory_order_relaxed);
+    return total;
+}
+
+void
+reset()
+{
+    detail::Registry &reg = detail::registry();
+    std::lock_guard<std::mutex> lock(reg.m);
+    for (const auto &buf : reg.buffers) {
+        buf->head.store(0, std::memory_order_release);
+        buf->dropped.store(0, std::memory_order_relaxed);
+    }
+}
+
+namespace {
+
+/** Nanoseconds -> trace-event microseconds with ns precision. */
+void
+putUs(std::ostringstream &os, std::uint64_t ns)
+{
+    os << ns / 1000 << '.';
+    unsigned frac = static_cast<unsigned>(ns % 1000);
+    os << static_cast<char>('0' + frac / 100)
+       << static_cast<char>('0' + (frac / 10) % 10)
+       << static_cast<char>('0' + frac % 10);
+}
+
+} // namespace
+
+std::string
+chromeJson(const std::vector<Span> &spans)
+{
+    std::ostringstream os;
+    os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+    bool first = true;
+    for (const Span &s : spans) {
+        os << (first ? "" : ",") << "\n"
+           << "{\"name\": \"" << stageName(s.stage)
+           << "\", \"cat\": \"psi\", \"ph\": \"X\", \"ts\": ";
+        putUs(os, s.startNs);
+        os << ", \"dur\": ";
+        putUs(os, s.durNs);
+        os << ", \"pid\": 1, \"tid\": " << s.tid
+           << ", \"args\": {\"tag\": " << s.tag << "}}";
+        first = false;
+    }
+    os << "\n]}\n";
+    return os.str();
+}
+
+} // namespace trace
+} // namespace psi

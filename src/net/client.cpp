@@ -13,6 +13,7 @@
 #include <thread>
 
 #include "base/logging.hpp"
+#include "base/trace.hpp"
 
 namespace psi {
 namespace net {
@@ -186,6 +187,12 @@ PsiClient::recvMessage(int timeoutMs, std::string *error)
                                        timeoutMs < 0 ? 0 : timeoutMs);
 
     std::string payload;
+    // Client-side decode span: ioStartNs re-stamps after every poll
+    // wake-up, so it covers recv + frame extraction + decode of the
+    // message but never the idle wait for the server (that interval
+    // belongs to the server's own spans on the shared timeline).
+    std::uint64_t ioStartNs =
+        trace::enabled() ? trace::nowNs() : 0;
     for (;;) {
         switch (extractFrame(_rbuf, payload)) {
           case FrameResult::Frame: {
@@ -194,6 +201,11 @@ PsiClient::recvMessage(int timeoutMs, std::string *error)
             if (!msg) {
                 setError(error, "protocol error: " + derror);
                 close();
+            } else if (ioStartNs != 0) {
+                if (auto *r = std::get_if<ResultMsg>(&*msg);
+                    r != nullptr && r->traceTag != 0)
+                    trace::record(trace::Stage::Decode, r->traceTag,
+                                  ioStartNs, trace::nowNs());
             }
             return msg;
           }
@@ -232,6 +244,9 @@ PsiClient::recvMessage(int timeoutMs, std::string *error)
             setError(error, "timed out waiting for reply");
             return std::nullopt;
         }
+
+        if (ioStartNs != 0)
+            ioStartNs = trace::nowNs(); // wait is over; restart span
 
         char chunk[64 * 1024];
         ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
@@ -283,9 +298,44 @@ PsiClient::recvResult(int timeoutMs, std::string *error)
 }
 
 std::optional<ResultMsg>
+PsiClient::submit(const Request &request, const RetryPolicy *retry,
+                  std::string *error)
+{
+    if (retry == nullptr) {
+        return submitOnce(request.workload, request.deadlineNs,
+                          request.timeoutMs, error);
+    }
+    RetryPolicy policy = *retry;
+    if (policy.maxAttempts == 0)
+        policy.maxAttempts = 1;
+    if (policy.connectAttempts == 0)
+        policy.connectAttempts = 1;
+    return submitWithRetry(request.workload, policy,
+                           request.deadlineNs, request.timeoutMs,
+                           error);
+}
+
+std::optional<ResultMsg>
 PsiClient::submit(const std::string &workload,
                   std::uint64_t deadlineNs, int timeoutMs,
                   std::string *error)
+{
+    return submitOnce(workload, deadlineNs, timeoutMs, error);
+}
+
+std::optional<ResultMsg>
+PsiClient::submitRetry(const std::string &workload,
+                       std::uint64_t deadlineNs, int timeoutMs,
+                       std::string *error)
+{
+    return submitWithRetry(workload, _policy, deadlineNs, timeoutMs,
+                           error);
+}
+
+std::optional<ResultMsg>
+PsiClient::submitOnce(const std::string &workload,
+                      std::uint64_t deadlineNs, int timeoutMs,
+                      std::string *error)
 {
     std::uint64_t tag = 0;
     if (!sendSubmit(workload, deadlineNs, &tag, error))
@@ -302,9 +352,10 @@ PsiClient::submit(const std::string &workload,
 }
 
 std::optional<ResultMsg>
-PsiClient::submitRetry(const std::string &workload,
-                       std::uint64_t deadlineNs, int timeoutMs,
-                       std::string *error)
+PsiClient::submitWithRetry(const std::string &workload,
+                           const RetryPolicy &policy,
+                           std::uint64_t deadlineNs, int timeoutMs,
+                           std::string *error)
 {
     using clock = std::chrono::steady_clock;
     const auto start = clock::now();
@@ -315,12 +366,12 @@ PsiClient::submitRetry(const std::string &workload,
                 .count());
     };
 
-    Backoff backoff({_policy.backoffBaseNs, _policy.backoffMaxNs,
-                     _policy.backoffMultiplier,
-                     _policy.seed + _nextTag});
+    Backoff backoff({policy.backoffBaseNs, policy.backoffMaxNs,
+                     policy.backoffMultiplier,
+                     policy.seed + _nextTag});
     std::string lastError = "not connected";
 
-    for (unsigned attempt = 1; attempt <= _policy.maxAttempts;
+    for (unsigned attempt = 1; attempt <= policy.maxAttempts;
          ++attempt) {
         std::uint64_t spent = elapsedNs();
         if (deadlineNs != 0 && spent >= deadlineNs)
@@ -398,7 +449,7 @@ PsiClient::submitRetry(const std::string &workload,
             }
             if (result->status == WireStatus::Overloaded) {
                 ++_retryStats.overloadedRetries;
-                backoff.raiseFloor(_policy.overloadedFloorNs);
+                backoff.raiseFloor(policy.overloadedFloorNs);
                 lastError = "server overloaded: " + result->error;
                 break; // retryable backpressure
             }
@@ -413,7 +464,7 @@ PsiClient::submitRetry(const std::string &workload,
 
     ++_retryStats.exhausted;
     setError(error,
-             "gave up after " + std::to_string(_policy.maxAttempts) +
+             "gave up after " + std::to_string(policy.maxAttempts) +
                  " attempts" +
                  (deadlineNs != 0 ? " (deadline budget)" : "") +
                  ": " + lastError);
@@ -436,6 +487,79 @@ PsiClient::stats(int timeoutMs, std::string *error)
             continue; // pipelined RESULT passing by
         }
         setError(error, "unexpected reply (wanted STATS_REPLY)");
+        close();
+        return std::nullopt;
+    }
+}
+
+std::optional<HelloAckMsg>
+PsiClient::hello(std::uint64_t features, int timeoutMs,
+                 std::string *error)
+{
+    HelloMsg msg;
+    msg.features = features;
+    if (!sendAll(encode(Message(std::move(msg))), error))
+        return std::nullopt;
+    for (;;) {
+        std::optional<Message> reply = recvMessage(timeoutMs, error);
+        if (!reply)
+            return std::nullopt;
+        if (auto *ack = std::get_if<HelloAckMsg>(&*reply))
+            return std::move(*ack);
+        if (auto *err = std::get_if<ErrorMsg>(&*reply)) {
+            setError(error, "server rejected hello (code " +
+                                std::to_string(err->code) + "): " +
+                                err->message);
+            close();
+            return std::nullopt;
+        }
+        if (auto *result = std::get_if<ResultMsg>(&*reply)) {
+            _pending.push_back(std::move(*result));
+            continue;
+        }
+        setError(error, "unexpected reply (wanted HELLO_ACK)");
+        close();
+        return std::nullopt;
+    }
+}
+
+std::optional<std::string>
+PsiClient::traceJson(int timeoutMs, std::string *error)
+{
+    if (!sendAll(encode(Message(TraceMsg{})), error))
+        return std::nullopt;
+    for (;;) {
+        std::optional<Message> msg = recvMessage(timeoutMs, error);
+        if (!msg)
+            return std::nullopt;
+        if (auto *reply = std::get_if<TraceReplyMsg>(&*msg))
+            return std::move(reply->json);
+        if (auto *result = std::get_if<ResultMsg>(&*msg)) {
+            _pending.push_back(std::move(*result));
+            continue;
+        }
+        setError(error, "unexpected reply (wanted TRACE_REPLY)");
+        close();
+        return std::nullopt;
+    }
+}
+
+std::optional<std::string>
+PsiClient::metricsText(int timeoutMs, std::string *error)
+{
+    if (!sendAll(encode(Message(MetricsMsg{})), error))
+        return std::nullopt;
+    for (;;) {
+        std::optional<Message> msg = recvMessage(timeoutMs, error);
+        if (!msg)
+            return std::nullopt;
+        if (auto *reply = std::get_if<MetricsReplyMsg>(&*msg))
+            return std::move(reply->text);
+        if (auto *result = std::get_if<ResultMsg>(&*msg)) {
+            _pending.push_back(std::move(*result));
+            continue;
+        }
+        setError(error, "unexpected reply (wanted METRICS_REPLY)");
         close();
         return std::nullopt;
     }

@@ -2,10 +2,20 @@
  * @file
  * PsiClient: blocking client library for the psinet wire protocol.
  *
- * One instance owns one TCP connection.  Three usage models:
+ * One instance owns one TCP connection.  Two usage models:
  *
- *  - Request/response: submit() sends a SUBMIT and blocks until the
- *    matching RESULT arrives; stats() and drain() likewise.
+ *  - Request/response: submit(Request) sends a SUBMIT and blocks
+ *    until the matching RESULT arrives; stats(), traceJson(),
+ *    metricsText() and drain() likewise.  Passing a RetryPolicy
+ *    makes the same call resilient: reconnect on a dead connection,
+ *    exponential backoff with seeded jitter, OVERLOADED/DRAINING
+ *    treated as retryable backpressure, and a deadline-aware budget
+ *    that is never exceeded by retries.  Resubmission is
+ *    idempotent-safe: only a request whose RESULT never arrived
+ *    (connection died, or the server refused it) is sent again, each
+ *    attempt under a fresh tag, and a stale RESULT for a superseded
+ *    attempt is detected by its echoed tag and dropped, so no
+ *    solution is ever delivered twice.
  *
  *  - Pipelined: sendSubmit() queues requests without waiting and
  *    recvResult() collects RESULTs as they complete (completion
@@ -14,15 +24,9 @@
  *    concurrently; that split is exactly what the open-loop load
  *    generator (bench/net_throughput) does.
  *
- *  - Resilient: submitRetry() wraps submit() in the RetryPolicy -
- *    reconnect on a dead connection, exponential backoff with seeded
- *    jitter, OVERLOADED/DRAINING treated as retryable backpressure,
- *    and a deadline-aware budget that is never exceeded by retries.
- *    Resubmission is idempotent-safe: only a request whose RESULT
- *    never arrived (connection died, or the server refused it) is
- *    sent again, each attempt under a fresh tag, and a stale RESULT
- *    for a superseded attempt is detected by its echoed tag and
- *    dropped, so no solution is ever delivered twice.
+ * hello() optionally opens the connection with a version/feature
+ * handshake; servers too old to know HELLO close the connection,
+ * servers too new for this client answer with a structured ERROR.
  *
  * Every receive path takes a timeout in milliseconds (-1 = wait
  * forever); on timeout the call fails without consuming a partial
@@ -83,6 +87,14 @@ struct RetryStats
     std::uint64_t exhausted = 0;         ///< gave up (attempts/budget)
 };
 
+/** One query as the client submits it. */
+struct Request
+{
+    std::string workload;         ///< registry workload id
+    std::uint64_t deadlineNs = 0; ///< whole-request budget; 0 = none
+    int timeoutMs = -1;           ///< client-side wait; -1 = forever
+};
+
 /** Blocking connection to a PsiServer. */
 class PsiClient
 {
@@ -117,17 +129,13 @@ class PsiClient
     }
 
     /**
-     * Submit @p workload and wait for its RESULT.
-     * @param deadlineNs per-request engine budget; 0 = none.
-     * @param timeoutMs  client-side wait bound; -1 = forever.
-     */
-    std::optional<ResultMsg>
-    submit(const std::string &workload, std::uint64_t deadlineNs = 0,
-           int timeoutMs = -1, std::string *error = nullptr);
-
-    /**
-     * Resilient submit: like submit(), but survives connection
-     * failures and server backpressure per the RetryPolicy.
+     * Submit one Request and wait for its RESULT.
+     *
+     * With @p retry null this is a single attempt: any failure
+     * (dead connection, OVERLOADED, timeout) surfaces immediately.
+     *
+     * With a RetryPolicy the call survives connection failures and
+     * server backpressure:
      *
      *  - A dead connection (reset, truncation, EOF, refused dial)
      *    reconnects with backoff and resubmits - the outstanding
@@ -136,9 +144,9 @@ class PsiClient
      *  - OVERLOADED and DRAINING RESULTs are retryable refusals;
      *    OVERLOADED raises the backoff ceiling (the server asked
      *    for air, give it more than a jittery link would get).
-     *  - @p deadlineNs budgets the *whole* call: backoff sleeps
-     *    never extend past the remaining budget and each resubmit
-     *    carries only the remainder to the server.
+     *  - Request::deadlineNs budgets the *whole* call: backoff
+     *    sleeps never extend past the remaining budget and each
+     *    resubmit carries only the remainder to the server.
      *  - A recv timeout on a live connection fails without retry:
      *    the request is still in flight server-side and running it
      *    again could hand back a duplicate.
@@ -146,9 +154,34 @@ class PsiClient
      * Single-threaded API (no concurrent sender/receiver split).
      */
     std::optional<ResultMsg>
+    submit(const Request &request,
+           const RetryPolicy *retry = nullptr,
+           std::string *error = nullptr);
+
+    /** @deprecated Transitional shim; use submit(Request). */
+    [[deprecated("use submit(Request)")]] std::optional<ResultMsg>
+    submit(const std::string &workload, std::uint64_t deadlineNs = 0,
+           int timeoutMs = -1, std::string *error = nullptr);
+
+    /** @deprecated Transitional shim for the old resilient path;
+     *  use submit(Request, &retryPolicy()). */
+    [[deprecated(
+        "use submit(Request, &policy)")]] std::optional<ResultMsg>
     submitRetry(const std::string &workload,
                 std::uint64_t deadlineNs = 0, int timeoutMs = -1,
                 std::string *error = nullptr);
+
+    /**
+     * Negotiate the protocol version (optional opener; servers treat
+     * connections that skip it as v1).  On success returns the
+     * server's HELLO_ACK carrying its version and the feature-bit
+     * intersection.  A structured ERROR reply (unsupported major)
+     * sets @p error from its code/message and closes the
+     * connection.
+     */
+    std::optional<HelloAckMsg>
+    hello(std::uint64_t features = kSupportedFeatures,
+          int timeoutMs = -1, std::string *error = nullptr);
 
     /** Policy for connect()/submitRetry(); also reseeds the jitter. */
     void setRetryPolicy(const RetryPolicy &policy);
@@ -174,6 +207,14 @@ class PsiClient
     std::optional<std::string> stats(int timeoutMs = -1,
                                      std::string *error = nullptr);
 
+    /** Fetch the server's psitrace spans as Chrome trace JSON. */
+    std::optional<std::string>
+    traceJson(int timeoutMs = -1, std::string *error = nullptr);
+
+    /** Fetch the server's metrics as Prometheus text exposition. */
+    std::optional<std::string>
+    metricsText(int timeoutMs = -1, std::string *error = nullptr);
+
     /** Ask the server to drain; true once DRAIN_ACK arrives. */
     bool drain(int timeoutMs = -1, std::string *error = nullptr);
 
@@ -181,6 +222,17 @@ class PsiClient
     bool sendAll(const std::string &bytes, std::string *error);
     std::optional<Message> recvMessage(int timeoutMs,
                                        std::string *error);
+    /** One SUBMIT, one matching RESULT, no retries. */
+    std::optional<ResultMsg> submitOnce(const std::string &workload,
+                                        std::uint64_t deadlineNs,
+                                        int timeoutMs,
+                                        std::string *error);
+    /** The resilient submit loop, parameterized by @p policy. */
+    std::optional<ResultMsg>
+    submitWithRetry(const std::string &workload,
+                    const RetryPolicy &policy,
+                    std::uint64_t deadlineNs, int timeoutMs,
+                    std::string *error);
     /** One dial, no retry loop. */
     bool connectOnce(const std::string &host, std::uint16_t port,
                      std::string *error);

@@ -13,6 +13,7 @@
 #include <cstring>
 
 #include "base/logging.hpp"
+#include "base/trace.hpp"
 #include "programs/registry.hpp"
 
 namespace psi {
@@ -242,6 +243,13 @@ PsiServer::pollOnce()
         panic("poll failed: ", std::strerror(errno));
     }
 
+    // Data reported readable below was already pending at this
+    // instant, so the first decode span of each connection's batch
+    // starts here - the wait while the loop serves earlier
+    // connections (head-of-line blocking) is attributed, not lost.
+    const std::uint64_t pollWakeNs =
+        trace::enabled() ? trace::nowNs() : 0;
+
     if (fds[0].revents & POLLIN)
         drainWakePipe();
     if (!draining && _listenFd >= 0 &&
@@ -259,7 +267,7 @@ PsiServer::pollOnce()
         if (revents & (POLLERR | POLLHUP | POLLNVAL))
             ok = (revents & POLLIN) != 0; // drain final bytes first
         if (ok && (revents & POLLIN))
-            ok = handleReadable(conn);
+            ok = handleReadable(conn, pollWakeNs);
         if (ok && (revents & POLLOUT))
             ok = flushWrites(conn);
         if (!ok)
@@ -277,6 +285,8 @@ void
 PsiServer::acceptConnections()
 {
     for (;;) {
+        const bool tracing = trace::enabled();
+        std::uint64_t t0 = tracing ? trace::nowNs() : 0;
         int fd = ::accept(_listenFd, nullptr, nullptr);
         if (fd < 0) {
             if (errno == EAGAIN || errno == EWOULDBLOCK ||
@@ -297,11 +307,16 @@ PsiServer::acceptConnections()
         conn.id = _nextConnId++;
         _conns.emplace(conn.id, std::move(conn));
         _connsAccepted.fetch_add(1, std::memory_order_relaxed);
+        // Connection accepts are not tied to a request yet; tag 0
+        // marks them as connection-scoped events in the trace.
+        if (tracing)
+            trace::record(trace::Stage::Accept, 0, t0,
+                          trace::nowNs());
     }
 }
 
 bool
-PsiServer::handleReadable(Conn &conn)
+PsiServer::handleReadable(Conn &conn, std::uint64_t pollWakeNs)
 {
     char chunk[64 * 1024];
     for (;;) {
@@ -322,7 +337,15 @@ PsiServer::handleReadable(Conn &conn)
     }
 
     std::string payload;
+    bool firstFrame = true;
     for (;;) {
+        std::uint64_t decodeStartNs = 0;
+        if (trace::enabled()) {
+            decodeStartNs = firstFrame && pollWakeNs != 0
+                                ? pollWakeNs
+                                : trace::nowNs();
+        }
+        firstFrame = false;
         switch (extractFrame(conn.rbuf, payload)) {
           case FrameResult::NeedMore:
             return true;
@@ -344,21 +367,64 @@ PsiServer::handleReadable(Conn &conn)
             _connsDropped.fetch_add(1, std::memory_order_relaxed);
             return false;
         }
-        if (!handleMessage(conn, std::move(*msg)))
+        if (!handleMessage(conn, std::move(*msg), decodeStartNs))
             return false;
     }
 }
 
 bool
-PsiServer::handleMessage(Conn &conn, Message &&msg)
+PsiServer::handleMessage(Conn &conn, Message &&msg,
+                         std::uint64_t decodeStartNs)
 {
     if (auto *submit = std::get_if<SubmitMsg>(&msg)) {
-        handleSubmit(conn, std::move(*submit));
+        handleSubmit(conn, std::move(*submit), decodeStartNs);
         return true;
+    }
+    if (auto *hello = std::get_if<HelloMsg>(&msg)) {
+        // v1 peers (which never send HELLO) stay wire-compatible, so
+        // a v1 HELLO is accepted too; only unknown majors are
+        // refused.  Minor versions and unknown feature bits never
+        // cause rejection - the reply advertises the intersection.
+        if (hello->versionMajor == 1 ||
+            hello->versionMajor == kProtocolMajor) {
+            HelloAckMsg ack;
+            ack.versionMajor = kProtocolMajor;
+            ack.versionMinor = kProtocolMinor;
+            ack.features = hello->features & kSupportedFeatures;
+            queueReply(conn, Message(std::move(ack)));
+            return flushWrites(conn);
+        }
+        warn("psinet: rejecting connection ", conn.id,
+             " (unsupported protocol major ", hello->versionMajor,
+             ")");
+        ErrorMsg err;
+        err.code = kErrUnsupportedVersion;
+        err.message =
+            "unsupported protocol major " +
+            std::to_string(hello->versionMajor) +
+            "; server speaks " + std::to_string(kProtocolMajor) +
+            " (and accepts 1)";
+        queueReply(conn, Message(std::move(err)));
+        flushWrites(conn);
+        _versionRejects.fetch_add(1, std::memory_order_relaxed);
+        _connsDropped.fetch_add(1, std::memory_order_relaxed);
+        return false;
     }
     if (std::get_if<StatsMsg>(&msg) != nullptr) {
         StatsReplyMsg reply;
         reply.json = metrics().json(nsSince(_started));
+        queueReply(conn, Message(std::move(reply)));
+        return flushWrites(conn);
+    }
+    if (std::get_if<TraceMsg>(&msg) != nullptr) {
+        TraceReplyMsg reply;
+        reply.json = trace::chromeJson(trace::collect());
+        queueReply(conn, Message(std::move(reply)));
+        return flushWrites(conn);
+    }
+    if (std::get_if<MetricsMsg>(&msg) != nullptr) {
+        MetricsReplyMsg reply;
+        reply.text = metrics().prometheus(nsSince(_started));
         queueReply(conn, Message(std::move(reply)));
         return flushWrites(conn);
     }
@@ -369,7 +435,8 @@ PsiServer::handleMessage(Conn &conn, Message &&msg)
         queueReply(conn, Message(DrainAckMsg{}));
         return flushWrites(conn);
     }
-    // RESULT / STATS_REPLY / DRAIN_ACK are server-to-client only.
+    // RESULT / STATS_REPLY / DRAIN_ACK / HELLO_ACK / ERROR /
+    // TRACE_REPLY / METRICS_REPLY are server-to-client only.
     warn("psinet: dropping connection ", conn.id,
          " (unexpected client message type ",
          static_cast<int>(messageType(msg)), ")");
@@ -379,7 +446,8 @@ PsiServer::handleMessage(Conn &conn, Message &&msg)
 }
 
 void
-PsiServer::handleSubmit(Conn &conn, SubmitMsg &&msg)
+PsiServer::handleSubmit(Conn &conn, SubmitMsg &&msg,
+                        std::uint64_t decodeStartNs)
 {
     auto refuse = [&](WireStatus status, std::string why) {
         ResultMsg reply;
@@ -407,14 +475,27 @@ PsiServer::handleSubmit(Conn &conn, SubmitMsg &&msg)
     service::QueryJob job;
     job.program = *program;
     job.limits.deadlineNs = msg.deadlineNs;
+    if (trace::enabled()) {
+        // The server-side tag is minted here and echoed back in the
+        // RESULT so the client can stitch its own spans onto the
+        // same request timeline.
+        job.traceTag = trace::nextTag();
+        trace::record(trace::Stage::Decode, job.traceTag,
+                      decodeStartNs, trace::nowNs());
+    }
 
     std::uint64_t connId = conn.id;
     std::uint64_t tag = msg.tag;
     auto done = [this, connId, tag](service::JobOutcome outcome) {
+        const std::uint64_t enqueueNs =
+            trace::enabled() && outcome.traceTag != 0
+                ? trace::nowNs()
+                : 0;
         {
             std::lock_guard<std::mutex> lock(_completionMutex);
             _completions.push_back(
-                {connId, resultFromOutcome(tag, std::move(outcome))});
+                {connId, resultFromOutcome(tag, std::move(outcome)),
+                 enqueueNs});
         }
         char byte = 'c';
         [[maybe_unused]] ssize_t n = ::write(_wakeWrite, &byte, 1);
@@ -510,8 +591,23 @@ PsiServer::processCompletions()
         auto it = _conns.find(completion.connId);
         if (it == _conns.end())
             continue; // client went away; drop the reply
+        const std::uint64_t traceTag = completion.msg.traceTag;
+        const bool tracing = trace::enabled() && traceTag != 0;
+        // Encode starts at the worker's hand-off, so the completion
+        // queue + wake latency shows up in the timeline.
+        std::uint64_t t0 = tracing ? (completion.enqueueNs != 0
+                                          ? completion.enqueueNs
+                                          : trace::nowNs())
+                                   : 0;
         queueReply(it->second, Message(std::move(completion.msg)));
-        if (!flushWrites(it->second))
+        std::uint64_t t1 = tracing ? trace::nowNs() : 0;
+        if (tracing)
+            trace::record(trace::Stage::Encode, traceTag, t0, t1);
+        bool ok = flushWrites(it->second);
+        if (tracing)
+            trace::record(trace::Stage::Reply, traceTag, t1,
+                          trace::nowNs());
+        if (!ok)
             _closing.push_back(completion.connId);
     }
 }

@@ -25,6 +25,15 @@
  * requestDrain()): stop accepting connections, refuse new SUBMITs
  * with DRAINING, finish every accepted job, flush every reply, then
  * shut the pool down and return from run().
+ *
+ * Observability: a HELLO opener negotiates the protocol version
+ * (unknown majors get a structured ERROR and a close; clients that
+ * skip HELLO are treated as v1), TRACE returns the accumulated
+ * psitrace spans as Chrome trace-event JSON, and METRICS returns the
+ * metrics snapshot as Prometheus text.  When tracing is enabled the
+ * loop itself records accept/decode/encode/reply spans under each
+ * request's trace tag so a request's timeline stitches across the
+ * loop and worker threads.
  */
 
 #ifndef PSI_NET_SERVER_HPP
@@ -107,6 +116,8 @@ class PsiServer
             _badFrames.load(std::memory_order_relaxed);
         snap.netDecodeErrors =
             _decodeErrors.load(std::memory_order_relaxed);
+        snap.netVersionRejects =
+            _versionRejects.load(std::memory_order_relaxed);
         return snap;
     }
 
@@ -124,13 +135,25 @@ class PsiServer
     {
         std::uint64_t connId;
         ResultMsg msg;
+        /** Trace clock at worker hand-off (0 = untraced).  The
+         *  request's encode span starts here so the completion
+         *  queue + wake-pipe latency is attributed, not lost. */
+        std::uint64_t enqueueNs = 0;
     };
 
     void pollOnce();
     void acceptConnections();
-    bool handleReadable(Conn &conn);
-    bool handleMessage(Conn &conn, Message &&msg);
-    void handleSubmit(Conn &conn, SubmitMsg &&msg);
+    /** @p pollWakeNs: trace clock when poll() reported this conn
+     *  readable (0 when tracing is off); the batch's first decode
+     *  span starts there so head-of-line wait is attributed. */
+    bool handleReadable(Conn &conn, std::uint64_t pollWakeNs);
+    /** @p decodeStartNs: trace clock before this message's frame was
+     *  cut + decoded (0 when tracing is off); becomes the request's
+     *  decode span for SUBMITs. */
+    bool handleMessage(Conn &conn, Message &&msg,
+                       std::uint64_t decodeStartNs);
+    void handleSubmit(Conn &conn, SubmitMsg &&msg,
+                      std::uint64_t decodeStartNs);
     void queueReply(Conn &conn, const Message &msg);
     bool flushWrites(Conn &conn);
     void closeConn(std::uint64_t id);
@@ -164,6 +187,7 @@ class PsiServer
     std::atomic<std::uint64_t> _connsDropped{0};  ///< server-initiated
     std::atomic<std::uint64_t> _badFrames{0};     ///< framing rejected
     std::atomic<std::uint64_t> _decodeErrors{0};  ///< body rejected
+    std::atomic<std::uint64_t> _versionRejects{0};///< HELLO refused
     /// @}
 };
 

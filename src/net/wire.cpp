@@ -48,6 +48,25 @@ messageType(const Message &msg)
         {
             return MsgType::DrainAck;
         }
+        MsgType operator()(const HelloMsg &) { return MsgType::Hello; }
+        MsgType operator()(const HelloAckMsg &)
+        {
+            return MsgType::HelloAck;
+        }
+        MsgType operator()(const ErrorMsg &) { return MsgType::Error; }
+        MsgType operator()(const TraceMsg &) { return MsgType::Trace; }
+        MsgType operator()(const TraceReplyMsg &)
+        {
+            return MsgType::TraceReply;
+        }
+        MsgType operator()(const MetricsMsg &)
+        {
+            return MsgType::Metrics;
+        }
+        MsgType operator()(const MetricsReplyMsg &)
+        {
+            return MsgType::MetricsReply;
+        }
     };
     return std::visit(Visitor{}, msg);
 }
@@ -229,6 +248,7 @@ putBody(std::string &out, const ResultMsg &m)
     putU64(out, m.queueNs);
     putU64(out, m.execNs);
     putU64(out, m.latencyNs);
+    putU64(out, m.traceTag);
 }
 
 void
@@ -248,6 +268,49 @@ putBody(std::string &, const DrainMsg &)
 void
 putBody(std::string &, const DrainAckMsg &)
 {}
+
+void
+putBody(std::string &out, const HelloMsg &m)
+{
+    putU32(out, m.versionMajor);
+    putU32(out, m.versionMinor);
+    putU64(out, m.features);
+}
+
+void
+putBody(std::string &out, const HelloAckMsg &m)
+{
+    putU32(out, m.versionMajor);
+    putU32(out, m.versionMinor);
+    putU64(out, m.features);
+}
+
+void
+putBody(std::string &out, const ErrorMsg &m)
+{
+    putU32(out, m.code);
+    putString(out, m.message);
+}
+
+void
+putBody(std::string &, const TraceMsg &)
+{}
+
+void
+putBody(std::string &out, const TraceReplyMsg &m)
+{
+    putString(out, m.json);
+}
+
+void
+putBody(std::string &, const MetricsMsg &)
+{}
+
+void
+putBody(std::string &out, const MetricsReplyMsg &m)
+{
+    putString(out, m.text);
+}
 
 bool
 getBody(Reader &r, SubmitMsg &m)
@@ -285,7 +348,8 @@ getBody(Reader &r, ResultMsg &m)
            r.getU64(m.cache.writeBacks) &&
            r.getU64(m.cache.stackAllocs) &&
            r.getU64(m.cache.throughWrites) && r.getU64(m.queueNs) &&
-           r.getU64(m.execNs) && r.getU64(m.latencyNs);
+           r.getU64(m.execNs) && r.getU64(m.latencyNs) &&
+           r.getU64(m.traceTag);
 }
 
 bool
@@ -310,6 +374,50 @@ bool
 getBody(Reader &, DrainAckMsg &)
 {
     return true;
+}
+
+bool
+getBody(Reader &r, HelloMsg &m)
+{
+    return r.getU32(m.versionMajor) && r.getU32(m.versionMinor) &&
+           r.getU64(m.features);
+}
+
+bool
+getBody(Reader &r, HelloAckMsg &m)
+{
+    return r.getU32(m.versionMajor) && r.getU32(m.versionMinor) &&
+           r.getU64(m.features);
+}
+
+bool
+getBody(Reader &r, ErrorMsg &m)
+{
+    return r.getU32(m.code) && r.getString(m.message);
+}
+
+bool
+getBody(Reader &, TraceMsg &)
+{
+    return true;
+}
+
+bool
+getBody(Reader &r, TraceReplyMsg &m)
+{
+    return r.getString(m.json);
+}
+
+bool
+getBody(Reader &, MetricsMsg &)
+{
+    return true;
+}
+
+bool
+getBody(Reader &r, MetricsReplyMsg &m)
+{
+    return r.getString(m.text);
 }
 
 template <typename T>
@@ -388,6 +496,20 @@ decode(std::string_view payload, std::string *error)
         return decodeAs<DrainMsg>(r, error);
       case MsgType::DrainAck:
         return decodeAs<DrainAckMsg>(r, error);
+      case MsgType::Hello:
+        return decodeAs<HelloMsg>(r, error);
+      case MsgType::HelloAck:
+        return decodeAs<HelloAckMsg>(r, error);
+      case MsgType::Error:
+        return decodeAs<ErrorMsg>(r, error);
+      case MsgType::Trace:
+        return decodeAs<TraceMsg>(r, error);
+      case MsgType::TraceReply:
+        return decodeAs<TraceReplyMsg>(r, error);
+      case MsgType::Metrics:
+        return decodeAs<MetricsMsg>(r, error);
+      case MsgType::MetricsReply:
+        return decodeAs<MetricsReplyMsg>(r, error);
     }
     if (error)
         *error = "unknown message type " + std::to_string(type);
@@ -421,6 +543,7 @@ resultFromOutcome(std::uint64_t tag,
     msg.queueNs = outcome.queueNs;
     msg.execNs = outcome.execNs;
     msg.latencyNs = outcome.latencyNs;
+    msg.traceTag = outcome.traceTag;
     return msg;
 }
 

@@ -19,10 +19,16 @@
  * Message flow (see docs/PROTOCOL.md for the full layout):
  *
  *   client                         server
+ *     HELLO(version, features)   ->            [optional; v1 implied]
+ *                                <- HELLO_ACK  (or ERROR + close)
  *     SUBMIT(tag, workload, ddl) ->
  *                                <- RESULT(tag, status, answer, stats)
  *     STATS                      ->
  *                                <- STATS_REPLY(metrics json)
+ *     TRACE                      ->
+ *                                <- TRACE_REPLY(chrome trace json)
+ *     METRICS                    ->
+ *                                <- METRICS_REPLY(prometheus text)
  *     DRAIN                      ->
  *                                <- DRAIN_ACK, then graceful drain
  *
@@ -58,15 +64,45 @@ constexpr std::uint32_t kMaxFramePayload = 4u << 20;
 /** Bytes of frame header (the big-endian payload length). */
 constexpr std::size_t kFrameHeaderBytes = 4;
 
+/** @name Protocol version + feature negotiation (HELLO/HELLO_ACK)
+ *
+ * A client may open with HELLO(version, features).  The server
+ * accepts major versions 1 (the pre-HELLO protocol; also implied
+ * when the first frame is not a HELLO) and kProtocolMajor; any other
+ * major is answered with a structured ERROR and the connection is
+ * closed.  Minor versions and feature bits never cause rejection -
+ * the HELLO_ACK carries the server's version and the intersection of
+ * the offered and supported feature bits, so each side knows what
+ * the other actually speaks.
+ */
+/// @{
+constexpr std::uint32_t kProtocolMajor = 2;
+constexpr std::uint32_t kProtocolMinor = 0;
+constexpr std::uint64_t kFeatureTrace = 1u << 0;   ///< TRACE msgs
+constexpr std::uint64_t kFeatureMetrics = 1u << 1; ///< METRICS msgs
+constexpr std::uint64_t kSupportedFeatures =
+    kFeatureTrace | kFeatureMetrics;
+/// @}
+
+/** ERROR codes (the `code` field of ErrorMsg). */
+constexpr std::uint32_t kErrUnsupportedVersion = 1;
+
 /** Payload type byte. */
 enum class MsgType : std::uint8_t
 {
-    Submit = 1,     ///< client -> server: run one workload
-    Result = 2,     ///< server -> client: outcome + statistics
-    Stats = 3,      ///< client -> server: request service metrics
-    StatsReply = 4, ///< server -> client: metrics JSON
-    Drain = 5,      ///< client -> server: start graceful drain
-    DrainAck = 6,   ///< server -> client: drain acknowledged
+    Submit = 1,      ///< client -> server: run one workload
+    Result = 2,      ///< server -> client: outcome + statistics
+    Stats = 3,       ///< client -> server: request service metrics
+    StatsReply = 4,  ///< server -> client: metrics JSON
+    Drain = 5,       ///< client -> server: start graceful drain
+    DrainAck = 6,    ///< server -> client: drain acknowledged
+    Hello = 7,       ///< client -> server: version + feature bits
+    HelloAck = 8,    ///< server -> client: negotiated reply
+    Error = 9,       ///< server -> client: structured refusal
+    Trace = 10,      ///< client -> server: request the span dump
+    TraceReply = 11, ///< server -> client: chrome trace-event JSON
+    Metrics = 12,    ///< client -> server: request live metrics
+    MetricsReply = 13, ///< server -> client: prometheus text
 };
 
 /**
@@ -118,6 +154,10 @@ struct ResultMsg
     std::uint64_t queueNs = 0;    ///< server: submit -> worker pickup
     std::uint64_t execNs = 0;     ///< server: consult + solve
     std::uint64_t latencyNs = 0;  ///< server: submit -> completion
+    /** Server-assigned psitrace tag (0 = tracing disabled): the tag
+     *  every server-side span of this request carries, so a client
+     *  can stitch its own observations onto the server timeline. */
+    std::uint64_t traceTag = 0;
 
     /** True when the job reached an engine (statistics are valid). */
     bool
@@ -143,8 +183,50 @@ struct DrainMsg
 struct DrainAckMsg
 {};
 
-using Message = std::variant<SubmitMsg, ResultMsg, StatsMsg,
-                             StatsReplyMsg, DrainMsg, DrainAckMsg>;
+/** HELLO body: the client's protocol version and feature bits. */
+struct HelloMsg
+{
+    std::uint32_t versionMajor = kProtocolMajor;
+    std::uint32_t versionMinor = kProtocolMinor;
+    std::uint64_t features = kSupportedFeatures;
+};
+
+/** HELLO_ACK body: the server's version and the agreed features. */
+struct HelloAckMsg
+{
+    std::uint32_t versionMajor = kProtocolMajor;
+    std::uint32_t versionMinor = kProtocolMinor;
+    std::uint64_t features = 0; ///< offered AND supported
+};
+
+/** ERROR body: a structured refusal (the connection closes after). */
+struct ErrorMsg
+{
+    std::uint32_t code = 0; ///< kErr* constant
+    std::string message;    ///< human-readable detail
+};
+
+struct TraceMsg
+{};
+
+struct TraceReplyMsg
+{
+    std::string json; ///< trace::chromeJson() of the server's spans
+};
+
+struct MetricsMsg
+{};
+
+struct MetricsReplyMsg
+{
+    std::string text; ///< Prometheus text exposition
+};
+
+using Message =
+    std::variant<SubmitMsg, ResultMsg, StatsMsg, StatsReplyMsg,
+                 DrainMsg, DrainAckMsg, HelloMsg, HelloAckMsg,
+                 ErrorMsg, TraceMsg, TraceReplyMsg, MetricsMsg,
+                 MetricsReplyMsg>;
 
 MsgType messageType(const Message &msg);
 

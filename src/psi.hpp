@@ -10,6 +10,8 @@
  *  - service::             psid - the concurrent batch-query service
  *  - net::                 psinet - psid on the wire (TCP server,
  *                          framed protocol, client library)
+ *  - trace::               psitrace - per-request span recording
+ *                          with Chrome trace-event export
  *  - runOnPsi/runOnBaseline  one-call workload execution
  *  - runBatchOnPsi           pool-backed batch execution
  */
@@ -19,9 +21,11 @@
 
 #include "base/backoff.hpp"
 #include "base/flags.hpp"
+#include "base/json.hpp"
 #include "base/logging.hpp"
 #include "base/stats.hpp"
 #include "base/table.hpp"
+#include "base/trace.hpp"
 #include "baseline/wam_machine.hpp"
 #include "interp/engine.hpp"
 #include "kl0/program.hpp"

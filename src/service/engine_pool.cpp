@@ -1,6 +1,7 @@
 #include "service/engine_pool.hpp"
 
 #include "base/logging.hpp"
+#include "base/trace.hpp"
 #include "interp/engine.hpp"
 
 namespace psi {
@@ -105,6 +106,16 @@ EnginePool::workerMain(unsigned index)
         JobOutcome out;
         out.id = job->query.program.id;
         out.queueNs = ns(job->submitted, picked);
+        out.traceTag = job->query.traceTag;
+
+        // Spans are recorded only for tagged jobs with tracing on;
+        // the tracing bool keeps the disabled path to one relaxed
+        // load per job.
+        const bool tracing = trace::enabled() && out.traceTag != 0;
+        if (tracing)
+            trace::record(trace::Stage::Queue, out.traceTag,
+                          trace::toNs(job->submitted),
+                          trace::toNs(picked));
 
         // The deadline budget starts at submit, so queue wait counts
         // against it.  Dead-on-arrival jobs complete as Timeout right
@@ -115,10 +126,23 @@ EnginePool::workerMain(unsigned index)
             out.run.result.status = interp::RunStatus::Timeout;
         } else {
             try {
-                ProgramCache::ProgramPtr image =
-                    _programCache->get(job->query.program.source);
+                std::uint64_t tFetch =
+                    tracing ? trace::nowNs() : 0;
+                bool compiled = false;
+                ProgramCache::ProgramPtr image = _programCache->get(
+                    job->query.program.source, &compiled);
+                if (tracing)
+                    trace::record(compiled
+                                      ? trace::Stage::Compile
+                                      : trace::Stage::CacheHit,
+                                  out.traceTag, tFetch,
+                                  trace::nowNs());
                 engine.load(*image, job->query.cache);
                 auto loaded = std::chrono::steady_clock::now();
+                if (tracing)
+                    trace::record(trace::Stage::Setup, out.traceTag,
+                                  trace::toNs(picked),
+                                  trace::toNs(loaded));
 
                 interp::RunLimits limits = job->query.limits;
                 if (budget != 0)
@@ -130,6 +154,10 @@ EnginePool::workerMain(unsigned index)
                 out.run.stallNs = engine.mem().stallNs();
 
                 auto solved = std::chrono::steady_clock::now();
+                if (tracing)
+                    trace::record(trace::Stage::Solve, out.traceTag,
+                                  trace::toNs(loaded),
+                                  trace::toNs(solved));
                 out.setupNs = ns(picked, loaded);
                 out.solveNs = ns(loaded, solved);
             } catch (const FatalError &e) {

@@ -63,6 +63,9 @@ struct QueryJob
     programs::BenchProgram program;
     CacheConfig cache = CacheConfig::psi();
     interp::RunLimits limits;   ///< includes the deadlineNs budget
+    /** psitrace request tag (trace::nextTag()); 0 = don't trace.
+     *  Workers record queue/compile/setup/solve spans under it. */
+    std::uint64_t traceTag = 0;
 };
 
 /** What the pool hands back through the job's future. */
@@ -76,6 +79,7 @@ struct JobOutcome
     std::uint64_t setupNs = 0;  ///< host: program fetch + load
     std::uint64_t solveNs = 0;  ///< host: query compile + run
     std::uint64_t latencyNs = 0;///< host: submit -> completion
+    std::uint64_t traceTag = 0; ///< echo of QueryJob::traceTag
     /** True when the deadline budget was exhausted by queue wait
      *  alone; the job completed as Timeout without running. */
     bool expired = false;

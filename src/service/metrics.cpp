@@ -1,7 +1,9 @@
 #include "service/metrics.hpp"
 
 #include <sstream>
+#include <utility>
 
+#include "base/json.hpp"
 #include "base/stats.hpp"
 #include "service/engine_pool.hpp"
 
@@ -71,6 +73,12 @@ WorkerMetrics::record(const JobOutcome &outcome)
     accumulate(cache, outcome.run.cache);
     latency.record(outcome.latencyNs);
     queueWait.record(outcome.queueNs);
+    // Stage histograms only make sense for jobs that reached an
+    // engine; queue-expired jobs have no setup/solve phase.
+    if (outcome.ok() && !outcome.expired) {
+        setup.record(outcome.setupNs);
+        solve.record(outcome.solveNs);
+    }
 }
 
 void
@@ -92,6 +100,8 @@ WorkerMetrics::merge(const WorkerMetrics &other)
     accumulate(cache, other.cache);
     latency.merge(other.latency);
     queueWait.merge(other.queueWait);
+    setup.merge(other.setup);
+    solve.merge(other.solve);
 }
 
 double
@@ -147,12 +157,14 @@ MetricsSnapshot::table(std::uint64_t wall_ns) const
     row("program cache misses", std::to_string(programCacheMisses));
     row("program cache entries", std::to_string(programCacheEntries));
     if (netConnsAccepted != 0 || netConnsDropped != 0 ||
-        netBadFrames != 0 || netDecodeErrors != 0) {
+        netBadFrames != 0 || netDecodeErrors != 0 ||
+        netVersionRejects != 0) {
         t.addSeparator();
         row("net conns accepted", std::to_string(netConnsAccepted));
         row("net conns dropped", std::to_string(netConnsDropped));
         row("net bad frames", std::to_string(netBadFrames));
         row("net decode errors", std::to_string(netDecodeErrors));
+        row("net version rejects", std::to_string(netVersionRejects));
     }
     t.addSeparator();
     row("latency p50 ms", ms(total.latency.quantileNs(0.50)));
@@ -171,56 +183,180 @@ MetricsSnapshot::table(std::uint64_t wall_ns) const
 std::string
 MetricsSnapshot::json(std::uint64_t wall_ns) const
 {
+    JsonWriter w;
+    w.u("workers", workers);
+    w.u("submitted", submitted);
+    w.u("completed", total.completed);
+    w.u("succeeded", total.succeeded);
+    w.u("timed_out", total.timedOut);
+    w.u("expired_in_queue", total.expiredInQueue);
+    w.u("step_limited", total.stepLimited);
+    w.u("errored", total.errored);
+    w.u("rejected", rejected);
+    w.u("queue_depth", queueDepth);
+    w.u("peak_queue_depth", peakQueueDepth);
+    w.u("inferences", total.inferences);
+    w.u("microsteps", total.steps());
+    w.u("model_ns", total.modelNs);
+    w.u("stall_ns", total.stallNs);
+    w.u("host_exec_ns", total.hostExecNs);
+    w.u("host_setup_ns", total.hostSetupNs);
+    w.u("host_solve_ns", total.hostSolveNs);
+    w.num("cache_hit_pct",
+          stats::fixed(total.cache.totalHitPct(), 3));
+    w.u("program_cache_hits", programCacheHits);
+    w.u("program_cache_misses", programCacheMisses);
+    w.u("program_cache_entries", programCacheEntries);
+    w.u("net_conns_accepted", netConnsAccepted);
+    w.u("net_conns_dropped", netConnsDropped);
+    w.u("net_bad_frames", netBadFrames);
+    w.u("net_decode_errors", netDecodeErrors);
+    w.u("net_version_rejects", netVersionRejects);
+    w.u("latency_p50_ns", total.latency.quantileNs(0.50));
+    w.u("latency_p95_ns", total.latency.quantileNs(0.95));
+    w.u("latency_p99_ns", total.latency.quantileNs(0.99));
+    w.u("latency_min_ns", total.latency.minNs());
+    w.u("latency_max_ns", total.latency.maxNs());
+    w.num("latency_mean_ns",
+          stats::fixed(total.latency.meanNs(), 0));
+    w.u("queue_wait_p50_ns", total.queueWait.quantileNs(0.50));
+    w.u("queue_wait_p99_ns", total.queueWait.quantileNs(0.99));
+    if (wall_ns != 0) {
+        w.u("wall_ns", wall_ns);
+        w.num("aggregate_lips", stats::fixed(hostLips(wall_ns), 1));
+    }
+    return w.str();
+}
+
+namespace {
+
+/** Format @p ns as fractional seconds (Prometheus base unit). */
+std::string
+secs(std::uint64_t ns)
+{
+    return stats::fixed(static_cast<double>(ns) / 1e9, 9);
+}
+
+} // namespace
+
+std::string
+MetricsSnapshot::prometheus(std::uint64_t wall_ns) const
+{
     std::ostringstream os;
-    bool first = true;
-    auto num = [&](const std::string &k, const std::string &v) {
-        os << (first ? "" : ", ") << '"' << k << "\": " << v;
-        first = false;
+    auto counter = [&os](const char *name, std::uint64_t v) {
+        os << "# TYPE " << name << " counter\n"
+           << name << ' ' << v << '\n';
     };
-    auto u = [&](const std::string &k, std::uint64_t v) {
-        num(k, std::to_string(v));
+    auto gauge = [&os](const char *name, const std::string &v) {
+        os << "# TYPE " << name << " gauge\n"
+           << name << ' ' << v << '\n';
+    };
+    auto seconds = [&os](const char *name, std::uint64_t ns) {
+        os << "# TYPE " << name << " counter\n"
+           << name << ' ' << secs(ns) << '\n';
     };
 
-    os << "{";
-    u("workers", workers);
-    u("submitted", submitted);
-    u("completed", total.completed);
-    u("succeeded", total.succeeded);
-    u("timed_out", total.timedOut);
-    u("expired_in_queue", total.expiredInQueue);
-    u("step_limited", total.stepLimited);
-    u("errored", total.errored);
-    u("rejected", rejected);
-    u("queue_depth", queueDepth);
-    u("peak_queue_depth", peakQueueDepth);
-    u("inferences", total.inferences);
-    u("microsteps", total.steps());
-    u("model_ns", total.modelNs);
-    u("stall_ns", total.stallNs);
-    u("host_exec_ns", total.hostExecNs);
-    u("host_setup_ns", total.hostSetupNs);
-    u("host_solve_ns", total.hostSolveNs);
-    num("cache_hit_pct", stats::fixed(total.cache.totalHitPct(), 3));
-    u("program_cache_hits", programCacheHits);
-    u("program_cache_misses", programCacheMisses);
-    u("program_cache_entries", programCacheEntries);
-    u("net_conns_accepted", netConnsAccepted);
-    u("net_conns_dropped", netConnsDropped);
-    u("net_bad_frames", netBadFrames);
-    u("net_decode_errors", netDecodeErrors);
-    u("latency_p50_ns", total.latency.quantileNs(0.50));
-    u("latency_p95_ns", total.latency.quantileNs(0.95));
-    u("latency_p99_ns", total.latency.quantileNs(0.99));
-    u("latency_min_ns", total.latency.minNs());
-    u("latency_max_ns", total.latency.maxNs());
-    num("latency_mean_ns", stats::fixed(total.latency.meanNs(), 0));
-    u("queue_wait_p50_ns", total.queueWait.quantileNs(0.50));
-    u("queue_wait_p99_ns", total.queueWait.quantileNs(0.99));
-    if (wall_ns != 0) {
-        u("wall_ns", wall_ns);
-        num("aggregate_lips", stats::fixed(hostLips(wall_ns), 1));
+    gauge("psi_workers", std::to_string(workers));
+    counter("psi_jobs_submitted_total", submitted);
+    counter("psi_jobs_completed_total", total.completed);
+    counter("psi_jobs_succeeded_total", total.succeeded);
+    counter("psi_jobs_timed_out_total", total.timedOut);
+    counter("psi_jobs_expired_in_queue_total", total.expiredInQueue);
+    counter("psi_jobs_step_limited_total", total.stepLimited);
+    counter("psi_jobs_errored_total", total.errored);
+    counter("psi_jobs_rejected_total", rejected);
+    gauge("psi_queue_depth", std::to_string(queueDepth));
+    gauge("psi_queue_depth_peak", std::to_string(peakQueueDepth));
+
+    counter("psi_inferences_total", total.inferences);
+    counter("psi_microsteps_total", total.steps());
+    seconds("psi_model_seconds_total", total.modelNs);
+    seconds("psi_stall_seconds_total", total.stallNs);
+    seconds("psi_host_exec_seconds_total", total.hostExecNs);
+    seconds("psi_host_setup_seconds_total", total.hostSetupNs);
+    seconds("psi_host_solve_seconds_total", total.hostSolveNs);
+
+    // Per-stage duration summaries; "request" is the whole
+    // submit-to-completion latency the clients observe.
+    os << "# TYPE psi_request_stage_seconds summary\n";
+    auto summary = [&os](const char *stage,
+                         const LatencyHistogram &h) {
+        static const std::pair<const char *, double> kQs[] = {
+            {"0.5", 0.5}, {"0.95", 0.95}, {"0.99", 0.99}};
+        for (const auto &[label, q] : kQs) {
+            os << "psi_request_stage_seconds{stage=\"" << stage
+               << "\",quantile=\"" << label << "\"} "
+               << secs(h.quantileNs(q)) << '\n';
+        }
+        os << "psi_request_stage_seconds_sum{stage=\"" << stage
+           << "\"} " << secs(h.sumNs()) << '\n'
+           << "psi_request_stage_seconds_count{stage=\"" << stage
+           << "\"} " << h.count() << '\n';
+    };
+    summary("queue", total.queueWait);
+    summary("setup", total.setup);
+    summary("solve", total.solve);
+    summary("request", total.latency);
+
+    // Firmware module steps (paper Table 2).
+    os << "# TYPE psi_firmware_module_steps_total counter\n";
+    for (int m = 0; m < micro::kNumModules; ++m) {
+        os << "psi_firmware_module_steps_total{module=\""
+           << micro::moduleName(static_cast<micro::Module>(m))
+           << "\"} " << total.seq.moduleSteps[m] << '\n';
     }
-    os << "}";
+
+    // Steps per cache command (paper Table 3).
+    os << "# TYPE psi_cache_command_steps_total counter\n";
+    for (int c = 0; c < kNumCacheCmds; ++c) {
+        os << "psi_cache_command_steps_total{cmd=\""
+           << cacheCmdName(static_cast<CacheCmd>(c)) << "\"} "
+           << total.seq.cacheSteps[c] << '\n';
+    }
+
+    // Cache accesses / hits per area and command (Tables 4-5).
+    os << "# TYPE psi_cache_accesses_total counter\n";
+    for (int a = 0; a < kNumAreas; ++a) {
+        for (int c = 0; c < kNumCacheCmds; ++c) {
+            os << "psi_cache_accesses_total{area=\""
+               << areaName(static_cast<Area>(a)) << "\",cmd=\""
+               << cacheCmdName(static_cast<CacheCmd>(c)) << "\"} "
+               << total.cache.accesses[a][c] << '\n';
+        }
+    }
+    os << "# TYPE psi_cache_hits_total counter\n";
+    for (int a = 0; a < kNumAreas; ++a) {
+        for (int c = 0; c < kNumCacheCmds; ++c) {
+            os << "psi_cache_hits_total{area=\""
+               << areaName(static_cast<Area>(a)) << "\",cmd=\""
+               << cacheCmdName(static_cast<CacheCmd>(c)) << "\"} "
+               << total.cache.hits[a][c] << '\n';
+        }
+    }
+    counter("psi_cache_read_ins_total", total.cache.readIns);
+    counter("psi_cache_write_backs_total", total.cache.writeBacks);
+    counter("psi_cache_stack_allocs_total", total.cache.stackAllocs);
+    counter("psi_cache_through_writes_total",
+            total.cache.throughWrites);
+    gauge("psi_cache_hit_ratio",
+          stats::fixed(total.cache.totalHitPct() / 100.0, 6));
+
+    counter("psi_program_cache_hits_total", programCacheHits);
+    counter("psi_program_cache_misses_total", programCacheMisses);
+    gauge("psi_program_cache_entries",
+          std::to_string(programCacheEntries));
+
+    counter("psi_net_conns_accepted_total", netConnsAccepted);
+    counter("psi_net_conns_dropped_total", netConnsDropped);
+    counter("psi_net_bad_frames_total", netBadFrames);
+    counter("psi_net_decode_errors_total", netDecodeErrors);
+    counter("psi_net_version_rejects_total", netVersionRejects);
+
+    if (wall_ns != 0) {
+        gauge("psi_wall_seconds", secs(wall_ns));
+        gauge("psi_aggregate_lips",
+              stats::fixed(hostLips(wall_ns), 1));
+    }
     return os.str();
 }
 

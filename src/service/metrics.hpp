@@ -61,6 +61,11 @@ struct WorkerMetrics
     CacheStats cache;              ///< merged cache statistics
     LatencyHistogram latency;      ///< submit -> completion (host ns)
     LatencyHistogram queueWait;    ///< submit -> worker pickup
+    /** @name Per-stage duration summaries (jobs that ran only) */
+    /// @{
+    LatencyHistogram setup;        ///< program fetch + image load
+    LatencyHistogram solve;        ///< query compile + run
+    /// @}
 
     std::uint64_t steps() const { return seq.totalSteps(); }
 
@@ -94,6 +99,7 @@ struct MetricsSnapshot
     std::uint64_t netConnsDropped = 0;  ///< dropped by the server
     std::uint64_t netBadFrames = 0;     ///< framing-layer rejects
     std::uint64_t netDecodeErrors = 0;  ///< body/protocol rejects
+    std::uint64_t netVersionRejects = 0;///< HELLO major refused
     /// @}
 
     /**
@@ -107,6 +113,17 @@ struct MetricsSnapshot
 
     /** Machine-readable flat JSON object. */
     std::string json(std::uint64_t wall_ns = 0) const;
+
+    /**
+     * Prometheus text exposition (served by the psinet METRICS
+     * message).  Families cover the job counters, the per-stage
+     * duration summaries (queue / setup / solve / request), and the
+     * per-run firmware + cache aggregates behind the paper's
+     * Tables 2-5 (psi_firmware_module_steps_total,
+     * psi_cache_command_steps_total, psi_cache_accesses_total,
+     * psi_cache_hits_total).
+     */
+    std::string prometheus(std::uint64_t wall_ns = 0) const;
 };
 
 } // namespace service

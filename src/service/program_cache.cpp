@@ -4,7 +4,7 @@ namespace psi {
 namespace service {
 
 ProgramCache::ProgramPtr
-ProgramCache::get(const std::string &source)
+ProgramCache::get(const std::string &source, bool *compiled)
 {
     const std::uint64_t key = kl0::CompiledProgram::hashSource(source);
 
@@ -30,6 +30,9 @@ ProgramCache::get(const std::string &source)
             collision = true;
         }
     }
+
+    if (compiled)
+        *compiled = owner || collision;
 
     if (collision) {
         return std::make_shared<const kl0::CompiledProgram>(

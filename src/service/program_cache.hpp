@@ -55,8 +55,14 @@ class ProgramCache
      * distinct source.  Blocks while another thread compiles the
      * same key.  Throws FatalError (to every concurrent waiter) when
      * the source does not compile.
+     *
+     * @param compiled when non-null, set true when this call paid
+     *        (or waited on) a compile and false on a cache hit - the
+     *        signal psitrace uses to name the span compile vs
+     *        cache-hit.
      */
-    ProgramPtr get(const std::string &source);
+    ProgramPtr get(const std::string &source,
+                   bool *compiled = nullptr);
 
     Stats stats() const;
 

@@ -109,6 +109,7 @@ randomResult(std::mt19937_64 &rng)
     m.queueNs = rng();
     m.execNs = rng();
     m.latencyNs = rng();
+    m.traceTag = rng();
     return m;
 }
 
@@ -145,6 +146,7 @@ expectEq(const ResultMsg &a, const ResultMsg &b)
     EXPECT_EQ(a.queueNs, b.queueNs);
     EXPECT_EQ(a.execNs, b.execNs);
     EXPECT_EQ(a.latencyNs, b.latencyNs);
+    EXPECT_EQ(a.traceTag, b.traceTag);
 }
 
 /** encode -> frame extraction -> decode, returning the message. */
@@ -388,7 +390,8 @@ TEST(Loopback, RegistryMatchesSequentialByteForByte)
     for (const auto &program : programs::allPrograms()) {
         SCOPED_TRACE(program.id);
         PsiRun want = runOnPsi(program);
-        auto got = client.submit(program.id, 0, -1, &error);
+        auto got =
+            client.submit(net::Request{program.id}, nullptr, &error);
         ASSERT_TRUE(got.has_value()) << error;
 
         EXPECT_EQ(got->status, net::wireStatus(want.result.status));
@@ -430,7 +433,8 @@ TEST(Loopback, DeadlinePropagatesAsTimeout)
     // 1 ns: the budget starts at submit, so it is already spent by
     // the time a worker picks the job up - the RESULT carries
     // Timeout with zero statistics (the engine never ran).
-    auto result = client.submit("bup3", 1, -1, &error);
+    auto result =
+        client.submit(net::Request{"bup3", 1}, nullptr, &error);
     ASSERT_TRUE(result.has_value()) << error;
     EXPECT_EQ(result->status, WireStatus::Timeout);
     EXPECT_EQ(result->steps, 0u);
@@ -439,7 +443,8 @@ TEST(Loopback, DeadlinePropagatesAsTimeout)
     // 50 ms against a ~900 ms workload: the job starts (queue wait
     // is microseconds here) and expires mid-run, so the RESULT
     // carries Timeout plus the partial statistics.
-    result = client.submit("lisp_tarai", 50'000'000, -1, &error);
+    result = client.submit(net::Request{"lisp_tarai", 50'000'000},
+                           nullptr, &error);
     ASSERT_TRUE(result.has_value()) << error;
     EXPECT_EQ(result->status, WireStatus::Timeout);
     EXPECT_GT(result->steps, 0u);
@@ -496,7 +501,8 @@ TEST(Loopback, UnknownWorkloadIsActionable)
     ASSERT_TRUE(client.connect("127.0.0.1", harness.port(), &error))
         << error;
 
-    auto result = client.submit("no_such_workload", 0, -1, &error);
+    auto result = client.submit(net::Request{"no_such_workload"},
+                                nullptr, &error);
     ASSERT_TRUE(result.has_value()) << error;
     EXPECT_EQ(result->status, WireStatus::UnknownWorkload);
     EXPECT_NE(result->error.find("no_such_workload"),
@@ -513,7 +519,8 @@ TEST(Loopback, StatsReplyCarriesServiceMetricsJson)
     ASSERT_TRUE(client.connect("127.0.0.1", harness.port(), &error))
         << error;
 
-    auto result = client.submit("nreverse30", 0, -1, &error);
+    auto result =
+        client.submit(net::Request{"nreverse30"}, nullptr, &error);
     ASSERT_TRUE(result.has_value()) << error;
     EXPECT_EQ(result->status, WireStatus::Ok);
 
@@ -617,7 +624,8 @@ TEST(ConnectRetry, LateStartingServerEventuallyAccepts)
     ASSERT_TRUE(ok) << error;
     EXPECT_GT(client.retryStats().connectRetries, 0u);
 
-    auto result = client.submit("nreverse30", 0, -1, &error);
+    auto result =
+        client.submit(net::Request{"nreverse30"}, nullptr, &error);
     ASSERT_TRUE(result.has_value()) << error;
     EXPECT_EQ(result->status, WireStatus::Ok);
 }
@@ -649,7 +657,8 @@ TEST(Retry, OverloadedBackpressureRetriesUntilCapacityFrees)
     client.setRetryPolicy(testRetryPolicy(100, 3));
     ASSERT_TRUE(client.connect("127.0.0.1", harness.port(), &error))
         << error;
-    auto result = client.submitRetry("nreverse30", 0, 10'000, &error);
+    auto result = client.submit(net::Request{"nreverse30", 0, 10'000},
+                                &client.retryPolicy(), &error);
     ASSERT_TRUE(result.has_value()) << error;
     EXPECT_EQ(result->status, WireStatus::Ok);
     EXPECT_GT(client.retryStats().overloadedRetries, 0u);
@@ -674,7 +683,8 @@ TEST(Retry, DeadlineBudgetBoundsTheWholeCall)
 
     auto start = std::chrono::steady_clock::now();
     auto result =
-        client.submitRetry("nreverse30", 200'000'000ull, -1, &error);
+        client.submit(net::Request{"nreverse30", 200'000'000ull},
+                      &client.retryPolicy(), &error);
     auto elapsed = std::chrono::steady_clock::now() - start;
     EXPECT_FALSE(result.has_value());
     EXPECT_EQ(client.retryStats().exhausted, 1u);
@@ -742,7 +752,9 @@ TEST(Chaos, FullRegistryThroughFaultsMatchesByteForByte)
         // timeout is deliberately not retried (duplicate risk), and
         // the slow registry programs can take tens of seconds under
         // TSan with the rest of the suite running alongside.
-        auto got = client.submitRetry(program.id, 0, 180'000, &error);
+        auto got =
+            client.submit(net::Request{program.id, 0, 180'000},
+                          &client.retryPolicy(), &error);
         ASSERT_TRUE(got.has_value()) << error;
 
         EXPECT_EQ(got->status, net::wireStatus(want.result.status));

@@ -65,6 +65,7 @@ buildCorpus()
     ok.queueNs = 1;
     ok.execNs = 2;
     ok.latencyNs = 3;
+    ok.traceTag = 4;
     corpus.push_back(encode(Message(ok)));
 
     ResultMsg refusal;
@@ -81,6 +82,37 @@ buildCorpus()
 
     corpus.push_back(encode(Message(DrainMsg{})));
     corpus.push_back(encode(Message(DrainAckMsg{})));
+
+    corpus.push_back(encode(Message(HelloMsg{})));
+
+    HelloMsg futureHello;
+    futureHello.versionMajor = 0xffffffffu;
+    futureHello.features = 0xffffffffffffffffull;
+    corpus.push_back(encode(Message(futureHello)));
+
+    HelloAckMsg ack;
+    ack.features = kSupportedFeatures;
+    corpus.push_back(encode(Message(ack)));
+
+    ErrorMsg err;
+    err.code = kErrUnsupportedVersion;
+    err.message = "unsupported protocol major 99";
+    corpus.push_back(encode(Message(err)));
+
+    corpus.push_back(encode(Message(TraceMsg{})));
+
+    TraceReplyMsg traceReply;
+    traceReply.json =
+        "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n]}\n";
+    corpus.push_back(encode(Message(traceReply)));
+
+    corpus.push_back(encode(Message(MetricsMsg{})));
+
+    MetricsReplyMsg metricsReply;
+    metricsReply.text =
+        "# TYPE psi_jobs_completed_total counter\n"
+        "psi_jobs_completed_total 3\n";
+    corpus.push_back(encode(Message(metricsReply)));
     return corpus;
 }
 
