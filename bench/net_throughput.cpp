@@ -35,6 +35,18 @@
  *     $ ./bench/net_throughput --fault-schedule \
  *           "seed=7,split=0.3,delay_us=0..200,reset_after=20000"
  *
+ * With --backends N the round is served by a whole cluster instead
+ * of one server: N in-process PsiServer backends behind an in-process
+ * PsiRouter, clients submitting through the router.  --endpoints
+ * HOST:PORT (repeatable) fronts externally-started backends with the
+ * router instead.  Router rounds add per-backend routed counts and
+ * the shard-affinity hit ratio to the table and JSON, plus the
+ * cluster-summed program-cache counters - the whole point of
+ * cache-affinity sharding is that the misses column stays at the
+ * number of distinct sources no matter how many backends serve.
+ *
+ *     $ ./bench/net_throughput --backends 4 -r 500 -n 1000
+ *
  * With --trace-out FILE psitrace is enabled end to end: the server
  * records per-request decode/queue/compile/setup/solve/encode/reply
  * spans, the receiver threads add a client-side request span per
@@ -88,6 +100,17 @@ struct RoundConfig
     std::uint64_t queueCapacity;
     net::FaultSchedule schedule; ///< active when schedule.enabled()
     bool fetchMetrics = false;   ///< fetch METRICS before drain
+    /** Router mode: boot this many in-process backends behind an
+     *  in-process PsiRouter (0 = plain single-server round). */
+    unsigned routerBackends = 0;
+    /** Router mode: front these external backends instead. */
+    std::vector<router::BackendAddr> endpoints;
+
+    bool
+    routerMode() const
+    {
+        return routerBackends > 0 || !endpoints.empty();
+    }
 };
 
 struct RoundResult
@@ -106,6 +129,14 @@ struct RoundResult
     net::FaultStats faults;  ///< fault mode: what the proxy injected
     net::RetryStats retries; ///< fault mode: client retries, summed
     std::string metricsText; ///< METRICS reply (when fetchMetrics)
+    /** Router mode: the router's per-backend routed counts and the
+     *  cluster-wide shard-affinity split. */
+    bool routerMode = false;
+    std::vector<std::pair<std::string, std::uint64_t>> backendRouted;
+    std::uint64_t affinityHits = 0;
+    std::uint64_t affinityMisses = 0;
+    std::uint64_t routerRetried = 0;
+    std::uint64_t routerEjections = 0;
 };
 
 void
@@ -403,33 +434,77 @@ analyzeTrace(const std::vector<trace::Span> &spans)
 RoundResult
 runRound(const RoundConfig &config)
 {
-    net::PsiServer::Config serverConfig;
-    serverConfig.port = 0;
-    serverConfig.workers = config.workers;
-    serverConfig.queueCapacity =
-        static_cast<std::size_t>(config.queueCapacity);
-    serverConfig.submitMode = service::Submit::FailFast;
-
-    net::PsiServer server(serverConfig);
+    // One server in the plain rounds; --backends N boots a cluster
+    // of them behind an in-process router; --endpoints boots only
+    // the router, fronting externally-started backends.
+    std::vector<std::unique_ptr<net::PsiServer>> servers;
+    std::vector<std::thread> serverThreads;
+    std::vector<router::BackendAddr> backendAddrs;
     std::string error;
-    if (!server.start(&error)) {
-        std::cerr << "net_throughput: " << error << "\n";
-        std::exit(1);
+
+    const unsigned localServers =
+        config.routerMode() ? config.routerBackends : 1;
+    for (unsigned i = 0; i < localServers; ++i) {
+        net::PsiServer::Config serverConfig;
+        serverConfig.port = 0;
+        serverConfig.workers = config.workers;
+        serverConfig.queueCapacity =
+            static_cast<std::size_t>(config.queueCapacity);
+        serverConfig.submitMode = service::Submit::FailFast;
+        auto server = std::make_unique<net::PsiServer>(serverConfig);
+        if (!server->start(&error)) {
+            std::cerr << "net_throughput: " << error << "\n";
+            std::exit(1);
+        }
+        backendAddrs.push_back(
+            router::BackendAddr{"127.0.0.1", server->port()});
+        servers.push_back(std::move(server));
     }
-    std::thread serverThread([&server] { server.run(); });
+    for (auto &server : servers)
+        serverThreads.emplace_back([&server] { server->run(); });
+    for (const auto &endpoint : config.endpoints)
+        backendAddrs.push_back(endpoint);
+
+    std::optional<router::PsiRouter> router;
+    std::thread routerThread;
+    if (config.routerMode()) {
+        router::PsiRouter::Config rc;
+        rc.backends = backendAddrs;
+        router.emplace(rc);
+        if (!router->start(&error)) {
+            std::cerr << "net_throughput: " << error << "\n";
+            std::exit(1);
+        }
+        routerThread = std::thread([&router] { router->run(); });
+        // Don't start the clock until the ring is populated (local
+        // backends must all join; external ones get a grace window).
+        const std::size_t want =
+            config.endpoints.empty() ? backendAddrs.size() : 1;
+        for (int spins = 0; spins < 5000; ++spins) {
+            std::size_t admitted = 0;
+            for (const auto &b : router->metrics().backends)
+                admitted += b.admitted ? 1 : 0;
+            if (admitted >= want)
+                break;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(1));
+        }
+    }
+    std::uint16_t servicePort =
+        router ? router->port() : servers.front()->port();
 
     // Fault mode: clients talk to the proxy, which mangles the byte
-    // stream on its way to (and from) the real server.
+    // stream on its way to (and from) the service front end.
     const bool faulty = config.schedule.enabled();
     std::optional<net::FaultProxy> proxy;
     if (faulty) {
-        proxy.emplace("127.0.0.1", server.port(), config.schedule);
+        proxy.emplace("127.0.0.1", servicePort, config.schedule);
         if (!proxy->start(&error)) {
             std::cerr << "net_throughput: " << error << "\n";
             std::exit(1);
         }
     }
-    std::uint16_t clientPort = faulty ? proxy->port() : server.port();
+    std::uint16_t clientPort = faulty ? proxy->port() : servicePort;
 
     auto start = clock_type::now() + std::chrono::milliseconds(20);
     std::vector<ConnStats> stats(config.connections);
@@ -446,40 +521,71 @@ runRound(const RoundConfig &config)
     result.workers = config.workers;
     result.offeredRps = config.ratePerSec;
 
-    // Fetch the server's own view of the round (STATS over the wire)
-    // before draining: the per-request setup/solve split and the
-    // program-cache counters only exist on the server side.
+    // Fetch the backends' own view of the round (STATS over the
+    // wire) before draining: the per-request setup/solve split and
+    // the program-cache counters only exist on the server side.  In
+    // router mode the counters are summed cluster-wide - shard
+    // affinity means the miss total stays at the number of distinct
+    // sources no matter how many backends serve.
     {
-        net::PsiClient statsClient;
-        std::string error;
-        if (statsClient.connect("127.0.0.1", server.port(), &error)) {
+        std::uint64_t setupNs = 0, solveNs = 0, completed = 0;
+        for (const auto &addr : backendAddrs) {
+            net::PsiClient statsClient;
+            std::string error;
+            if (!statsClient.connect(addr.host, addr.port, &error))
+                continue;
             if (auto json = statsClient.stats(5000, &error)) {
-                std::uint64_t completed = jsonU64(*json, "completed");
-                if (completed > 0) {
-                    result.setupMeanNs =
-                        jsonU64(*json, "host_setup_ns") / completed;
-                    result.solveMeanNs =
-                        jsonU64(*json, "host_solve_ns") / completed;
-                }
-                result.cacheHits =
+                completed += jsonU64(*json, "completed");
+                setupNs += jsonU64(*json, "host_setup_ns");
+                solveNs += jsonU64(*json, "host_solve_ns");
+                result.cacheHits +=
                     jsonU64(*json, "program_cache_hits");
-                result.cacheMisses =
+                result.cacheMisses +=
                     jsonU64(*json, "program_cache_misses");
             }
-            if (config.fetchMetrics) {
+        }
+        if (completed > 0) {
+            result.setupMeanNs = setupNs / completed;
+            result.solveMeanNs = solveNs / completed;
+        }
+        if (config.fetchMetrics) {
+            // The front end's METRICS: the router's own exposition
+            // in router mode, the lone server's otherwise.
+            net::PsiClient metricsClient;
+            std::string error;
+            if (metricsClient.connect("127.0.0.1", servicePort,
+                                      &error)) {
                 if (auto text =
-                        statsClient.metricsText(5000, &error))
+                        metricsClient.metricsText(5000, &error))
                     result.metricsText = std::move(*text);
             }
         }
+    }
+
+    if (router) {
+        result.routerMode = true;
+        router::RouterMetrics metrics = router->metrics();
+        for (const auto &b : metrics.backends) {
+            result.backendRouted.emplace_back(b.addr, b.routed);
+            result.routerRetried += b.retried;
+            result.routerEjections += b.ejections;
+        }
+        result.affinityHits = metrics.affinityHits;
+        result.affinityMisses = metrics.affinityMisses;
     }
 
     if (proxy) {
         result.faults = proxy->stats();
         proxy->stop();
     }
-    server.requestDrain();
-    serverThread.join();
+    if (router) {
+        router->requestDrain();
+        routerThread.join();
+    }
+    for (auto &server : servers)
+        server->requestDrain();
+    for (auto &thread : serverThreads)
+        thread.join();
     auto lastReply = start;
     for (const auto &s : stats) {
         result.total.latency.merge(s.latency);
@@ -520,6 +626,7 @@ main(int argc, char **argv)
     std::string faultSpec;
     std::string traceOut;
     std::string metricsOut;
+    std::vector<std::string> endpointSpecs;
     bool json = false;
 
     Flags flags("net_throughput [options]");
@@ -538,6 +645,12 @@ main(int argc, char **argv)
         .opt("-w", &fixedWorkers,
              "run a single round with this many workers instead of "
              "the 1/2/4/8 sweep")
+        .opt("--backends", &config.routerBackends,
+             "router mode: boot this many in-process backends "
+             "behind a psirouter (0 = single server)")
+        .opt("--endpoints", &endpointSpecs,
+             "router mode: front this HOST:PORT backend "
+             "(repeatable) instead of booting servers")
         .opt("--fault-schedule", &faultSpec,
              "inject faults via a proxy, e.g. "
              "\"seed=7,split=0.3,delay_us=0..200,reset_after=20000\"")
@@ -556,6 +669,20 @@ main(int argc, char **argv)
             return 1;
         }
         config.schedule = *schedule;
+    }
+    for (const auto &spec : endpointSpecs) {
+        std::string error;
+        auto addr = router::BackendAddr::parse(spec, &error);
+        if (!addr) {
+            std::cerr << "net_throughput: " << error << "\n";
+            return 1;
+        }
+        config.endpoints.push_back(*addr);
+    }
+    if (config.routerBackends > 0 && !config.endpoints.empty()) {
+        std::cerr << "net_throughput: --backends and --endpoints "
+                     "are mutually exclusive\n";
+        return 1;
     }
     config.deadlineNs = deadline_ms * 1'000'000ull;
     config.fetchMetrics = !metricsOut.empty();
@@ -579,38 +706,72 @@ main(int argc, char **argv)
             std::to_string(config.requests) + " reqs @ " +
             bench::f1(config.ratePerSec) + "/s over " +
             std::to_string(config.connections) + " connections)");
+        if (config.routerBackends > 0)
+            std::cout << "router mode: " << config.routerBackends
+                      << " in-process backends behind a psirouter\n";
+        else if (!config.endpoints.empty())
+            std::cout << "router mode: fronting "
+                      << config.endpoints.size()
+                      << " external backend(s)\n";
         if (config.schedule.enabled())
             std::cout << "fault schedule: " << config.schedule.str()
                       << "\n\n";
     }
 
-    Table t("worker scaling over TCP loopback");
-    t.setHeader({"workers", "offered r/s", "achieved r/s", "ok",
-                 "overloaded", "timeouts", "p50 ms", "p95 ms",
-                 "p99 ms", "setup us", "solve us", "cache h/m"});
+    Table t(config.routerMode()
+                ? "cluster scaling over TCP loopback (psirouter)"
+                : "worker scaling over TCP loopback");
+    std::vector<std::string> header{
+        "workers",  "offered r/s", "achieved r/s", "ok",
+        "overloaded", "timeouts",  "p50 ms",       "p95 ms",
+        "p99 ms",   "setup us",    "solve us",     "cache h/m"};
+    if (config.routerMode()) {
+        header.push_back("routed/bk");
+        header.push_back("affinity %");
+    }
+    t.setHeader(header);
 
     std::vector<unsigned> workerSweep{1u, 2u, 4u, 8u};
     if (fixedWorkers != 0)
         workerSweep = {static_cast<unsigned>(fixedWorkers)};
+    if (!config.endpoints.empty())
+        workerSweep = {0}; // external backends: nothing to sweep
 
     std::vector<RoundResult> rounds;
     for (unsigned workers : workerSweep) {
         RoundConfig round = config;
         round.workers = workers;
         RoundResult r = runRound(round);
-        t.addRow({std::to_string(r.workers),
-                  bench::f1(r.offeredRps),
-                  bench::f1(r.achievedRps),
-                  std::to_string(r.total.ok),
-                  std::to_string(r.total.overloaded),
-                  std::to_string(r.total.timedOut),
-                  bench::f2(r.total.latency.quantileNs(0.50) / 1e6),
-                  bench::f2(r.total.latency.quantileNs(0.95) / 1e6),
-                  bench::f2(r.total.latency.quantileNs(0.99) / 1e6),
-                  bench::f2(r.setupMeanNs / 1e3),
-                  bench::f2(r.solveMeanNs / 1e3),
-                  std::to_string(r.cacheHits) + "/" +
-                      std::to_string(r.cacheMisses)});
+        std::vector<std::string> row{
+            workers == 0 ? "-" : std::to_string(r.workers),
+            bench::f1(r.offeredRps),
+            bench::f1(r.achievedRps),
+            std::to_string(r.total.ok),
+            std::to_string(r.total.overloaded),
+            std::to_string(r.total.timedOut),
+            bench::f2(r.total.latency.quantileNs(0.50) / 1e6),
+            bench::f2(r.total.latency.quantileNs(0.95) / 1e6),
+            bench::f2(r.total.latency.quantileNs(0.99) / 1e6),
+            bench::f2(r.setupMeanNs / 1e3),
+            bench::f2(r.solveMeanNs / 1e3),
+            std::to_string(r.cacheHits) + "/" +
+                std::to_string(r.cacheMisses)};
+        if (r.routerMode) {
+            std::string routed;
+            for (const auto &[addr, count] : r.backendRouted) {
+                if (!routed.empty())
+                    routed += "/";
+                routed += std::to_string(count);
+            }
+            row.push_back(routed);
+            const std::uint64_t total =
+                r.affinityHits + r.affinityMisses;
+            row.push_back(
+                total == 0 ? "-"
+                           : bench::f1(100.0 * r.affinityHits /
+                                       static_cast<double>(total)));
+        }
+        t.addRow(row);
         rounds.push_back(std::move(r));
     }
 
@@ -652,6 +813,25 @@ main(int argc, char **argv)
         w.u("host_solve_mean_ns", r.solveMeanNs);
         w.u("program_cache_hits", r.cacheHits);
         w.u("program_cache_misses", r.cacheMisses);
+        if (r.routerMode) {
+            w.u("router_backends", r.backendRouted.size());
+            for (std::size_t i = 0; i < r.backendRouted.size(); ++i)
+                w.u("backend_" + std::to_string(i) + "_routed",
+                    r.backendRouted[i].second);
+            w.u("affinity_hits", r.affinityHits);
+            w.u("affinity_misses", r.affinityMisses);
+            const std::uint64_t total =
+                r.affinityHits + r.affinityMisses;
+            w.num("affinity_ratio",
+                  stats::fixed(total == 0
+                                   ? 0.0
+                                   : static_cast<double>(
+                                         r.affinityHits) /
+                                         static_cast<double>(total),
+                               4));
+            w.u("router_retried", r.routerRetried);
+            w.u("router_ejections", r.routerEjections);
+        }
         if (config.schedule.enabled()) {
             w.u("fault_resets", r.faults.resets);
             w.u("fault_splits", r.faults.splits);

@@ -97,6 +97,17 @@ Flags::opt(const std::string &name, std::string *target,
 }
 
 Flags &
+Flags::opt(const std::string &name,
+           std::vector<std::string> *target,
+           const std::string &help)
+{
+    return add({name, "S", help, [target](const std::string &v) {
+                    target->push_back(v);
+                    return std::string();
+                }});
+}
+
+Flags &
 Flags::flag(const std::string &name, bool *target,
             const std::string &help)
 {

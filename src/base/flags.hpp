@@ -45,6 +45,11 @@ class Flags
                const std::string &help);
     Flags &opt(const std::string &name, std::string *target,
                const std::string &help);
+    /** Repeatable: every occurrence appends its value, so
+     *  `--backend a:1 --backend b:2` collects {"a:1", "b:2"}. */
+    Flags &opt(const std::string &name,
+               std::vector<std::string> *target,
+               const std::string &help);
     /// @}
 
     /** Boolean switch (no value). */

@@ -117,6 +117,10 @@ PsiServer::start(std::string *error)
     int one = 1;
     ::setsockopt(_listenFd, SOL_SOCKET, SO_REUSEADDR, &one,
                  sizeof(one));
+    if (_config.reusePort &&
+        ::setsockopt(_listenFd, SOL_SOCKET, SO_REUSEPORT, &one,
+                     sizeof(one)) != 0)
+        return fail("setsockopt(SO_REUSEPORT)");
 
     sockaddr_in addr{};
     addr.sin_family = AF_INET;

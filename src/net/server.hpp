@@ -68,6 +68,10 @@ class PsiServer
         /** A connection buffering more reply bytes than this is a
          *  slow consumer and gets dropped. */
         std::size_t maxWriteBuffer = 8u << 20;
+        /** Opt into SO_REUSEPORT on the listener so several server
+         *  processes (or future multi-reactor routers) can share one
+         *  port, kernel-balancing accepts between them. */
+        bool reusePort = false;
     };
 
     PsiServer();

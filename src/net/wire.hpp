@@ -80,6 +80,11 @@ constexpr std::uint32_t kProtocolMajor = 2;
 constexpr std::uint32_t kProtocolMinor = 0;
 constexpr std::uint64_t kFeatureTrace = 1u << 0;   ///< TRACE msgs
 constexpr std::uint64_t kFeatureMetrics = 1u << 1; ///< METRICS msgs
+/** Peer is a psirouter (forwarding frames for a cluster), not an
+ *  engine-owning server.  Advertised only by routers - deliberately
+ *  NOT part of kSupportedFeatures, so a plain PsiServer's HELLO_ACK
+ *  never carries it and a client can tell the two tiers apart. */
+constexpr std::uint64_t kFeatureRouting = 1u << 2;
 constexpr std::uint64_t kSupportedFeatures =
     kFeatureTrace | kFeatureMetrics;
 /// @}

@@ -1,6 +1,10 @@
 #include "programs/registry.hpp"
 
+#include <cstdint>
+#include <set>
+
 #include "base/logging.hpp"
+#include "kl0/compiled_program.hpp"
 
 namespace psi {
 namespace programs {
@@ -80,6 +84,15 @@ resolveProgramsOrAll(const std::vector<std::string> &ids)
     for (const auto &id : ids)
         out.push_back(programById(id));
     return out;
+}
+
+std::size_t
+distinctSourceCount()
+{
+    std::set<std::uint64_t> hashes;
+    for (const auto &p : allPrograms())
+        hashes.insert(kl0::CompiledProgram::hashSource(p.source));
+    return hashes.size();
 }
 
 std::vector<BenchProgram>

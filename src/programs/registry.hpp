@@ -68,6 +68,14 @@ std::string programIdList();
 std::vector<BenchProgram>
 resolveProgramsOrAll(const std::vector<std::string> &ids);
 
+/**
+ * Number of distinct program *sources* in the registry (several
+ * workload ids share one source, e.g. the window-1..3 variants).
+ * This is the cluster-wide compile count a perfectly shard-affine
+ * router achieves: each source compiled on exactly one backend.
+ */
+std::size_t distinctSourceCount();
+
 /** The KL0 library predicates (append, member, length, ...). */
 const char *librarySource();
 

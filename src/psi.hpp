@@ -35,6 +35,8 @@
 #include "micro/sequencer.hpp"
 #include "net/net.hpp"
 #include "programs/registry.hpp"
+#include "router/hash_ring.hpp"
+#include "router/router.hpp"
 #include "service/service.hpp"
 #include "system.hpp"
 #include "tools/collect.hpp"

@@ -1,0 +1,93 @@
+#include "router/hash_ring.hpp"
+
+#include "base/backoff.hpp"
+
+namespace psi {
+namespace router {
+
+namespace {
+
+/**
+ * The ring position of a key.  Keys are already 64-bit content
+ * hashes, but one more SplitMix64 step decorrelates them from the
+ * node-point streams (which draw from the same generator family).
+ */
+std::uint64_t
+keyPoint(std::uint64_t key)
+{
+    return SplitMix64(key).next();
+}
+
+} // namespace
+
+HashRing::HashRing(unsigned vnodes)
+    : _vnodes(vnodes == 0 ? 1 : vnodes)
+{}
+
+void
+HashRing::add(std::uint32_t node)
+{
+    if (!_nodes.insert(node).second)
+        return;
+    // One deterministic point stream per node: membership alone
+    // decides the layout, so every router instance (and a restarted
+    // one) agrees on key ownership.
+    SplitMix64 rng(0x9517'0cb7'0000'0000ull ^
+                   (static_cast<std::uint64_t>(node) + 1));
+    for (unsigned i = 0; i < _vnodes; ++i)
+        _points.emplace(rng.next(), node);
+}
+
+void
+HashRing::remove(std::uint32_t node)
+{
+    if (_nodes.erase(node) == 0)
+        return;
+    for (auto it = _points.begin(); it != _points.end();) {
+        if (it->second == node)
+            it = _points.erase(it);
+        else
+            ++it;
+    }
+}
+
+bool
+HashRing::contains(std::uint32_t node) const
+{
+    return _nodes.count(node) != 0;
+}
+
+std::optional<std::uint32_t>
+HashRing::owner(std::uint64_t key) const
+{
+    if (_points.empty())
+        return std::nullopt;
+    auto it = _points.lower_bound(keyPoint(key));
+    if (it == _points.end())
+        it = _points.begin(); // wrap around
+    return it->second;
+}
+
+std::vector<std::uint32_t>
+HashRing::preference(std::uint64_t key, std::size_t n) const
+{
+    std::vector<std::uint32_t> out;
+    if (_points.empty() || n == 0)
+        return out;
+    n = std::min(n, _nodes.size());
+    std::set<std::uint32_t> seen;
+    auto it = _points.lower_bound(keyPoint(key));
+    // At most one full lap: every node appears within one circuit.
+    for (std::size_t steps = 0;
+         steps < _points.size() && out.size() < n; ++steps) {
+        if (it == _points.end())
+            it = _points.begin();
+        if (seen.insert(it->second).second)
+            out.push_back(it->second);
+        ++it;
+    }
+    return out;
+}
+
+} // namespace router
+} // namespace psi

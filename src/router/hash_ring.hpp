@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Consistent-hash ring for psirouter's cache-affinity sharding.
+ *
+ * Keys are program source-content hashes (the ProgramCache key, see
+ * kl0::CompiledProgram::hashSource), nodes are backend indices.  Each
+ * node is planted at `vnodes` pseudo-random points on a 64-bit ring
+ * (a seeded SplitMix64 stream per node, so the layout is a pure
+ * function of the membership set); a key is owned by the first node
+ * point at or clockwise after the key's own ring position.
+ *
+ * The two properties the router is built on, pinned by
+ * tests/test_router.cpp:
+ *
+ *  - balance: with enough virtual nodes the key space splits evenly
+ *    (the per-node share concentrates around 1/N), so backend caches
+ *    and warm engines each serve a stable, comparably sized shard;
+ *  - minimal remap: removing (or re-adding) one node moves only the
+ *    keys that node owned - roughly 1/N of them - and every other
+ *    key keeps its owner, so a backend failure does not flush the
+ *    other backends' compiled-image caches.
+ */
+
+#ifndef PSI_ROUTER_HASH_RING_HPP
+#define PSI_ROUTER_HASH_RING_HPP
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+namespace psi {
+namespace router {
+
+/** Consistent-hash ring: u64 keys onto u32 node ids. */
+class HashRing
+{
+  public:
+    /** @param vnodes ring points planted per node (balance knob). */
+    explicit HashRing(unsigned vnodes = 128);
+
+    /** Plant @p node on the ring (no-op when present). */
+    void add(std::uint32_t node);
+
+    /** Remove @p node and all its ring points (no-op when absent). */
+    void remove(std::uint32_t node);
+
+    bool contains(std::uint32_t node) const;
+
+    /** Number of member nodes (not ring points). */
+    std::size_t size() const { return _nodes.size(); }
+
+    bool empty() const { return _nodes.empty(); }
+
+    /** Owner of @p key; nullopt when the ring is empty. */
+    std::optional<std::uint32_t> owner(std::uint64_t key) const;
+
+    /**
+     * Up to @p n distinct nodes in ring order starting at the owner
+     * of @p key: element 0 is the owner, element 1 the failover
+     * successor, and so on.
+     */
+    std::vector<std::uint32_t> preference(std::uint64_t key,
+                                          std::size_t n) const;
+
+  private:
+    unsigned _vnodes;
+    std::map<std::uint64_t, std::uint32_t> _points;
+    std::set<std::uint32_t> _nodes;
+};
+
+} // namespace router
+} // namespace psi
+
+#endif // PSI_ROUTER_HASH_RING_HPP

@@ -1,0 +1,1281 @@
+#include "router/router.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <sstream>
+
+#include "base/json.hpp"
+#include "base/logging.hpp"
+#include "base/trace.hpp"
+#include "kl0/compiled_program.hpp"
+#include "programs/registry.hpp"
+
+namespace psi {
+namespace router {
+
+namespace {
+
+/** Target of the SIGINT/SIGTERM drain handler. */
+std::atomic<PsiRouter *> g_signalRouter{nullptr};
+
+extern "C" void
+routerDrainSignalHandler(int)
+{
+    if (PsiRouter *router = g_signalRouter.load())
+        router->requestDrain();
+}
+
+bool
+setNonBlocking(int fd)
+{
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    return flags >= 0 &&
+           ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+void
+closeFd(int &fd)
+{
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+}
+
+std::uint64_t
+nsSince(std::chrono::steady_clock::time_point from)
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - from)
+            .count());
+}
+
+} // namespace
+
+// --------------------------------------------------------------------
+// BackendAddr
+
+std::optional<BackendAddr>
+BackendAddr::parse(const std::string &spec, std::string *error)
+{
+    auto fail = [&](const std::string &why) {
+        if (error)
+            *error = "bad backend '" + spec + "': " + why;
+        return std::nullopt;
+    };
+
+    BackendAddr addr;
+    std::string portPart;
+    std::size_t colon = spec.rfind(':');
+    if (colon == std::string::npos) {
+        portPart = spec; // bare port, loopback host
+    } else {
+        if (colon > 0)
+            addr.host = spec.substr(0, colon);
+        portPart = spec.substr(colon + 1);
+    }
+    if (portPart.empty())
+        return fail("missing port");
+    unsigned long port = 0;
+    for (char c : portPart) {
+        if (c < '0' || c > '9')
+            return fail("port is not a number");
+        port = port * 10 + static_cast<unsigned long>(c - '0');
+        if (port > 65535)
+            return fail("port out of range");
+    }
+    if (port == 0)
+        return fail("port out of range");
+    addr.port = static_cast<std::uint16_t>(port);
+    return addr;
+}
+
+std::string
+BackendAddr::str() const
+{
+    return host + ":" + std::to_string(port);
+}
+
+// --------------------------------------------------------------------
+// RouterMetrics
+
+double
+RouterMetrics::affinityRatio() const
+{
+    std::uint64_t total = affinityHits + affinityMisses;
+    return total == 0
+        ? 1.0
+        : static_cast<double>(affinityHits) /
+              static_cast<double>(total);
+}
+
+Table
+RouterMetrics::table() const
+{
+    Table t("psirouter backends");
+    t.setHeader({"backend", "state", "routed", "completed",
+                 "retried", "refusals", "ejections"});
+    for (const Backend &b : backends)
+        t.addRow({b.addr, b.admitted ? "admitted" : "ejected",
+                  std::to_string(b.routed),
+                  std::to_string(b.completed),
+                  std::to_string(b.retried),
+                  std::to_string(b.refusals),
+                  std::to_string(b.ejections)});
+    return t;
+}
+
+std::string
+RouterMetrics::json(std::uint64_t wall_ns) const
+{
+    JsonWriter w;
+    w.s("role", "router");
+    w.u("backends", backends.size());
+    std::uint64_t admitted = 0;
+    for (const Backend &b : backends)
+        admitted += b.admitted ? 1 : 0;
+    w.u("backends_admitted", admitted);
+    w.u("client_conns", clientConns);
+    w.u("submits", submits);
+    w.u("affinity_hits", affinityHits);
+    w.u("affinity_misses", affinityMisses);
+    w.f("affinity_ratio", affinityRatio(), 4);
+    w.u("unknown_workload", unknownWorkload);
+    w.u("no_backend", noBackend);
+    w.u("router_timeouts", routerTimeouts);
+    w.u("stale_dropped", staleDropped);
+    w.u("client_gone", clientGone);
+    for (std::size_t i = 0; i < backends.size(); ++i) {
+        const Backend &b = backends[i];
+        const std::string p = "backend_" + std::to_string(i) + "_";
+        w.s(p + "addr", b.addr);
+        w.u(p + "admitted", b.admitted ? 1 : 0);
+        w.u(p + "routed", b.routed);
+        w.u(p + "completed", b.completed);
+        w.u(p + "retried", b.retried);
+        w.u(p + "refusals", b.refusals);
+        w.u(p + "ejections", b.ejections);
+    }
+    w.u("wall_ns", wall_ns);
+    return w.str();
+}
+
+std::string
+RouterMetrics::prometheus(std::uint64_t wall_ns) const
+{
+    std::ostringstream os;
+    auto counter = [&os](const char *name, std::uint64_t v) {
+        os << "# TYPE " << name << " counter\n"
+           << name << ' ' << v << '\n';
+    };
+    auto family = [&](const char *name, const char *kind,
+                      auto pick) {
+        os << "# TYPE " << name << ' ' << kind << '\n';
+        for (const Backend &b : backends)
+            os << name << "{backend=\"" << b.addr << "\"} "
+               << pick(b) << '\n';
+    };
+
+    os << "# TYPE psi_router_backends gauge\n"
+       << "psi_router_backends " << backends.size() << '\n';
+    family("psi_router_backend_admitted", "gauge",
+           [](const Backend &b) { return b.admitted ? 1 : 0; });
+    family("psi_router_routed_total", "counter",
+           [](const Backend &b) { return b.routed; });
+    family("psi_router_completed_total", "counter",
+           [](const Backend &b) { return b.completed; });
+    family("psi_router_retried_total", "counter",
+           [](const Backend &b) { return b.retried; });
+    family("psi_router_refusals_total", "counter",
+           [](const Backend &b) { return b.refusals; });
+    family("psi_router_ejections_total", "counter",
+           [](const Backend &b) { return b.ejections; });
+
+    counter("psi_router_client_conns_total", clientConns);
+    counter("psi_router_submits_total", submits);
+    counter("psi_router_affinity_hits_total", affinityHits);
+    counter("psi_router_affinity_misses_total", affinityMisses);
+    os << "# TYPE psi_router_affinity_ratio gauge\n"
+       << "psi_router_affinity_ratio ";
+    {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.4f", affinityRatio());
+        os << buf << '\n';
+    }
+    counter("psi_router_unknown_workload_total", unknownWorkload);
+    counter("psi_router_no_backend_total", noBackend);
+    counter("psi_router_timeouts_total", routerTimeouts);
+    counter("psi_router_stale_dropped_total", staleDropped);
+    counter("psi_router_client_gone_total", clientGone);
+    os << "# TYPE psi_router_uptime_seconds counter\n"
+       << "psi_router_uptime_seconds "
+       << static_cast<double>(wall_ns) / 1e9 << '\n';
+    return os.str();
+}
+
+// --------------------------------------------------------------------
+// PsiRouter
+
+PsiRouter::PsiRouter() : PsiRouter(Config()) {}
+
+PsiRouter::PsiRouter(const Config &config)
+    : _config(config),
+      _ring(config.vnodes),
+      _fullRing(config.vnodes),
+      _started(Clock::now())
+{
+    for (std::size_t i = 0; i < _config.backends.size(); ++i) {
+        auto backend = std::make_unique<Backend>();
+        backend->addr = _config.backends[i];
+        backend->index = static_cast<std::uint32_t>(i);
+        Backoff::Config bc = _config.readmission;
+        // Distinct jitter stream per backend so simultaneous deaths
+        // don't redial in lockstep.
+        bc.seed = SplitMix64(bc.seed ^ (i + 1)).next();
+        backend->backoff = Backoff(bc);
+        _backends.push_back(std::move(backend));
+        // The full ring never changes: it defines each key's *home*
+        // backend for affinity accounting even while members are
+        // ejected.
+        _fullRing.add(static_cast<std::uint32_t>(i));
+    }
+}
+
+PsiRouter::~PsiRouter()
+{
+    if (g_signalRouter.load() == this)
+        g_signalRouter.store(nullptr);
+    for (auto &entry : _conns)
+        closeFd(entry.second.fd);
+    for (auto &backend : _backends)
+        closeFd(backend->fd);
+    closeFd(_listenFd);
+    closeFd(_wakeRead);
+    closeFd(_wakeWrite);
+}
+
+bool
+PsiRouter::start(std::string *error)
+{
+    auto fail = [&](const std::string &what) {
+        if (error)
+            *error = what + ": " + std::strerror(errno);
+        closeFd(_listenFd);
+        closeFd(_wakeRead);
+        closeFd(_wakeWrite);
+        return false;
+    };
+
+    if (_backends.empty()) {
+        if (error)
+            *error = "no backends configured";
+        return false;
+    }
+
+    int pipefds[2];
+    if (::pipe(pipefds) != 0)
+        return fail("pipe");
+    _wakeRead = pipefds[0];
+    _wakeWrite = pipefds[1];
+    if (!setNonBlocking(_wakeRead) || !setNonBlocking(_wakeWrite))
+        return fail("fcntl(wake pipe)");
+
+    _listenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (_listenFd < 0)
+        return fail("socket");
+    int one = 1;
+    ::setsockopt(_listenFd, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+    if (_config.reusePort)
+        ::setsockopt(_listenFd, SOL_SOCKET, SO_REUSEPORT, &one,
+                     sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(_config.port);
+    if (::inet_pton(AF_INET, _config.bindAddr.c_str(),
+                    &addr.sin_addr) != 1) {
+        if (error)
+            *error = "bad bind address '" + _config.bindAddr + "'";
+        closeFd(_listenFd);
+        closeFd(_wakeRead);
+        closeFd(_wakeWrite);
+        return false;
+    }
+    if (::bind(_listenFd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0)
+        return fail("bind " + _config.bindAddr + ":" +
+                    std::to_string(_config.port));
+    if (::listen(_listenFd, 128) != 0)
+        return fail("listen");
+    if (!setNonBlocking(_listenFd))
+        return fail("fcntl(listener)");
+
+    socklen_t len = sizeof(addr);
+    if (::getsockname(_listenFd, reinterpret_cast<sockaddr *>(&addr),
+                      &len) != 0)
+        return fail("getsockname");
+    _port = ntohs(addr.sin_port);
+
+    // Dial every backend eagerly so the first SUBMIT usually finds a
+    // populated ring; admission completes inside run()'s poll loop.
+    for (auto &backend : _backends)
+        startConnect(*backend);
+    return true;
+}
+
+void
+PsiRouter::requestDrain()
+{
+    _drain.store(true, std::memory_order_release);
+    // Wake the poll loop; write(2) is async-signal-safe and the pipe
+    // is non-blocking, so this is safe inside a signal handler.
+    if (_wakeWrite >= 0) {
+        char byte = 'd';
+        [[maybe_unused]] ssize_t n = ::write(_wakeWrite, &byte, 1);
+    }
+}
+
+void
+PsiRouter::installSignalHandlers()
+{
+    g_signalRouter.store(this);
+    struct sigaction sa{};
+    sa.sa_handler = routerDrainSignalHandler;
+    sigemptyset(&sa.sa_mask);
+    ::sigaction(SIGINT, &sa, nullptr);
+    ::sigaction(SIGTERM, &sa, nullptr);
+}
+
+void
+PsiRouter::run()
+{
+    PSI_ASSERT(_listenFd >= 0, "PsiRouter::run() before start()");
+    while (!drainComplete())
+        pollOnce();
+
+    closeFd(_listenFd);
+    for (auto &entry : _conns)
+        closeFd(entry.second.fd);
+    _conns.clear();
+    for (auto &backend : _backends) {
+        closeFd(backend->fd);
+        backend->state.store(BState::Ejected,
+                             std::memory_order_release);
+    }
+}
+
+bool
+PsiRouter::drainComplete() const
+{
+    if (!_drain.load(std::memory_order_acquire))
+        return false;
+    // Every accepted request must be answered before exit; the
+    // backends still owe us _pending RESULTs.
+    if (!_pending.empty())
+        return false;
+    for (const auto &entry : _conns) {
+        const Conn &conn = entry.second;
+        if (conn.woff < conn.wbuf.size())
+            return false;
+    }
+    return true;
+}
+
+int
+PsiRouter::pollTimeoutMs() const
+{
+    Clock::time_point next = Clock::now() + std::chrono::seconds(1);
+    for (const auto &backend : _backends) {
+        switch (backend->state.load(std::memory_order_relaxed)) {
+          case BState::Ejected:
+            next = std::min(next, backend->nextProbeAt);
+            break;
+          case BState::Connecting:
+            next = std::min(
+                next, backend->connectStartAt +
+                          std::chrono::nanoseconds(
+                              _config.connectTimeoutNs));
+            break;
+          case BState::Admitted:
+            next = std::min(
+                next, backend->probeOutstanding
+                          ? backend->probeSentAt +
+                                std::chrono::nanoseconds(
+                                    _config.probeTimeoutNs)
+                          : backend->nextProbeAt);
+            break;
+        }
+    }
+    Clock::time_point now = Clock::now();
+    if (next <= now)
+        return 0;
+    auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                  next - now)
+                  .count();
+    return static_cast<int>(std::min<long long>(ms + 1, 1000));
+}
+
+void
+PsiRouter::pollOnce()
+{
+    bool draining = _drain.load(std::memory_order_acquire);
+    if (draining)
+        closeFd(_listenFd); // stop accepting; run() owns the exit
+
+    serviceBackendTimers();
+
+    std::vector<pollfd> fds;
+    fds.reserve(_conns.size() + _backends.size() + 2);
+    fds.push_back({_wakeRead, POLLIN, 0});
+    std::size_t listenerSlot = 0;
+    if (!draining && _listenFd >= 0) {
+        listenerSlot = fds.size();
+        fds.push_back({_listenFd, POLLIN, 0});
+    }
+
+    std::size_t backendBase = fds.size();
+    std::vector<std::uint32_t> backendOrder;
+    for (auto &backend : _backends) {
+        BState state =
+            backend->state.load(std::memory_order_relaxed);
+        if (backend->fd < 0 || state == BState::Ejected)
+            continue;
+        short events = 0;
+        if (state == BState::Connecting) {
+            events = POLLOUT;
+        } else {
+            events = POLLIN;
+            if (backend->woff < backend->wbuf.size())
+                events |= POLLOUT;
+        }
+        fds.push_back({backend->fd, events, 0});
+        backendOrder.push_back(backend->index);
+    }
+
+    std::size_t connBase = fds.size();
+    std::vector<std::uint64_t> order;
+    order.reserve(_conns.size());
+    for (auto &entry : _conns) {
+        Conn &conn = entry.second;
+        short events = POLLIN;
+        if (conn.woff < conn.wbuf.size())
+            events |= POLLOUT;
+        fds.push_back({conn.fd, events, 0});
+        order.push_back(conn.id);
+    }
+
+    int ready = ::poll(fds.data(), fds.size(), pollTimeoutMs());
+    if (ready < 0) {
+        if (errno == EINTR)
+            return;
+        panic("router poll failed: ", std::strerror(errno));
+    }
+
+    if (fds[0].revents & POLLIN)
+        drainWakePipe();
+    if (!draining && _listenFd >= 0 &&
+        (fds[listenerSlot].revents & POLLIN))
+        acceptConnections();
+
+    for (std::size_t i = 0; i < backendOrder.size(); ++i) {
+        Backend &backend = *_backends[backendOrder[i]];
+        short revents = fds[backendBase + i].revents;
+        if (revents == 0)
+            continue;
+        BState state =
+            backend.state.load(std::memory_order_relaxed);
+        if (state == BState::Connecting) {
+            if (revents & (POLLOUT | POLLERR | POLLHUP))
+                finishConnect(backend);
+            continue;
+        }
+        if (state != BState::Admitted || backend.fd < 0)
+            continue; // ejected earlier in this pass
+        bool ok = true;
+        if (revents & (POLLERR | POLLNVAL))
+            ok = false;
+        if (ok && (revents & (POLLIN | POLLHUP)))
+            ok = handleBackendReadable(backend);
+        if (ok && (revents & POLLOUT))
+            ok = flushBackend(backend);
+        if (!ok &&
+            backend.state.load(std::memory_order_relaxed) ==
+                BState::Admitted)
+            eject(backend, "connection lost");
+    }
+
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        auto it = _conns.find(order[i]);
+        if (it == _conns.end())
+            continue;
+        Conn &conn = it->second;
+        short revents = fds[connBase + i].revents;
+        bool ok = true;
+        if (revents & (POLLERR | POLLHUP | POLLNVAL))
+            ok = (revents & POLLIN) != 0; // drain final bytes first
+        if (ok && (revents & POLLIN))
+            ok = handleClientReadable(conn);
+        if (ok && (revents & POLLOUT))
+            ok = flushConn(conn);
+        if (!ok)
+            _closing.push_back(conn.id);
+    }
+
+    for (std::uint64_t id : _closing)
+        closeConn(id);
+    _closing.clear();
+}
+
+void
+PsiRouter::acceptConnections()
+{
+    for (;;) {
+        int fd = ::accept(_listenFd, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EAGAIN || errno == EWOULDBLOCK ||
+                errno == EINTR)
+                return;
+            warn("psirouter: accept failed: ",
+                 std::strerror(errno));
+            return;
+        }
+        if (!setNonBlocking(fd)) {
+            ::close(fd);
+            continue;
+        }
+        int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
+                     sizeof(one));
+
+        Conn conn;
+        conn.fd = fd;
+        conn.id = _nextConnId++;
+        _conns.emplace(conn.id, std::move(conn));
+        _clientConns.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+bool
+PsiRouter::handleClientReadable(Conn &conn)
+{
+    char chunk[64 * 1024];
+    for (;;) {
+        ssize_t n = ::recv(conn.fd, chunk, sizeof(chunk), 0);
+        if (n > 0) {
+            conn.rbuf.append(chunk, static_cast<std::size_t>(n));
+            if (n < static_cast<ssize_t>(sizeof(chunk)))
+                break;
+            continue;
+        }
+        if (n == 0)
+            return false; // peer closed
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            break;
+        if (errno == EINTR)
+            continue;
+        return false;
+    }
+
+    std::string payload;
+    for (;;) {
+        switch (net::extractFrame(conn.rbuf, payload)) {
+          case net::FrameResult::NeedMore:
+            return true;
+          case net::FrameResult::Bad:
+            warn("psirouter: dropping client ", conn.id,
+                 " (oversized or empty frame)");
+            return false;
+          case net::FrameResult::Frame:
+            break;
+        }
+        std::string derror;
+        std::optional<net::Message> msg =
+            net::decode(payload, &derror);
+        if (!msg) {
+            warn("psirouter: dropping client ", conn.id, " (",
+                 derror, ")");
+            return false;
+        }
+        if (!handleClientMessage(conn, std::move(*msg)))
+            return false;
+    }
+}
+
+bool
+PsiRouter::handleClientMessage(Conn &conn, net::Message &&msg)
+{
+    if (auto *submit = std::get_if<net::SubmitMsg>(&msg)) {
+        handleSubmit(conn, std::move(*submit));
+        return true;
+    }
+    if (auto *hello = std::get_if<net::HelloMsg>(&msg)) {
+        if (hello->versionMajor == 1 ||
+            hello->versionMajor == net::kProtocolMajor) {
+            net::HelloAckMsg ack;
+            ack.versionMajor = net::kProtocolMajor;
+            ack.versionMinor = net::kProtocolMinor;
+            // The router answers with kFeatureRouting on top of the
+            // plain-server feature set: a client that offered the
+            // bit can tell a router from a backend by the ack.
+            ack.features = hello->features &
+                           (net::kSupportedFeatures |
+                            net::kFeatureRouting);
+            queueReply(conn, net::Message(std::move(ack)));
+            return flushConn(conn);
+        }
+        net::ErrorMsg err;
+        err.code = net::kErrUnsupportedVersion;
+        err.message =
+            "unsupported protocol major " +
+            std::to_string(hello->versionMajor) +
+            "; router speaks " +
+            std::to_string(net::kProtocolMajor) +
+            " (and accepts 1)";
+        queueReply(conn, net::Message(std::move(err)));
+        flushConn(conn);
+        return false;
+    }
+    if (std::get_if<net::StatsMsg>(&msg) != nullptr) {
+        net::StatsReplyMsg reply;
+        reply.json = metrics().json(nsSince(_started));
+        queueReply(conn, net::Message(std::move(reply)));
+        return flushConn(conn);
+    }
+    if (std::get_if<net::MetricsMsg>(&msg) != nullptr) {
+        net::MetricsReplyMsg reply;
+        reply.text = metrics().prometheus(nsSince(_started));
+        queueReply(conn, net::Message(std::move(reply)));
+        return flushConn(conn);
+    }
+    if (std::get_if<net::TraceMsg>(&msg) != nullptr) {
+        net::TraceReplyMsg reply;
+        reply.json = trace::chromeJson(trace::collect());
+        queueReply(conn, net::Message(std::move(reply)));
+        return flushConn(conn);
+    }
+    if (std::get_if<net::DrainMsg>(&msg) != nullptr) {
+        requestDrain();
+        queueReply(conn, net::Message(net::DrainAckMsg{}));
+        return flushConn(conn);
+    }
+    warn("psirouter: dropping client ", conn.id,
+         " (unexpected message type ",
+         static_cast<int>(net::messageType(msg)), ")");
+    return false;
+}
+
+void
+PsiRouter::handleSubmit(Conn &conn, net::SubmitMsg &&msg)
+{
+    auto refuse = [&](net::WireStatus status, std::string why) {
+        net::ResultMsg reply;
+        reply.tag = msg.tag;
+        reply.status = status;
+        reply.error = std::move(why);
+        queueReply(conn, net::Message(std::move(reply)));
+        flushConn(conn);
+    };
+
+    if (_drain.load(std::memory_order_acquire)) {
+        refuse(net::WireStatus::Draining, "router is draining");
+        return;
+    }
+
+    _submits.fetch_add(1, std::memory_order_relaxed);
+
+    // Workload resolution happens here, not just on the backend: the
+    // routing key is the program's *source-content* hash (the
+    // ProgramCache key), so every alias of the same source rides the
+    // same shard.
+    const programs::BenchProgram *program =
+        programs::findProgramById(msg.workload);
+    if (program == nullptr) {
+        _unknownWorkload.fetch_add(1, std::memory_order_relaxed);
+        refuse(net::WireStatus::UnknownWorkload,
+               "unknown workload '" + msg.workload +
+                   "'; available: " + programs::programIdList());
+        return;
+    }
+
+    Pending pending;
+    pending.clientConnId = conn.id;
+    pending.clientTag = msg.tag;
+    pending.workload = std::move(msg.workload);
+    pending.key = kl0::CompiledProgram::hashSource(program->source);
+    if (msg.deadlineNs != 0) {
+        pending.hasDeadline = true;
+        pending.deadlineAt =
+            Clock::now() + std::chrono::nanoseconds(msg.deadlineNs);
+    }
+
+    std::optional<std::uint32_t> target = _ring.owner(pending.key);
+    if (!target) {
+        _noBackend.fetch_add(1, std::memory_order_relaxed);
+        refuse(net::WireStatus::Overloaded,
+               "no backends available; retry later");
+        return;
+    }
+    forwardToBackend(*target, std::move(pending));
+}
+
+void
+PsiRouter::forwardToBackend(std::uint32_t target, Pending &&pending)
+{
+    Backend &backend = *_backends[target];
+    std::uint64_t remainNs = 0;
+    if (pending.hasDeadline) {
+        remainNs = nsBetween(Clock::now(), pending.deadlineAt);
+        if (remainNs == 0) {
+            _routerTimeouts.fetch_add(1,
+                                      std::memory_order_relaxed);
+            refuseClient(pending, net::WireStatus::Timeout,
+                         "deadline expired at router");
+            return;
+        }
+    }
+
+    // Affinity is judged against the *full* ring: a forward counts
+    // as a hit only when it reaches the key's home backend, so
+    // ejection diverts and refusal failovers show up as misses.
+    if (!pending.isRetry) {
+        auto home = _fullRing.owner(pending.key);
+        if (home && *home == target)
+            _affinityHits.fetch_add(1, std::memory_order_relaxed);
+        else
+            _affinityMisses.fetch_add(1,
+                                      std::memory_order_relaxed);
+        backend.routed.fetch_add(1, std::memory_order_relaxed);
+    } else {
+        backend.retried.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    // A fresh router tag per attempt is what makes failover
+    // exactly-once: a RESULT from a superseded attempt no longer
+    // matches any pending entry and is dropped as stale.
+    std::uint64_t routerTag = _nextRouterTag++;
+    pending.backend = target;
+    if (pending.tried.empty() || pending.tried.back() != target)
+        pending.tried.push_back(target);
+    backend.outstanding.insert(routerTag);
+
+    net::SubmitMsg fwd;
+    fwd.tag = routerTag;
+    fwd.workload = pending.workload;
+    fwd.deadlineNs = remainNs;
+    _pending.emplace(routerTag, std::move(pending));
+
+    queueToBackend(backend, net::Message(std::move(fwd)));
+    if (!flushBackend(backend))
+        eject(backend, "send failed");
+}
+
+void
+PsiRouter::respondToClient(const Pending &pending,
+                           net::ResultMsg msg)
+{
+    auto it = _conns.find(pending.clientConnId);
+    if (it == _conns.end()) {
+        _clientGone.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    msg.tag = pending.clientTag;
+    queueReply(it->second, net::Message(std::move(msg)));
+    if (!flushConn(it->second))
+        _closing.push_back(pending.clientConnId);
+}
+
+void
+PsiRouter::refuseClient(const Pending &pending,
+                        net::WireStatus status, std::string why)
+{
+    net::ResultMsg msg;
+    msg.status = status;
+    msg.error = std::move(why);
+    respondToClient(pending, std::move(msg));
+}
+
+void
+PsiRouter::queueReply(Conn &conn, const net::Message &msg)
+{
+    conn.wbuf.append(net::encode(msg));
+    if (conn.wbuf.size() - conn.woff > _config.maxWriteBuffer) {
+        warn("psirouter: dropping slow consumer connection ",
+             conn.id);
+        _closing.push_back(conn.id);
+    }
+}
+
+bool
+PsiRouter::flushConn(Conn &conn)
+{
+    while (conn.woff < conn.wbuf.size()) {
+        ssize_t n = ::send(conn.fd, conn.wbuf.data() + conn.woff,
+                           conn.wbuf.size() - conn.woff,
+                           MSG_NOSIGNAL);
+        if (n > 0) {
+            conn.woff += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            break;
+        if (errno == EINTR)
+            continue;
+        return false;
+    }
+    if (conn.woff == conn.wbuf.size()) {
+        conn.wbuf.clear();
+        conn.woff = 0;
+    } else if (conn.woff > (1u << 20)) {
+        conn.wbuf.erase(0, conn.woff);
+        conn.woff = 0;
+    }
+    return true;
+}
+
+void
+PsiRouter::closeConn(std::uint64_t id)
+{
+    auto it = _conns.find(id);
+    if (it == _conns.end())
+        return;
+    closeFd(it->second.fd);
+    _conns.erase(it);
+}
+
+// --------------------------------------------------------------------
+// Backend lifecycle
+
+void
+PsiRouter::serviceBackendTimers()
+{
+    Clock::time_point now = Clock::now();
+    for (auto &entry : _backends) {
+        Backend &backend = *entry;
+        switch (backend.state.load(std::memory_order_relaxed)) {
+          case BState::Ejected:
+            if (now >= backend.nextProbeAt)
+                startConnect(backend);
+            break;
+          case BState::Connecting:
+            if (nsBetween(backend.connectStartAt, now) >
+                _config.connectTimeoutNs) {
+                closeFd(backend.fd);
+                scheduleRedial(backend);
+            }
+            break;
+          case BState::Admitted:
+            if (backend.probeOutstanding) {
+                if (nsBetween(backend.probeSentAt, now) >
+                    _config.probeTimeoutNs) {
+                    backend.probeOutstanding = false;
+                    if (++backend.failures >=
+                        _config.ejectAfterFailures) {
+                        eject(backend, "health probe timeout");
+                        break;
+                    }
+                    // Re-probe immediately: the next timeout (or
+                    // answer) keeps the consecutive count moving.
+                    backend.probeOutstanding = true;
+                    backend.probeSentAt = now;
+                    queueToBackend(backend,
+                                   net::Message(net::StatsMsg{}));
+                    if (!flushBackend(backend))
+                        eject(backend, "probe send failed");
+                }
+            } else if (now >= backend.nextProbeAt) {
+                backend.probeOutstanding = true;
+                backend.probeSentAt = now;
+                queueToBackend(backend,
+                               net::Message(net::StatsMsg{}));
+                if (!flushBackend(backend))
+                    eject(backend, "probe send failed");
+            }
+            break;
+        }
+    }
+}
+
+void
+PsiRouter::startConnect(Backend &backend)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        scheduleRedial(backend);
+        return;
+    }
+    if (!setNonBlocking(fd)) {
+        ::close(fd);
+        scheduleRedial(backend);
+        return;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(backend.addr.port);
+    if (::inet_pton(AF_INET, backend.addr.host.c_str(),
+                    &addr.sin_addr) != 1) {
+        warn("psirouter: bad backend address '", backend.addr.host,
+             "'");
+        ::close(fd);
+        scheduleRedial(backend);
+        return;
+    }
+
+    backend.fd = fd;
+    int rc = ::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                       sizeof(addr));
+    if (rc == 0) {
+        onBackendConnected(backend);
+        return;
+    }
+    if (errno == EINPROGRESS) {
+        backend.state.store(BState::Connecting,
+                            std::memory_order_release);
+        backend.connectStartAt = Clock::now();
+        return;
+    }
+    closeFd(backend.fd);
+    scheduleRedial(backend);
+}
+
+bool
+PsiRouter::finishConnect(Backend &backend)
+{
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(backend.fd, SOL_SOCKET, SO_ERROR, &err,
+                     &len) != 0 ||
+        err != 0) {
+        closeFd(backend.fd);
+        scheduleRedial(backend);
+        return false;
+    }
+    onBackendConnected(backend);
+    return true;
+}
+
+void
+PsiRouter::onBackendConnected(Backend &backend)
+{
+    backend.state.store(BState::Admitted,
+                        std::memory_order_release);
+    backend.failures = 0;
+    backend.probeOutstanding = false;
+    backend.rbuf.clear();
+    backend.wbuf.clear();
+    backend.woff = 0;
+    backend.backoff.reset();
+    backend.everAdmitted = true;
+    backend.nextProbeAt =
+        Clock::now() +
+        std::chrono::nanoseconds(_config.probeIntervalNs);
+    _ring.add(backend.index);
+    inform("psirouter: backend ", backend.addr.str(),
+           " admitted (", _ring.size(), "/", _backends.size(),
+           " in ring)");
+
+    // Open with our own HELLO: a plain v2 server acks with the
+    // intersection of features; the routing bit we offer is simply
+    // absent from its reply.
+    net::HelloMsg hello;
+    hello.versionMajor = net::kProtocolMajor;
+    hello.versionMinor = net::kProtocolMinor;
+    hello.features = net::kSupportedFeatures |
+                     net::kFeatureRouting;
+    queueToBackend(backend, net::Message(std::move(hello)));
+    if (!flushBackend(backend))
+        eject(backend, "hello send failed");
+}
+
+bool
+PsiRouter::handleBackendReadable(Backend &backend)
+{
+    char chunk[64 * 1024];
+    for (;;) {
+        ssize_t n = ::recv(backend.fd, chunk, sizeof(chunk), 0);
+        if (n > 0) {
+            backend.rbuf.append(chunk,
+                                static_cast<std::size_t>(n));
+            if (n < static_cast<ssize_t>(sizeof(chunk)))
+                break;
+            continue;
+        }
+        if (n == 0)
+            return false; // backend closed
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            break;
+        if (errno == EINTR)
+            continue;
+        return false;
+    }
+
+    std::string payload;
+    for (;;) {
+        switch (net::extractFrame(backend.rbuf, payload)) {
+          case net::FrameResult::NeedMore:
+            return true;
+          case net::FrameResult::Bad:
+            warn("psirouter: backend ", backend.addr.str(),
+                 " sent an oversized or empty frame");
+            return false;
+          case net::FrameResult::Frame:
+            break;
+        }
+        std::string derror;
+        std::optional<net::Message> msg =
+            net::decode(payload, &derror);
+        if (!msg) {
+            warn("psirouter: backend ", backend.addr.str(), ": ",
+                 derror);
+            return false;
+        }
+        if (!handleBackendMessage(backend, std::move(*msg)))
+            return false;
+    }
+}
+
+bool
+PsiRouter::handleBackendMessage(Backend &backend,
+                                net::Message &&msg)
+{
+    // Any frame is proof of life: consecutive-failure counting only
+    // tracks a backend that has gone fully silent.
+    backend.failures = 0;
+
+    if (auto *result = std::get_if<net::ResultMsg>(&msg)) {
+        auto it = _pending.find(result->tag);
+        if (it == _pending.end()) {
+            // A RESULT for a superseded tag: the request was already
+            // failed over (and possibly answered) elsewhere.
+            _staleDropped.fetch_add(1, std::memory_order_relaxed);
+            return true;
+        }
+        Pending pending = std::move(it->second);
+        _pending.erase(it);
+        _backends[pending.backend]->outstanding.erase(result->tag);
+
+        const bool refusal =
+            !result->ran() &&
+            (result->status == net::WireStatus::Overloaded ||
+             result->status == net::WireStatus::Draining);
+        if (refusal) {
+            backend.refusals.fetch_add(1,
+                                       std::memory_order_relaxed);
+            // Try the remaining ring members once each before the
+            // refusal reaches the client.
+            std::vector<std::uint32_t> pref =
+                _ring.preference(pending.key, _ring.size());
+            for (std::uint32_t candidate : pref) {
+                bool tried = false;
+                for (std::uint32_t t : pending.tried)
+                    tried = tried || t == candidate;
+                if (tried)
+                    continue;
+                pending.isRetry = true;
+                forwardToBackend(candidate, std::move(pending));
+                return true;
+            }
+            respondToClient(pending, std::move(*result));
+            return true;
+        }
+
+        backend.completed.fetch_add(1, std::memory_order_relaxed);
+        respondToClient(pending, std::move(*result));
+        return true;
+    }
+    if (std::get_if<net::StatsReplyMsg>(&msg) != nullptr) {
+        backend.probeOutstanding = false;
+        backend.nextProbeAt =
+            Clock::now() +
+            std::chrono::nanoseconds(_config.probeIntervalNs);
+        return true;
+    }
+    if (std::get_if<net::HelloAckMsg>(&msg) != nullptr)
+        return true;
+    if (auto *err = std::get_if<net::ErrorMsg>(&msg)) {
+        warn("psirouter: backend ", backend.addr.str(),
+             " refused us: ", err->message);
+        // A protocol-level refusal will repeat on reconnect; back
+        // off harder than a plain connection loss.
+        backend.backoff.raiseFloor(_config.readmission.maxNs);
+        return false;
+    }
+    if (std::get_if<net::DrainAckMsg>(&msg) != nullptr)
+        return true;
+    warn("psirouter: backend ", backend.addr.str(),
+         " sent unexpected message type ",
+         static_cast<int>(net::messageType(msg)));
+    return false;
+}
+
+void
+PsiRouter::eject(Backend &backend, const std::string &why)
+{
+    if (backend.state.load(std::memory_order_relaxed) ==
+        BState::Admitted)
+        backend.ejections.fetch_add(1, std::memory_order_relaxed);
+    warn("psirouter: ejecting backend ", backend.addr.str(), " (",
+         why, "), ", backend.outstanding.size(),
+         " requests to fail over");
+    _ring.remove(backend.index);
+    closeFd(backend.fd);
+    backend.rbuf.clear();
+    backend.wbuf.clear();
+    backend.woff = 0;
+    backend.probeOutstanding = false;
+    backend.failures = 0;
+    scheduleRedial(backend);
+
+    // Fail over exactly the unacknowledged requests.  Move the set
+    // out first: forwardToBackend() below may recurse into eject()
+    // on another backend, and each recursion shrinks the ring, so
+    // the chain terminates.
+    std::set<std::uint64_t> orphaned;
+    orphaned.swap(backend.outstanding);
+    for (std::uint64_t tag : orphaned) {
+        auto it = _pending.find(tag);
+        if (it == _pending.end())
+            continue;
+        Pending pending = std::move(it->second);
+        _pending.erase(it);
+        failover(std::move(pending));
+    }
+}
+
+void
+PsiRouter::failover(Pending &&pending)
+{
+    if (pending.hasDeadline &&
+        Clock::now() >= pending.deadlineAt) {
+        _routerTimeouts.fetch_add(1, std::memory_order_relaxed);
+        refuseClient(pending, net::WireStatus::Timeout,
+                     "deadline expired during failover");
+        return;
+    }
+    // Ring successor: the preference list starts at the key's owner
+    // on the *current* (post-ejection) ring, so the first member we
+    // have not tried yet is the natural failover target.
+    std::vector<std::uint32_t> pref =
+        _ring.preference(pending.key, _ring.size());
+    for (std::uint32_t candidate : pref) {
+        bool tried = false;
+        for (std::uint32_t t : pending.tried)
+            tried = tried || t == candidate;
+        if (tried)
+            continue;
+        pending.isRetry = true;
+        forwardToBackend(candidate, std::move(pending));
+        return;
+    }
+    // Every admitted backend was tried (or the ring is empty): allow
+    // a full second lap before giving up only if membership changed;
+    // otherwise refuse so the client's own submitRetry takes over.
+    if (!pref.empty() && pending.tried.size() < 2 * _backends.size()) {
+        pending.isRetry = true;
+        pending.tried.clear();
+        forwardToBackend(pref.front(), std::move(pending));
+        return;
+    }
+    _noBackend.fetch_add(1, std::memory_order_relaxed);
+    refuseClient(pending, net::WireStatus::Overloaded,
+                 "no backend available after failover; retry later");
+}
+
+void
+PsiRouter::queueToBackend(Backend &backend, const net::Message &msg)
+{
+    backend.wbuf.append(net::encode(msg));
+}
+
+bool
+PsiRouter::flushBackend(Backend &backend)
+{
+    if (backend.fd < 0)
+        return false;
+    while (backend.woff < backend.wbuf.size()) {
+        ssize_t n =
+            ::send(backend.fd, backend.wbuf.data() + backend.woff,
+                   backend.wbuf.size() - backend.woff,
+                   MSG_NOSIGNAL);
+        if (n > 0) {
+            backend.woff += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            break;
+        if (errno == EINTR)
+            continue;
+        return false;
+    }
+    if (backend.woff == backend.wbuf.size()) {
+        backend.wbuf.clear();
+        backend.woff = 0;
+    }
+    return true;
+}
+
+void
+PsiRouter::scheduleRedial(Backend &backend)
+{
+    backend.state.store(BState::Ejected,
+                        std::memory_order_release);
+    backend.nextProbeAt =
+        Clock::now() +
+        std::chrono::nanoseconds(backend.backoff.nextDelayNs());
+}
+
+void
+PsiRouter::drainWakePipe()
+{
+    char buf[256];
+    while (::read(_wakeRead, buf, sizeof(buf)) > 0) {
+    }
+}
+
+RouterMetrics
+PsiRouter::metrics() const
+{
+    RouterMetrics m;
+    for (const auto &entry : _backends) {
+        const Backend &b = *entry;
+        RouterMetrics::Backend out;
+        out.addr = b.addr.str();
+        out.admitted = b.state.load(std::memory_order_acquire) ==
+                       BState::Admitted;
+        out.routed = b.routed.load(std::memory_order_relaxed);
+        out.completed = b.completed.load(std::memory_order_relaxed);
+        out.retried = b.retried.load(std::memory_order_relaxed);
+        out.refusals = b.refusals.load(std::memory_order_relaxed);
+        out.ejections = b.ejections.load(std::memory_order_relaxed);
+        m.backends.push_back(std::move(out));
+    }
+    m.clientConns = _clientConns.load(std::memory_order_relaxed);
+    m.submits = _submits.load(std::memory_order_relaxed);
+    m.affinityHits = _affinityHits.load(std::memory_order_relaxed);
+    m.affinityMisses =
+        _affinityMisses.load(std::memory_order_relaxed);
+    m.unknownWorkload =
+        _unknownWorkload.load(std::memory_order_relaxed);
+    m.noBackend = _noBackend.load(std::memory_order_relaxed);
+    m.routerTimeouts =
+        _routerTimeouts.load(std::memory_order_relaxed);
+    m.staleDropped = _staleDropped.load(std::memory_order_relaxed);
+    m.clientGone = _clientGone.load(std::memory_order_relaxed);
+    return m;
+}
+
+} // namespace router
+} // namespace psi

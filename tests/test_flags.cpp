@@ -103,4 +103,35 @@ TEST(Flags, RejectsNonNumericAndEmptyValues)
     EXPECT_EQ(n, 7u);
 }
 
+TEST(Flags, RepeatableOptAccumulatesInOrder)
+{
+    std::vector<std::string> backends;
+    Flags flags("test [options]");
+    flags.opt("--backend", &backends, "repeatable endpoint");
+    std::string args[] = {"test",      "--backend", "a:1",
+                          "--backend", "b:2",       "--backend",
+                          "b:2"};
+    char *argv[8] = {};
+    for (int i = 0; i < 7; ++i)
+        argv[i] = args[i].data();
+    ASSERT_TRUE(flags.parse(7, argv));
+    // Every occurrence appends - order preserved, duplicates kept
+    // (the caller decides what repeats mean).
+    ASSERT_EQ(backends.size(), 3u);
+    EXPECT_EQ(backends[0], "a:1");
+    EXPECT_EQ(backends[1], "b:2");
+    EXPECT_EQ(backends[2], "b:2");
+}
+
+TEST(Flags, RepeatableOptAbsentLeavesVectorEmpty)
+{
+    std::vector<std::string> backends;
+    Flags flags("test [options]");
+    flags.opt("--backend", &backends, "repeatable endpoint");
+    std::string arg0 = "test";
+    char *argv[] = {arg0.data(), nullptr};
+    EXPECT_TRUE(flags.parse(1, argv));
+    EXPECT_TRUE(backends.empty());
+}
+
 } // namespace

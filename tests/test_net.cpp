@@ -378,6 +378,38 @@ testRetryPolicy(unsigned maxAttempts, unsigned connectAttempts)
     return policy;
 }
 
+/** Opt-in SO_REUSEPORT: two servers bind the same port concurrently
+ *  (the kernel balances accepts between them), while the default
+ *  config still refuses the second bind. */
+TEST(Loopback, ReusePortAllowsTwoConcurrentListeners)
+{
+    net::PsiServer::Config first = serverConfig(1, 8);
+    first.reusePort = true;
+    ServerHarness one(first);
+
+    net::PsiServer::Config second =
+        serverConfig(1, 8, one.port());
+    second.reusePort = true;
+    ServerHarness two(second); // same port: must NOT throw
+    EXPECT_EQ(two.port(), one.port());
+
+    // Both listeners are live: a connection reaches one of them and
+    // serves a real request.
+    net::PsiClient client;
+    std::string error;
+    ASSERT_TRUE(client.connect("127.0.0.1", one.port(), &error))
+        << error;
+    auto result =
+        client.submit(net::Request{"nreverse30"}, nullptr, &error);
+    ASSERT_TRUE(result.has_value()) << error;
+    EXPECT_EQ(result->status, net::WireStatus::Ok);
+
+    // Without the opt-in, the same double bind still fails.
+    net::PsiServer third(serverConfig(1, 8, one.port()));
+    EXPECT_FALSE(third.start(&error));
+    EXPECT_NE(error.find("bind"), std::string::npos);
+}
+
 /** Full registry over TCP == sequential execution, bit for bit. */
 TEST(Loopback, RegistryMatchesSequentialByteForByte)
 {
