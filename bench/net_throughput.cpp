@@ -47,6 +47,27 @@
  *
  *     $ ./bench/net_throughput --backends 4 -r 500 -n 1000
  *
+ * With --mix "workload:share[:weight],..." the round becomes
+ * multi-tenant: each entry is one tenant (named after its workload)
+ * submitting `share` of the offered traffic on its own lane,
+ * requests assigned by weighted round-robin across the shared
+ * connections, and the SUBMITs carry the tenant id so the server's
+ * psisched scheduler applies per-tenant fairness and quotas.  The
+ * optional `weight` is the server-side WFQ share (default 1: every
+ * tenant is entitled to an equal split no matter how much traffic
+ * it offers - the interesting case is exactly share >> weight, a
+ * flooder that fairness must contain).  --sched fifo|affinity
+ * selects the pool's dispatch policy, --tenant-quota bounds each
+ * tenant's queued jobs and --age-cap-ms tunes the anti-starvation
+ * override, so the fairness claim is measurable end to end:
+ * per-tenant latency columns (and tenant_* JSON keys) show what
+ * each tenant actually observed, and the server's sched_* counters
+ * (affinity hits, aged dispatches, quota rejects) are pulled from
+ * STATS after the round.
+ *
+ *     $ ./bench/net_throughput --mix "trail40:8,nreverse30:1" \
+ *           -r 400 -n 800 -w 2 --sched affinity
+ *
  * With --trace-out FILE psitrace is enabled end to end: the server
  * records per-request decode/queue/compile/setup/solve/encode/reply
  * spans, the receiver threads add a client-side request span per
@@ -70,12 +91,23 @@
 #include <utility>
 #include <vector>
 
+#include "base/strutil.hpp"
 #include "bench_util.hpp"
 
 namespace {
 
 using namespace psi;
 using clock_type = std::chrono::steady_clock;
+
+/** One tenant's slice of a multi-tenant (--mix) round. */
+struct LaneStats
+{
+    service::LatencyHistogram latency;
+    std::uint64_t sent = 0;
+    std::uint64_t ok = 0;
+    std::uint64_t timedOut = 0;
+    std::uint64_t overloaded = 0;
+};
 
 struct ConnStats
 {
@@ -87,6 +119,19 @@ struct ConnStats
     std::uint64_t lost = 0; ///< connection died before the RESULT
     clock_type::time_point lastReply{};
     net::RetryStats retries; ///< fault mode: this client's retries
+    std::vector<LaneStats> lanes; ///< per-tenant split (mix mode)
+};
+
+/** One --mix entry: a tenant (named after its workload) submitting
+ *  a share of the offered traffic.  share is the traffic ratio;
+ *  weight is the server-side WFQ share (default 1: every tenant is
+ *  entitled to an equal split no matter how much it offers). */
+struct MixLane
+{
+    std::string workload;
+    std::string tenant;
+    std::uint64_t share = 1;
+    std::uint64_t weight = 1;
 };
 
 struct RoundConfig
@@ -100,6 +145,25 @@ struct RoundConfig
     std::uint64_t queueCapacity;
     net::FaultSchedule schedule; ///< active when schedule.enabled()
     bool fetchMetrics = false;   ///< fetch METRICS before drain
+    /** Tenant lanes; always at least the implicit single-workload
+     *  lane.  mixMode marks an explicit --mix request (per-tenant
+     *  reporting on). */
+    std::vector<MixLane> lanes;
+    /** laneOf(k): weighted round-robin over the lanes. */
+    std::vector<std::uint32_t> lanePattern;
+    bool mixMode = false;
+    /** Pool dispatch policy handed to the in-process servers. */
+    sched::SchedKind sched = sched::SchedKind::Affinity;
+    /** Per-tenant queued-job quota (0 = queue capacity). */
+    std::uint64_t tenantQuota = 0;
+    /** Anti-starvation age cap (0 disables the override). */
+    std::uint64_t ageCapNs = 500'000'000;
+
+    std::uint32_t
+    laneOf(std::uint64_t k) const
+    {
+        return lanePattern[k % lanePattern.size()];
+    }
     /** Router mode: boot this many in-process backends behind an
      *  in-process PsiRouter (0 = plain single-server round). */
     unsigned routerBackends = 0;
@@ -137,6 +201,14 @@ struct RoundResult
     std::uint64_t affinityMisses = 0;
     std::uint64_t routerRetried = 0;
     std::uint64_t routerEjections = 0;
+    /** Mix mode: per-tenant lane totals (same order as the config
+     *  lanes) and the server's psisched counters from STATS. */
+    std::vector<LaneStats> lanes;
+    std::uint64_t schedAffinityHits = 0;
+    std::uint64_t schedAffinityMisses = 0;
+    std::uint64_t schedAgedDispatches = 0;
+    std::uint64_t schedBatches = 0;
+    std::uint64_t schedQuotaRejects = 0;
 };
 
 void
@@ -192,6 +264,12 @@ driveConnection(const RoundConfig &config, std::uint16_t port,
         myRequests.size());
     std::vector<std::atomic<std::uint64_t>> sendDoneAtNs(
         myRequests.size());
+    // Tenant lane per owned request; tags are minted in send order,
+    // so the receiver maps tag-1 back through this table.
+    std::vector<std::uint32_t> laneIdx(myRequests.size());
+    for (std::size_t i = 0; i < myRequests.size(); ++i)
+        laneIdx[i] = config.laneOf(myRequests[i]);
+    stats.lanes.resize(config.lanes.size());
 
     std::atomic<std::uint64_t> sent{0};
     std::thread sender([&] {
@@ -208,8 +286,9 @@ driveConnection(const RoundConfig &config, std::uint16_t port,
                         std::chrono::nanoseconds>(now - start)
                         .count()),
                 std::memory_order_release);
-            if (!client.sendSubmit(config.workload,
-                                   config.deadlineNs))
+            const MixLane &lane = config.lanes[laneIdx[i]];
+            if (!client.sendSubmit(lane.workload, config.deadlineNs,
+                                   nullptr, nullptr, lane.tenant))
                 break;
             sendDoneAtNs[i].store(
                 static_cast<std::uint64_t>(
@@ -218,6 +297,9 @@ driveConnection(const RoundConfig &config, std::uint16_t port,
                         clock_type::now() - start)
                         .count()),
                 std::memory_order_release);
+            // Distinct member from the receiver's counters, so the
+            // unsynchronized split write is race-free.
+            ++stats.lanes[laneIdx[i]].sent;
             sent.fetch_add(1, std::memory_order_release);
         }
         sent.fetch_add(1u << 31, std::memory_order_release);
@@ -251,6 +333,8 @@ driveConnection(const RoundConfig &config, std::uint16_t port,
                 stats.lastReply - start)
                 .count());
         stats.latency.record(nowNs - sentNs);
+        LaneStats &lane = stats.lanes[laneIdx[result->tag - 1]];
+        lane.latency.record(nowNs - sentNs);
 
         // The whole client-observed request, under the tag the
         // server minted: the coverage report divides the stage
@@ -275,12 +359,15 @@ driveConnection(const RoundConfig &config, std::uint16_t port,
           case net::WireStatus::Ok:
           case net::WireStatus::StepLimit:
             ++stats.ok;
+            ++lane.ok;
             break;
           case net::WireStatus::Timeout:
             ++stats.timedOut;
+            ++lane.timedOut;
             break;
           case net::WireStatus::Overloaded:
             ++stats.overloaded;
+            ++lane.overloaded;
             break;
           default:
             ++stats.otherRefused;
@@ -451,6 +538,12 @@ runRound(const RoundConfig &config)
         serverConfig.queueCapacity =
             static_cast<std::size_t>(config.queueCapacity);
         serverConfig.submitMode = service::Submit::FailFast;
+        serverConfig.scheduler = config.sched;
+        serverConfig.sched.tenantQuota =
+            static_cast<std::size_t>(config.tenantQuota);
+        serverConfig.sched.ageCapNs = config.ageCapNs;
+        for (const MixLane &lane : config.lanes)
+            serverConfig.sched.weights[lane.tenant] = lane.weight;
         auto server = std::make_unique<net::PsiServer>(serverConfig);
         if (!server->start(&error)) {
             std::cerr << "net_throughput: " << error << "\n";
@@ -542,6 +635,16 @@ runRound(const RoundConfig &config)
                     jsonU64(*json, "program_cache_hits");
                 result.cacheMisses +=
                     jsonU64(*json, "program_cache_misses");
+                result.schedAffinityHits +=
+                    jsonU64(*json, "sched_affinity_hits");
+                result.schedAffinityMisses +=
+                    jsonU64(*json, "sched_affinity_misses");
+                result.schedAgedDispatches +=
+                    jsonU64(*json, "sched_aged_dispatches");
+                result.schedBatches +=
+                    jsonU64(*json, "sched_batches");
+                result.schedQuotaRejects +=
+                    jsonU64(*json, "sched_quota_rejects");
             }
         }
         if (completed > 0) {
@@ -587,6 +690,7 @@ runRound(const RoundConfig &config)
     for (auto &thread : serverThreads)
         thread.join();
     auto lastReply = start;
+    result.lanes.resize(config.lanes.size());
     for (const auto &s : stats) {
         result.total.latency.merge(s.latency);
         result.total.ok += s.ok;
@@ -595,6 +699,13 @@ runRound(const RoundConfig &config)
         result.total.otherRefused += s.otherRefused;
         result.total.lost += s.lost;
         mergeRetryStats(result.retries, s.retries);
+        for (std::size_t l = 0; l < s.lanes.size(); ++l) {
+            result.lanes[l].latency.merge(s.lanes[l].latency);
+            result.lanes[l].sent += s.lanes[l].sent;
+            result.lanes[l].ok += s.lanes[l].ok;
+            result.lanes[l].timedOut += s.lanes[l].timedOut;
+            result.lanes[l].overloaded += s.lanes[l].overloaded;
+        }
         if (s.lastReply > lastReply)
             lastReply = s.lastReply;
     }
@@ -623,6 +734,9 @@ main(int argc, char **argv)
     config.queueCapacity = 64;
     std::uint64_t deadline_ms = 0;
     std::uint64_t fixedWorkers = 0;
+    std::string mixSpec;
+    std::string schedName = "affinity";
+    std::uint64_t ageCapMs = 500;
     std::string faultSpec;
     std::string traceOut;
     std::string metricsOut;
@@ -645,6 +759,17 @@ main(int argc, char **argv)
         .opt("-w", &fixedWorkers,
              "run a single round with this many workers instead of "
              "the 1/2/4/8 sweep")
+        .opt("--mix", &mixSpec,
+             "multi-tenant mode: \"workload:share[:weight],...\" - "
+             "one tenant per entry, share = traffic ratio, weight = "
+             "server WFQ share (default 1), per-tenant reporting")
+        .opt("--sched", &schedName,
+             "pool dispatch policy: affinity (default) or fifo")
+        .opt("--tenant-quota", &config.tenantQuota,
+             "per-tenant queued-job quota (0 = queue capacity)")
+        .opt("--age-cap-ms", &ageCapMs,
+             "scheduler anti-starvation age cap in ms "
+             "(default 500; 0 disables)")
         .opt("--backends", &config.routerBackends,
              "router mode: boot this many in-process backends "
              "behind a psirouter (0 = single server)")
@@ -685,6 +810,7 @@ main(int argc, char **argv)
         return 1;
     }
     config.deadlineNs = deadline_ms * 1'000'000ull;
+    config.ageCapNs = ageCapMs * 1'000'000ull;
     config.fetchMetrics = !metricsOut.empty();
     if (!traceOut.empty())
         trace::setEnabled(true);
@@ -693,19 +819,83 @@ main(int argc, char **argv)
         std::cerr << "net_throughput: -c, -n and -r must be > 0\n";
         return 1;
     }
-    if (programs::findProgramById(config.workload) == nullptr) {
-        std::cerr << "unknown workload '" << config.workload
-                  << "'; available: " << programs::programIdList()
-                  << "\n";
+    if (!sched::parseSchedKind(schedName, config.sched)) {
+        std::cerr << "net_throughput: unknown --sched '" << schedName
+                  << "' (use fifo or affinity)\n";
         return 1;
+    }
+    if (!mixSpec.empty()) {
+        if (config.schedule.enabled()) {
+            std::cerr << "net_throughput: --mix and "
+                         "--fault-schedule are mutually exclusive\n";
+            return 1;
+        }
+        for (const std::string &entry :
+             strutil::split(mixSpec, ',')) {
+            std::vector<std::string> parts =
+                strutil::split(entry, ':');
+            MixLane lane;
+            lane.workload = parts[0];
+            lane.tenant = lane.workload;
+            if (parts.size() > 1)
+                lane.share =
+                    std::strtoull(parts[1].c_str(), nullptr, 10);
+            if (parts.size() > 2)
+                lane.weight =
+                    std::strtoull(parts[2].c_str(), nullptr, 10);
+            if (parts.size() > 3 || lane.share == 0 ||
+                lane.weight == 0) {
+                std::cerr << "net_throughput: bad --mix entry '"
+                          << entry
+                          << "' (want workload:share[:weight])\n";
+                return 1;
+            }
+            config.lanes.push_back(std::move(lane));
+        }
+        config.mixMode = true;
+    } else {
+        // Single implicit lane: the plain -W workload under the
+        // shared default tenant.
+        config.lanes.push_back(MixLane{config.workload, "", 1, 1});
+    }
+    for (const MixLane &lane : config.lanes) {
+        if (programs::findProgramById(lane.workload) == nullptr) {
+            std::cerr << "unknown workload '" << lane.workload
+                      << "'; available: "
+                      << programs::programIdList() << "\n";
+            return 1;
+        }
+    }
+    // Weighted round-robin pattern, interleaved so a heavy tenant's
+    // requests spread across the round instead of clumping.
+    {
+        std::uint64_t maxShare = 0;
+        for (const MixLane &lane : config.lanes)
+            maxShare = std::max(maxShare, lane.share);
+        for (std::uint64_t r = 0; r < maxShare; ++r)
+            for (std::size_t l = 0; l < config.lanes.size(); ++l)
+                if (config.lanes[l].share > r)
+                    config.lanePattern.push_back(
+                        static_cast<std::uint32_t>(l));
     }
 
     if (!json) {
+        std::string what = config.workload;
+        if (config.mixMode) {
+            what = "mix ";
+            for (const MixLane &lane : config.lanes) {
+                if (&lane != &config.lanes.front())
+                    what += ",";
+                what += lane.workload + ":" +
+                        std::to_string(lane.share);
+            }
+        }
         bench::banner(
-            "psinet open-loop load (" + config.workload + ", " +
+            "psinet open-loop load (" + what + ", " +
             std::to_string(config.requests) + " reqs @ " +
             bench::f1(config.ratePerSec) + "/s over " +
-            std::to_string(config.connections) + " connections)");
+            std::to_string(config.connections) + " connections, " +
+            sched::schedKindName(config.sched) + " scheduler)");
         if (config.routerBackends > 0)
             std::cout << "router mode: " << config.routerBackends
                       << " in-process backends behind a psirouter\n";
@@ -777,6 +967,41 @@ main(int argc, char **argv)
 
     if (!json) {
         t.print(std::cout);
+        if (config.mixMode) {
+            // Per-tenant lanes of the last round: the fairness
+            // story is who waited, not just the aggregate.
+            const RoundResult &last = rounds.back();
+            Table lt("per-tenant lanes (last round, " +
+                     std::to_string(last.workers) + " workers)");
+            lt.setHeader({"tenant", "share", "weight", "sent", "ok",
+                          "overloaded", "p50 ms", "p95 ms",
+                          "p99 ms"});
+            for (std::size_t l = 0; l < config.lanes.size(); ++l) {
+                const MixLane &lane = config.lanes[l];
+                const LaneStats &ls = last.lanes[l];
+                lt.addRow({lane.tenant,
+                           std::to_string(lane.share),
+                           std::to_string(lane.weight),
+                           std::to_string(ls.sent),
+                           std::to_string(ls.ok),
+                           std::to_string(ls.overloaded),
+                           bench::f2(ls.latency.quantileNs(0.50) /
+                                     1e6),
+                           bench::f2(ls.latency.quantileNs(0.95) /
+                                     1e6),
+                           bench::f2(ls.latency.quantileNs(0.99) /
+                                     1e6)});
+            }
+            std::cout << "\n";
+            lt.print(std::cout);
+            std::cout << "sched: affinity_hits="
+                      << last.schedAffinityHits
+                      << " misses=" << last.schedAffinityMisses
+                      << " aged=" << last.schedAgedDispatches
+                      << " batches=" << last.schedBatches
+                      << " quota_rejects="
+                      << last.schedQuotaRejects << "\n";
+        }
         if (config.schedule.enabled()) {
             std::cout << "\n";
             for (const auto &r : rounds)
@@ -813,6 +1038,28 @@ main(int argc, char **argv)
         w.u("host_solve_mean_ns", r.solveMeanNs);
         w.u("program_cache_hits", r.cacheHits);
         w.u("program_cache_misses", r.cacheMisses);
+        w.s("sched_policy", sched::schedKindName(config.sched));
+        w.u("sched_affinity_hits", r.schedAffinityHits);
+        w.u("sched_affinity_misses", r.schedAffinityMisses);
+        w.u("sched_aged_dispatches", r.schedAgedDispatches);
+        w.u("sched_batches", r.schedBatches);
+        w.u("sched_quota_rejects", r.schedQuotaRejects);
+        if (config.mixMode) {
+            for (std::size_t l = 0; l < config.lanes.size(); ++l) {
+                const std::string p =
+                    "tenant_" + config.lanes[l].tenant + "_";
+                const LaneStats &ls = r.lanes[l];
+                w.u(p + "share", config.lanes[l].share);
+                w.u(p + "weight", config.lanes[l].weight);
+                w.u(p + "sent", ls.sent);
+                w.u(p + "ok", ls.ok);
+                w.u(p + "overloaded", ls.overloaded);
+                w.u(p + "timed_out", ls.timedOut);
+                w.u(p + "p50_ns", ls.latency.quantileNs(0.50));
+                w.u(p + "p95_ns", ls.latency.quantileNs(0.95));
+                w.u(p + "p99_ns", ls.latency.quantileNs(0.99));
+            }
+        }
         if (r.routerMode) {
             w.u("router_backends", r.backendRouted.size());
             for (std::size_t i = 0; i < r.backendRouted.size(); ++i)

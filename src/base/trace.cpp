@@ -22,6 +22,9 @@ stageName(Stage s)
       case Stage::Encode:   return "encode";
       case Stage::Reply:    return "reply";
       case Stage::Send:     return "send";
+      case Stage::SchedFair:     return "sched-fair";
+      case Stage::SchedAffinity: return "sched-affinity";
+      case Stage::SchedAged:     return "sched-aged";
       case Stage::NumStages: break;
     }
     return "?";

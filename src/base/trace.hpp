@@ -61,6 +61,16 @@ enum class Stage : std::uint8_t
     Encode,      ///< server: outcome -> RESULT frame bytes
     Reply,       ///< server: frame bytes -> socket / write buffer
     Send,        ///< client: SUBMIT encode + send syscall
+    /** @name Scheduling-class attribution of the queue wait.
+     *  The pool records exactly one of these alongside each Queue
+     *  span, covering the same interval, so traces show whether the
+     *  request dispatched in fair order, rode an affinity batch, or
+     *  was rescued by the anti-starvation age cap. */
+    /// @{
+    SchedFair,
+    SchedAffinity,
+    SchedAged,
+    /// @}
     NumStages,
 };
 

@@ -268,12 +268,14 @@ PsiClient::recvMessage(int timeoutMs, std::string *error)
 bool
 PsiClient::sendSubmit(const std::string &workload,
                       std::uint64_t deadlineNs,
-                      std::uint64_t *tagOut, std::string *error)
+                      std::uint64_t *tagOut, std::string *error,
+                      const std::string &tenant)
 {
     SubmitMsg msg;
     msg.tag = _nextTag++;
     msg.workload = workload;
     msg.deadlineNs = deadlineNs;
+    msg.tenant = tenant;
     if (tagOut)
         *tagOut = msg.tag;
     return sendAll(encode(Message(std::move(msg))), error);
@@ -303,7 +305,7 @@ PsiClient::submit(const Request &request, const RetryPolicy *retry,
 {
     if (retry == nullptr) {
         return submitOnce(request.workload, request.deadlineNs,
-                          request.timeoutMs, error);
+                          request.timeoutMs, error, request.tenant);
     }
     RetryPolicy policy = *retry;
     if (policy.maxAttempts == 0)
@@ -312,7 +314,7 @@ PsiClient::submit(const Request &request, const RetryPolicy *retry,
         policy.connectAttempts = 1;
     return submitWithRetry(request.workload, policy,
                            request.deadlineNs, request.timeoutMs,
-                           error);
+                           error, request.tenant);
 }
 
 std::optional<ResultMsg>
@@ -335,10 +337,10 @@ PsiClient::submitRetry(const std::string &workload,
 std::optional<ResultMsg>
 PsiClient::submitOnce(const std::string &workload,
                       std::uint64_t deadlineNs, int timeoutMs,
-                      std::string *error)
+                      std::string *error, const std::string &tenant)
 {
     std::uint64_t tag = 0;
-    if (!sendSubmit(workload, deadlineNs, &tag, error))
+    if (!sendSubmit(workload, deadlineNs, &tag, error, tenant))
         return std::nullopt;
     for (;;) {
         std::optional<ResultMsg> result = recvResult(timeoutMs, error);
@@ -355,7 +357,8 @@ std::optional<ResultMsg>
 PsiClient::submitWithRetry(const std::string &workload,
                            const RetryPolicy &policy,
                            std::uint64_t deadlineNs, int timeoutMs,
-                           std::string *error)
+                           std::string *error,
+                           const std::string &tenant)
 {
     using clock = std::chrono::steady_clock;
     const auto start = clock::now();
@@ -405,7 +408,8 @@ PsiClient::submitWithRetry(const std::string &workload,
             deadlineNs == 0 ? 0 : deadlineNs - spent;
 
         std::uint64_t tag = 0;
-        if (!sendSubmit(workload, remainingNs, &tag, &lastError))
+        if (!sendSubmit(workload, remainingNs, &tag, &lastError,
+                        tenant))
             continue; // send failed: connection is dead, retry
         if (attempt > 1)
             ++_retryStats.resubmits;

@@ -93,6 +93,9 @@ struct Request
     std::string workload;         ///< registry workload id
     std::uint64_t deadlineNs = 0; ///< whole-request budget; 0 = none
     int timeoutMs = -1;           ///< client-side wait; -1 = forever
+    /** Scheduling tenant (server-side fairness + quota unit);
+     *  "" = the shared default tenant. */
+    std::string tenant = {};
 };
 
 /** Blocking connection to a PsiServer. */
@@ -197,7 +200,8 @@ class PsiClient
     bool sendSubmit(const std::string &workload,
                     std::uint64_t deadlineNs = 0,
                     std::uint64_t *tagOut = nullptr,
-                    std::string *error = nullptr);
+                    std::string *error = nullptr,
+                    const std::string &tenant = std::string());
 
     /** Pipelined receive half: next RESULT in completion order. */
     std::optional<ResultMsg> recvResult(int timeoutMs = -1,
@@ -226,13 +230,16 @@ class PsiClient
     std::optional<ResultMsg> submitOnce(const std::string &workload,
                                         std::uint64_t deadlineNs,
                                         int timeoutMs,
-                                        std::string *error);
+                                        std::string *error,
+                                        const std::string &tenant =
+                                            std::string());
     /** The resilient submit loop, parameterized by @p policy. */
     std::optional<ResultMsg>
     submitWithRetry(const std::string &workload,
                     const RetryPolicy &policy,
                     std::uint64_t deadlineNs, int timeoutMs,
-                    std::string *error);
+                    std::string *error,
+                    const std::string &tenant = std::string());
     /** One dial, no retry loop. */
     bool connectOnce(const std::string &host, std::uint16_t port,
                      std::string *error);

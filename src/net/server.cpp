@@ -69,7 +69,8 @@ PsiServer::PsiServer(const Config &config)
       // STATS reply with the rest of the metrics snapshot.
       _pool(service::EnginePool::Config{
           config.workers, config.queueCapacity,
-          std::make_shared<service::ProgramCache>()}),
+          std::make_shared<service::ProgramCache>(),
+          config.scheduler, config.sched}),
       _started(std::chrono::steady_clock::now())
 {}
 
@@ -479,6 +480,9 @@ PsiServer::handleSubmit(Conn &conn, SubmitMsg &&msg,
     service::QueryJob job;
     job.program = *program;
     job.limits.deadlineNs = msg.deadlineNs;
+    // v1 clients (hasTenant == false) carry an empty tenant and land
+    // in the scheduler's shared default tenant.
+    job.tenant = msg.tenant;
     if (trace::enabled()) {
         // The server-side tag is minted here and echoed back in the
         // RESULT so the client can stitch its own spans onto the
@@ -518,6 +522,10 @@ PsiServer::handleSubmit(Conn &conn, SubmitMsg &&msg,
                "queue full (" +
                    std::to_string(_pool.queueCapacity()) +
                    " jobs); retry later");
+        break;
+      case service::SubmitError::TenantQuota:
+        refuse(WireStatus::Overloaded,
+               "tenant over queue quota; retry later");
         break;
       case service::SubmitError::ShutDown:
         refuse(WireStatus::Draining, "server is draining");

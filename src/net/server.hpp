@@ -72,6 +72,12 @@ class PsiServer
          *  processes (or future multi-reactor routers) can share one
          *  port, kernel-balancing accepts between them. */
         bool reusePort = false;
+        /** Pool dispatch policy (see sched/scheduler.hpp);
+         *  Affinity is the production default. */
+        sched::SchedKind scheduler = sched::SchedKind::Affinity;
+        /** Fairness/affinity knobs; sched.capacity is ignored
+         *  (queueCapacity is the global bound). */
+        sched::SchedConfig sched = {};
     };
 
     PsiServer();

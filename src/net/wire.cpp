@@ -219,6 +219,10 @@ putBody(std::string &out, const SubmitMsg &m)
     putU64(out, m.tag);
     putString(out, m.workload);
     putU64(out, m.deadlineNs);
+    // The tenant-less v1/v2.0 form ends here; hasTenant selects
+    // which of the two canonical encodings this message uses.
+    if (m.hasTenant)
+        putString(out, m.tenant);
 }
 
 void
@@ -315,8 +319,18 @@ putBody(std::string &out, const MetricsReplyMsg &m)
 bool
 getBody(Reader &r, SubmitMsg &m)
 {
-    return r.getU64(m.tag) && r.getString(m.workload) &&
-           r.getU64(m.deadlineNs);
+    if (!r.getU64(m.tag) || !r.getString(m.workload) ||
+        !r.getU64(m.deadlineNs))
+        return false;
+    if (r.done()) {
+        // v1/v2.0 sender: no tenant field on the wire.  Remember
+        // that so a re-encode reproduces the exact same bytes.
+        m.hasTenant = false;
+        m.tenant.clear();
+        return true;
+    }
+    m.hasTenant = true;
+    return r.getString(m.tenant);
 }
 
 bool

@@ -77,7 +77,7 @@ constexpr std::size_t kFrameHeaderBytes = 4;
  */
 /// @{
 constexpr std::uint32_t kProtocolMajor = 2;
-constexpr std::uint32_t kProtocolMinor = 0;
+constexpr std::uint32_t kProtocolMinor = 1;
 constexpr std::uint64_t kFeatureTrace = 1u << 0;   ///< TRACE msgs
 constexpr std::uint64_t kFeatureMetrics = 1u << 1; ///< METRICS msgs
 /** Peer is a psirouter (forwarding frames for a cluster), not an
@@ -85,8 +85,10 @@ constexpr std::uint64_t kFeatureMetrics = 1u << 1; ///< METRICS msgs
  *  NOT part of kSupportedFeatures, so a plain PsiServer's HELLO_ACK
  *  never carries it and a client can tell the two tiers apart. */
 constexpr std::uint64_t kFeatureRouting = 1u << 2;
+/** SUBMIT carries a tenant id (v2.1 scheduler fairness unit). */
+constexpr std::uint64_t kFeatureTenant = 1u << 3;
 constexpr std::uint64_t kSupportedFeatures =
-    kFeatureTrace | kFeatureMetrics;
+    kFeatureTrace | kFeatureMetrics | kFeatureTenant;
 /// @}
 
 /** ERROR codes (the `code` field of ErrorMsg). */
@@ -131,12 +133,22 @@ const char *wireStatusName(WireStatus s);
 /** Map an engine run status onto the wire. */
 WireStatus wireStatus(interp::RunStatus s);
 
-/** SUBMIT body. */
+/** SUBMIT body.  Two self-canonical forms share the type byte: the
+ *  v1/v2.0 body ends after deadlineNs, the v2.1 body appends a
+ *  tenant string.  The decoder distinguishes by exhaustion and
+ *  re-encodes each form byte-identically (the fuzz suite's
+ *  round-trip property), so old clients interop unchanged. */
 struct SubmitMsg
 {
     std::uint64_t tag = 0;        ///< client-chosen correlation id
     std::string workload;         ///< registry id, e.g. "queens1"
     std::uint64_t deadlineNs = 0; ///< per-request budget; 0 = none
+    /** Scheduling tenant (fairness + quota unit); "" = the shared
+     *  default tenant.  Only on the wire when hasTenant. */
+    std::string tenant = {};
+    /** False for frames in the tenant-less v1/v2.0 form; such
+     *  requests run as the shared default tenant. */
+    bool hasTenant = true;
 };
 
 /** RESULT body: the full JobOutcome, serialized. */

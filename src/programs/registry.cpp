@@ -38,6 +38,9 @@ allPrograms()
         // Hardware-evaluation extras.
         add(windowPrograms());
         add(puzzlePrograms());
+        // Adversarial workloads beyond the paper (trail pressure,
+        // stack depth, wide multi-solution search).
+        add(stressPrograms());
         return v;
     }();
     return all;

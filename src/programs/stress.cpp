@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Adversarial stress workloads beyond the paper's Table 1.
+ *
+ * The registry covers every program the paper measures; these rows
+ * deliberately go past it, each targeting one machine subsystem the
+ * paper's benchmarks exercise only lightly:
+ *
+ *  - trail40: a failure-driven loop that binds a 40-variable list
+ *    and immediately fails, over and over - almost all of its work
+ *    is trail pushes and backtrack detrailing, the worst case for
+ *    choice-point/trail machinery.
+ *
+ *  - deeprec: non-tail-recursive summation thousands of frames
+ *    deep - a stack grower whose working set is the control stack
+ *    itself rather than the heap.
+ *
+ *  - permall6: exhaustive enumeration of all 720 permutations of a
+ *    6-element list through a heap-vector accumulator - a large
+ *    multi-solution search whose choice points fan out instead of
+ *    chaining.
+ *
+ * None appear in Table 1, so paperPsiMs stays 0; they ride the same
+ * byte-identity, chaos and fuzz suites as every other registry row.
+ */
+
+#include "programs/registry.hpp"
+
+namespace psi {
+namespace programs {
+
+namespace {
+
+/** Trail-heavy backtracking: bind 40 variables, fail, repeat. */
+const char *kTrailSrc = R"PROG(
+% Every iteration conjures a fresh 40-variable list, then a failure
+% loop binds all of them to each of 8 candidate values in turn.  The
+% bindings are undone by backtracking, so the run is dominated by
+% trail writes and detrail walks - the paper's benchmarks never
+% stress this path at depth.
+mklist(0, []).
+mklist(N, [_|T]) :- N > 0, N1 is N - 1, mklist(N1, T).
+
+bindall([], _).
+bindall([X|Xs], V) :- X = V, bindall(Xs, V).
+
+choice(1). choice(2). choice(3). choice(4).
+choice(5). choice(6). choice(7). choice(8).
+
+churn(Vec, L) :-
+    choice(V),
+    bindall(L, V),
+    vector_get(Vec, 0, N0),
+    N1 is N0 + 1,
+    vector_set(Vec, 0, N1),
+    fail.
+churn(_, _).
+
+iter(0, _).
+iter(N, Vec) :-
+    N > 0,
+    mklist(40, L),
+    churn(Vec, L),
+    N1 is N - 1,
+    iter(N1, Vec).
+
+stress_trail(R) :-
+    vector_new(1, Vec),
+    iter(100, Vec),
+    vector_get(Vec, 0, R).
+)PROG";
+
+/** Deep non-tail recursion: a control-stack grower. */
+const char *kDeepRecSrc = R"PROG(
+% sumto/2 cannot complete any frame until the base case: the machine
+% holds the entire chain of environments live at the recursion
+% bottom, so the working set is the control stack, not the heap.
+sumto(0, 0).
+sumto(N, S) :- N > 0, N1 is N - 1, sumto(N1, S1), S is S1 + N.
+
+stress_deeprec(S) :- sumto(3000, S).
+)PROG";
+
+/** Exhaustive permutation enumeration (720 solutions). */
+const char *kPermAllSrc = R"PROG(
+% Enumerate every permutation of [1..6] through a failure-driven
+% loop, counting into a heap vector.  Unlike the deterministic
+% Table 1 list benchmarks, the choice points here fan out at every
+% select/3 - a wide search tree, not a chain.
+select(X, [X|T], T).
+select(X, [H|T], [H|R]) :- select(X, T, R).
+
+perm([], []).
+perm(L, [X|P]) :- select(X, L, R), perm(R, P).
+
+permloop(Vec) :-
+    perm([1,2,3,4,5,6], _),
+    vector_get(Vec, 0, N0),
+    N1 is N0 + 1,
+    vector_set(Vec, 0, N1),
+    fail.
+permloop(_).
+
+stress_permall(N) :-
+    vector_new(1, Vec),
+    permloop(Vec),
+    vector_get(Vec, 0, N).
+)PROG";
+
+} // namespace
+
+std::vector<BenchProgram>
+stressPrograms()
+{
+    return {
+        {"trail40", "trail stress (40 vars)", kTrailSrc,
+         "stress_trail(R)", 1, 0.0, 0.0},
+        {"deeprec", "deep recursion (3000)", kDeepRecSrc,
+         "stress_deeprec(S)", 1, 0.0, 0.0},
+        {"permall6", "permutations (all 6!)", kPermAllSrc,
+         "stress_permall(N)", 1, 0.0, 0.0},
+    };
+}
+
+} // namespace programs
+} // namespace psi

@@ -712,6 +712,7 @@ PsiRouter::handleSubmit(Conn &conn, net::SubmitMsg &&msg)
     pending.clientConnId = conn.id;
     pending.clientTag = msg.tag;
     pending.workload = std::move(msg.workload);
+    pending.tenant = std::move(msg.tenant);
     pending.key = kl0::CompiledProgram::hashSource(program->source);
     if (msg.deadlineNs != 0) {
         pending.hasDeadline = true;
@@ -773,6 +774,10 @@ PsiRouter::forwardToBackend(std::uint32_t target, Pending &&pending)
     fwd.tag = routerTag;
     fwd.workload = pending.workload;
     fwd.deadlineNs = remainNs;
+    // The tenant rides through so backend-side fairness sees the
+    // same tenant the client declared (v1 senders forward as the
+    // default tenant).
+    fwd.tenant = pending.tenant;
     _pending.emplace(routerTag, std::move(pending));
 
     queueToBackend(backend, net::Message(std::move(fwd)));

@@ -244,6 +244,7 @@ class PsiRouter
         std::uint64_t clientConnId = 0;
         std::uint64_t clientTag = 0;
         std::string workload;
+        std::string tenant;           ///< forwarded fairness unit
         std::uint64_t key = 0;        ///< source-content hash
         std::uint32_t backend = 0;    ///< current target
         std::vector<std::uint32_t> tried;

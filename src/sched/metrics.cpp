@@ -1,0 +1,193 @@
+#include "sched/metrics.hpp"
+
+#include <sstream>
+
+#include "base/json.hpp"
+#include "base/stats.hpp"
+
+namespace psi {
+namespace sched {
+
+const char *const kOverflowTenant = "~other";
+const char *const kDefaultTenant = "default";
+
+const char *
+schedKindName(SchedKind kind)
+{
+    switch (kind) {
+      case SchedKind::Fifo:
+        return "fifo";
+      case SchedKind::Affinity:
+        return "affinity";
+    }
+    return "?";
+}
+
+bool
+parseSchedKind(const std::string &name, SchedKind &out)
+{
+    if (name == "fifo") {
+        out = SchedKind::Fifo;
+        return true;
+    }
+    if (name == "affinity") {
+        out = SchedKind::Affinity;
+        return true;
+    }
+    return false;
+}
+
+const char *
+dispatchClassName(DispatchClass cls)
+{
+    switch (cls) {
+      case DispatchClass::Fair:
+        return "fair";
+      case DispatchClass::Affinity:
+        return "affinity";
+      case DispatchClass::Aged:
+        return "aged";
+    }
+    return "?";
+}
+
+std::string
+sanitizeTenantName(const std::string &name)
+{
+    if (name.empty())
+        return kDefaultTenant;
+    static const std::size_t kMaxLen = 48;
+    std::string out;
+    out.reserve(std::min(name.size(), kMaxLen));
+    for (char c : name) {
+        if (out.size() >= kMaxLen)
+            break;
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '_' || c == '.' ||
+                  c == '-' || c == '~';
+        out.push_back(ok ? c : '_');
+    }
+    return out;
+}
+
+void
+SchedSnapshot::tableRows(Table &t) const
+{
+    auto row = [&t](const std::string &k, const std::string &v) {
+        t.addRow({k, v});
+    };
+    row("scheduler", schedKindName(kind));
+    row("sched affinity hits", std::to_string(affinityHits));
+    row("sched affinity misses", std::to_string(affinityMisses));
+    row("sched affinity hit %",
+        stats::fixed(affinityHitRatio() * 100.0, 1));
+    row("sched aged dispatches", std::to_string(agedDispatches));
+    row("sched batches", std::to_string(batches));
+    row("sched mean batch", stats::fixed(meanBatchJobs(), 2));
+    row("sched quota rejects", std::to_string(quotaRejects));
+    for (const auto &ten : tenants) {
+        row("tenant " + ten.name,
+            "depth=" + std::to_string(ten.depth) +
+                " admit=" + std::to_string(ten.admitted) +
+                " reject=" +
+                std::to_string(ten.rejected + ten.quotaRejected) +
+                " wait_ms=" +
+                stats::fixed(ten.meanWaitNs() / 1e6, 2));
+    }
+}
+
+void
+SchedSnapshot::json(JsonWriter &w) const
+{
+    w.s("sched_policy", schedKindName(kind));
+    w.u("sched_affinity_hits", affinityHits);
+    w.u("sched_affinity_misses", affinityMisses);
+    w.f("sched_affinity_hit_ratio", affinityHitRatio(), 4);
+    w.u("sched_aged_dispatches", agedDispatches);
+    w.u("sched_fair_dispatches", fairDispatches);
+    w.u("sched_affinity_dispatches", affinityDispatches);
+    w.u("sched_batches", batches);
+    w.u("sched_batch_jobs", batchJobs);
+    w.u("sched_max_batch_run", maxBatchRun);
+    w.u("sched_quota_rejects", quotaRejects);
+    w.u("sched_tenants", tenants.size());
+    for (const auto &ten : tenants) {
+        const std::string p = "tenant_" + ten.name + "_";
+        w.u(p + "depth", ten.depth);
+        w.u(p + "admitted", ten.admitted);
+        w.u(p + "rejected", ten.rejected + ten.quotaRejected);
+        w.u(p + "dispatched", ten.dispatched);
+        w.u(p + "wait_ns", ten.waitNs);
+        w.num(p + "mean_wait_ns", stats::fixed(ten.meanWaitNs(), 0));
+    }
+}
+
+std::string
+SchedSnapshot::prometheus() const
+{
+    std::ostringstream os;
+    auto counter = [&os](const char *name, std::uint64_t v) {
+        os << "# TYPE " << name << " counter\n"
+           << name << ' ' << v << '\n';
+    };
+
+    os << "# TYPE psi_sched_policy gauge\n"
+       << "psi_sched_policy{policy=\"" << schedKindName(kind)
+       << "\"} 1\n";
+    counter("psi_sched_affinity_hits_total", affinityHits);
+    counter("psi_sched_affinity_misses_total", affinityMisses);
+    os << "# TYPE psi_sched_affinity_hit_ratio gauge\n"
+       << "psi_sched_affinity_hit_ratio "
+       << stats::fixed(affinityHitRatio(), 6) << '\n';
+    os << "# TYPE psi_sched_dispatches_total counter\n";
+    os << "psi_sched_dispatches_total{class=\"fair\"} "
+       << fairDispatches << '\n';
+    os << "psi_sched_dispatches_total{class=\"affinity\"} "
+       << affinityDispatches << '\n';
+    os << "psi_sched_dispatches_total{class=\"aged\"} "
+       << agedDispatches << '\n';
+    counter("psi_sched_batches_total", batches);
+    counter("psi_sched_batch_jobs_total", batchJobs);
+    os << "# TYPE psi_sched_max_batch_run gauge\n"
+       << "psi_sched_max_batch_run " << maxBatchRun << '\n';
+    counter("psi_sched_quota_rejects_total", quotaRejects);
+
+    os << "# TYPE psi_sched_tenant_depth gauge\n";
+    for (const auto &ten : tenants) {
+        os << "psi_sched_tenant_depth{tenant=\"" << ten.name
+           << "\"} " << ten.depth << '\n';
+    }
+    os << "# TYPE psi_sched_tenant_weight gauge\n";
+    for (const auto &ten : tenants) {
+        os << "psi_sched_tenant_weight{tenant=\"" << ten.name
+           << "\"} " << ten.weight << '\n';
+    }
+    os << "# TYPE psi_sched_tenant_admitted_total counter\n";
+    for (const auto &ten : tenants) {
+        os << "psi_sched_tenant_admitted_total{tenant=\"" << ten.name
+           << "\"} " << ten.admitted << '\n';
+    }
+    os << "# TYPE psi_sched_tenant_rejected_total counter\n";
+    for (const auto &ten : tenants) {
+        os << "psi_sched_tenant_rejected_total{tenant=\"" << ten.name
+           << "\",reason=\"queue_full\"} " << ten.rejected << '\n'
+           << "psi_sched_tenant_rejected_total{tenant=\"" << ten.name
+           << "\",reason=\"quota\"} " << ten.quotaRejected << '\n';
+    }
+    os << "# TYPE psi_sched_tenant_dispatched_total counter\n";
+    for (const auto &ten : tenants) {
+        os << "psi_sched_tenant_dispatched_total{tenant=\""
+           << ten.name << "\"} " << ten.dispatched << '\n';
+    }
+    os << "# TYPE psi_sched_tenant_wait_seconds_total counter\n";
+    for (const auto &ten : tenants) {
+        os << "psi_sched_tenant_wait_seconds_total{tenant=\""
+           << ten.name << "\"} "
+           << stats::fixed(static_cast<double>(ten.waitNs) / 1e9, 9)
+           << '\n';
+    }
+    return os.str();
+}
+
+} // namespace sched
+} // namespace psi

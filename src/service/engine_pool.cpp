@@ -3,9 +3,22 @@
 #include "base/logging.hpp"
 #include "base/trace.hpp"
 #include "interp/engine.hpp"
+#include "kl0/compiled_program.hpp"
 
 namespace psi {
 namespace service {
+
+namespace {
+
+sched::SchedConfig
+poolSchedConfig(const EnginePool::Config &config)
+{
+    sched::SchedConfig sc = config.sched;
+    sc.capacity = config.queueCapacity;
+    return sc;
+}
+
+} // namespace
 
 EnginePool::EnginePool() : EnginePool(Config()) {}
 
@@ -14,7 +27,8 @@ EnginePool::EnginePool(const Config &config)
       _programCache(config.programCache
                         ? config.programCache
                         : std::make_shared<ProgramCache>()),
-      _queue(config.queueCapacity)
+      _sched(sched::makeScheduler<Job>(config.scheduler,
+                                       poolSchedConfig(config)))
 {
     if (_config.workers == 0)
         _config.workers = 1;
@@ -31,24 +45,41 @@ EnginePool::~EnginePool()
     shutdown();
 }
 
-bool
+std::optional<SubmitError>
 EnginePool::enqueue(Job &&job, Submit mode)
 {
-    bool accepted = mode == Submit::Block ? _queue.push(std::move(job))
-                                          : _queue.tryPush(job);
-    if (!accepted) {
+    sched::TaskInfo info;
+    info.tenant = job.query.tenant;
+    info.affinityKey =
+        kl0::CompiledProgram::hashSource(job.query.program.source);
+    info.deadlineNs = job.query.limits.deadlineNs;
+    info.submitted = job.submitted;
+
+    sched::PushResult r = mode == Submit::Block
+        ? _sched->push(info, job)
+        : _sched->tryPush(info, job);
+    switch (r) {
+      case sched::PushResult::Ok:
+        break;
+      case sched::PushResult::QueueFull:
         _rejected.fetch_add(1, std::memory_order_relaxed);
-        return false;
+        return SubmitError::QueueFull;
+      case sched::PushResult::QuotaExceeded:
+        _rejected.fetch_add(1, std::memory_order_relaxed);
+        return SubmitError::TenantQuota;
+      case sched::PushResult::Closed:
+        _rejected.fetch_add(1, std::memory_order_relaxed);
+        return SubmitError::ShutDown;
     }
 
     _submitted.fetch_add(1, std::memory_order_relaxed);
-    std::uint64_t depth = _queue.size();
+    std::uint64_t depth = _sched->size();
     std::uint64_t peak = _peakDepth.load(std::memory_order_relaxed);
     while (depth > peak &&
            !_peakDepth.compare_exchange_weak(
                peak, depth, std::memory_order_relaxed)) {
     }
-    return true;
+    return std::nullopt;
 }
 
 std::optional<std::future<JobOutcome>>
@@ -59,7 +90,7 @@ EnginePool::submit(QueryJob query, Submit mode)
     job.submitted = std::chrono::steady_clock::now();
     std::future<JobOutcome> fut = job.promise.get_future();
 
-    if (!enqueue(std::move(job), mode))
+    if (enqueue(std::move(job), mode))
         return std::nullopt;
     return fut;
 }
@@ -74,13 +105,7 @@ EnginePool::submitAsync(QueryJob query,
     job.done = std::move(done);
     job.submitted = std::chrono::steady_clock::now();
 
-    if (!enqueue(std::move(job), mode)) {
-        // The queue refuses for exactly two reasons; closed wins the
-        // (benign) race so a drain never masquerades as overload.
-        return _queue.closed() ? SubmitError::ShutDown
-                               : SubmitError::QueueFull;
-    }
-    return std::nullopt;
+    return enqueue(std::move(job), mode);
 }
 
 void
@@ -100,7 +125,12 @@ EnginePool::workerMain(unsigned index)
     // - without paying the construction, or the per-request KL0
     // compile the shared ProgramCache now absorbs.
     interp::Engine engine;
-    while (std::optional<Job> job = _queue.pop()) {
+    // The affinity key of the image the warm engine currently
+    // holds; the scheduler batches same-key jobs onto this worker.
+    std::uint64_t loadedKey = 0;
+    while (std::optional<sched::Dispatched<Job>> d =
+               _sched->pop(index, loadedKey)) {
+        Job *job = &d->item;
         auto picked = std::chrono::steady_clock::now();
 
         JobOutcome out;
@@ -112,10 +142,20 @@ EnginePool::workerMain(unsigned index)
         // the tracing bool keeps the disabled path to one relaxed
         // load per job.
         const bool tracing = trace::enabled() && out.traceTag != 0;
-        if (tracing)
-            trace::record(trace::Stage::Queue, out.traceTag,
-                          trace::toNs(job->submitted),
-                          trace::toNs(picked));
+        if (tracing) {
+            std::uint64_t qStart = trace::toNs(job->submitted);
+            std::uint64_t qEnd = trace::toNs(picked);
+            trace::record(trace::Stage::Queue, out.traceTag, qStart,
+                          qEnd);
+            // Attribute the same wait to its scheduling class, so a
+            // trace shows *why* the request dispatched when it did.
+            trace::Stage cls = trace::Stage::SchedFair;
+            if (d->cls == sched::DispatchClass::Affinity)
+                cls = trace::Stage::SchedAffinity;
+            else if (d->cls == sched::DispatchClass::Aged)
+                cls = trace::Stage::SchedAged;
+            trace::record(cls, out.traceTag, qStart, qEnd);
+        }
 
         // The deadline budget starts at submit, so queue wait counts
         // against it.  Dead-on-arrival jobs complete as Timeout right
@@ -138,6 +178,7 @@ EnginePool::workerMain(unsigned index)
                                   out.traceTag, tFetch,
                                   trace::nowNs());
                 engine.load(*image, job->query.cache);
+                loadedKey = image->sourceHash();
                 auto loaded = std::chrono::steady_clock::now();
                 if (tracing)
                     trace::record(trace::Stage::Setup, out.traceTag,
@@ -162,6 +203,9 @@ EnginePool::workerMain(unsigned index)
                 out.solveNs = ns(loaded, solved);
             } catch (const FatalError &e) {
                 out.error = e.what();
+                // The engine may be mid-load; don't advertise its
+                // image as warm to the scheduler.
+                loadedKey = 0;
             }
         }
 
@@ -188,7 +232,7 @@ EnginePool::shutdown()
     bool expected = false;
     if (!_shutdown.compare_exchange_strong(expected, true))
         return;
-    _queue.close();
+    _sched->close();
     for (auto &t : _threads) {
         if (t.joinable())
             t.join();
@@ -205,9 +249,10 @@ EnginePool::metrics() const
     }
     snap.submitted = _submitted.load(std::memory_order_relaxed);
     snap.rejected = _rejected.load(std::memory_order_relaxed);
-    snap.queueDepth = _queue.size();
+    snap.queueDepth = _sched->size();
     snap.peakQueueDepth = _peakDepth.load(std::memory_order_relaxed);
     snap.workers = _config.workers;
+    snap.sched = _sched->snapshot();
     ProgramCache::Stats pc = _programCache->stats();
     snap.programCacheHits = pc.hits;
     snap.programCacheMisses = pc.misses;

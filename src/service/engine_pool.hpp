@@ -4,12 +4,23 @@
  *
  * Architecture (one box per worker):
  *
- *     submit() ──> BoundedQueue<Job> ──> worker 0 [warm Engine]
- *        │             (backpressure)    worker 1 [warm Engine]
- *        └─ std::future<JobOutcome>      ...      [metrics shard each]
+ *     submit() ──> sched::Scheduler<Job> ──> worker 0 [warm Engine]
+ *        │          (WFQ + EDF + affinity    worker 1 [warm Engine]
+ *        └─ std::future<JobOutcome>  batching)  ...  [metrics shard]
  *                                          │
  *                               shared ProgramCache
  *                            (compile once per source)
+ *
+ * Dispatch is pull-based: each worker asks the scheduler for its
+ * next job, passing the affinity key of the image its warm engine
+ * currently holds, so the scheduler can batch same-image requests
+ * onto the worker that already has the image resident (see
+ * sched/scheduler.hpp for the fairness/affinity/age policy).  The
+ * default AffinityScheduler reorders dispatch but never results:
+ * Engine::load() still fully resets the machine per job, so results
+ * and hardware statistics stay byte-identical to sequential
+ * runOnPsi() under any dispatch order.  SchedKind::Fifo restores
+ * the original strict arrival order.
  *
  * PSI engines are stateful and non-reentrant (heap image, work file,
  * cache), so the pool never shares one between threads.  Each worker
@@ -49,7 +60,7 @@
 #include "interp/machine.hpp"
 #include "mem/cache.hpp"
 #include "programs/registry.hpp"
-#include "service/job_queue.hpp"
+#include "sched/scheduler.hpp"
 #include "service/metrics.hpp"
 #include "service/program_cache.hpp"
 #include "system.hpp"
@@ -66,6 +77,9 @@ struct QueryJob
     /** psitrace request tag (trace::nextTag()); 0 = don't trace.
      *  Workers record queue/compile/setup/solve spans under it. */
     std::uint64_t traceTag = 0;
+    /** Scheduling tenant (fairness + quota unit).  "" = the shared
+     *  default tenant every v1 (tenant-less) client lands in. */
+    std::string tenant = {};
 };
 
 /** What the pool hands back through the job's future. */
@@ -96,14 +110,15 @@ enum class Submit
 };
 
 /**
- * Why a submission was refused.  Network front ends map QueueFull to
- * an OVERLOADED reply (backpressure surfaced to the client) and
- * ShutDown to a DRAINING reply.
+ * Why a submission was refused.  Network front ends map QueueFull
+ * and TenantQuota to an OVERLOADED reply (backpressure surfaced to
+ * the client) and ShutDown to a DRAINING reply.
  */
 enum class SubmitError : std::uint8_t
 {
-    QueueFull, ///< fail-fast submission against a full queue
-    ShutDown,  ///< the pool is draining / shut down
+    QueueFull,   ///< fail-fast submission against a full queue
+    TenantQuota, ///< fail-fast: the job's tenant is over quota
+    ShutDown,    ///< the pool is draining / shut down
 };
 
 /** Fixed-size pool of isolated PSI engine workers. */
@@ -118,6 +133,12 @@ class EnginePool
          *  and the pool creates a private one; inject an instance to
          *  share compiles across pools (or to pre-warm it). */
         std::shared_ptr<ProgramCache> programCache;
+        /** Dispatch policy; Affinity is the production default,
+         *  Fifo restores the original strict arrival order. */
+        sched::SchedKind scheduler = sched::SchedKind::Affinity;
+        /** Fairness/affinity knobs.  sched.capacity is ignored: the
+         *  pool always uses queueCapacity as the global bound. */
+        sched::SchedConfig sched = {};
     };
 
     EnginePool();
@@ -166,8 +187,9 @@ class EnginePool
     ProgramCache &programCache() { return *_programCache; }
 
     unsigned workers() const { return _config.workers; }
-    std::size_t queueCapacity() const { return _queue.capacity(); }
-    std::size_t queueDepth() const { return _queue.size(); }
+    std::size_t queueCapacity() const { return _sched->capacity(); }
+    std::size_t queueDepth() const { return _sched->size(); }
+    sched::SchedKind schedulerKind() const { return _sched->kind(); }
 
   private:
     struct Job
@@ -179,7 +201,7 @@ class EnginePool
         std::chrono::steady_clock::time_point submitted;
     };
 
-    bool enqueue(Job &&job, Submit mode);
+    std::optional<SubmitError> enqueue(Job &&job, Submit mode);
 
     /** Per-worker metrics shard; the lock is shard-private, so
      *  workers never contend with each other, only with a
@@ -194,7 +216,7 @@ class EnginePool
 
     Config _config;
     std::shared_ptr<ProgramCache> _programCache;
-    BoundedQueue<Job> _queue;
+    std::unique_ptr<sched::Scheduler<Job>> _sched;
     std::vector<std::unique_ptr<Shard>> _shards;
     std::vector<std::thread> _threads;
     std::atomic<std::uint64_t> _submitted{0};

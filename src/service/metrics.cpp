@@ -156,6 +156,8 @@ MetricsSnapshot::table(std::uint64_t wall_ns) const
     row("program cache hits", std::to_string(programCacheHits));
     row("program cache misses", std::to_string(programCacheMisses));
     row("program cache entries", std::to_string(programCacheEntries));
+    t.addSeparator();
+    sched.tableRows(t);
     if (netConnsAccepted != 0 || netConnsDropped != 0 ||
         netBadFrames != 0 || netDecodeErrors != 0 ||
         netVersionRejects != 0) {
@@ -207,6 +209,7 @@ MetricsSnapshot::json(std::uint64_t wall_ns) const
     w.u("program_cache_hits", programCacheHits);
     w.u("program_cache_misses", programCacheMisses);
     w.u("program_cache_entries", programCacheEntries);
+    sched.json(w);
     w.u("net_conns_accepted", netConnsAccepted);
     w.u("net_conns_dropped", netConnsDropped);
     w.u("net_bad_frames", netBadFrames);
@@ -345,6 +348,8 @@ MetricsSnapshot::prometheus(std::uint64_t wall_ns) const
     counter("psi_program_cache_misses_total", programCacheMisses);
     gauge("psi_program_cache_entries",
           std::to_string(programCacheEntries));
+
+    os << sched.prometheus();
 
     counter("psi_net_conns_accepted_total", netConnsAccepted);
     counter("psi_net_conns_dropped_total", netConnsDropped);

@@ -25,6 +25,7 @@
 #include "base/table.hpp"
 #include "mem/cache.hpp"
 #include "micro/sequencer.hpp"
+#include "sched/metrics.hpp"
 #include "service/histogram.hpp"
 
 namespace psi {
@@ -92,6 +93,10 @@ struct MetricsSnapshot
     std::uint64_t programCacheMisses = 0;
     std::uint64_t programCacheEntries = 0;
     /// @}
+
+    /** Scheduler counters: per-tenant fairness, affinity batching
+     *  (see sched/metrics.hpp). */
+    sched::SchedSnapshot sched;
 
     /** @name Wire-level counters (filled by net::PsiServer) */
     /// @{

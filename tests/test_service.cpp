@@ -104,6 +104,71 @@ TEST(JobQueue, CloseDrainsThenEndsStream)
     EXPECT_FALSE(q.pop().has_value()); // then end-of-stream
 }
 
+/**
+ * Edge-semantics pin: tryPush() racing close() must be exactly-once.
+ * Whatever interleaving the race takes, an item is either refused
+ * (tryPush returned false, caller keeps it) or drains exactly once
+ * after close - never lost, never duplicated, never reordered.
+ */
+TEST(JobQueue, TryPushRacingCloseIsExactlyOnce)
+{
+    for (int round = 0; round < 50; ++round) {
+        BoundedQueue<int> q(64);
+        std::atomic<int> accepted{0};
+
+        std::thread closer([&q] { q.close(); });
+        std::thread producer([&q, &accepted] {
+            for (int i = 1; i <= 32; ++i) {
+                int v = i;
+                if (!q.tryPush(v))
+                    break; // closed (or full): nothing enqueued
+                ++accepted;
+            }
+        });
+        producer.join();
+        closer.join();
+
+        // Exactly the accepted prefix drains, in order, then EOS.
+        for (int want = 1; want <= accepted.load(); ++want) {
+            auto got = q.pop();
+            ASSERT_TRUE(got.has_value());
+            EXPECT_EQ(*got, want);
+        }
+        EXPECT_FALSE(q.pop().has_value());
+    }
+}
+
+/**
+ * Edge-semantics pin: close() with concurrent blocked consumers.
+ * Every queued item is delivered to exactly one consumer before any
+ * of them sees end-of-stream, and consumers beyond the item count
+ * unblock with end-of-stream instead of hanging.
+ */
+TEST(JobQueue, CloseWakesAllConsumersAfterDrain)
+{
+    BoundedQueue<int> q(8);
+    constexpr int kItems = 3, kConsumers = 6;
+    std::atomic<int> delivered{0}, ended{0};
+
+    std::vector<std::thread> consumers;
+    for (int i = 0; i < kConsumers; ++i) {
+        consumers.emplace_back([&q, &delivered, &ended] {
+            while (auto item = q.pop())
+                ++delivered;
+            ++ended;
+        });
+    }
+    for (int i = 1; i <= kItems; ++i)
+        ASSERT_TRUE(q.push(i));
+    q.close();
+    for (auto &t : consumers)
+        t.join();
+
+    EXPECT_EQ(delivered.load(), kItems);  // each item exactly once
+    EXPECT_EQ(ended.load(), kConsumers);  // every consumer unblocked
+    EXPECT_EQ(q.size(), 0u);
+}
+
 // ---------------------------------------------------------------------
 // Latency histogram
 // ---------------------------------------------------------------------

@@ -53,6 +53,21 @@ buildCorpus()
     emptyWorkload.tag = 0xffffffffffffffffull;
     corpus.push_back(encode(Message(emptyWorkload)));
 
+    // Both self-canonical SUBMIT forms: the tenant-less v1/v2.0 body
+    // and the v2.1 body carrying a tenant id.
+    SubmitMsg v1Submit;
+    v1Submit.tag = 43;
+    v1Submit.workload = "nreverse30";
+    v1Submit.hasTenant = false;
+    corpus.push_back(encode(Message(v1Submit)));
+
+    SubmitMsg tenantSubmit;
+    tenantSubmit.tag = 44;
+    tenantSubmit.workload = "qsort50";
+    tenantSubmit.deadlineNs = 1'000'000ull;
+    tenantSubmit.tenant = "team-a/batch!";
+    corpus.push_back(encode(Message(tenantSubmit)));
+
     ResultMsg ok;
     ok.tag = 7;
     ok.status = WireStatus::Ok;
