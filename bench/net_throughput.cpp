@@ -91,6 +91,7 @@
 #include <utility>
 #include <vector>
 
+#include "base/mixspec.hpp"
 #include "base/strutil.hpp"
 #include "bench_util.hpp"
 
@@ -154,6 +155,8 @@ struct RoundConfig
     bool mixMode = false;
     /** Pool dispatch policy handed to the in-process servers. */
     sched::SchedKind sched = sched::SchedKind::Affinity;
+    /** Engine mode every SUBMIT asks for (--mode fidelity|fast). */
+    interp::ExecMode mode = interp::ExecMode::Fidelity;
     /** Per-tenant queued-job quota (0 = queue capacity). */
     std::uint64_t tenantQuota = 0;
     /** Anti-starvation age cap (0 disables the override). */
@@ -288,7 +291,8 @@ driveConnection(const RoundConfig &config, std::uint16_t port,
                 std::memory_order_release);
             const MixLane &lane = config.lanes[laneIdx[i]];
             if (!client.sendSubmit(lane.workload, config.deadlineNs,
-                                   nullptr, nullptr, lane.tenant))
+                                   nullptr, nullptr, lane.tenant,
+                                   config.mode))
                 break;
             sendDoneAtNs[i].store(
                 static_cast<std::uint64_t>(
@@ -413,9 +417,10 @@ driveFaultConnection(const RoundConfig &config, std::uint16_t port,
                                static_cast<std::uint64_t>(
                                    1e9 * k / config.ratePerSec));
         std::this_thread::sleep_until(due);
-        auto result = client.submit(
-            net::Request{config.workload, config.deadlineNs, 30000},
-            &policy, &error);
+        net::Request request{config.workload, config.deadlineNs,
+                             30000};
+        request.mode = config.mode;
+        auto result = client.submit(request, &policy, &error);
         auto now = clock_type::now();
         if (!result) {
             ++stats.lost;
@@ -736,6 +741,7 @@ main(int argc, char **argv)
     std::uint64_t fixedWorkers = 0;
     std::string mixSpec;
     std::string schedName = "affinity";
+    std::string modeName = "fidelity";
     std::uint64_t ageCapMs = 500;
     std::string faultSpec;
     std::string traceOut;
@@ -765,6 +771,9 @@ main(int argc, char **argv)
              "server WFQ share (default 1), per-tenant reporting")
         .opt("--sched", &schedName,
              "pool dispatch policy: affinity (default) or fifo")
+        .opt("--mode", &modeName,
+             "engine execution mode: fidelity (default, full "
+             "per-step accounting) or fast (token-threaded)")
         .opt("--tenant-quota", &config.tenantQuota,
              "per-tenant queued-job quota (0 = queue capacity)")
         .opt("--age-cap-ms", &ageCapMs,
@@ -824,32 +833,33 @@ main(int argc, char **argv)
                   << "' (use fifo or affinity)\n";
         return 1;
     }
+    if (modeName == "fidelity") {
+        config.mode = interp::ExecMode::Fidelity;
+    } else if (modeName == "fast") {
+        config.mode = interp::ExecMode::Fast;
+    } else {
+        std::cerr << "net_throughput: unknown --mode '" << modeName
+                  << "' (use fidelity or fast)\n";
+        return 1;
+    }
     if (!mixSpec.empty()) {
         if (config.schedule.enabled()) {
             std::cerr << "net_throughput: --mix and "
                          "--fault-schedule are mutually exclusive\n";
             return 1;
         }
-        for (const std::string &entry :
-             strutil::split(mixSpec, ',')) {
-            std::vector<std::string> parts =
-                strutil::split(entry, ':');
+        std::vector<mixspec::MixEntry> entries;
+        std::string mixError;
+        if (!mixspec::parseMixSpec(mixSpec, entries, mixError)) {
+            std::cerr << "net_throughput: " << mixError << "\n";
+            return 1;
+        }
+        for (const mixspec::MixEntry &e : entries) {
             MixLane lane;
-            lane.workload = parts[0];
-            lane.tenant = lane.workload;
-            if (parts.size() > 1)
-                lane.share =
-                    std::strtoull(parts[1].c_str(), nullptr, 10);
-            if (parts.size() > 2)
-                lane.weight =
-                    std::strtoull(parts[2].c_str(), nullptr, 10);
-            if (parts.size() > 3 || lane.share == 0 ||
-                lane.weight == 0) {
-                std::cerr << "net_throughput: bad --mix entry '"
-                          << entry
-                          << "' (want workload:share[:weight])\n";
-                return 1;
-            }
+            lane.workload = e.workload;
+            lane.tenant = e.workload;
+            lane.share = e.share;
+            lane.weight = e.weight;
             config.lanes.push_back(std::move(lane));
         }
         config.mixMode = true;
@@ -869,14 +879,18 @@ main(int argc, char **argv)
     // Weighted round-robin pattern, interleaved so a heavy tenant's
     // requests spread across the round instead of clumping.
     {
-        std::uint64_t maxShare = 0;
+        std::vector<mixspec::MixEntry> entries;
+        entries.reserve(config.lanes.size());
         for (const MixLane &lane : config.lanes)
-            maxShare = std::max(maxShare, lane.share);
-        for (std::uint64_t r = 0; r < maxShare; ++r)
-            for (std::size_t l = 0; l < config.lanes.size(); ++l)
-                if (config.lanes[l].share > r)
-                    config.lanePattern.push_back(
-                        static_cast<std::uint32_t>(l));
+            entries.push_back(
+                mixspec::MixEntry{lane.workload, lane.share,
+                                  lane.weight});
+        config.lanePattern = mixspec::wrrPattern(entries);
+        if (config.lanePattern.empty()) {
+            std::cerr << "net_throughput: --mix produced an empty "
+                         "lane pattern (all shares zero?)\n";
+            return 1;
+        }
     }
 
     if (!json) {

@@ -36,8 +36,11 @@ JsonWriter::key(std::string_view k)
     if (!_first)
         _body += ", ";
     _first = false;
+    // Keys are escaped like values: most are compile-time literals,
+    // but per-tenant keys carry caller-supplied names, and an
+    // unescaped quote or backslash there corrupts the whole object.
     _body += '"';
-    _body += k;
+    _body += jsonEscape(k);
     _body += "\": ";
 }
 

@@ -1,0 +1,109 @@
+#include "base/mixspec.hpp"
+
+#include "base/strutil.hpp"
+
+namespace psi {
+namespace mixspec {
+
+namespace {
+
+/** Parse a positive decimal integer; reject sign characters, empty
+ *  strings, trailing junk, zero and values above kMaxShare. */
+bool
+parsePositive(const std::string &s, std::uint64_t &out,
+              std::string &why)
+{
+    if (s.empty()) {
+        why = "empty number";
+        return false;
+    }
+    std::uint64_t v = 0;
+    for (char c : s) {
+        if (c < '0' || c > '9') {
+            why = "'" + s + "' is not a positive integer";
+            return false;
+        }
+        v = v * 10 + static_cast<std::uint64_t>(c - '0');
+        if (v > kMaxShare) {
+            why = "'" + s + "' exceeds the maximum of " +
+                  std::to_string(kMaxShare);
+            return false;
+        }
+    }
+    if (v == 0) {
+        why = "must be >= 1";
+        return false;
+    }
+    out = v;
+    return true;
+}
+
+} // namespace
+
+bool
+parseMixSpec(const std::string &spec, std::vector<MixEntry> &out,
+             std::string &error)
+{
+    out.clear();
+    std::uint64_t shareSum = 0;
+    for (const std::string &entry : strutil::split(spec, ',')) {
+        std::vector<std::string> parts = strutil::split(entry, ':');
+        if (parts.empty() || parts[0].empty()) {
+            error = "bad --mix entry '" + entry +
+                    "': empty workload name "
+                    "(want workload:share[:weight])";
+            out.clear();
+            return false;
+        }
+        if (parts.size() > 3) {
+            error = "bad --mix entry '" + entry +
+                    "': too many fields "
+                    "(want workload:share[:weight])";
+            out.clear();
+            return false;
+        }
+        MixEntry lane;
+        lane.workload = parts[0];
+        std::string why;
+        if (parts.size() > 1 &&
+            !parsePositive(parts[1], lane.share, why)) {
+            error = "bad --mix share in '" + entry + "': " + why;
+            out.clear();
+            return false;
+        }
+        if (parts.size() > 2 &&
+            !parsePositive(parts[2], lane.weight, why)) {
+            error = "bad --mix weight in '" + entry + "': " + why;
+            out.clear();
+            return false;
+        }
+        shareSum += lane.share;
+        out.push_back(std::move(lane));
+    }
+    if (out.empty() || shareSum == 0) {
+        // Unreachable via parsing (every share is >= 1), but guards
+        // future callers constructing entries by hand: an empty WRR
+        // pattern means laneOf() divides by zero.
+        error = "--mix needs at least one lane with a positive share";
+        out.clear();
+        return false;
+    }
+    return true;
+}
+
+std::vector<std::uint32_t>
+wrrPattern(const std::vector<MixEntry> &entries)
+{
+    std::vector<std::uint32_t> pattern;
+    std::uint64_t maxShare = 0;
+    for (const MixEntry &lane : entries)
+        maxShare = std::max(maxShare, lane.share);
+    for (std::uint64_t r = 0; r < maxShare; ++r)
+        for (std::size_t l = 0; l < entries.size(); ++l)
+            if (entries[l].share > r)
+                pattern.push_back(static_cast<std::uint32_t>(l));
+    return pattern;
+}
+
+} // namespace mixspec
+} // namespace psi

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Strict parsing for --mix tenant-lane specs.
+ *
+ * A spec is a comma-separated list of `workload[:share[:weight]]`
+ * entries.  Shares and weights must be positive decimal integers;
+ * anything else (negative numbers, trailing junk, empty fields,
+ * zero, absurdly large values) is rejected with an actionable
+ * message instead of being passed through `strtoull`, whose silent
+ * wraparound of "-3" to 2^64-3 used to make the weighted round-robin
+ * expansion allocate an effectively unbounded lane pattern.
+ */
+
+#ifndef PSI_BASE_MIXSPEC_HPP
+#define PSI_BASE_MIXSPEC_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace psi {
+namespace mixspec {
+
+/** One parsed `workload:share[:weight]` entry. */
+struct MixEntry
+{
+    std::string workload;
+    std::uint64_t share = 1;
+    std::uint64_t weight = 1;
+};
+
+/** Largest accepted share or weight.  Shares are traffic ratios and
+ *  weights are WFQ entitlements; values beyond this bound are
+ *  certainly typos and would make the WRR pattern explode. */
+constexpr std::uint64_t kMaxShare = 1'000'000;
+
+/**
+ * Parse @p spec into @p out.  Returns false and sets @p error to a
+ * one-line human-readable message (without the program-name prefix)
+ * on any malformed entry.  On failure @p out is left empty.
+ */
+bool parseMixSpec(const std::string &spec, std::vector<MixEntry> &out,
+                  std::string &error);
+
+/**
+ * Expand parsed entries into an interleaved weighted-round-robin
+ * pattern of entry indices: entry l appears share_l times, spread
+ * across the pattern so a heavy tenant's requests do not clump.
+ * The pattern is non-empty for any non-empty @p entries because
+ * every parsed share is >= 1.
+ */
+std::vector<std::uint32_t>
+wrrPattern(const std::vector<MixEntry> &entries);
+
+} // namespace mixspec
+} // namespace psi
+
+#endif // PSI_BASE_MIXSPEC_HPP

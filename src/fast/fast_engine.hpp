@@ -1,0 +1,251 @@
+/**
+ * @file
+ * The fast (non-accounting) KL0 execution engine.
+ *
+ * A statement-for-statement transliteration of the firmware
+ * interpreter (src/interp/) with every sequencer interaction removed:
+ * no microinstruction stepping, no cache model, no work-file texture,
+ * no module/branch tagging.  The instruction stream is the same
+ * flattened, contiguous image of tagged words the fidelity engine
+ * executes - replayed from the immutable kl0::CompiledProgram into
+ * paged flat arrays - and the main loop dispatches on the instruction
+ * tag token directly (computed goto under GCC/Clang, a switch
+ * elsewhere).
+ *
+ * Fidelity contract: answers, solution sets, ordering and write/nl/tab
+ * output are byte-identical to interp::Engine for any terminating
+ * query, because the engine replicates
+ *
+ *  - the exact logical-address allocation order on every stack (so
+ *    exported unbound variables print the same "_G<addr>" names),
+ *  - the younger-binds-to-older rule and conditional-trail bounds,
+ *  - the frame-buffer alternation, lazy frame flushing, TRO and
+ *    determinate-frame-reclamation decisions, and
+ *  - the output-cap check order of the firmware built-ins.
+ *
+ * What is NOT replicated is the accounting: RunResult::steps and
+ * timeNs are reported as zero, RunLimits::maxSteps is interpreted as
+ * a dispatch-count safety valve (the fidelity engine counts
+ * microinstructions, so the same numeric limit trips far later here),
+ * and deadlineNs is honored with the same bounded granularity as the
+ * fidelity loop (a periodic poll every 4096 dispatches).  The paper's
+ * Tables 2-7 are therefore served exclusively by the fidelity engine.
+ *
+ * Only the default FirmwareOptions are modeled (frame buffers on,
+ * trail buffering on, no first-argument indexing); the trail buffer
+ * is represented by a flat trail stack at the same logical positions,
+ * which is observationally identical (same trail tops in choice
+ * points, same LIFO unwind order).
+ */
+
+#ifndef PSI_FAST_FAST_ENGINE_HPP
+#define PSI_FAST_FAST_ENGINE_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "interp/machine.hpp"
+#include "kl0/builtin_defs.hpp"
+#include "kl0/codegen.hpp"
+#include "kl0/compiled_program.hpp"
+#include "kl0/symbols.hpp"
+#include "mem/area.hpp"
+#include "mem/memory_system.hpp"
+#include "mem/tagged_word.hpp"
+
+namespace psi {
+namespace fast {
+
+/**
+ * Paged flat storage for one logical area (28-bit word offsets).
+ *
+ * Pages are allocated zeroed on first write and kept mapped across
+ * clear() so a warm engine reloading the same image does not churn
+ * the allocator.  A read of a never-written word returns the Undef
+ * word, matching MemorySystem::peek of untouched memory.
+ */
+class FlatArea
+{
+  public:
+    static constexpr std::uint32_t kPageShift = 14;
+    static constexpr std::uint32_t kPageWords = 1u << kPageShift;
+    static constexpr std::uint32_t kPageMask = kPageWords - 1;
+    static constexpr std::uint32_t kPageCount = 1u << (28 - kPageShift);
+
+    FlatArea() : _pages(kPageCount) {}
+
+    TaggedWord
+    read(std::uint32_t off) const
+    {
+        const TaggedWord *p = _pages[off >> kPageShift].get();
+        return p ? p[off & kPageMask] : TaggedWord{};
+    }
+
+    void
+    write(std::uint32_t off, const TaggedWord &w)
+    {
+        page(off >> kPageShift)[off & kPageMask] = w;
+    }
+
+    /** Zero every touched page; keep the pages mapped. */
+    void clear();
+
+  private:
+    TaggedWord *page(std::uint32_t idx);
+
+    std::vector<std::unique_ptr<TaggedWord[]>> _pages;
+    std::vector<std::uint32_t> _mapped;
+};
+
+/** The token-threaded flat-dispatch KL0 engine. */
+class FastEngine
+{
+  public:
+    FastEngine();
+
+    /**
+     * Install a precompiled image: replay its poke log into the flat
+     * areas and adopt its symbol table and codegen snapshot, exactly
+     * as interp::Engine::load does for the firmware machine.
+     */
+    void load(const kl0::CompiledProgram &image);
+
+    bool loaded() const { return _loaded; }
+
+    /** Compile and run a query given as text. */
+    interp::RunResult solve(const std::string &query_text,
+                            const interp::RunLimits &limits =
+                                interp::RunLimits());
+
+    /** Compile and run a query term. */
+    interp::RunResult solve(const kl0::TermPtr &goal,
+                            const interp::RunLimits &limits =
+                                interp::RunLimits());
+
+  private:
+    using RunLimits = interp::RunLimits;
+    using RunResult = interp::RunResult;
+    using Activation = interp::Activation;
+    using FrameLoc = interp::FrameLoc;
+    using Deref = interp::Deref;
+
+    // ----- fast_engine.cpp: control -----------------------------------
+    void resetRun();
+    RunResult run(const kl0::QueryCode &qc, const RunLimits &limits);
+    void mainLoop(const kl0::QueryCode &qc, RunResult &result,
+                  const RunLimits &limits);
+    void loadArgs(std::uint32_t arity);
+    bool doCall(std::uint32_t functor_idx, std::uint32_t goal_cp,
+                bool last_call);
+    bool tryClauses(std::uint32_t table_addr, std::uint32_t goal_cp,
+                    std::uint32_t arity, std::uint32_t cont_cp,
+                    std::uint32_t cont_env, std::uint32_t cut_b);
+    bool enterClause(std::uint32_t clause_addr, std::uint32_t cont_cp,
+                     std::uint32_t cont_env, std::uint32_t cut_b);
+    bool backtrack();
+    void pushChoicePoint(std::uint32_t goal_cp, std::uint32_t cont_cp,
+                         std::uint32_t cont_env,
+                         std::uint32_t caller_frame_enc,
+                         std::uint32_t caller_global_base,
+                         std::uint32_t saved_gt, std::uint32_t saved_lt,
+                         std::uint32_t saved_tt, std::uint32_t saved_b,
+                         std::uint32_t next_clause_addr);
+    void pushEnvFrame();
+    void restoreEnv(std::uint32_t env_addr);
+    void flushFrame();
+    void doCut();
+    void reloadTrailBounds();
+    void extractSolution(const kl0::QueryCode &qc, RunResult &result);
+    kl0::TermPtr exportTerm(const TaggedWord &w, int depth = 0);
+
+    // ----- local frame access -----------------------------------------
+    TaggedWord readLocal(std::uint32_t slot);
+    void writeLocal(std::uint32_t slot, const TaggedWord &w);
+    TaggedWord fetchVarArg(const VarSlot &vs);
+    TaggedWord newGlobalCell();
+
+    // ----- fast_unify.cpp: unification and trail ----------------------
+    Deref deref(const TaggedWord &w);
+    void bind(const LogicalAddr &cell, const TaggedWord &value);
+    void trailPush(const LogicalAddr &cell);
+    void unwindTrail(std::uint64_t to_tt);
+    std::uint64_t trailTop() const { return _tt; }
+    bool unify(const TaggedWord &a, const TaggedWord &b);
+    bool unifyHead(const TaggedWord &desc, const TaggedWord &arg);
+    TaggedWord instantiate(std::uint32_t skel_addr, bool is_cons);
+    bool unifySkeleton(std::uint32_t skel_addr, bool is_cons,
+                       const TaggedWord &term);
+    bool unifySkelElement(const TaggedWord &skel_elem,
+                          const TaggedWord &cell_value);
+
+    // ----- fast_builtins.cpp ------------------------------------------
+    bool execBuiltin(kl0::Builtin b);
+    bool evalArith(const TaggedWord &w, std::int64_t &out);
+    bool arithCompare(kl0::Builtin b);
+    bool termCompare(const TaggedWord &a, const TaggedWord &b,
+                     int &out);
+    void writeTerm(const TaggedWord &w, int depth = 0);
+    bool builtinFunctor();
+    bool builtinArg();
+    bool builtinUniv();
+    bool builtinVector(kl0::Builtin b);
+    bool builtinGlobal(kl0::Builtin b);
+    bool builtinProcessCall();
+    bool runNested(std::uint32_t functor_idx,
+                   std::uint64_t max_dispatches);
+
+    // ----- flat memory access -----------------------------------------
+    TaggedWord
+    read(const LogicalAddr &a) const
+    {
+        return _area[static_cast<int>(a.area)].read(a.offset);
+    }
+    void
+    write(const LogicalAddr &a, const TaggedWord &w)
+    {
+        _area[static_cast<int>(a.area)].write(a.offset, w);
+    }
+    TaggedWord heapRead(std::uint32_t off) const
+    {
+        return _area[static_cast<int>(Area::Heap)].read(off);
+    }
+
+    // ----- components --------------------------------------------------
+    FlatArea _area[kNumAreas];
+    kl0::SymbolTable _syms;
+    /** Scratch memory the shared CodeGen emits query code into; its
+     *  poke log is mirrored into the flat heap after each compile. */
+    MemorySystem _qmem;
+    kl0::CodeGen _codegen;
+    std::vector<PokeRecord> _queryPokes;
+    bool _loaded = false;
+
+    // ----- machine registers -------------------------------------------
+    std::uint32_t _gt = interp::kStackBase;  ///< global stack top
+    std::uint32_t _lt = interp::kStackBase;  ///< local stack top
+    std::uint32_t _ct = interp::kStackBase;  ///< control stack top
+    std::uint32_t _tt = interp::kStackBase;  ///< trail stack top
+    std::uint32_t _b = interp::kNoChoice;    ///< newest choice point
+    std::uint32_t _hb = 0;                   ///< global top at newest CP
+    std::uint32_t _hl = 0;                   ///< local top at newest CP
+    std::uint32_t _cp = 0;                   ///< code pointer
+    Activation _act;
+    int _curBuf = 0;
+    TaggedWord _a[kl0::kMaxArity];           ///< argument registers
+    TaggedWord _fbuf[2][kl0::kMaxLocals];    ///< WF frame buffers
+    std::uint32_t _vecTop = kl0::kVectorBase;
+    std::uint64_t _inferences = 0;
+    std::uint64_t _dispatches = 0;           ///< maxSteps proxy
+    std::string _out;
+    std::size_t _maxOutputBytes = 1 << 20;
+    bool _failFlag = false;
+    bool _inProcessCall = false;
+    std::vector<bool> _warnedUndefined;
+};
+
+} // namespace fast
+} // namespace psi
+
+#endif // PSI_FAST_FAST_ENGINE_HPP

@@ -1,0 +1,383 @@
+/**
+ * @file
+ * Fast-engine unification, dereferencing and trail.  Transliterated
+ * from interp/unify.cpp with the sequencer accounting removed.  The
+ * work-file trail buffer of the firmware is represented by a flat
+ * trail stack at the same logical positions: entries land at the
+ * offsets the buffered entries would eventually flush to, trail tops
+ * saved in choice points are identical, and unwinding pops in the
+ * same LIFO order.
+ */
+
+#include "fast/fast_engine.hpp"
+
+#include "base/logging.hpp"
+
+namespace psi {
+namespace fast {
+
+namespace {
+
+TaggedWord
+unboundAt(const LogicalAddr &addr)
+{
+    return {Tag::Ref, addr.pack()};
+}
+
+} // namespace
+
+interp::Deref
+FastEngine::deref(const TaggedWord &w)
+{
+    Deref d;
+    d.word = w;
+    while (d.word.tag == Tag::Ref) {
+        LogicalAddr a = LogicalAddr::unpack(d.word.data);
+        TaggedWord inner = read(a);
+        if (inner.tag == Tag::Ref && inner.data == d.word.data) {
+            d.unbound = true;
+            d.cell = a;
+            return d;
+        }
+        d.word = inner;
+    }
+    return d;
+}
+
+void
+FastEngine::bind(const LogicalAddr &cell, const TaggedWord &value)
+{
+    write(cell, value);
+    bool need_trail =
+        (cell.area == Area::Global && cell.offset < _hb) ||
+        (cell.area == Area::Local && cell.offset < _hl);
+    if (need_trail)
+        trailPush(cell);
+}
+
+void
+FastEngine::trailPush(const LogicalAddr &cell)
+{
+    write(LogicalAddr(Area::Trail, _tt), {Tag::Ref, cell.pack()});
+    ++_tt;
+}
+
+void
+FastEngine::unwindTrail(std::uint64_t to_tt)
+{
+    while (_tt > to_tt) {
+        --_tt;
+        TaggedWord e = read(LogicalAddr(Area::Trail, _tt));
+        LogicalAddr a = LogicalAddr::unpack(e.data);
+        if (a.area == Area::Local) {
+            // Local-stack entries record variable globalization; the
+            // pre-binding state is always "uninitialized".
+            write(a, TaggedWord{});
+        } else {
+            write(a, unboundAt(a));
+        }
+    }
+}
+
+bool
+FastEngine::unify(const TaggedWord &a, const TaggedWord &b)
+{
+    Deref da = deref(a);
+    Deref db = deref(b);
+
+    if (da.unbound && db.unbound) {
+        if (da.cell == db.cell)
+            return true;
+        // Bind the younger cell to the older one so restoring the
+        // global top on backtracking can never leave a dangling
+        // reference.
+        if (da.cell.offset < db.cell.offset)
+            bind(db.cell, unboundAt(da.cell));
+        else
+            bind(da.cell, unboundAt(db.cell));
+        return true;
+    }
+    if (da.unbound) {
+        bind(da.cell, db.word);
+        return true;
+    }
+    if (db.unbound) {
+        bind(db.cell, da.word);
+        return true;
+    }
+
+    if (da.word.tag != db.word.tag)
+        return false;
+
+    switch (da.word.tag) {
+      case Tag::Atom:
+      case Tag::Int:
+        return da.word.data == db.word.data;
+      case Tag::Nil:
+        return true;
+      case Tag::Vector:
+        return da.word.data == db.word.data;
+      case Tag::List: {
+        LogicalAddr aa = LogicalAddr::unpack(da.word.data);
+        LogicalAddr ba = LogicalAddr::unpack(db.word.data);
+        for (int k = 0; k < 2; ++k) {
+            if (!unify(read(aa.plus(k)), read(ba.plus(k))))
+                return false;
+        }
+        return true;
+      }
+      case Tag::Struct: {
+        LogicalAddr aa = LogicalAddr::unpack(da.word.data);
+        LogicalAddr ba = LogicalAddr::unpack(db.word.data);
+        TaggedWord fa = read(aa);
+        TaggedWord fb = read(ba);
+        if (fa.data != fb.data)
+            return false;
+        std::uint32_t n = _syms.functorArity(fa.data);
+        for (std::uint32_t k = 1; k <= n; ++k) {
+            if (!unify(read(aa.plus(k)), read(ba.plus(k))))
+                return false;
+        }
+        return true;
+      }
+      default:
+        return false;
+    }
+}
+
+bool
+FastEngine::unifyHead(const TaggedWord &desc, const TaggedWord &arg)
+{
+    switch (desc.tag) {
+      case Tag::HConst: {
+        Deref d = deref(arg);
+        if (d.unbound) {
+            bind(d.cell, {Tag::Atom, desc.data});
+            return true;
+        }
+        return d.word.tag == Tag::Atom && d.word.data == desc.data;
+      }
+      case Tag::HInt: {
+        Deref d = deref(arg);
+        if (d.unbound) {
+            bind(d.cell, {Tag::Int, desc.data});
+            return true;
+        }
+        return d.word.tag == Tag::Int && d.word.data == desc.data;
+      }
+      case Tag::HNil: {
+        Deref d = deref(arg);
+        if (d.unbound) {
+            bind(d.cell, {Tag::Nil, 0});
+            return true;
+        }
+        return d.word.tag == Tag::Nil;
+      }
+      case Tag::HVoid:
+        return true;
+      case Tag::HVarF: {
+        VarSlot vs = VarSlot::decode(desc.data);
+        if (vs.global) {
+            bind(LogicalAddr(Area::Global, _act.globalBase + vs.index),
+                 arg);
+        } else {
+            writeLocal(vs.index, arg);
+        }
+        return true;
+      }
+      case Tag::HVarS: {
+        VarSlot vs = VarSlot::decode(desc.data);
+        if (vs.global) {
+            TaggedWord ref = unboundAt(
+                LogicalAddr(Area::Global, _act.globalBase + vs.index));
+            return unify(ref, arg);
+        }
+        TaggedWord v = readLocal(vs.index);
+        return unify(v, arg);
+      }
+      case Tag::HList: {
+        std::uint32_t skel = LogicalAddr::unpack(desc.data).offset;
+        Deref d = deref(arg);
+        if (d.unbound) {
+            TaggedWord w = instantiate(skel, true);
+            bind(d.cell, w);
+            return true;
+        }
+        if (d.word.tag != Tag::List)
+            return false;
+        return unifySkeleton(skel, true, d.word);
+      }
+      case Tag::HStruct: {
+        std::uint32_t skel = LogicalAddr::unpack(desc.data).offset;
+        Deref d = deref(arg);
+        if (d.unbound) {
+            TaggedWord w = instantiate(skel, false);
+            bind(d.cell, w);
+            return true;
+        }
+        if (d.word.tag != Tag::Struct)
+            return false;
+        return unifySkeleton(skel, false, d.word);
+      }
+      case Tag::HGroundList: {
+        // Shared ground term: bind directly or unify in place.
+        Deref d = deref(arg);
+        if (d.unbound) {
+            bind(d.cell, {Tag::List, desc.data});
+            return true;
+        }
+        if (d.word.tag != Tag::List)
+            return false;
+        return unify({Tag::List, desc.data}, d.word);
+      }
+      case Tag::HGroundStruct: {
+        Deref d = deref(arg);
+        if (d.unbound) {
+            bind(d.cell, {Tag::Struct, desc.data});
+            return true;
+        }
+        if (d.word.tag != Tag::Struct)
+            return false;
+        return unify({Tag::Struct, desc.data}, d.word);
+      }
+      default:
+        panic("bad head descriptor '", tagName(desc.tag), "'");
+    }
+}
+
+TaggedWord
+FastEngine::instantiate(std::uint32_t skel_addr, bool is_cons)
+{
+    std::vector<TaggedWord> out;
+    std::uint32_t start = 0;
+    std::uint32_t n = 2;
+    if (!is_cons) {
+        TaggedWord f = heapRead(skel_addr);
+        PSI_ASSERT(f.tag == Tag::Functor, "bad structure skeleton");
+        out.push_back(f);
+        n = _syms.functorArity(f.data);
+        start = 1;
+    }
+    out.reserve(start + n);
+
+    for (std::uint32_t k = 0; k < n; ++k) {
+        TaggedWord e = heapRead(skel_addr + start + k);
+        switch (e.tag) {
+          case Tag::Atom:
+          case Tag::Int:
+          case Tag::Nil:
+            out.push_back(e);
+            break;
+          case Tag::SkelVar:
+            if (e.data & kl0::kSkelVoidBit) {
+                // Placeholder: becomes a fresh unbound cell at its
+                // final address.
+                out.push_back(TaggedWord{});
+            } else {
+                VarSlot vs = VarSlot::decode(e.data);
+                out.push_back(unboundAt(LogicalAddr(
+                    Area::Global, _act.globalBase + vs.index)));
+            }
+            break;
+          case Tag::List:
+            out.push_back(
+                instantiate(LogicalAddr::unpack(e.data).offset, true));
+            break;
+          case Tag::Struct:
+            out.push_back(instantiate(
+                LogicalAddr::unpack(e.data).offset, false));
+            break;
+          default:
+            panic("bad skeleton element '", tagName(e.tag), "'");
+        }
+    }
+
+    std::uint32_t base = _gt;
+    for (std::uint32_t i = 0; i < out.size(); ++i) {
+        LogicalAddr cell(Area::Global, base + i);
+        TaggedWord w =
+            out[i].tag == Tag::Undef ? unboundAt(cell) : out[i];
+        write(cell, w);
+    }
+    _gt += static_cast<std::uint32_t>(out.size());
+    return {is_cons ? Tag::List : Tag::Struct,
+            LogicalAddr(Area::Global, base).pack()};
+}
+
+bool
+FastEngine::unifySkelElement(const TaggedWord &skel_elem,
+                             const TaggedWord &cell_value)
+{
+    switch (skel_elem.tag) {
+      case Tag::Atom:
+      case Tag::Int:
+      case Tag::Nil: {
+        Deref d = deref(cell_value);
+        if (d.unbound) {
+            bind(d.cell, skel_elem);
+            return true;
+        }
+        return d.word.tag == skel_elem.tag &&
+               d.word.data == skel_elem.data;
+      }
+      case Tag::SkelVar: {
+        if (skel_elem.data & kl0::kSkelVoidBit)
+            return true;
+        VarSlot vs = VarSlot::decode(skel_elem.data);
+        TaggedWord ref = unboundAt(
+            LogicalAddr(Area::Global, _act.globalBase + vs.index));
+        return unify(ref, cell_value);
+      }
+      case Tag::List: {
+        std::uint32_t sub = LogicalAddr::unpack(skel_elem.data).offset;
+        Deref d = deref(cell_value);
+        if (d.unbound) {
+            bind(d.cell, instantiate(sub, true));
+            return true;
+        }
+        if (d.word.tag != Tag::List)
+            return false;
+        return unifySkeleton(sub, true, d.word);
+      }
+      case Tag::Struct: {
+        std::uint32_t sub = LogicalAddr::unpack(skel_elem.data).offset;
+        Deref d = deref(cell_value);
+        if (d.unbound) {
+            bind(d.cell, instantiate(sub, false));
+            return true;
+        }
+        if (d.word.tag != Tag::Struct)
+            return false;
+        return unifySkeleton(sub, false, d.word);
+      }
+      default:
+        panic("bad skeleton element '", tagName(skel_elem.tag), "'");
+    }
+}
+
+bool
+FastEngine::unifySkeleton(std::uint32_t skel_addr, bool is_cons,
+                          const TaggedWord &term)
+{
+    LogicalAddr taddr = LogicalAddr::unpack(term.data);
+    std::uint32_t n = 2;
+    std::uint32_t off = 0;
+    if (!is_cons) {
+        TaggedWord fs = heapRead(skel_addr);
+        TaggedWord ft = read(taddr);
+        if (fs.data != ft.data)
+            return false;
+        n = _syms.functorArity(fs.data);
+        off = 1;
+    }
+    for (std::uint32_t k = 0; k < n; ++k) {
+        TaggedWord se = heapRead(skel_addr + off + k);
+        TaggedWord tv = read(taddr.plus(off + k));
+        if (!unifySkelElement(se, tv))
+            return false;
+    }
+    return true;
+}
+
+} // namespace fast
+} // namespace psi

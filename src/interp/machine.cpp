@@ -19,6 +19,18 @@ runStatusName(RunStatus s)
     return "?";
 }
 
+const char *
+execModeName(ExecMode m)
+{
+    switch (m) {
+      case ExecMode::Fidelity:
+        return "fidelity";
+      case ExecMode::Fast:
+        return "fast";
+    }
+    return "?";
+}
+
 std::string
 Solution::str() const
 {

@@ -165,6 +165,24 @@ enum class RunStatus : std::uint8_t
 const char *runStatusName(RunStatus s);
 
 /**
+ * Which execution engine serves a solve.
+ *
+ * Fidelity is the microcoded interpreter whose sequencer drives the
+ * paper's model clock and cache statistics (Tables 2-7). Fast is the
+ * token-threaded flat-dispatch engine (src/fast/): byte-identical
+ * answers and output, no per-step accounting (steps and model time
+ * report as zero).
+ */
+enum class ExecMode : std::uint8_t
+{
+    Fidelity = 0,
+    Fast = 1,
+};
+
+/** Short name for reports ("fidelity" / "fast"). */
+const char *execModeName(ExecMode m);
+
+/**
  * Armed wall-clock deadline for RunLimits::deadlineNs.
  *
  * Constructed at run entry; the engine main loops poll expired()

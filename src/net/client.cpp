@@ -269,13 +269,19 @@ bool
 PsiClient::sendSubmit(const std::string &workload,
                       std::uint64_t deadlineNs,
                       std::uint64_t *tagOut, std::string *error,
-                      const std::string &tenant)
+                      const std::string &tenant,
+                      interp::ExecMode mode)
 {
     SubmitMsg msg;
     msg.tag = _nextTag++;
     msg.workload = workload;
     msg.deadlineNs = deadlineNs;
     msg.tenant = tenant;
+    msg.mode = mode;
+    // Fidelity requests keep the v2.1 two-field form so pre-v2.2
+    // servers (which reject trailing bytes) interop unchanged; only
+    // a fast request needs the mode byte on the wire.
+    msg.hasMode = mode != interp::ExecMode::Fidelity;
     if (tagOut)
         *tagOut = msg.tag;
     return sendAll(encode(Message(std::move(msg))), error);
@@ -305,7 +311,8 @@ PsiClient::submit(const Request &request, const RetryPolicy *retry,
 {
     if (retry == nullptr) {
         return submitOnce(request.workload, request.deadlineNs,
-                          request.timeoutMs, error, request.tenant);
+                          request.timeoutMs, error, request.tenant,
+                          request.mode);
     }
     RetryPolicy policy = *retry;
     if (policy.maxAttempts == 0)
@@ -314,7 +321,7 @@ PsiClient::submit(const Request &request, const RetryPolicy *retry,
         policy.connectAttempts = 1;
     return submitWithRetry(request.workload, policy,
                            request.deadlineNs, request.timeoutMs,
-                           error, request.tenant);
+                           error, request.tenant, request.mode);
 }
 
 std::optional<ResultMsg>
@@ -337,10 +344,11 @@ PsiClient::submitRetry(const std::string &workload,
 std::optional<ResultMsg>
 PsiClient::submitOnce(const std::string &workload,
                       std::uint64_t deadlineNs, int timeoutMs,
-                      std::string *error, const std::string &tenant)
+                      std::string *error, const std::string &tenant,
+                      interp::ExecMode mode)
 {
     std::uint64_t tag = 0;
-    if (!sendSubmit(workload, deadlineNs, &tag, error, tenant))
+    if (!sendSubmit(workload, deadlineNs, &tag, error, tenant, mode))
         return std::nullopt;
     for (;;) {
         std::optional<ResultMsg> result = recvResult(timeoutMs, error);
@@ -358,7 +366,8 @@ PsiClient::submitWithRetry(const std::string &workload,
                            const RetryPolicy &policy,
                            std::uint64_t deadlineNs, int timeoutMs,
                            std::string *error,
-                           const std::string &tenant)
+                           const std::string &tenant,
+                           interp::ExecMode mode)
 {
     using clock = std::chrono::steady_clock;
     const auto start = clock::now();
@@ -409,7 +418,7 @@ PsiClient::submitWithRetry(const std::string &workload,
 
         std::uint64_t tag = 0;
         if (!sendSubmit(workload, remainingNs, &tag, &lastError,
-                        tenant))
+                        tenant, mode))
             continue; // send failed: connection is dead, retry
         if (attempt > 1)
             ++_retryStats.resubmits;

@@ -96,6 +96,10 @@ struct Request
     /** Scheduling tenant (server-side fairness + quota unit);
      *  "" = the shared default tenant. */
     std::string tenant = {};
+    /** Execution mode.  Fast requests ride the v2.2 SUBMIT form
+     *  (mode byte after the tenant); Fidelity requests keep the
+     *  v2.1 form so pre-v2.2 servers interop unchanged. */
+    interp::ExecMode mode = interp::ExecMode::Fidelity;
 };
 
 /** Blocking connection to a PsiServer. */
@@ -201,7 +205,9 @@ class PsiClient
                     std::uint64_t deadlineNs = 0,
                     std::uint64_t *tagOut = nullptr,
                     std::string *error = nullptr,
-                    const std::string &tenant = std::string());
+                    const std::string &tenant = std::string(),
+                    interp::ExecMode mode =
+                        interp::ExecMode::Fidelity);
 
     /** Pipelined receive half: next RESULT in completion order. */
     std::optional<ResultMsg> recvResult(int timeoutMs = -1,
@@ -227,19 +233,20 @@ class PsiClient
     std::optional<Message> recvMessage(int timeoutMs,
                                        std::string *error);
     /** One SUBMIT, one matching RESULT, no retries. */
-    std::optional<ResultMsg> submitOnce(const std::string &workload,
-                                        std::uint64_t deadlineNs,
-                                        int timeoutMs,
-                                        std::string *error,
-                                        const std::string &tenant =
-                                            std::string());
+    std::optional<ResultMsg>
+    submitOnce(const std::string &workload, std::uint64_t deadlineNs,
+               int timeoutMs, std::string *error,
+               const std::string &tenant = std::string(),
+               interp::ExecMode mode = interp::ExecMode::Fidelity);
     /** The resilient submit loop, parameterized by @p policy. */
     std::optional<ResultMsg>
     submitWithRetry(const std::string &workload,
                     const RetryPolicy &policy,
                     std::uint64_t deadlineNs, int timeoutMs,
                     std::string *error,
-                    const std::string &tenant = std::string());
+                    const std::string &tenant = std::string(),
+                    interp::ExecMode mode =
+                        interp::ExecMode::Fidelity);
     /** One dial, no retry loop. */
     bool connectOnce(const std::string &host, std::uint16_t port,
                      std::string *error);

@@ -483,6 +483,8 @@ PsiServer::handleSubmit(Conn &conn, SubmitMsg &&msg,
     // v1 clients (hasTenant == false) carry an empty tenant and land
     // in the scheduler's shared default tenant.
     job.tenant = msg.tenant;
+    // Pre-v2.2 clients (hasMode == false) run in fidelity mode.
+    job.mode = msg.mode;
     if (trace::enabled()) {
         // The server-side tag is minted here and echoed back in the
         // RESULT so the client can stitch its own spans onto the

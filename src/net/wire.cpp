@@ -219,10 +219,14 @@ putBody(std::string &out, const SubmitMsg &m)
     putU64(out, m.tag);
     putString(out, m.workload);
     putU64(out, m.deadlineNs);
-    // The tenant-less v1/v2.0 form ends here; hasTenant selects
-    // which of the two canonical encodings this message uses.
+    // The tenant-less v1/v2.0 form ends here, the v2.1 form after
+    // the tenant; hasTenant/hasMode select which of the three
+    // canonical encodings this message uses.  A mode byte without a
+    // tenant field is not encodable, matching the decoder.
     if (m.hasTenant)
         putString(out, m.tenant);
+    if (m.hasTenant && m.hasMode)
+        putU8(out, static_cast<std::uint8_t>(m.mode));
 }
 
 void
@@ -327,10 +331,30 @@ getBody(Reader &r, SubmitMsg &m)
         // that so a re-encode reproduces the exact same bytes.
         m.hasTenant = false;
         m.tenant.clear();
+        m.hasMode = false;
+        m.mode = interp::ExecMode::Fidelity;
         return true;
     }
     m.hasTenant = true;
-    return r.getString(m.tenant);
+    if (!r.getString(m.tenant))
+        return false;
+    if (r.done()) {
+        // v2.1 sender: tenant but no mode byte.
+        m.hasMode = false;
+        m.mode = interp::ExecMode::Fidelity;
+        return true;
+    }
+    m.hasMode = true;
+    std::uint8_t mode;
+    if (!r.getU8(mode))
+        return false;
+    // Unknown modes are a decode error, not a silent fallback: a
+    // frame asking for an execution semantics this build does not
+    // implement must not run as something else.
+    if (mode > static_cast<std::uint8_t>(interp::ExecMode::Fast))
+        return false;
+    m.mode = static_cast<interp::ExecMode>(mode);
+    return true;
 }
 
 bool

@@ -77,7 +77,7 @@ constexpr std::size_t kFrameHeaderBytes = 4;
  */
 /// @{
 constexpr std::uint32_t kProtocolMajor = 2;
-constexpr std::uint32_t kProtocolMinor = 1;
+constexpr std::uint32_t kProtocolMinor = 2;
 constexpr std::uint64_t kFeatureTrace = 1u << 0;   ///< TRACE msgs
 constexpr std::uint64_t kFeatureMetrics = 1u << 1; ///< METRICS msgs
 /** Peer is a psirouter (forwarding frames for a cluster), not an
@@ -87,8 +87,11 @@ constexpr std::uint64_t kFeatureMetrics = 1u << 1; ///< METRICS msgs
 constexpr std::uint64_t kFeatureRouting = 1u << 2;
 /** SUBMIT carries a tenant id (v2.1 scheduler fairness unit). */
 constexpr std::uint64_t kFeatureTenant = 1u << 3;
+/** SUBMIT carries an execution-mode byte (v2.2 fast dispatch). */
+constexpr std::uint64_t kFeatureFastMode = 1u << 4;
 constexpr std::uint64_t kSupportedFeatures =
-    kFeatureTrace | kFeatureMetrics | kFeatureTenant;
+    kFeatureTrace | kFeatureMetrics | kFeatureTenant |
+    kFeatureFastMode;
 /// @}
 
 /** ERROR codes (the `code` field of ErrorMsg). */
@@ -133,11 +136,13 @@ const char *wireStatusName(WireStatus s);
 /** Map an engine run status onto the wire. */
 WireStatus wireStatus(interp::RunStatus s);
 
-/** SUBMIT body.  Two self-canonical forms share the type byte: the
- *  v1/v2.0 body ends after deadlineNs, the v2.1 body appends a
- *  tenant string.  The decoder distinguishes by exhaustion and
- *  re-encodes each form byte-identically (the fuzz suite's
- *  round-trip property), so old clients interop unchanged. */
+/** SUBMIT body.  Three self-canonical forms share the type byte:
+ *  the v1/v2.0 body ends after deadlineNs, the v2.1 body appends a
+ *  tenant string, and the v2.2 body appends an execution-mode byte
+ *  after the tenant (so hasMode implies hasTenant).  The decoder
+ *  distinguishes the forms by exhaustion and re-encodes each one
+ *  byte-identically (the fuzz suite's round-trip property), so old
+ *  clients interop unchanged. */
 struct SubmitMsg
 {
     std::uint64_t tag = 0;        ///< client-chosen correlation id
@@ -149,6 +154,13 @@ struct SubmitMsg
     /** False for frames in the tenant-less v1/v2.0 form; such
      *  requests run as the shared default tenant. */
     bool hasTenant = true;
+    /** Execution mode (v2.2); only on the wire when hasMode.  The
+     *  decoder rejects mode bytes it does not know, so a future
+     *  mode never silently degrades to Fidelity mid-cluster. */
+    interp::ExecMode mode = interp::ExecMode::Fidelity;
+    /** False for frames in the v1/v2.0/v2.1 forms; such requests
+     *  run in Fidelity mode. */
+    bool hasMode = true;
 };
 
 /** RESULT body: the full JobOutcome, serialized. */

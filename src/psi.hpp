@@ -4,6 +4,9 @@
  *
  * Components:
  *  - interp::Engine        the microprogrammed PSI interpreter
+ *  - fast::FastEngine      psifast - token-threaded fast execution
+ *                          mode (byte-identical answers, no
+ *                          per-step hardware accounting)
  *  - baseline::WamEngine   the DEC-10-compiled-code stand-in
  *  - programs::            the paper's benchmark workloads
  *  - tools::               COLLECT / MAP / PMMS analysis tools
@@ -27,6 +30,7 @@
 #include "base/table.hpp"
 #include "base/trace.hpp"
 #include "baseline/wam_machine.hpp"
+#include "fast/fast_engine.hpp"
 #include "interp/engine.hpp"
 #include "kl0/program.hpp"
 #include "kl0/reader.hpp"

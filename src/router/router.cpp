@@ -713,6 +713,8 @@ PsiRouter::handleSubmit(Conn &conn, net::SubmitMsg &&msg)
     pending.clientTag = msg.tag;
     pending.workload = std::move(msg.workload);
     pending.tenant = std::move(msg.tenant);
+    pending.mode = msg.mode;
+    pending.hasMode = msg.hasMode;
     pending.key = kl0::CompiledProgram::hashSource(program->source);
     if (msg.deadlineNs != 0) {
         pending.hasDeadline = true;
@@ -776,8 +778,12 @@ PsiRouter::forwardToBackend(std::uint32_t target, Pending &&pending)
     fwd.deadlineNs = remainNs;
     // The tenant rides through so backend-side fairness sees the
     // same tenant the client declared (v1 senders forward as the
-    // default tenant).
+    // default tenant).  The execution mode rides through the same
+    // way, in the v2.2 form only when the client used it, so a
+    // cluster of pre-v2.2 backends keeps serving fidelity traffic.
     fwd.tenant = pending.tenant;
+    fwd.mode = pending.mode;
+    fwd.hasMode = pending.hasMode;
     _pending.emplace(routerTag, std::move(pending));
 
     queueToBackend(backend, net::Message(std::move(fwd)));

@@ -245,6 +245,9 @@ class PsiRouter
         std::uint64_t clientTag = 0;
         std::string workload;
         std::string tenant;           ///< forwarded fairness unit
+        /** Forwarded execution mode (v2.2 fast dispatch). */
+        interp::ExecMode mode = interp::ExecMode::Fidelity;
+        bool hasMode = false;         ///< mode byte was on the wire
         std::uint64_t key = 0;        ///< source-content hash
         std::uint32_t backend = 0;    ///< current target
         std::vector<std::uint32_t> tried;

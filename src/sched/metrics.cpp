@@ -56,6 +56,11 @@ sanitizeTenantName(const std::string &name)
 {
     if (name.empty())
         return kDefaultTenant;
+    // '~' is reserved for the scheduler's own fold bucket "~other"
+    // (interned verbatim, never through this function): mapping it
+    // to '_' here means no client-declared tenant - including a
+    // hostile literal "~other" - can collide with that bucket and
+    // silently merge its counters into the overflow row.
     static const std::size_t kMaxLen = 48;
     std::string out;
     out.reserve(std::min(name.size(), kMaxLen));
@@ -64,7 +69,7 @@ sanitizeTenantName(const std::string &name)
             break;
         bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
                   (c >= '0' && c <= '9') || c == '_' || c == '.' ||
-                  c == '-' || c == '~';
+                  c == '-';
         out.push_back(ok ? c : '_');
     }
     return out;

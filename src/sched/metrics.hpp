@@ -122,12 +122,17 @@ struct SchedSnapshot
 
 /**
  * Clamp a client-supplied tenant id to a safe metrics label:
- * [A-Za-z0-9_.-] pass through, anything else becomes '_', length is
- * capped, and an empty id maps to "default" (the v1 shared tenant).
+ * [A-Za-z0-9_.-] pass through, anything else (including '~', which
+ * is reserved for the fold bucket) becomes '_', length is capped,
+ * and an empty id maps to "default" (the v1 shared tenant).  The
+ * output never needs escaping as a JSON key or a Prometheus label
+ * value, and can never equal kOverflowTenant.
  */
 std::string sanitizeTenantName(const std::string &name);
 
-/** The bucket absorbing tenants past SchedConfig::maxTenants. */
+/** The bucket absorbing tenants past SchedConfig::maxTenants.
+ *  Interned verbatim by the scheduler, never via
+ *  sanitizeTenantName(), so client names cannot collide with it. */
 extern const char *const kOverflowTenant;
 
 /** The shared tenant v1 (tenant-less) clients land in. */

@@ -279,17 +279,23 @@ class SchedulerBase : public Scheduler<T>
     static constexpr std::uint64_t kVirtualScale = 1u << 16;
 
     /** Intern @p name (sanitized) into the tenant table; tenants
-     *  past maxTenants share the overflow bucket. */
-    std::uint32_t internTenantLocked(const std::string &name)
+     *  past maxTenants share the overflow bucket.  Only the
+     *  scheduler's own fold-bucket intern (@p raw) bypasses
+     *  sanitization: client names always pass through it, and since
+     *  it maps '~' to '_', no client-declared name - not even a
+     *  literal "~other" - can intern into the bucket's table slot. */
+    std::uint32_t internTenantLocked(const std::string &name,
+                                     bool raw = false)
     {
-        std::string key = sanitizeTenantName(name);
+        std::string key = raw ? name : sanitizeTenantName(name);
         auto it = _tenantIndex.find(key);
         if (it != _tenantIndex.end())
             return it->second;
         if (_tenants.size() + 1 >= _config.maxTenants &&
             key != kOverflowTenant) {
             // Table full: everyone new shares the overflow bucket.
-            return internTenantLocked(kOverflowTenant);
+            return internTenantLocked(kOverflowTenant,
+                                      /*raw=*/true);
         }
         detail::Tenant t;
         t.name = key;

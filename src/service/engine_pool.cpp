@@ -2,6 +2,7 @@
 
 #include "base/logging.hpp"
 #include "base/trace.hpp"
+#include "fast/fast_engine.hpp"
 #include "interp/engine.hpp"
 #include "kl0/compiled_program.hpp"
 
@@ -125,6 +126,11 @@ EnginePool::workerMain(unsigned index)
     // - without paying the construction, or the per-request KL0
     // compile the shared ProgramCache now absorbs.
     interp::Engine engine;
+    // The fast engine sits beside the fidelity engine: both stay warm
+    // so a worker alternating modes never reconstructs either.  It is
+    // only instantiated on the first fast job (its paged areas cost a
+    // little memory a fidelity-only deployment shouldn't pay).
+    std::unique_ptr<fast::FastEngine> fastEngine;
     // The affinity key of the image the warm engine currently
     // holds; the scheduler batches same-key jobs onto this worker.
     std::uint64_t loadedKey = 0;
@@ -137,6 +143,7 @@ EnginePool::workerMain(unsigned index)
         out.id = job->query.program.id;
         out.queueNs = ns(job->submitted, picked);
         out.traceTag = job->query.traceTag;
+        out.mode = job->query.mode;
 
         // Spans are recorded only for tagged jobs with tracing on;
         // the tracing bool keeps the disabled path to one relaxed
@@ -177,7 +184,16 @@ EnginePool::workerMain(unsigned index)
                                       : trace::Stage::CacheHit,
                                   out.traceTag, tFetch,
                                   trace::nowNs());
-                engine.load(*image, job->query.cache);
+                const bool fast =
+                    job->query.mode == interp::ExecMode::Fast;
+                if (fast) {
+                    if (!fastEngine)
+                        fastEngine =
+                            std::make_unique<fast::FastEngine>();
+                    fastEngine->load(*image);
+                } else {
+                    engine.load(*image, job->query.cache);
+                }
                 loadedKey = image->sourceHash();
                 auto loaded = std::chrono::steady_clock::now();
                 if (tracing)
@@ -188,11 +204,18 @@ EnginePool::workerMain(unsigned index)
                 interp::RunLimits limits = job->query.limits;
                 if (budget != 0)
                     limits.deadlineNs = budget - out.queueNs;
-                out.run.result =
-                    engine.solve(job->query.program.query, limits);
-                out.run.seq = engine.seq().stats();
-                out.run.cache = engine.mem().cache().stats();
-                out.run.stallNs = engine.mem().stallNs();
+                if (fast) {
+                    // No sequencer, cache model or stall clock to
+                    // copy: fast runs report zero hardware stats.
+                    out.run.result = fastEngine->solve(
+                        job->query.program.query, limits);
+                } else {
+                    out.run.result = engine.solve(
+                        job->query.program.query, limits);
+                    out.run.seq = engine.seq().stats();
+                    out.run.cache = engine.mem().cache().stats();
+                    out.run.stallNs = engine.mem().stallNs();
+                }
 
                 auto solved = std::chrono::steady_clock::now();
                 if (tracing)

@@ -80,6 +80,11 @@ struct QueryJob
     /** Scheduling tenant (fairness + quota unit).  "" = the shared
      *  default tenant every v1 (tenant-less) client lands in. */
     std::string tenant = {};
+    /** Execution mode.  Fidelity runs the microcoded interpreter and
+     *  fills the hardware statistics (the paper's Tables 2-7); Fast
+     *  runs the token-threaded flat-dispatch engine, byte-identical
+     *  in answers but reporting zero steps/model-time/cache stats. */
+    interp::ExecMode mode = interp::ExecMode::Fidelity;
 };
 
 /** What the pool hands back through the job's future. */
@@ -94,6 +99,8 @@ struct JobOutcome
     std::uint64_t solveNs = 0;  ///< host: query compile + run
     std::uint64_t latencyNs = 0;///< host: submit -> completion
     std::uint64_t traceTag = 0; ///< echo of QueryJob::traceTag
+    /** Echo of QueryJob::mode (which engine served the job). */
+    interp::ExecMode mode = interp::ExecMode::Fidelity;
     /** True when the deadline budget was exhausted by queue wait
      *  alone; the job completed as Timeout without running. */
     bool expired = false;

@@ -44,6 +44,10 @@ void
 WorkerMetrics::record(const JobOutcome &outcome)
 {
     ++completed;
+    if (outcome.mode == interp::ExecMode::Fast)
+        ++jobsFast;
+    else
+        ++jobsFidelity;
     if (!outcome.ok()) {
         ++errored;
     } else {
@@ -85,6 +89,8 @@ void
 WorkerMetrics::merge(const WorkerMetrics &other)
 {
     completed += other.completed;
+    jobsFidelity += other.jobsFidelity;
+    jobsFast += other.jobsFast;
     succeeded += other.succeeded;
     timedOut += other.timedOut;
     stepLimited += other.stepLimited;
@@ -135,6 +141,8 @@ MetricsSnapshot::table(std::uint64_t wall_ns) const
     row("workers", std::to_string(workers));
     row("jobs submitted", std::to_string(submitted));
     row("jobs completed", std::to_string(total.completed));
+    row("  fidelity mode", std::to_string(total.jobsFidelity));
+    row("  fast mode", std::to_string(total.jobsFast));
     row("jobs succeeded", std::to_string(total.succeeded));
     row("jobs timed out", std::to_string(total.timedOut));
     row("  expired in queue", std::to_string(total.expiredInQueue));
@@ -189,6 +197,8 @@ MetricsSnapshot::json(std::uint64_t wall_ns) const
     w.u("workers", workers);
     w.u("submitted", submitted);
     w.u("completed", total.completed);
+    w.u("completed_fidelity", total.jobsFidelity);
+    w.u("completed_fast", total.jobsFast);
     w.u("succeeded", total.succeeded);
     w.u("timed_out", total.timedOut);
     w.u("expired_in_queue", total.expiredInQueue);
@@ -262,6 +272,11 @@ MetricsSnapshot::prometheus(std::uint64_t wall_ns) const
     gauge("psi_workers", std::to_string(workers));
     counter("psi_jobs_submitted_total", submitted);
     counter("psi_jobs_completed_total", total.completed);
+    os << "# TYPE psi_jobs_mode_total counter\n"
+       << "psi_jobs_mode_total{mode=\"fidelity\"} "
+       << total.jobsFidelity << '\n'
+       << "psi_jobs_mode_total{mode=\"fast\"} " << total.jobsFast
+       << '\n';
     counter("psi_jobs_succeeded_total", total.succeeded);
     counter("psi_jobs_timed_out_total", total.timedOut);
     counter("psi_jobs_expired_in_queue_total", total.expiredInQueue);

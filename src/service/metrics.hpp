@@ -50,6 +50,11 @@ struct WorkerMetrics
     /** Timeouts whose whole budget was spent queueing: completed as
      *  RunStatus::Timeout without ever touching an engine. */
     std::uint64_t expiredInQueue = 0;
+    /** @name Per-execution-mode split of `completed` */
+    /// @{
+    std::uint64_t jobsFidelity = 0; ///< microcoded interpreter runs
+    std::uint64_t jobsFast = 0;     ///< token-threaded fast runs
+    /// @}
 
     std::uint64_t inferences = 0;  ///< user-predicate calls
     std::uint64_t modelNs = 0;     ///< model clock (steps + stalls)

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * psifast differential suite: the token-threaded fast engine must be
+ * byte-identical to the fidelity interpreter in everything a client
+ * can observe - solution bindings (including generated _G variable
+ * names, which encode allocation order), printed output, inference
+ * counts and termination status - while reporting zero for the
+ * hardware accounting it skips.
+ *
+ * Covered paths:
+ *  - direct FastEngine::load/solve vs runOnPsi, full registry
+ *  - the warm-engine EnginePool path (mode = Fast), where an engine
+ *    and its paged storage are reused across jobs
+ *  - per-mode metrics counters and mode echo in JobOutcome
+ *
+ * The registry includes the stress workloads the dispatch rewrite is
+ * most likely to break: trail40 (deep trail + unwind), deeprec
+ * (frame stack growth) and permall6 (exhaustive backtracking).
+ */
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "psi.hpp"
+
+namespace {
+
+using namespace psi;
+using service::EnginePool;
+using service::JobOutcome;
+using service::QueryJob;
+
+/** Fields the fast engine must reproduce exactly. */
+void
+expectByteIdentical(const interp::RunResult &fast,
+                    const interp::RunResult &fid)
+{
+    EXPECT_EQ(fast.status, fid.status);
+    EXPECT_EQ(fast.output, fid.output);
+    EXPECT_EQ(fast.inferences, fid.inferences);
+    ASSERT_EQ(fast.solutions.size(), fid.solutions.size());
+    for (std::size_t k = 0; k < fid.solutions.size(); ++k)
+        EXPECT_EQ(fast.solutions[k].str(), fid.solutions[k].str());
+}
+
+TEST(FastEngine, RegistryCoversTheStressWorkloads)
+{
+    // The differential below is only as strong as the registry it
+    // sweeps: pin the workloads that exercise deep trails, deep
+    // recursion and exhaustive backtracking so a future registry
+    // prune cannot silently weaken the suite.
+    std::set<std::string> ids;
+    for (const auto &p : programs::allPrograms())
+        ids.insert(p.id);
+    EXPECT_TRUE(ids.count("trail40"));
+    EXPECT_TRUE(ids.count("deeprec"));
+    EXPECT_TRUE(ids.count("permall6"));
+    EXPECT_TRUE(ids.count("nreverse30"));
+}
+
+TEST(FastEngine, ByteIdenticalToFidelityOnFullRegistry)
+{
+    for (const auto &p : programs::allPrograms()) {
+        SCOPED_TRACE(p.id);
+        PsiRun fid = runOnPsi(p);
+
+        auto image = kl0::CompiledProgram::compile(p.source);
+        fast::FastEngine fe;
+        fe.load(image);
+        interp::RunResult fr = fe.solve(p.query);
+
+        expectByteIdentical(fr, fid.result);
+        // The accounting the fast path skips reads as zero, never as
+        // a stale or fabricated number.
+        EXPECT_EQ(fr.steps, 0u);
+        EXPECT_EQ(fr.timeNs, 0u);
+    }
+}
+
+/**
+ * One engine, whole registry, no reload between reruns: clear() must
+ * restore a byte-identical starting state (stack tops, trail, vector
+ * space, generated-name counter) or answers drift on the second run.
+ */
+TEST(FastEngine, WarmEngineRerunsAreIdentical)
+{
+    fast::FastEngine fe;
+    for (const auto &p : programs::allPrograms()) {
+        SCOPED_TRACE(p.id);
+        auto image = kl0::CompiledProgram::compile(p.source);
+        fe.load(image);
+        interp::RunResult first = fe.solve(p.query);
+        interp::RunResult again = fe.solve(p.query);
+        expectByteIdentical(again, first);
+    }
+}
+
+TEST(FastEngine, PoolPathMatchesFidelityOnFullRegistry)
+{
+    const auto &programs = programs::allPrograms();
+
+    EnginePool::Config config;
+    config.workers = 4;
+    config.queueCapacity = programs.size();
+    EnginePool pool(config);
+
+    // Two passes through the pool: the first pass hits cold workers,
+    // the second reuses warm engines whose paged areas and interned
+    // state survived a prior job.
+    for (int pass = 0; pass < 2; ++pass) {
+        SCOPED_TRACE("pass " + std::to_string(pass));
+        std::vector<std::future<JobOutcome>> futures;
+        for (const auto &p : programs) {
+            QueryJob job{p, CacheConfig::psi(), interp::RunLimits()};
+            job.mode = interp::ExecMode::Fast;
+            auto f = pool.submit(std::move(job));
+            ASSERT_TRUE(f.has_value());
+            futures.push_back(std::move(*f));
+        }
+        for (std::size_t i = 0; i < programs.size(); ++i) {
+            SCOPED_TRACE(programs[i].id);
+            JobOutcome out = futures[i].get();
+            ASSERT_TRUE(out.error.empty()) << out.error;
+            EXPECT_EQ(out.mode, interp::ExecMode::Fast);
+            PsiRun fid = runOnPsi(programs[i]);
+            expectByteIdentical(out.run.result, fid.result);
+        }
+    }
+
+    auto snap = pool.metrics();
+    EXPECT_EQ(snap.total.jobsFast, 2 * programs.size());
+    EXPECT_EQ(snap.total.jobsFidelity, 0u);
+}
+
+TEST(FastEngine, PoolCountsModesSeparately)
+{
+    EnginePool::Config config;
+    config.workers = 1;
+    EnginePool pool(config);
+
+    const auto &p = programs::programById("nreverse30");
+    QueryJob fidelity{p, CacheConfig::psi(), interp::RunLimits()};
+    QueryJob fastJob{p, CacheConfig::psi(), interp::RunLimits()};
+    fastJob.mode = interp::ExecMode::Fast;
+
+    auto f1 = pool.submit(QueryJob(fidelity));
+    auto f2 = pool.submit(QueryJob(fastJob));
+    auto f3 = pool.submit(QueryJob(fastJob));
+    ASSERT_TRUE(f1 && f2 && f3);
+    JobOutcome o1 = f1->get();
+    JobOutcome o2 = f2->get();
+    JobOutcome o3 = f3->get();
+    EXPECT_EQ(o1.mode, interp::ExecMode::Fidelity);
+    EXPECT_EQ(o2.mode, interp::ExecMode::Fast);
+    EXPECT_GT(o1.run.result.steps, 0u) << "fidelity keeps its stats";
+    EXPECT_EQ(o2.run.result.steps, 0u);
+    expectByteIdentical(o2.run.result, o1.run.result);
+    expectByteIdentical(o3.run.result, o1.run.result);
+
+    auto snap = pool.metrics();
+    EXPECT_EQ(snap.total.jobsFidelity, 1u);
+    EXPECT_EQ(snap.total.jobsFast, 2u);
+
+    // The split surfaces in both machine renderings.
+    const std::string json = snap.json();
+    EXPECT_NE(json.find("\"completed_fidelity\": 1"),
+              std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"completed_fast\": 2"), std::string::npos)
+        << json;
+    const std::string prom = snap.prometheus();
+    EXPECT_NE(prom.find("psi_jobs_mode_total{mode=\"fast\"} 2"),
+              std::string::npos)
+        << prom;
+    EXPECT_NE(prom.find("psi_jobs_mode_total{mode=\"fidelity\"} 1"),
+              std::string::npos)
+        << prom;
+}
+
+} // namespace

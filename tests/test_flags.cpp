@@ -13,12 +13,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
 #include <string>
 #include <vector>
 
 #include "base/flags.hpp"
+#include "base/mixspec.hpp"
 
 namespace {
 
@@ -132,6 +134,120 @@ TEST(Flags, RepeatableOptAbsentLeavesVectorEmpty)
     char *argv[] = {arg0.data(), nullptr};
     EXPECT_TRUE(flags.parse(1, argv));
     EXPECT_TRUE(backends.empty());
+}
+
+// --mix spec parsing.  The old net_throughput parser ran shares
+// through strtoull, which wrapped "-3" to 2^64 - 3 and accepted
+// trailing junk ("3x" parsed as 3) - a negative share then exploded
+// the weighted-round-robin pattern.  parseMixSpec must reject every
+// malformed share/weight with an actionable message and leave the
+// output empty.
+
+using psi::mixspec::MixEntry;
+using psi::mixspec::parseMixSpec;
+using psi::mixspec::wrrPattern;
+
+TEST(MixSpec, ParsesSharesAndWeights)
+{
+    std::vector<MixEntry> entries;
+    std::string error;
+    ASSERT_TRUE(
+        parseMixSpec("nreverse30:3:2,qsort50:1,tree", entries, error))
+        << error;
+    ASSERT_EQ(entries.size(), 3u);
+    EXPECT_EQ(entries[0].workload, "nreverse30");
+    EXPECT_EQ(entries[0].share, 3u);
+    EXPECT_EQ(entries[0].weight, 2u);
+    EXPECT_EQ(entries[1].workload, "qsort50");
+    EXPECT_EQ(entries[1].share, 1u);
+    EXPECT_EQ(entries[1].weight, 1u);
+    EXPECT_EQ(entries[2].workload, "tree");
+    EXPECT_EQ(entries[2].share, 1u);
+}
+
+TEST(MixSpec, RejectsNegativeShare)
+{
+    // The strtoull bug: "-3" wrapped to 18446744073709551613.
+    std::vector<MixEntry> entries;
+    std::string error;
+    EXPECT_FALSE(parseMixSpec("nreverse30:-3", entries, error));
+    EXPECT_TRUE(entries.empty()) << "output must be cleared";
+    EXPECT_NE(error.find("nreverse30:-3"), std::string::npos)
+        << "error must name the bad entry: " << error;
+}
+
+TEST(MixSpec, RejectsZeroShare)
+{
+    std::vector<MixEntry> entries;
+    std::string error;
+    EXPECT_FALSE(parseMixSpec("nreverse30:0", entries, error));
+    EXPECT_TRUE(entries.empty());
+}
+
+TEST(MixSpec, RejectsTrailingJunkInShare)
+{
+    // strtoull stopped at the junk and returned 3.
+    std::vector<MixEntry> entries;
+    std::string error;
+    EXPECT_FALSE(parseMixSpec("nreverse30:3x", entries, error));
+    EXPECT_TRUE(entries.empty());
+}
+
+TEST(MixSpec, RejectsOversizedShare)
+{
+    std::vector<MixEntry> entries;
+    std::string error;
+    EXPECT_FALSE(parseMixSpec("nreverse30:1000001", entries, error));
+    EXPECT_NE(error.find("1000000"), std::string::npos)
+        << "error must state the cap: " << error;
+}
+
+TEST(MixSpec, RejectsEmptyEntryAndEmptyWorkload)
+{
+    std::vector<MixEntry> entries;
+    std::string error;
+    EXPECT_FALSE(parseMixSpec("nreverse30:2,,tree", entries, error));
+    EXPECT_FALSE(parseMixSpec(":2", entries, error));
+    EXPECT_FALSE(parseMixSpec("", entries, error));
+}
+
+TEST(MixSpec, RejectsTooManyFields)
+{
+    std::vector<MixEntry> entries;
+    std::string error;
+    EXPECT_FALSE(parseMixSpec("nreverse30:1:2:3", entries, error));
+}
+
+TEST(MixSpec, RejectsBadWeight)
+{
+    std::vector<MixEntry> entries;
+    std::string error;
+    EXPECT_FALSE(parseMixSpec("nreverse30:1:-2", entries, error));
+    EXPECT_FALSE(parseMixSpec("nreverse30:1:0", entries, error));
+    EXPECT_NE(error.find("weight"), std::string::npos) << error;
+}
+
+TEST(MixSpec, WrrPatternInterleavesByShare)
+{
+    std::vector<MixEntry> entries;
+    std::string error;
+    ASSERT_TRUE(parseMixSpec("a:3,b:1", entries, error)) << error;
+    std::vector<std::uint32_t> pattern = wrrPattern(entries);
+    ASSERT_EQ(pattern.size(), 4u);
+    // Shares 3:1 -> lane 0 three times, lane 1 once, interleaved
+    // (not a 3-run then b) so short windows see both tenants.
+    EXPECT_EQ(std::count(pattern.begin(), pattern.end(), 0u), 3);
+    EXPECT_EQ(std::count(pattern.begin(), pattern.end(), 1u), 1);
+}
+
+TEST(MixSpec, WrrPatternSingleLane)
+{
+    std::vector<MixEntry> entries;
+    std::string error;
+    ASSERT_TRUE(parseMixSpec("a", entries, error)) << error;
+    std::vector<std::uint32_t> pattern = wrrPattern(entries);
+    ASSERT_EQ(pattern.size(), 1u);
+    EXPECT_EQ(pattern[0], 0u);
 }
 
 } // namespace

@@ -453,6 +453,49 @@ TEST(Loopback, RegistryMatchesSequentialByteForByte)
     }
 }
 
+/**
+ * Fast mode over TCP: the v2.2 mode flag reaches the pool, answers
+ * stay byte-identical to fidelity, the skipped accounting reads
+ * zero, and the per-mode counter surfaces in STATS.
+ */
+TEST(Loopback, FastModeMatchesFidelityAnswersOverWire)
+{
+    ServerHarness harness(serverConfig(2, 16));
+    net::PsiClient client;
+    std::string error;
+    ASSERT_TRUE(client.connect("127.0.0.1", harness.port(), &error))
+        << error;
+
+    for (const char *id : {"nreverse30", "trail40", "permall6"}) {
+        SCOPED_TRACE(id);
+        PsiRun want = runOnPsi(programs::programById(id));
+
+        net::Request request{id};
+        request.mode = interp::ExecMode::Fast;
+        auto got = client.submit(request, nullptr, &error);
+        ASSERT_TRUE(got.has_value()) << error;
+
+        EXPECT_EQ(got->status, net::wireStatus(want.result.status));
+        ASSERT_EQ(got->solutions.size(),
+                  want.result.solutions.size());
+        for (std::size_t i = 0; i < got->solutions.size(); ++i)
+            EXPECT_EQ(got->solutions[i],
+                      want.result.solutions[i].str());
+        EXPECT_EQ(got->output, want.result.output);
+        EXPECT_EQ(got->inferences, want.result.inferences);
+        // Fast mode reports no model clock or hardware stats.
+        EXPECT_EQ(got->steps, 0u);
+        EXPECT_EQ(got->modelNs, 0u);
+        EXPECT_EQ(got->cache.readIns, 0u);
+    }
+
+    auto statsJson = client.stats(-1, &error);
+    ASSERT_TRUE(statsJson.has_value()) << error;
+    EXPECT_NE(statsJson->find("\"completed_fast\": 3"),
+              std::string::npos)
+        << *statsJson;
+}
+
 /** An expired per-request deadline comes back as Timeout. */
 TEST(Loopback, DeadlinePropagatesAsTimeout)
 {

@@ -450,6 +450,40 @@ TEST(Router, RegistryThroughTwoBackendsMatchesSequential)
     EXPECT_EQ(metrics.staleDropped, 0u);
 }
 
+/**
+ * The v2.2 mode flag rides through the router to the backend: a
+ * fast-mode request comes back with fidelity-identical answers and
+ * the zeroed accounting that marks it as fast-served.
+ */
+TEST(Router, FastModeForwardsThroughToBackends)
+{
+    BackendHarness backend;
+    RouterHarness router(routerConfig({backend.port()}));
+    router.waitForAdmission(1);
+
+    net::PsiClient client;
+    std::string error;
+    ASSERT_TRUE(client.connect("127.0.0.1", router.port(), &error))
+        << error;
+
+    const auto &program = programs::programById("nreverse30");
+    PsiRun want = runOnPsi(program);
+
+    net::Request request{program.id};
+    request.mode = interp::ExecMode::Fast;
+    auto got = client.submit(request, nullptr, &error);
+    ASSERT_TRUE(got.has_value()) << error;
+    EXPECT_EQ(got->status, net::WireStatus::Ok);
+    ASSERT_EQ(got->solutions.size(), want.result.solutions.size());
+    for (std::size_t i = 0; i < got->solutions.size(); ++i)
+        EXPECT_EQ(got->solutions[i], want.result.solutions[i].str());
+    EXPECT_EQ(got->inferences, want.result.inferences);
+    // steps == 0 on a completed solve proves the backend really ran
+    // the fast engine - fidelity would have counted every step.
+    EXPECT_EQ(got->steps, 0u);
+    EXPECT_EQ(got->modelNs, 0u);
+}
+
 TEST(Router, UnknownWorkloadRefusedAtTheRouter)
 {
     BackendHarness backend;

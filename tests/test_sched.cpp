@@ -117,12 +117,123 @@ TEST(SchedNames, KindRoundTrip)
 TEST(SchedNames, TenantSanitization)
 {
     EXPECT_EQ(sched::sanitizeTenantName(""), "default");
+    // '~' is reserved for the fold bucket, so it no longer passes
+    // through - a client-declared "team-a_1.x~" must not be able to
+    // produce a name in the scheduler's reserved namespace.
     EXPECT_EQ(sched::sanitizeTenantName("team-a_1.x~"),
-              "team-a_1.x~");
+              "team-a_1.x_");
     EXPECT_EQ(sched::sanitizeTenantName("bad name!"), "bad_name_");
     // Length capped so hostile ids cannot bloat metrics labels.
     EXPECT_EQ(sched::sanitizeTenantName(std::string(200, 'a')).size(),
               48u);
+}
+
+TEST(SchedNames, HostileTenantIdsSurviveJsonAndPrometheus)
+{
+    // Tenant ids chosen to break each emission surface: JSON-key
+    // metacharacters, Prometheus label metacharacters, control
+    // characters, and an attempt to claim the fold bucket's name.
+    const std::vector<std::string> hostile = {
+        "evil\"quote", "back\\slash", "line\nbreak", "tab\there",
+        sched::kOverflowTenant,
+    };
+    SchedConfig config;
+    config.capacity = 16;
+    AffinityScheduler<int> s(config);
+    for (std::size_t i = 0; i < hostile.size(); ++i)
+        mustPush(s, task(hostile[i]), static_cast<int>(i));
+
+    SchedSnapshot snap = s.snapshot();
+    for (const auto &ten : snap.tenants) {
+        // Every interned name is already metrics-safe: nothing that
+        // needs escaping in a JSON key or Prometheus label value.
+        for (char c : ten.name) {
+            bool ok = (c >= 'a' && c <= 'z') ||
+                      (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_' ||
+                      c == '.' || c == '-';
+            EXPECT_TRUE(ok) << "unsafe char in tenant name '"
+                            << ten.name << "'";
+        }
+        // No client name may land in the reserved fold bucket.
+        EXPECT_NE(ten.name, sched::kOverflowTenant);
+    }
+
+    // The declared "~other" tenant was sanitized to "_other".
+    bool sawSanitizedOther = false;
+    for (const auto &ten : snap.tenants)
+        sawSanitizedOther |= ten.name == "_other";
+    EXPECT_TRUE(sawSanitizedOther);
+
+    // The rendered JSON object must stay structurally valid: every
+    // quote inside it is either a key/value delimiter or escaped.
+    JsonWriter w;
+    snap.json(w);
+    const std::string json = w.str();
+    int depth = 0;
+    bool inString = false;
+    for (std::size_t i = 0; i < json.size(); ++i) {
+        char c = json[i];
+        if (inString) {
+            if (c == '\\')
+                ++i; // skip escaped char
+            else if (c == '"')
+                inString = false;
+        } else if (c == '"') {
+            inString = true;
+        } else if (c == '{') {
+            ++depth;
+        } else if (c == '}') {
+            --depth;
+        }
+    }
+    EXPECT_FALSE(inString) << "unterminated string in: " << json;
+    EXPECT_EQ(depth, 0) << "unbalanced braces in: " << json;
+
+    // Prometheus label values: no raw quote, backslash or newline
+    // may appear inside the {tenant="..."} label.
+    const std::string prom = snap.prometheus();
+    std::size_t pos = 0;
+    while ((pos = prom.find("tenant=\"", pos)) != std::string::npos) {
+        pos += 8;
+        std::size_t end = prom.find('"', pos);
+        ASSERT_NE(end, std::string::npos);
+        const std::string label = prom.substr(pos, end - pos);
+        EXPECT_EQ(label.find('\\'), std::string::npos) << label;
+        EXPECT_EQ(label.find('\n'), std::string::npos) << label;
+        pos = end;
+    }
+}
+
+TEST(SchedNames, FoldBucketStaysReservedUnderOverflow)
+{
+    // With the tenant table capped, late tenants fold into "~other" -
+    // and a client who declared the literal name "~other" beforehand
+    // must still be counted separately (as "_other"), not merged
+    // into the scheduler's own bucket.
+    SchedConfig config;
+    config.capacity = 16;
+    config.maxTenants = 4; // three real tenants + the fold bucket
+    AffinityScheduler<int> s(config);
+    mustPush(s, task(sched::kOverflowTenant), 0); // hostile literal
+    mustPush(s, task("a"), 1);
+    mustPush(s, task("b"), 2);
+    mustPush(s, task("late1"), 3); // past the cap: folds
+    mustPush(s, task("late2"), 4); // folds too
+
+    SchedSnapshot snap = s.snapshot();
+    ASSERT_EQ(snap.tenants.size(), 4u);
+    std::uint64_t folded = 0;
+    std::uint64_t hostileAdmitted = 0;
+    for (const auto &ten : snap.tenants) {
+        if (ten.name == sched::kOverflowTenant)
+            folded = ten.admitted;
+        if (ten.name == "_other")
+            hostileAdmitted = ten.admitted;
+    }
+    EXPECT_EQ(folded, 2u) << "late1+late2 share the fold bucket";
+    EXPECT_EQ(hostileAdmitted, 1u)
+        << "hostile '~other' must stay distinct from the bucket";
 }
 
 // ---------------------------------------------------------------------

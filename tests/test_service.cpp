@@ -749,6 +749,81 @@ TEST(EnginePool, RemainingBudgetShrinksWithQueueWait)
     EXPECT_LT(out.latencyNs, 3'600 * kMsNs);
 }
 
+/**
+ * The deadline audit for fast mode, part 1: a fast-mode job whose
+ * budget is consumed by queue wait must complete as Timeout with the
+ * expired flag and zero stats, exactly like a fidelity job - the
+ * expiry check runs before the worker ever picks an engine.
+ */
+TEST(EnginePool, FastModeQueueExpiryMatchesFidelity)
+{
+    EnginePool::Config config;
+    config.workers = 1;
+    config.queueCapacity = 4;
+    EnginePool pool(config);
+
+    QueryJob slow{loopProgram(), CacheConfig::psi(),
+                  deadlineLimits(400)};
+    slow.mode = interp::ExecMode::Fast;
+    auto running = pool.submit(std::move(slow));
+    ASSERT_TRUE(running.has_value());
+    while (pool.queueDepth() > 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+    QueryJob doomed{programs::programById("nreverse30"),
+                    CacheConfig::psi(), deadlineLimits(10)};
+    doomed.mode = interp::ExecMode::Fast;
+    auto f = pool.submit(std::move(doomed));
+    ASSERT_TRUE(f.has_value());
+
+    JobOutcome out = f->get();
+    EXPECT_EQ(out.status(), interp::RunStatus::Timeout);
+    EXPECT_TRUE(out.expired);
+    EXPECT_EQ(out.mode, interp::ExecMode::Fast);
+    EXPECT_EQ(out.run.result.steps, 0u);
+    EXPECT_EQ(out.run.result.inferences, 0u);
+    EXPECT_EQ(out.setupNs, 0u);
+    EXPECT_EQ(out.solveNs, 0u);
+
+    EXPECT_EQ(running->get().status(), interp::RunStatus::Timeout);
+    auto snap = pool.metrics();
+    EXPECT_EQ(snap.total.expiredInQueue, 1u);
+}
+
+/**
+ * Part 2: a runaway fast-mode solve honors deadlineNs.  The fast
+ * loop only polls the clock every few thousand dispatches, so allow
+ * generous (but bounded) granularity slack on top of the budget.
+ */
+TEST(EnginePool, FastModeRunawaySolveHonorsDeadline)
+{
+    EnginePool::Config config;
+    config.workers = 1;
+    EnginePool pool(config);
+
+    QueryJob runaway{loopProgram(), CacheConfig::psi(),
+                     deadlineLimits(100)};
+    runaway.mode = interp::ExecMode::Fast;
+    auto f = pool.submit(std::move(runaway));
+    ASSERT_TRUE(f.has_value());
+
+    JobOutcome out = f->get();
+    EXPECT_EQ(out.status(), interp::RunStatus::Timeout);
+    EXPECT_FALSE(out.expired);
+    EXPECT_EQ(out.mode, interp::ExecMode::Fast);
+    // ~100 ms budget; anything past 2 s means the deadline poll is
+    // broken, not merely coarse.
+    EXPECT_LT(out.latencyNs, 2'000 * kMsNs);
+
+    // The worker is free afterwards: a normal fast job completes.
+    QueryJob next{programs::programById("nreverse30"),
+                  CacheConfig::psi(), interp::RunLimits()};
+    next.mode = interp::ExecMode::Fast;
+    auto g = pool.submit(std::move(next));
+    ASSERT_TRUE(g.has_value());
+    EXPECT_EQ(g->get().status(), interp::RunStatus::Ok);
+}
+
 // ---------------------------------------------------------------------
 // Registry lookups (actionable failures)
 // ---------------------------------------------------------------------

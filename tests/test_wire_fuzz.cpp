@@ -53,12 +53,14 @@ buildCorpus()
     emptyWorkload.tag = 0xffffffffffffffffull;
     corpus.push_back(encode(Message(emptyWorkload)));
 
-    // Both self-canonical SUBMIT forms: the tenant-less v1/v2.0 body
-    // and the v2.1 body carrying a tenant id.
+    // All three self-canonical SUBMIT forms: the tenant-less v1/v2.0
+    // body, the v2.1 body carrying a tenant id (no mode byte), and
+    // the v2.2 body carrying tenant + execution mode.
     SubmitMsg v1Submit;
     v1Submit.tag = 43;
     v1Submit.workload = "nreverse30";
     v1Submit.hasTenant = false;
+    v1Submit.hasMode = false;
     corpus.push_back(encode(Message(v1Submit)));
 
     SubmitMsg tenantSubmit;
@@ -66,7 +68,20 @@ buildCorpus()
     tenantSubmit.workload = "qsort50";
     tenantSubmit.deadlineNs = 1'000'000ull;
     tenantSubmit.tenant = "team-a/batch!";
+    tenantSubmit.hasMode = false;
     corpus.push_back(encode(Message(tenantSubmit)));
+
+    SubmitMsg fastSubmit;
+    fastSubmit.tag = 45;
+    fastSubmit.workload = "nreverse30";
+    fastSubmit.tenant = "team-b";
+    fastSubmit.mode = interp::ExecMode::Fast;
+    corpus.push_back(encode(Message(fastSubmit)));
+
+    SubmitMsg fidelityModeSubmit; // explicit mode byte, fidelity
+    fidelityModeSubmit.tag = 46;
+    fidelityModeSubmit.workload = "queens1";
+    corpus.push_back(encode(Message(fidelityModeSubmit)));
 
     ResultMsg ok;
     ok.tag = 7;
@@ -175,6 +190,50 @@ TEST(WireFuzz, CorpusRoundTripsByteExactly)
         ASSERT_TRUE(msg) << error;
         EXPECT_EQ(encode(*msg), frame);
     }
+}
+
+/**
+ * v2.2 pins: the three SUBMIT forms stay distinguishable by length
+ * alone, and an out-of-range mode byte is a decode error - a server
+ * must never run a job in a mode it didn't understand.
+ */
+TEST(WireFuzz, SubmitModeByteRoundTripsAndRejectsUnknown)
+{
+    SubmitMsg fastSubmit;
+    fastSubmit.workload = "nreverse30";
+    fastSubmit.tenant = "t";
+    fastSubmit.mode = interp::ExecMode::Fast;
+    std::string frame = encode(Message(fastSubmit));
+    std::string buffer = frame;
+    std::string payload;
+    ASSERT_EQ(extractFrame(buffer, payload), FrameResult::Frame);
+
+    std::string error;
+    std::optional<Message> msg = decode(payload, &error);
+    ASSERT_TRUE(msg) << error;
+    const auto *decoded = std::get_if<SubmitMsg>(&*msg);
+    ASSERT_NE(decoded, nullptr);
+    EXPECT_TRUE(decoded->hasMode);
+    EXPECT_EQ(decoded->mode, interp::ExecMode::Fast);
+
+    // The mode byte is the final payload byte: patch it to 2 (one
+    // past Fast) and the payload must be rejected, not defaulted.
+    std::string bad = payload;
+    bad.back() = 0x02;
+    error.clear();
+    EXPECT_FALSE(decode(bad, &error).has_value());
+    EXPECT_FALSE(error.empty());
+
+    // A v2.1 encoder talking to this decoder: same message minus the
+    // mode byte still decodes, as fidelity, with hasMode unset.
+    std::string v21 = payload.substr(0, payload.size() - 1);
+    error.clear();
+    std::optional<Message> old = decode(v21, &error);
+    ASSERT_TRUE(old) << error;
+    const auto *oldSubmit = std::get_if<SubmitMsg>(&*old);
+    ASSERT_NE(oldSubmit, nullptr);
+    EXPECT_FALSE(oldSubmit->hasMode);
+    EXPECT_EQ(oldSubmit->mode, interp::ExecMode::Fidelity);
 }
 
 TEST(WireFuzz, MutatedFramesRejectCleanlyOrRoundTrip)
