@@ -68,6 +68,26 @@
  *     $ ./bench/net_throughput --mix "trail40:8,nreverse30:1" \
  *           -r 400 -n 800 -w 2 --sched affinity
  *
+ * With --replay LOG (psireplay) the round stops being synthetic
+ * uniform traffic altogether: a versioned JSONL request log (see
+ * src/base/reqlog.hpp; generate one with psi_mklog) is replayed
+ * open-loop with its recorded inter-arrival timing preserved - each
+ * entry fires at start + at_ns, carrying its own workload, tenant,
+ * mode and deadline.  --speed X divides the timeline (2 = twice as
+ * fast), --record FILE writes the traffic as actually sent (real
+ * send offsets) back out as a reqlog, so a replay can itself be
+ * replayed.  Reporting switches to per-tenant and per-workload
+ * latency tables plus timing-skew stats (how far each send landed
+ * from its scheduled offset), and the JSON adds tenant_* and
+ * workload_* keys plus the server's per-tenant dispatch counts -
+ * the fairness
+ * and affinity claims, re-judged on production-shaped arrivals.
+ * Replay composes with --backends/--endpoints (cluster replay) but
+ * not with --mix or --fault-schedule.
+ *
+ *     $ ./bench/psi_mklog --seed 42 -n 2000 -o prod.reqlog
+ *     $ ./bench/net_throughput --replay prod.reqlog -w 4 --json
+ *
  * With --trace-out FILE psitrace is enabled end to end: the server
  * records per-request decode/queue/compile/setup/solve/encode/reply
  * spans, the receiver threads add a client-side request span per
@@ -92,6 +112,7 @@
 #include <vector>
 
 #include "base/mixspec.hpp"
+#include "base/reqlog.hpp"
 #include "base/strutil.hpp"
 #include "bench_util.hpp"
 
@@ -120,7 +141,15 @@ struct ConnStats
     std::uint64_t lost = 0; ///< connection died before the RESULT
     clock_type::time_point lastReply{};
     net::RetryStats retries; ///< fault mode: this client's retries
-    std::vector<LaneStats> lanes; ///< per-tenant split (mix mode)
+    std::vector<LaneStats> lanes; ///< per-tenant split (mix/replay)
+    /** Replay mode: per-workload split and send-timing skew (how
+     *  far each send landed from its scheduled offset). */
+    std::vector<LaneStats> workloadLanes;
+    std::uint64_t skewSumNs = 0;
+    std::uint64_t skewMaxNs = 0;
+    std::uint64_t skewSamples = 0;
+    /** Replay --record: (actual send offset, log entry index). */
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> recorded;
 };
 
 /** One --mix entry: a tenant (named after its workload) submitting
@@ -178,6 +207,23 @@ struct RoundConfig
     {
         return routerBackends > 0 || !endpoints.empty();
     }
+
+    /** Replay mode (--replay): the parsed request log.  Lanes hold
+     *  one entry per distinct tenant (first-appearance order); the
+     *  entry-index tables below map each log entry to its tenant /
+     *  workload stat lane. */
+    const reqlog::Log *replay = nullptr;
+    double replaySpeed = 1.0;
+    bool recordMode = false;
+    std::vector<std::string> replayWorkloads;
+    std::vector<std::uint32_t> entryTenant;
+    std::vector<std::uint32_t> entryWorkload;
+
+    bool
+    replayMode() const
+    {
+        return replay != nullptr;
+    }
 };
 
 struct RoundResult
@@ -204,9 +250,18 @@ struct RoundResult
     std::uint64_t affinityMisses = 0;
     std::uint64_t routerRetried = 0;
     std::uint64_t routerEjections = 0;
-    /** Mix mode: per-tenant lane totals (same order as the config
-     *  lanes) and the server's psisched counters from STATS. */
+    /** Mix/replay mode: per-tenant lane totals (same order as the
+     *  config lanes) and the server's psisched counters from STATS. */
     std::vector<LaneStats> lanes;
+    /** Replay mode: per-workload totals, send-timing skew, the
+     *  server's per-tenant dispatch counts (summed over backends)
+     *  and the merged --record capture. */
+    std::vector<LaneStats> workloadLanes;
+    std::uint64_t skewSumNs = 0;
+    std::uint64_t skewMaxNs = 0;
+    std::uint64_t skewSamples = 0;
+    std::vector<std::uint64_t> tenantDispatched;
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> recorded;
     std::uint64_t schedAffinityHits = 0;
     std::uint64_t schedAffinityMisses = 0;
     std::uint64_t schedAgedDispatches = 0;
@@ -372,6 +427,137 @@ driveConnection(const RoundConfig &config, std::uint16_t port,
           case net::WireStatus::Overloaded:
             ++stats.overloaded;
             ++lane.overloaded;
+            break;
+          default:
+            ++stats.otherRefused;
+            break;
+        }
+    }
+    sender.join();
+}
+
+/**
+ * Replay-mode connection: the sender paces on the log's recorded
+ * arrival offsets (divided by --speed) instead of a uniform rate,
+ * and every SUBMIT carries its entry's own workload, tenant, mode
+ * and deadline.  Entries are dealt round-robin across connections
+ * (entry k on connection k % c), so the recorded global ordering is
+ * preserved per connection and the assignment is deterministic -
+ * two replays of the same log send exactly the same requests.
+ */
+void
+driveReplayConnection(const RoundConfig &config, std::uint16_t port,
+                      std::uint64_t connIndex,
+                      clock_type::time_point start, ConnStats &stats)
+{
+    const std::vector<reqlog::Entry> &entries =
+        config.replay->entries;
+    net::PsiClient client;
+    std::string error;
+    if (!client.connect("127.0.0.1", port, &error)) {
+        std::cerr << "net_throughput: " << error << "\n";
+        stats.lost = (entries.size() + config.connections - 1 -
+                      connIndex) /
+                     config.connections;
+        return;
+    }
+
+    std::vector<std::uint32_t> myEntries;
+    for (std::uint64_t k = connIndex; k < entries.size();
+         k += config.connections)
+        myEntries.push_back(static_cast<std::uint32_t>(k));
+    std::vector<std::atomic<std::uint64_t>> sentAtNs(
+        myEntries.size());
+    stats.lanes.resize(config.lanes.size());
+    stats.workloadLanes.resize(config.replayWorkloads.size());
+    if (config.recordMode)
+        stats.recorded.reserve(myEntries.size());
+
+    std::atomic<std::uint64_t> sent{0};
+    std::thread sender([&] {
+        for (std::size_t i = 0; i < myEntries.size(); ++i) {
+            const reqlog::Entry &e = entries[myEntries[i]];
+            std::uint64_t dueNs = static_cast<std::uint64_t>(
+                static_cast<double>(e.atNs) / config.replaySpeed);
+            std::this_thread::sleep_until(
+                start + std::chrono::nanoseconds(dueNs));
+            std::uint64_t nowNs = static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    clock_type::now() - start)
+                    .count());
+            sentAtNs[i].store(nowNs, std::memory_order_release);
+            // Send skew: how faithfully the replay reproduced the
+            // recorded timeline (sleep_until never fires early, but
+            // a loaded host can fire late).
+            std::uint64_t skew =
+                nowNs >= dueNs ? nowNs - dueNs : dueNs - nowNs;
+            stats.skewSumNs += skew;
+            stats.skewMaxNs = std::max(stats.skewMaxNs, skew);
+            ++stats.skewSamples;
+            if (config.recordMode)
+                stats.recorded.emplace_back(nowNs, myEntries[i]);
+            if (!client.sendSubmit(e.workload, e.deadlineNs, nullptr,
+                                   nullptr, e.tenant, e.mode))
+                break;
+            ++stats.lanes[config.entryTenant[myEntries[i]]].sent;
+            ++stats.workloadLanes[config.entryWorkload[myEntries[i]]]
+                  .sent;
+            sent.fetch_add(1, std::memory_order_release);
+        }
+        sent.fetch_add(1u << 31, std::memory_order_release);
+    });
+
+    // Receiver: tags are 1..n in send order, so tag-1 indexes this
+    // connection's entry slice.
+    std::uint64_t received = 0;
+    for (;;) {
+        std::uint64_t progress = sent.load(std::memory_order_acquire);
+        bool senderDone = (progress & (1u << 31)) != 0;
+        std::uint64_t nsent = progress & ((1u << 31) - 1);
+        if (senderDone && received >= nsent)
+            break;
+
+        auto result = client.recvResult(senderDone ? 30000 : 100);
+        if (!result) {
+            if (!client.connected()) {
+                stats.lost += nsent - received;
+                break;
+            }
+            continue;
+        }
+        ++received;
+        stats.lastReply = clock_type::now();
+
+        std::uint64_t sentNs =
+            sentAtNs[result->tag - 1].load(std::memory_order_acquire);
+        std::uint64_t nowNs = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                stats.lastReply - start)
+                .count());
+        std::uint32_t entryIdx = myEntries[result->tag - 1];
+        stats.latency.record(nowNs - sentNs);
+        LaneStats &lane = stats.lanes[config.entryTenant[entryIdx]];
+        lane.latency.record(nowNs - sentNs);
+        LaneStats &wlane =
+            stats.workloadLanes[config.entryWorkload[entryIdx]];
+        wlane.latency.record(nowNs - sentNs);
+
+        switch (result->status) {
+          case net::WireStatus::Ok:
+          case net::WireStatus::StepLimit:
+            ++stats.ok;
+            ++lane.ok;
+            ++wlane.ok;
+            break;
+          case net::WireStatus::Timeout:
+            ++stats.timedOut;
+            ++lane.timedOut;
+            ++wlane.timedOut;
+            break;
+          case net::WireStatus::Overloaded:
+            ++stats.overloaded;
+            ++lane.overloaded;
+            ++wlane.overloaded;
             break;
           default:
             ++stats.otherRefused;
@@ -607,11 +793,12 @@ runRound(const RoundConfig &config)
     auto start = clock_type::now() + std::chrono::milliseconds(20);
     std::vector<ConnStats> stats(config.connections);
     std::vector<std::thread> drivers;
+    auto driver = faulty ? driveFaultConnection
+        : config.replayMode() ? driveReplayConnection
+                              : driveConnection;
     for (std::uint64_t c = 0; c < config.connections; ++c)
-        drivers.emplace_back(faulty ? driveFaultConnection
-                                    : driveConnection,
-                             std::cref(config), clientPort, c, start,
-                             std::ref(stats[c]));
+        drivers.emplace_back(driver, std::cref(config), clientPort,
+                             c, start, std::ref(stats[c]));
     for (auto &t : drivers)
         t.join();
 
@@ -650,6 +837,21 @@ runRound(const RoundConfig &config)
                     jsonU64(*json, "sched_batches");
                 result.schedQuotaRejects +=
                     jsonU64(*json, "sched_quota_rejects");
+                if (config.replayMode()) {
+                    // The server's own per-tenant dispatch counts:
+                    // the replay-determinism contract is stated over
+                    // these, not just the client-side sent counts.
+                    result.tenantDispatched.resize(
+                        config.lanes.size());
+                    for (std::size_t l = 0; l < config.lanes.size();
+                         ++l)
+                        result.tenantDispatched[l] += jsonU64(
+                            *json,
+                            "tenant_" +
+                                sched::sanitizeTenantName(
+                                    config.lanes[l].tenant) +
+                                "_dispatched");
+                }
             }
         }
         if (completed > 0) {
@@ -696,6 +898,14 @@ runRound(const RoundConfig &config)
         thread.join();
     auto lastReply = start;
     result.lanes.resize(config.lanes.size());
+    result.workloadLanes.resize(config.replayWorkloads.size());
+    auto mergeLane = [](LaneStats &into, const LaneStats &from) {
+        into.latency.merge(from.latency);
+        into.sent += from.sent;
+        into.ok += from.ok;
+        into.timedOut += from.timedOut;
+        into.overloaded += from.overloaded;
+    };
     for (const auto &s : stats) {
         result.total.latency.merge(s.latency);
         result.total.ok += s.ok;
@@ -704,16 +914,19 @@ runRound(const RoundConfig &config)
         result.total.otherRefused += s.otherRefused;
         result.total.lost += s.lost;
         mergeRetryStats(result.retries, s.retries);
-        for (std::size_t l = 0; l < s.lanes.size(); ++l) {
-            result.lanes[l].latency.merge(s.lanes[l].latency);
-            result.lanes[l].sent += s.lanes[l].sent;
-            result.lanes[l].ok += s.lanes[l].ok;
-            result.lanes[l].timedOut += s.lanes[l].timedOut;
-            result.lanes[l].overloaded += s.lanes[l].overloaded;
-        }
+        for (std::size_t l = 0; l < s.lanes.size(); ++l)
+            mergeLane(result.lanes[l], s.lanes[l]);
+        for (std::size_t l = 0; l < s.workloadLanes.size(); ++l)
+            mergeLane(result.workloadLanes[l], s.workloadLanes[l]);
+        result.skewSumNs += s.skewSumNs;
+        result.skewMaxNs = std::max(result.skewMaxNs, s.skewMaxNs);
+        result.skewSamples += s.skewSamples;
+        result.recorded.insert(result.recorded.end(),
+                               s.recorded.begin(), s.recorded.end());
         if (s.lastReply > lastReply)
             lastReply = s.lastReply;
     }
+    std::sort(result.recorded.begin(), result.recorded.end());
     auto span = std::chrono::duration_cast<std::chrono::nanoseconds>(
                     lastReply - start)
                     .count();
@@ -746,6 +959,9 @@ main(int argc, char **argv)
     std::string faultSpec;
     std::string traceOut;
     std::string metricsOut;
+    std::string replayPath;
+    std::string recordPath;
+    double replaySpeed = 1.0;
     std::vector<std::string> endpointSpecs;
     bool json = false;
 
@@ -785,6 +1001,17 @@ main(int argc, char **argv)
         .opt("--endpoints", &endpointSpecs,
              "router mode: front this HOST:PORT backend "
              "(repeatable) instead of booting servers")
+        .opt("--replay", &replayPath,
+             "replay a psi_reqlog JSONL request log (psi_mklog "
+             "output or a --record capture), preserving recorded "
+             "inter-arrival timing; per-tenant + per-workload "
+             "reporting")
+        .opt("--speed", &replaySpeed,
+             "replay time-scale factor (default 1.0; 2 = twice as "
+             "fast)")
+        .opt("--record", &recordPath,
+             "replay mode: write the traffic as actually sent "
+             "(real send offsets) back out as a reqlog to FILE")
         .opt("--fault-schedule", &faultSpec,
              "inject faults via a proxy, e.g. "
              "\"seed=7,split=0.3,delay_us=0..200,reset_after=20000\"")
@@ -842,6 +1069,75 @@ main(int argc, char **argv)
                   << "' (use fidelity or fast)\n";
         return 1;
     }
+    // Replay mode: parse + validate the log, then derive the tenant
+    // lanes and per-entry stat indexes from its actual traffic.
+    std::optional<reqlog::Log> replayLog;
+    if (!replayPath.empty()) {
+        if (!mixSpec.empty() || config.schedule.enabled()) {
+            std::cerr << "net_throughput: --replay is mutually "
+                         "exclusive with --mix and "
+                         "--fault-schedule\n";
+            return 1;
+        }
+        if (replaySpeed <= 0) {
+            std::cerr << "net_throughput: --speed must be > 0\n";
+            return 1;
+        }
+        std::string error;
+        replayLog = reqlog::parseFile(replayPath, &error);
+        if (!replayLog) {
+            std::cerr << "net_throughput: " << error << "\n";
+            return 1;
+        }
+        if (!reqlog::validateWorkloads(
+                *replayLog,
+                [](const std::string &id) {
+                    return programs::findProgramById(id) != nullptr;
+                },
+                &error)) {
+            std::cerr << "net_throughput: " << replayPath << ": "
+                      << error << "; available: "
+                      << programs::programIdList() << "\n";
+            return 1;
+        }
+        if (replayLog->entries.empty()) {
+            std::cerr << "net_throughput: " << replayPath
+                      << ": log has no entries\n";
+            return 1;
+        }
+        config.replay = &*replayLog;
+        config.replaySpeed = replaySpeed;
+        config.recordMode = !recordPath.empty();
+        config.requests = replayLog->entries.size();
+        // One lane per distinct tenant, one workload stat slot per
+        // distinct workload, both in first-appearance order.
+        std::map<std::string, std::uint32_t> tenantIdx, workloadIdx;
+        for (const reqlog::Entry &e : replayLog->entries) {
+            auto [t, tFresh] = tenantIdx.emplace(
+                e.tenant,
+                static_cast<std::uint32_t>(config.lanes.size()));
+            if (tFresh)
+                config.lanes.push_back(MixLane{"", e.tenant, 1, 1});
+            config.entryTenant.push_back(t->second);
+            auto [w, wFresh] = workloadIdx.emplace(
+                e.workload, static_cast<std::uint32_t>(
+                                config.replayWorkloads.size()));
+            if (wFresh)
+                config.replayWorkloads.push_back(e.workload);
+            config.entryWorkload.push_back(w->second);
+        }
+        // The offered rate the log embodies (for the table only).
+        double spanS = static_cast<double>(replayLog->spanNs()) /
+                       1e9 / replaySpeed;
+        config.ratePerSec = spanS > 0
+            ? static_cast<double>(config.requests) / spanS
+            : static_cast<double>(config.requests);
+        config.lanePattern = {0}; // unused; keep laneOf() total
+        config.workload = "replay:" + replayPath;
+    } else if (!recordPath.empty()) {
+        std::cerr << "net_throughput: --record requires --replay\n";
+        return 1;
+    }
     if (!mixSpec.empty()) {
         if (config.schedule.enabled()) {
             std::cerr << "net_throughput: --mix and "
@@ -863,22 +1159,27 @@ main(int argc, char **argv)
             config.lanes.push_back(std::move(lane));
         }
         config.mixMode = true;
-    } else {
+    } else if (!config.replayMode()) {
         // Single implicit lane: the plain -W workload under the
         // shared default tenant.
         config.lanes.push_back(MixLane{config.workload, "", 1, 1});
     }
-    for (const MixLane &lane : config.lanes) {
-        if (programs::findProgramById(lane.workload) == nullptr) {
-            std::cerr << "unknown workload '" << lane.workload
-                      << "'; available: "
-                      << programs::programIdList() << "\n";
-            return 1;
+    // Replay lanes are tenants (workloads ride the entries and were
+    // validated above); the mix/plain lanes are workload-keyed.
+    if (!config.replayMode()) {
+        for (const MixLane &lane : config.lanes) {
+            if (programs::findProgramById(lane.workload) ==
+                nullptr) {
+                std::cerr << "unknown workload '" << lane.workload
+                          << "'; available: "
+                          << programs::programIdList() << "\n";
+                return 1;
+            }
         }
     }
     // Weighted round-robin pattern, interleaved so a heavy tenant's
     // requests spread across the round instead of clumping.
-    {
+    if (!config.replayMode()) {
         std::vector<mixspec::MixEntry> entries;
         entries.reserve(config.lanes.size());
         for (const MixLane &lane : config.lanes)
@@ -910,6 +1211,18 @@ main(int argc, char **argv)
             bench::f1(config.ratePerSec) + "/s over " +
             std::to_string(config.connections) + " connections, " +
             sched::schedKindName(config.sched) + " scheduler)");
+        if (config.replayMode())
+            std::cout << "replay: " << replayPath << " ("
+                      << config.replay->entries.size()
+                      << " entries over "
+                      << bench::f2(static_cast<double>(
+                                       config.replay->spanNs()) /
+                                   1e9)
+                      << " s, speed x" << bench::f2(replaySpeed)
+                      << ", " << config.lanes.size() << " tenants, "
+                      << config.replayWorkloads.size()
+                      << " workloads, seed "
+                      << config.replay->header.seed << ")\n";
         if (config.routerBackends > 0)
             std::cout << "router mode: " << config.routerBackends
                       << " in-process backends behind a psirouter\n";
@@ -938,6 +1251,8 @@ main(int argc, char **argv)
     std::vector<unsigned> workerSweep{1u, 2u, 4u, 8u};
     if (fixedWorkers != 0)
         workerSweep = {static_cast<unsigned>(fixedWorkers)};
+    else if (config.replayMode())
+        workerSweep = {4}; // a log replays once, not per sweep step
     if (!config.endpoints.empty())
         workerSweep = {0}; // external backends: nothing to sweep
 
@@ -1016,6 +1331,65 @@ main(int argc, char **argv)
                       << " quota_rejects="
                       << last.schedQuotaRejects << "\n";
         }
+        if (config.replayMode()) {
+            const RoundResult &last = rounds.back();
+            Table tt("per-tenant replay results");
+            tt.setHeader({"tenant", "sent", "ok", "overloaded",
+                          "dispatched", "p50 ms", "p95 ms",
+                          "p99 ms"});
+            for (std::size_t l = 0; l < config.lanes.size(); ++l) {
+                const LaneStats &ls = last.lanes[l];
+                tt.addRow(
+                    {sched::sanitizeTenantName(
+                         config.lanes[l].tenant),
+                     std::to_string(ls.sent), std::to_string(ls.ok),
+                     std::to_string(ls.overloaded),
+                     l < last.tenantDispatched.size()
+                         ? std::to_string(last.tenantDispatched[l])
+                         : "0",
+                     bench::f2(ls.latency.quantileNs(0.50) / 1e6),
+                     bench::f2(ls.latency.quantileNs(0.95) / 1e6),
+                     bench::f2(ls.latency.quantileNs(0.99) / 1e6)});
+            }
+            std::cout << "\n";
+            tt.print(std::cout);
+            Table wt("per-workload replay results");
+            wt.setHeader({"workload", "sent", "ok", "overloaded",
+                          "p50 ms", "p95 ms", "p99 ms"});
+            for (std::size_t l = 0;
+                 l < config.replayWorkloads.size(); ++l) {
+                const LaneStats &ls = last.workloadLanes[l];
+                wt.addRow(
+                    {config.replayWorkloads[l],
+                     std::to_string(ls.sent), std::to_string(ls.ok),
+                     std::to_string(ls.overloaded),
+                     bench::f2(ls.latency.quantileNs(0.50) / 1e6),
+                     bench::f2(ls.latency.quantileNs(0.95) / 1e6),
+                     bench::f2(ls.latency.quantileNs(0.99) / 1e6)});
+            }
+            std::cout << "\n";
+            wt.print(std::cout);
+            std::cout << "send-timing skew vs recorded offsets: mean "
+                      << bench::f2(
+                             last.skewSamples == 0
+                                 ? 0.0
+                                 : static_cast<double>(
+                                       last.skewSumNs) /
+                                       static_cast<double>(
+                                           last.skewSamples) /
+                                       1e6)
+                      << " ms, max "
+                      << bench::f2(last.skewMaxNs / 1e6) << " ms\n";
+        }
+        for (const auto &r : rounds) {
+            if (r.total.latency.saturatedCount() != 0)
+                std::cout << "WARNING: "
+                          << r.total.latency.saturatedCount()
+                          << " latency samples @ " << r.workers
+                          << "w overflowed the histogram's top "
+                             "bucket (quantiles are clamped; see "
+                             "latency_saturated in the JSON)\n";
+        }
         if (config.schedule.enabled()) {
             std::cout << "\n";
             for (const auto &r : rounds)
@@ -1048,6 +1422,7 @@ main(int argc, char **argv)
         w.u("latency_p50_ns", r.total.latency.quantileNs(0.50));
         w.u("latency_p95_ns", r.total.latency.quantileNs(0.95));
         w.u("latency_p99_ns", r.total.latency.quantileNs(0.99));
+        w.u("latency_saturated", r.total.latency.saturatedCount());
         w.u("host_setup_mean_ns", r.setupMeanNs);
         w.u("host_solve_mean_ns", r.solveMeanNs);
         w.u("program_cache_hits", r.cacheHits);
@@ -1106,6 +1481,52 @@ main(int argc, char **argv)
             w.u("retry_backoff_ns", r.retries.backoffNs);
             w.u("retry_exhausted", r.retries.exhausted);
         }
+        if (config.replayMode()) {
+            w.s("replay_log", replayPath);
+            w.u("replay_entries", config.replay->entries.size());
+            w.u("replay_span_ns", config.replay->spanNs());
+            w.num("replay_speed", stats::fixed(replaySpeed, 2));
+            w.u("replay_seed", config.replay->header.seed);
+            w.u("replay_skew_mean_ns",
+                r.skewSamples == 0 ? 0
+                                   : r.skewSumNs / r.skewSamples);
+            w.u("replay_skew_max_ns", r.skewMaxNs);
+            for (std::size_t l = 0; l < config.lanes.size(); ++l) {
+                const std::string p =
+                    "tenant_" +
+                    sched::sanitizeTenantName(
+                        config.lanes[l].tenant) +
+                    "_";
+                const LaneStats &ls = r.lanes[l];
+                w.u(p + "sent", ls.sent);
+                w.u(p + "ok", ls.ok);
+                w.u(p + "overloaded", ls.overloaded);
+                w.u(p + "timed_out", ls.timedOut);
+                w.u(p + "dispatched",
+                    l < r.tenantDispatched.size()
+                        ? r.tenantDispatched[l]
+                        : 0);
+                w.u(p + "p50_ns", ls.latency.quantileNs(0.50));
+                w.u(p + "p95_ns", ls.latency.quantileNs(0.95));
+                w.u(p + "p99_ns", ls.latency.quantileNs(0.99));
+            }
+            for (std::size_t l = 0;
+                 l < config.replayWorkloads.size(); ++l) {
+                const std::string p =
+                    "workload_" + config.replayWorkloads[l] + "_";
+                const LaneStats &ls = r.workloadLanes[l];
+                w.u(p + "sent", ls.sent);
+                w.u(p + "ok", ls.ok);
+                w.u(p + "p50_ns", ls.latency.quantileNs(0.50));
+                w.u(p + "p95_ns", ls.latency.quantileNs(0.95));
+                w.u(p + "p99_ns", ls.latency.quantileNs(0.99));
+            }
+            // Last on purpose: the CI replay smoke reuses the chaos
+            // gate greps, which anchor on `"retry_exhausted": 0}`
+            // closing the object (replay excludes fault mode, so
+            // the key cannot appear twice).
+            w.u("retry_exhausted", r.retries.exhausted);
+        }
         std::cout << (json ? "" : "JSON: ") << w.str() << "\n";
     }
 
@@ -1142,6 +1563,34 @@ main(int argc, char **argv)
                 std::cout << "trace: " << trace::droppedSpans()
                           << " spans dropped (buffers full)\n";
         }
+    }
+    if (config.recordMode) {
+        // Write the traffic as actually sent: same requests, real
+        // send offsets (merged across connections, re-sorted into
+        // one timeline).  The capture is itself a valid reqlog, so
+        // a replay can be replayed.
+        reqlog::Log capture;
+        capture.header.seed = config.replay->header.seed;
+        capture.header.source = "net_throughput";
+        const RoundResult &last = rounds.back();
+        capture.entries.reserve(last.recorded.size());
+        std::uint64_t prevNs = 0;
+        for (const auto &[offsetNs, entryIdx] : last.recorded) {
+            reqlog::Entry entry = config.replay->entries[entryIdx];
+            // Guard monotonicity against clock ties across
+            // connections resolving in either order.
+            entry.atNs = std::max(offsetNs, prevNs);
+            prevNs = entry.atNs;
+            capture.entries.push_back(std::move(entry));
+        }
+        std::string error;
+        if (!reqlog::writeFile(recordPath, capture, &error)) {
+            std::cerr << "net_throughput: " << error << "\n";
+            return 1;
+        }
+        if (!json)
+            std::cout << "record: wrote " << capture.entries.size()
+                      << " entries to " << recordPath << "\n";
     }
     if (!metricsOut.empty()) {
         std::ofstream out(metricsOut);

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * psireplay request logs: a versioned JSONL record of request
+ * traffic, replayable with its inter-arrival timing preserved.
+ *
+ * A log is plain JSON-lines text.  The first line is a header object
+ * that names the format version; every following line is one request:
+ *
+ *     {"psi_reqlog": 1, "seed": 42, "source": "psi_mklog"}
+ *     {"at_ns": 0, "workload": "nreverse30", "tenant": "t0"}
+ *     {"at_ns": 812345, "workload": "trail40", "tenant": "t1",
+ *      "mode": "fast", "deadline_ns": 250000000}
+ *
+ * `at_ns` is the arrival offset from the start of the log (not an
+ * absolute clock), so a replay at --speed X just divides it.  The
+ * parser is strict on purpose - a load harness that silently skips
+ * or reinterprets malformed lines replays a *different* workload
+ * than the one recorded, and every claim made on top of it is then
+ * about the wrong traffic.  Anything unexpected (unknown version,
+ * unknown key, negative or non-monotonic offsets, junk after the
+ * closing brace) fails the whole parse with a "line N: ..." message.
+ *
+ * Versioning rule: adding a field, changing a default, or widening
+ * an accepted value set is a new version number.  Readers accept
+ * exactly the versions they know (currently: 1); writers always
+ * stamp kVersion.  That is what makes a recorded log a durable
+ * artifact: a v1 line means the same request forever.
+ *
+ * synthesize() generates production-shaped logs deterministically
+ * from a seed: bursty MMPP arrivals (a two-state Markov-modulated
+ * Poisson process - calm and burst periods with exponential dwell
+ * times), heavy-tailed Zipf tenant skew, and configurable
+ * mode/deadline mixes.  Same seed + same config = byte-identical
+ * log, so perf numbers taken on a synthetic log cite one integer.
+ */
+
+#ifndef PSI_BASE_REQLOG_HPP
+#define PSI_BASE_REQLOG_HPP
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "interp/machine.hpp"
+
+namespace psi {
+namespace reqlog {
+
+/** The format version this build reads and writes. */
+constexpr std::uint32_t kVersion = 1;
+
+/** One request line. */
+struct Entry
+{
+    std::uint64_t atNs = 0;       ///< arrival offset from log start
+    std::string workload;         ///< registry workload id
+    std::string tenant;           ///< "" = the shared default tenant
+    interp::ExecMode mode = interp::ExecMode::Fidelity;
+    std::uint64_t deadlineNs = 0; ///< whole-request budget; 0 = none
+    std::size_t line = 0;         ///< 1-based source line (diagnostics
+                                  ///< only; not serialized)
+};
+
+/** The header line. */
+struct Header
+{
+    std::uint32_t version = kVersion;
+    std::uint64_t seed = 0; ///< generator seed; 0 = recorded traffic
+    std::string source;     ///< producing tool, e.g. "psi_mklog"
+};
+
+/** A parsed (or about-to-be-written) request log. */
+struct Log
+{
+    Header header;
+    std::vector<Entry> entries;
+
+    /** Offset of the last entry (the log's time span). */
+    std::uint64_t
+    spanNs() const
+    {
+        return entries.empty() ? 0 : entries.back().atNs;
+    }
+};
+
+/**
+ * Parse a whole log.  Returns nullopt and sets @p error to a
+ * one-line "line N: ..." message on the first malformed line; a log
+ * is either fully valid or rejected, never partially loaded.  Empty
+ * lines are permitted (and skipped); everything else must parse.
+ */
+std::optional<Log> parse(std::istream &in, std::string *error);
+
+/** parse() over a file; the error message names the path. */
+std::optional<Log> parseFile(const std::string &path,
+                             std::string *error);
+
+/** @name Serialization (always writes kVersion lines) */
+/// @{
+std::string formatHeader(const Header &header);
+std::string formatEntry(const Entry &entry);
+void write(std::ostream &out, const Log &log);
+bool writeFile(const std::string &path, const Log &log,
+               std::string *error);
+/// @}
+
+/**
+ * Check every entry's workload id against @p known (typically
+ * programs::findProgramById).  On the first unknown id returns false
+ * with an actionable "line N: unknown workload '...'" message.
+ */
+bool validateWorkloads(
+    const Log &log,
+    const std::function<bool(const std::string &)> &known,
+    std::string *error);
+
+/** One workload's slice of a synthetic log. */
+struct GenWorkload
+{
+    std::string id;
+    std::uint64_t share = 1; ///< relative traffic share
+};
+
+/** Shape of a synthetic production-like log. */
+struct GenConfig
+{
+    std::uint64_t seed = 1;
+    std::uint64_t requests = 1000;
+    /** Calm-state arrival rate (req/s); must be > 0. */
+    double rate = 200.0;
+    /** Burst-state rate multiplier (1 = no bursts). */
+    double burst = 8.0;
+    /** Mean dwell time in each MMPP state, seconds. */
+    double burstDwellS = 0.25;
+    /** Tenant population ("t0".."tN-1"); at least 1. */
+    unsigned tenants = 4;
+    /** Zipf exponent for tenant skew (0 = uniform).  At the default
+     *  1.2, t0 sends a few times the traffic of t1, which sends a
+     *  few times t2's, ... - the heavy-tail shape multi-tenant
+     *  deployments actually see. */
+    double skew = 1.2;
+    /** Fraction of requests submitted in fast mode. */
+    double fastShare = 0.0;
+    /** Fraction of requests carrying a deadline budget. */
+    double deadlineShare = 0.0;
+    std::uint64_t deadlineLoMs = 50;
+    std::uint64_t deadlineHiMs = 500;
+    /** Workload mix; must be non-empty with positive shares. */
+    std::vector<GenWorkload> workloads;
+};
+
+/**
+ * Deterministically generate a log from @p config (same seed + same
+ * config = byte-identical output).  The header records the seed and
+ * "psi_mklog" as the source.  fatal() on a nonsensical config (no
+ * workloads, zero rate).
+ */
+Log synthesize(const GenConfig &config);
+
+} // namespace reqlog
+} // namespace psi
+
+#endif // PSI_BASE_REQLOG_HPP

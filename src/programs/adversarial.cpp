@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Adversarial workloads targeting the machine's known worst cases.
+ *
+ * The stress family (stress.cpp) pressures generic subsystems (trail,
+ * control stack, search width); these rows aim at the specific
+ * pathologies the paper's own evaluation warns about:
+ *
+ *  - setclash: the Fig. 1 worst case.  Every probe in its inner loop
+ *    lands in the same cache index set, 6 live lines deep in a 2-way
+ *    set - each access evicts the line the next one needs, so the
+ *    hit ratio collapses no matter how large the cache is.
+ *
+ *  - permjoin: a large multi-solution join.  Two independent
+ *    permutation generators are joined on their first element, so
+ *    solutions are found and discarded 576 times through nested
+ *    choice-point stacks - enumeration throughput, not list speed.
+ *
+ *  - polyop: choice-point-dense multi-clause dispatch over a
+ *    26-clause fact table, scanned with bound keys (linear clause
+ *    chains, late match) and enumerated with unbound keys (a choice
+ *    point per clause).  This is the shape where TOAM-style clause
+ *    indexing wins; with linear chains it is the worst case for
+ *    clause selection in both engines.
+ *
+ * None appear in Table 1, so paperPsiMs stays 0; like the stress
+ * family they ride every suite: fast-vs-fidelity byte-identity,
+ * pool/server/router paths, chaos, fuzz and replay.
+ */
+
+#include "programs/registry.hpp"
+
+namespace psi {
+namespace programs {
+
+namespace {
+
+/**
+ * Pathological cache-set conflict (Fig. 1 worst case).
+ *
+ * CacheConfig::psi() is 8192 words, 2-way, 4-word blocks: 1024 index
+ * sets, so words 4096 apart map to the same set.  vector_new lays the
+ * vector out contiguously in the heap, so slots {0, 4096, ..., 20480}
+ * are six lines competing for one 2-way set: every probe in the loop
+ * evicts a line that is re-read 4 probes later.
+ */
+const char *kSetClashSrc = R"PROG(
+% Six probe slots, one cache set.  The accumulator makes the reads
+% load-bearing: R = passes * (1+2+3+4+5+6) only if every probe
+% actually completes.
+probe(V, Acc0, Acc) :-
+    vector_get(V, 0, A),
+    vector_get(V, 4096, B),
+    vector_get(V, 8192, C),
+    vector_get(V, 12288, D),
+    vector_get(V, 16384, E),
+    vector_get(V, 20480, F),
+    Acc is Acc0 + A + B + C + D + E + F.
+
+pass(0, _, Acc, Acc).
+pass(N, V, Acc0, Acc) :-
+    N > 0,
+    probe(V, Acc0, A1),
+    N1 is N - 1,
+    pass(N1, V, A1, Acc).
+
+adv_setclash(R) :-
+    vector_new(20481, V),
+    vector_set(V, 0, 1),
+    vector_set(V, 4096, 2),
+    vector_set(V, 8192, 3),
+    vector_set(V, 12288, 4),
+    vector_set(V, 16384, 5),
+    vector_set(V, 20480, 6),
+    pass(200, V, 0, R).
+)PROG";
+
+/** Multi-solution permutation join (576 joined solutions). */
+const char *kPermJoinSrc = R"PROG(
+% Join all permutations of [1..5] against all permutations of [1..4]
+% on an equal first element.  The inner perm re-enumerates under
+% every outer solution with its head pre-bound, so the machine
+% builds, matches and discards nested choice-point stacks 120 times
+% over - 576 joined solutions counted through a heap vector.
+select(X, [X|T], T).
+select(X, [H|T], [H|R]) :- select(X, T, R).
+
+perm([], []).
+perm(L, [X|P]) :- select(X, L, R), perm(R, P).
+
+joinloop(Vec) :-
+    perm([1,2,3,4,5], [H|_]),
+    perm([1,2,3,4], [H|_]),
+    vector_get(Vec, 0, N0),
+    N1 is N0 + 1,
+    vector_set(Vec, 0, N1),
+    fail.
+joinloop(_).
+
+adv_permjoin(N) :-
+    vector_new(1, V),
+    joinloop(V),
+    vector_get(V, 0, N).
+)PROG";
+
+/**
+ * Choice-point-dense multi-clause dispatch: a 26-clause fact table
+ * probed both ways clause selection can hurt.
+ */
+const char *kPolyOpSrc = R"PROG(
+% op_table/2 is one predicate with 26 clauses.  Without first-argument
+% indexing a bound-key call walks the clause chain linearly (creating
+% and killing a choice point at every non-matching head), and an
+% unbound-key call leaves a live choice point per clause.
+op_table(1, 1).   op_table(2, 2).   op_table(3, 3).
+op_table(4, 4).   op_table(5, 5).   op_table(6, 6).
+op_table(7, 7).   op_table(8, 8).   op_table(9, 9).
+op_table(10, 10). op_table(11, 11). op_table(12, 12).
+op_table(13, 13). op_table(14, 14). op_table(15, 15).
+op_table(16, 16). op_table(17, 17). op_table(18, 18).
+op_table(19, 19). op_table(20, 20). op_table(21, 21).
+op_table(22, 22). op_table(23, 23). op_table(24, 24).
+op_table(25, 25). op_table(26, 26).
+
+% Bound-key scan: 2000 lookups cycling through all 26 keys, each a
+% linear walk to a progressively deeper matching clause.
+scan(0, Acc, Acc).
+scan(N, Acc0, Acc) :-
+    N > 0,
+    K is (N mod 26) + 1,
+    op_table(K, V),
+    A1 is Acc0 + V,
+    N1 is N - 1,
+    scan(N1, A1, Acc).
+
+% Unbound-key enumeration: every clause is a solution; the failure
+% loop folds their values into a heap vector.
+enumloop(Vec) :-
+    op_table(_, V),
+    vector_get(Vec, 0, N0),
+    N1 is N0 + V,
+    vector_set(Vec, 0, N1),
+    fail.
+enumloop(_).
+
+adv_polyop(R) :-
+    vector_new(1, Vec),
+    scan(2000, 0, S),
+    enumloop(Vec),
+    vector_get(Vec, 0, E),
+    R is S + E.
+)PROG";
+
+} // namespace
+
+std::vector<BenchProgram>
+adversarialPrograms()
+{
+    return {
+        {"setclash", "cache set conflict (Fig. 1 worst case)",
+         kSetClashSrc, "adv_setclash(R)", 1, 0.0, 0.0},
+        {"permjoin", "permutation join (576 solutions)",
+         kPermJoinSrc, "adv_permjoin(N)", 1, 0.0, 0.0},
+        {"polyop", "26-clause dispatch (bound + unbound)",
+         kPolyOpSrc, "adv_polyop(R)", 1, 0.0, 0.0},
+    };
+}
+
+} // namespace programs
+} // namespace psi

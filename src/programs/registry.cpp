@@ -39,8 +39,10 @@ allPrograms()
         add(windowPrograms());
         add(puzzlePrograms());
         // Adversarial workloads beyond the paper (trail pressure,
-        // stack depth, wide multi-solution search).
+        // stack depth, wide multi-solution search), then the
+        // targeted worst cases (set conflicts, joins, dispatch).
         add(stressPrograms());
+        add(adversarialPrograms());
         return v;
     }();
     return all;

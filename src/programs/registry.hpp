@@ -43,6 +43,7 @@ std::vector<BenchProgram> lcpPrograms();         ///< rows (17)-(19)
 std::vector<BenchProgram> windowPrograms();      ///< window-1..3
 std::vector<BenchProgram> puzzlePrograms();      ///< 8 puzzle
 std::vector<BenchProgram> stressPrograms();      ///< beyond Table 1
+std::vector<BenchProgram> adversarialPrograms(); ///< known worst cases
 /// @}
 
 /** All workloads, Table 1 order first, then window / 8 puzzle. */

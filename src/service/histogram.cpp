@@ -15,8 +15,9 @@ LatencyHistogram::bucketOf(std::uint64_t ns)
         return static_cast<int>(ns);
     int shift = std::bit_width(ns) - 1 - kSubBits;
     int sub = static_cast<int>((ns >> shift) & (kLinearMax - 1));
-    int idx = ((shift + 1) << kSubBits) + sub;
-    return std::min(idx, kBuckets - 1);
+    // May exceed kBuckets - 1; record() clamps and counts that as
+    // saturation instead of folding it in silently.
+    return ((shift + 1) << kSubBits) + sub;
 }
 
 std::uint64_t
@@ -35,7 +36,12 @@ LatencyHistogram::bucketUpperNs(int bucket)
 void
 LatencyHistogram::record(std::uint64_t ns)
 {
-    ++_counts[bucketOf(ns)];
+    int idx = bucketOf(ns);
+    if (idx > kBuckets - 1) {
+        ++_saturated;
+        idx = kBuckets - 1;
+    }
+    ++_counts[idx];
     ++_count;
     _sum += ns;
     _min = std::min(_min, ns);
@@ -50,6 +56,7 @@ LatencyHistogram::merge(const LatencyHistogram &other)
     for (int i = 0; i < kBuckets; ++i)
         _counts[i] += other._counts[i];
     _count += other._count;
+    _saturated += other._saturated;
     _sum += other._sum;
     _min = std::min(_min, other._min);
     _max = std::max(_max, other._max);
@@ -87,6 +94,7 @@ LatencyHistogram::reset()
 {
     _counts.fill(0);
     _count = 0;
+    _saturated = 0;
     _sum = 0;
     _min = std::numeric_limits<std::uint64_t>::max();
     _max = 0;

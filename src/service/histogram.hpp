@@ -40,6 +40,15 @@ class LatencyHistogram
     double meanNs() const;
 
     /**
+     * Samples that overflowed the top bucket.  They still count in
+     * count()/sumNs()/maxNs(), but their bucket position is a lie
+     * (folded into the last bucket), so any report quoting
+     * quantiles must surface this instead of silently presenting a
+     * clamped tail as the real distribution.
+     */
+    std::uint64_t saturatedCount() const { return _saturated; }
+
+    /**
      * Upper bound of the bucket holding the @p q quantile sample
      * (q in [0, 1]); 0 when the histogram is empty.  p50/p95/p99
      * reports use q = 0.50 / 0.95 / 0.99.
@@ -54,6 +63,7 @@ class LatencyHistogram
 
     std::array<std::uint64_t, kBuckets> _counts{};
     std::uint64_t _count = 0;
+    std::uint64_t _saturated = 0;
     std::uint64_t _sum = 0;
     std::uint64_t _min = std::numeric_limits<std::uint64_t>::max();
     std::uint64_t _max = 0;

@@ -60,6 +60,12 @@ TEST(FastEngine, RegistryCoversTheStressWorkloads)
     EXPECT_TRUE(ids.count("deeprec"));
     EXPECT_TRUE(ids.count("permall6"));
     EXPECT_TRUE(ids.count("nreverse30"));
+    // The adversarial family (cache-set conflict, multi-solution
+    // join, choice-point-dense dispatch) must ride the differential
+    // too.
+    EXPECT_TRUE(ids.count("setclash"));
+    EXPECT_TRUE(ids.count("permjoin"));
+    EXPECT_TRUE(ids.count("polyop"));
 }
 
 TEST(FastEngine, ByteIdenticalToFidelityOnFullRegistry)

@@ -16,6 +16,7 @@
 #include <array>
 #include <atomic>
 #include <chrono>
+#include <limits>
 #include <memory>
 #include <string>
 #include <thread>
@@ -191,6 +192,35 @@ TEST(Histogram, QuantilesWithinBucketError)
         EXPECT_GE(est, exact * kMsNs) << "q=" << q;
         EXPECT_LE(est, exact * kMsNs * 9 / 8) << "q=" << q;
     }
+}
+
+/**
+ * Samples past the top bucket used to be folded into it silently;
+ * now they are counted, so a latency report can say "the tail is
+ * clamped" instead of presenting a fabricated p99.
+ */
+TEST(Histogram, SaturationIsCountedNotSilent)
+{
+    LatencyHistogram h;
+    h.record(1 * kMsNs);
+    EXPECT_EQ(h.saturatedCount(), 0u);
+
+    const std::uint64_t huge = 1ull << 63;
+    h.record(huge);
+    h.record(std::numeric_limits<std::uint64_t>::max());
+    EXPECT_EQ(h.saturatedCount(), 2u);
+    // Saturated samples still count everywhere else.
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.maxNs(), std::numeric_limits<std::uint64_t>::max());
+
+    LatencyHistogram other;
+    other.record(huge);
+    h.merge(other);
+    EXPECT_EQ(h.saturatedCount(), 3u);
+
+    h.reset();
+    EXPECT_EQ(h.saturatedCount(), 0u);
+    EXPECT_EQ(h.count(), 0u);
 }
 
 TEST(Histogram, MergeMatchesCombinedRecording)
