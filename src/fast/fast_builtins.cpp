@@ -31,6 +31,20 @@ constexpr std::uint32_t kGlobalRegSlots = 16;
 } // namespace
 
 bool
+FastEngine::execIs()
+{
+    std::int64_t v = 0;
+    if (!evalArith(_a[1], v))
+        return false;
+    if (v < INT32_MIN || v > INT32_MAX) {
+        warn("is/2: result ", v, " overflows the 32-bit data part");
+        return false;
+    }
+    return unify(_a[0],
+                 TaggedWord::makeInt(static_cast<std::int32_t>(v)));
+}
+
+bool
 FastEngine::execBuiltin(kl0::Builtin b)
 {
     using kl0::Builtin;
@@ -85,17 +99,8 @@ FastEngine::execBuiltin(kl0::Builtin b)
         }
       }
 
-      case Builtin::Is: {
-        std::int64_t v = 0;
-        if (!evalArith(_a[1], v))
-            return false;
-        if (v < INT32_MIN || v > INT32_MAX) {
-            warn("is/2: result ", v, " overflows the 32-bit data part");
-            return false;
-        }
-        return unify(_a[0],
-                     TaggedWord::makeInt(static_cast<std::int32_t>(v)));
-      }
+      case Builtin::Is:
+        return execIs();
 
       case Builtin::Lt:
       case Builtin::Gt:
@@ -272,67 +277,62 @@ FastEngine::evalArith(const TaggedWord &w, std::int64_t &out)
         TaggedWord f = read(a);
         if (f.tag != Tag::Functor)
             return false;
-        const std::string &name = _syms.functorName(f.data);
-        std::uint32_t arity = _syms.functorArity(f.data);
-
-        if (arity == 1) {
-            std::int64_t x = 0;
-            if (!evalArith(read(a.plus(1)), x))
-                return false;
-            if (name == "-") { out = -x; return true; }
-            if (name == "+") { out = x; return true; }
-            if (name == "abs") { out = x < 0 ? -x : x; return true; }
-            if (name == "\\") { out = ~x; return true; }
-            warn("arithmetic: unknown function ", name, "/1");
+        const ArithOp op = arithOpFor(f.data);
+        if (op == ArithOp::NotArith) {
+            warn("arithmetic: unknown function ",
+                 _syms.functorName(f.data), "/",
+                 _syms.functorArity(f.data));
             return false;
         }
 
-        if (arity == 2) {
-            std::int64_t x = 0;
-            std::int64_t y = 0;
-            if (!evalArith(read(a.plus(1)), x))
-                return false;
-            if (!evalArith(read(a.plus(2)), y))
-                return false;
-            if (name == "+") { out = x + y; return true; }
-            if (name == "-") { out = x - y; return true; }
-            if (name == "*") { out = x * y; return true; }
-            if (name == "//" || name == "/") {
-                if (y == 0) {
-                    warn("arithmetic: division by zero");
-                    return false;
-                }
-                out = x / y;
-                return true;
-            }
-            if (name == "mod") {
-                if (y == 0) {
-                    warn("arithmetic: mod by zero");
-                    return false;
-                }
-                out = x % y;
-                if (out != 0 && ((out < 0) != (y < 0)))
-                    out += y;
-                return true;
-            }
-            if (name == "rem") {
-                if (y == 0)
-                    return false;
-                out = x % y;
-                return true;
-            }
-            if (name == "min") { out = x < y ? x : y; return true; }
-            if (name == "max") { out = x > y ? x : y; return true; }
-            if (name == "<<") { out = x << (y & 31); return true; }
-            if (name == ">>") { out = x >> (y & 31); return true; }
-            if (name == "/\\") { out = x & y; return true; }
-            if (name == "\\/") { out = x | y; return true; }
-            if (name == "xor") { out = x ^ y; return true; }
-            warn("arithmetic: unknown function ", name, "/2");
+        std::int64_t x = 0;
+        if (!evalArith(read(a.plus(1)), x))
             return false;
+        switch (op) {
+          case ArithOp::Neg: out = -x; return true;
+          case ArithOp::Ident: out = x; return true;
+          case ArithOp::Abs: out = x < 0 ? -x : x; return true;
+          case ArithOp::BitNot: out = ~x; return true;
+          default: break; // binary: needs the second operand
         }
-        warn("arithmetic: unknown function ", name, "/", arity);
-        return false;
+
+        std::int64_t y = 0;
+        if (!evalArith(read(a.plus(2)), y))
+            return false;
+        switch (op) {
+          case ArithOp::Add: out = x + y; return true;
+          case ArithOp::Sub: out = x - y; return true;
+          case ArithOp::Mul: out = x * y; return true;
+          case ArithOp::IDiv:
+            if (y == 0) {
+                warn("arithmetic: division by zero");
+                return false;
+            }
+            out = x / y;
+            return true;
+          case ArithOp::Mod:
+            if (y == 0) {
+                warn("arithmetic: mod by zero");
+                return false;
+            }
+            out = x % y;
+            if (out != 0 && ((out < 0) != (y < 0)))
+                out += y;
+            return true;
+          case ArithOp::Rem:
+            if (y == 0)
+                return false;
+            out = x % y;
+            return true;
+          case ArithOp::Min: out = x < y ? x : y; return true;
+          case ArithOp::Max: out = x > y ? x : y; return true;
+          case ArithOp::Shl: out = x << (y & 31); return true;
+          case ArithOp::Shr: out = x >> (y & 31); return true;
+          case ArithOp::BitAnd: out = x & y; return true;
+          case ArithOp::BitOr: out = x | y; return true;
+          case ArithOp::BitXor: out = x ^ y; return true;
+          default: return false; // unreachable
+        }
       }
 
       default:
@@ -340,6 +340,42 @@ FastEngine::evalArith(const TaggedWord &w, std::int64_t &out)
              "'");
         return false;
     }
+}
+
+FastEngine::ArithOp
+FastEngine::arithOpFor(std::uint32_t functor_idx)
+{
+    if (functor_idx >= _arithOps.size())
+        _arithOps.resize(_syms.functorCount(), ArithOp::Unresolved);
+    ArithOp &slot = _arithOps[functor_idx];
+    if (slot != ArithOp::Unresolved)
+        return slot;
+
+    const std::string &name = _syms.functorName(functor_idx);
+    const std::uint32_t arity = _syms.functorArity(functor_idx);
+    ArithOp op = ArithOp::NotArith;
+    if (arity == 1) {
+        if (name == "-") op = ArithOp::Neg;
+        else if (name == "+") op = ArithOp::Ident;
+        else if (name == "abs") op = ArithOp::Abs;
+        else if (name == "\\") op = ArithOp::BitNot;
+    } else if (arity == 2) {
+        if (name == "+") op = ArithOp::Add;
+        else if (name == "-") op = ArithOp::Sub;
+        else if (name == "*") op = ArithOp::Mul;
+        else if (name == "//" || name == "/") op = ArithOp::IDiv;
+        else if (name == "mod") op = ArithOp::Mod;
+        else if (name == "rem") op = ArithOp::Rem;
+        else if (name == "min") op = ArithOp::Min;
+        else if (name == "max") op = ArithOp::Max;
+        else if (name == "<<") op = ArithOp::Shl;
+        else if (name == ">>") op = ArithOp::Shr;
+        else if (name == "/\\") op = ArithOp::BitAnd;
+        else if (name == "\\/") op = ArithOp::BitOr;
+        else if (name == "xor") op = ArithOp::BitXor;
+    }
+    slot = op;
+    return op;
 }
 
 bool
@@ -839,6 +875,16 @@ FastEngine::runNested(std::uint32_t functor_idx,
                 _failFlag = true;
             break;
           }
+          case Tag::CallIs:
+            loadArgs(2);
+            if (!execIs())
+                _failFlag = true;
+            break;
+          case Tag::CallCmp:
+            loadArgs(2);
+            if (!arithCompare(static_cast<kl0::Builtin>(w.data)))
+                _failFlag = true;
+            break;
           case Tag::CutOp:
             doCut();
             break;

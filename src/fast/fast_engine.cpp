@@ -64,6 +64,10 @@ FastEngine::load(const kl0::CompiledProgram &image)
     _qmem.reset();
     _syms = image.symbols();
     _codegen.restore(image.codegen());
+    // Query code compiled against this image must use the same
+    // compile options (a $queryN/0 predicate is never indexed, but
+    // the builtin specialization must agree with the image).
+    _codegen.setOptions(image.options());
     for (const PokeRecord &p : image.image()) {
         _qmem.poke(p.addr, p.word);
         write(p.addr, p.word);
@@ -73,6 +77,7 @@ FastEngine::load(const kl0::CompiledProgram &image)
     _maxOutputBytes = 1 << 20;
     _inProcessCall = false;
     _warnedUndefined.clear();
+    _arithOps.clear(); // functor indices are per-image
     _loaded = true;
 }
 
@@ -110,6 +115,9 @@ FastEngine::resetRun()
     _act.globalBase = _gt;
     _curBuf = 0;
     _inferences = 0;
+    _idxHits = 0;
+    _idxFallbacks = 0;
+    _clauseTries = 0;
     _out.clear();
     _failFlag = false;
 }
@@ -149,7 +157,7 @@ FastEngine::mainLoop(const kl0::QueryCode &qc, RunResult &result,
 #if defined(__GNUC__) || defined(__clang__)
     // Token-threaded dispatch: the instruction tag indexes a label
     // table directly, one indirect jump per body instruction word.
-    // Indexed by Tag value; only the four instruction tokens are
+    // Indexed by Tag value; only the six instruction tokens are
     // executable, everything else is a corrupt-image panic.
     static const void *const kOp[static_cast<int>(Tag::NumTags)] = {
         &&op_bad, // Undef
@@ -191,6 +199,11 @@ FastEngine::mainLoop(const kl0::QueryCode &qc, RunResult &result,
         &&op_bad, // AExpr
         &&op_cut,     // CutOp
         &&op_proceed, // Proceed
+        &&op_bad, // IndexRef
+        &&op_bad, // IndexRoot
+        &&op_bad, // IndexHash
+        &&op_is,  // CallIs
+        &&op_cmp, // CallCmp
     };
 #define PSI_FAST_DISPATCH() goto *kOp[static_cast<int>(w.tag)]
 #else
@@ -201,6 +214,10 @@ FastEngine::mainLoop(const kl0::QueryCode &qc, RunResult &result,
         goto op_call;                                                 \
       case Tag::CallBuiltin:                                          \
         goto op_builtin;                                              \
+      case Tag::CallIs:                                               \
+        goto op_is;                                                   \
+      case Tag::CallCmp:                                              \
+        goto op_cmp;                                                  \
       case Tag::CutOp:                                                \
         goto op_cut;                                                  \
       case Tag::Proceed:                                              \
@@ -249,6 +266,20 @@ op_builtin: {
     auto b = static_cast<kl0::Builtin>(w.data);
     loadArgs(kl0::builtinArity(b));
     if (!execBuiltin(b))
+        _failFlag = true;
+    goto next;
+}
+
+op_is: {
+    loadArgs(2);
+    if (!execIs())
+        _failFlag = true;
+    goto next;
+}
+
+op_cmp: {
+    loadArgs(2);
+    if (!arithCompare(static_cast<kl0::Builtin>(w.data)))
         _failFlag = true;
     goto next;
 }
@@ -440,6 +471,8 @@ FastEngine::doCall(std::uint32_t functor_idx, std::uint32_t goal_cp,
     ++_inferences;
 
     TaggedWord dir = heapRead(kl0::kDirBase + functor_idx);
+    if (dir.tag == Tag::IndexRef)
+        dir = {Tag::ClauseRef, resolveIndex(dir.data)};
     if (dir.tag != Tag::ClauseRef) {
         if (functor_idx >= _warnedUndefined.size())
             _warnedUndefined.resize(functor_idx + 1, false);
@@ -472,6 +505,73 @@ FastEngine::doCall(std::uint32_t functor_idx, std::uint32_t goal_cp,
                       cont_env, _b);
 }
 
+std::uint32_t
+FastEngine::resolveIndex(std::uint32_t root)
+{
+    // Same walk as interp::Engine::resolveIndex, minus the sequencer
+    // accounting: dereference A1, pick the class slot, and hash the
+    // principal constant/functor to a pre-built ClauseRef chain (an
+    // index exists only for predicates of arity > 0, so A1 is always
+    // loaded here).
+    Deref d = deref(_a[0]);
+    TaggedWord a1 =
+        d.unbound ? TaggedWord{Tag::Ref, d.cell.pack()} : d.word;
+
+    std::uint32_t slot;
+    std::uint32_t key = 0;
+    Tag key_tag = Tag::Undef;
+    switch (a1.tag) {
+      case Tag::Atom:
+        slot = kl0::kIdxSlotAtom;
+        key = a1.data;
+        key_tag = Tag::Atom;
+        break;
+      case Tag::Int:
+        slot = kl0::kIdxSlotInt;
+        key = a1.data;
+        key_tag = Tag::Int;
+        break;
+      case Tag::Nil:
+        slot = kl0::kIdxSlotNil;
+        break;
+      case Tag::List:
+        slot = kl0::kIdxSlotList;
+        break;
+      case Tag::Struct:
+        slot = kl0::kIdxSlotStruct;
+        key = read(LogicalAddr::unpack(a1.data)).data;
+        key_tag = Tag::Functor;
+        break;
+      default:
+        // Unbound - or a tag the index does not cover (vectors):
+        // walk the full linear chain.
+        ++_idxFallbacks;
+        return heapRead(root).data;
+    }
+    ++_idxHits;
+
+    TaggedWord w = heapRead(root + slot);
+    if (w.tag == Tag::ClauseRef)
+        return w.data;
+    PSI_ASSERT(w.tag == Tag::IndexHash, "bad index slot word");
+
+    std::uint32_t block = w.data;
+    std::uint32_t nslots = heapRead(block).data;
+    std::uint32_t h = kl0::indexKeyHash(key) & (nslots - 1);
+    for (;;) {
+        TaggedWord kw = heapRead(block + 2 + 2 * h);
+        if (kw.tag == Tag::Undef) {
+            // No clause mentions this key: only the variable-headed
+            // clauses can match.
+            return heapRead(block + 1).data;
+        }
+        if (kw.tag == key_tag && kw.data == key)
+            return heapRead(block + 3 + 2 * h).data;
+        // Linear probe (load factor <= 1/2 guarantees an empty slot).
+        h = (h + 1) & (nslots - 1);
+    }
+}
+
 bool
 FastEngine::tryClauses(std::uint32_t table_addr, std::uint32_t goal_cp,
                        std::uint32_t arity, std::uint32_t cont_cp,
@@ -498,6 +598,7 @@ FastEngine::tryClauses(std::uint32_t table_addr, std::uint32_t goal_cp,
         return false;
 
     for (;;) {
+        ++_clauseTries;
         TaggedWord next = heapRead(pos + 1);
         bool has_next = next.tag == Tag::ClauseRef;
 

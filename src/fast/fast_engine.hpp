@@ -32,10 +32,15 @@
  * Tables 2-7 are therefore served exclusively by the fidelity engine.
  *
  * Only the default FirmwareOptions are modeled (frame buffers on,
- * trail buffering on, no first-argument indexing); the trail buffer
- * is represented by a flat trail stack at the same logical positions,
- * which is observationally identical (same trail tops in choice
- * points, same LIFO unwind order).
+ * trail buffering on, no runtime first-argument probing); the trail
+ * buffer is represented by a flat trail stack at the same logical
+ * positions, which is observationally identical (same trail tops in
+ * choice points, same LIFO unwind order).  Compile-time first-argument
+ * indexing (kl0::CompileOptions::firstArgIndexing) IS supported: an
+ * IndexRef directory entry is resolved through the same heap-resident
+ * index structure the fidelity engine walks, selecting a pre-built
+ * ClauseRef chain, so the clause trial order - and therefore every
+ * answer byte - is unchanged.
  */
 
 #ifndef PSI_FAST_FAST_ENGINE_HPP
@@ -124,6 +129,14 @@ class FastEngine
                             const interp::RunLimits &limits =
                                 interp::RunLimits());
 
+    // ----- first-argument index instrumentation ------------------------
+    /** Calls dispatched through a first-argument index this run. */
+    std::uint64_t indexHits() const { return _idxHits; }
+    /** Indexed calls that fell back to the linear chain this run. */
+    std::uint64_t indexFallbacks() const { return _idxFallbacks; }
+    /** Clause candidates visited by the trial loop this run. */
+    std::uint64_t clauseTries() const { return _clauseTries; }
+
   private:
     using RunLimits = interp::RunLimits;
     using RunResult = interp::RunResult;
@@ -139,6 +152,7 @@ class FastEngine
     void loadArgs(std::uint32_t arity);
     bool doCall(std::uint32_t functor_idx, std::uint32_t goal_cp,
                 bool last_call);
+    std::uint32_t resolveIndex(std::uint32_t root);
     bool tryClauses(std::uint32_t table_addr, std::uint32_t goal_cp,
                     std::uint32_t arity, std::uint32_t cont_cp,
                     std::uint32_t cont_env, std::uint32_t cut_b);
@@ -182,7 +196,24 @@ class FastEngine
 
     // ----- fast_builtins.cpp ------------------------------------------
     bool execBuiltin(kl0::Builtin b);
+    bool execIs();
     bool evalArith(const TaggedWord &w, std::int64_t &out);
+    /**
+     * Resolved arithmetic operator of a functor.  evalArith runs
+     * once per expression node, so matching the operator by name
+     * there dominates arith-heavy profiles; this memoizes the
+     * string match per functor index (cleared on load, grown when a
+     * query compile interns new functors).
+     */
+    enum class ArithOp : std::uint8_t
+    {
+        Unresolved = 0,
+        NotArith,                          ///< not an arith functor
+        Neg, Ident, Abs, BitNot,           // arity 1
+        Add, Sub, Mul, IDiv, Mod, Rem,     // arity 2
+        Min, Max, Shl, Shr, BitAnd, BitOr, BitXor,
+    };
+    ArithOp arithOpFor(std::uint32_t functor_idx);
     bool arithCompare(kl0::Builtin b);
     bool termCompare(const TaggedWord &a, const TaggedWord &b,
                      int &out);
@@ -238,11 +269,15 @@ class FastEngine
     std::uint32_t _vecTop = kl0::kVectorBase;
     std::uint64_t _inferences = 0;
     std::uint64_t _dispatches = 0;           ///< maxSteps proxy
+    std::uint64_t _idxHits = 0;              ///< indexed dispatches
+    std::uint64_t _idxFallbacks = 0;         ///< linear-chain fallbacks
+    std::uint64_t _clauseTries = 0;          ///< clause candidates tried
     std::string _out;
     std::size_t _maxOutputBytes = 1 << 20;
     bool _failFlag = false;
     bool _inProcessCall = false;
     std::vector<bool> _warnedUndefined;
+    std::vector<ArithOp> _arithOps; ///< functor idx -> operator memo
 };
 
 } // namespace fast

@@ -26,6 +26,20 @@ constexpr auto kNoWf = micro::WfMode::None;
 } // namespace
 
 bool
+Engine::execIs()
+{
+    std::int64_t v = 0;
+    if (!evalArith(readA(1, Module::Built), v))
+        return false;
+    if (v < INT32_MIN || v > INT32_MAX) {
+        warn("is/2: result ", v, " overflows the 32-bit data part");
+        return false;
+    }
+    return unify(readA(0, Module::Built),
+                 TaggedWord::makeInt(static_cast<std::int32_t>(v)));
+}
+
+bool
 Engine::execBuiltin(kl0::Builtin b)
 {
     using kl0::Builtin;
@@ -93,17 +107,8 @@ Engine::execBuiltin(kl0::Builtin b)
         }
       }
 
-      case Builtin::Is: {
-        std::int64_t v = 0;
-        if (!evalArith(readA(1, Module::Built), v))
-            return false;
-        if (v < INT32_MIN || v > INT32_MAX) {
-            warn("is/2: result ", v, " overflows the 32-bit data part");
-            return false;
-        }
-        return unify(readA(0, Module::Built),
-                     TaggedWord::makeInt(static_cast<std::int32_t>(v)));
-      }
+      case Builtin::Is:
+        return execIs();
 
       case Builtin::Lt:
       case Builtin::Gt:

@@ -61,6 +61,13 @@ Engine::load(const kl0::Program &program)
 void
 Engine::consult(const std::string &text)
 {
+    if (_codegen.heapTop() == kl0::kCodeBase) {
+        // Fresh machine: the single compile entry point, sharing the
+        // image-replay path with the warm-engine loads.
+        load(kl0::CompiledProgram::compile(text, _codegen.options()));
+        return;
+    }
+    // Machine already holds code: append incrementally (REPL path).
     kl0::Program p;
     p.consult(text);
     load(p);
@@ -87,6 +94,7 @@ Engine::load(const kl0::CompiledProgram &image)
     resetMachine();
     _syms = image.symbols();
     _codegen.restore(image.codegen());
+    _codegen.setOptions(image.options());
     // Replay in emission order so pages are touched (and physical
     // frames allocated) exactly as the original compile touched them.
     for (const PokeRecord &p : image.image())
@@ -126,6 +134,9 @@ Engine::resetRun()
     _curBuf = 0;
     _trailBufCount = 0;
     _inferences = 0;
+    _idxHits = 0;
+    _idxFallbacks = 0;
+    _clauseTries = 0;
     _out.clear();
     _failFlag = false;
 }
@@ -202,6 +213,24 @@ Engine::mainLoop(const kl0::QueryCode &qc, RunResult &result,
             auto b = static_cast<kl0::Builtin>(w.data);
             loadArgs(kl0::builtinArity(b), Module::GetArg);
             if (!execBuiltin(b))
+                _failFlag = true;
+            break;
+          }
+          case Tag::CallIs: {
+            // Specialized entry: one dispatch step, none of the
+            // generic builtin staging texture.
+            loadArgs(2, Module::GetArg);
+            _seq.step(Module::Built, BranchOp::T1GotoJr, kScr, kNoWf,
+                      kNoWf);
+            if (!execIs())
+                _failFlag = true;
+            break;
+          }
+          case Tag::CallCmp: {
+            loadArgs(2, Module::GetArg);
+            _seq.step(Module::Built, BranchOp::T1GotoJr, kScr, kNoWf,
+                      kNoWf);
+            if (!arithCompare(static_cast<kl0::Builtin>(w.data)))
                 _failFlag = true;
             break;
           }
@@ -443,6 +472,8 @@ Engine::doCall(std::uint32_t functor_idx, std::uint32_t goal_cp,
         Module::Control,
         LogicalAddr(Area::Heap, kl0::kDirBase + functor_idx),
         BranchOp::T1CondFalse, kScr);
+    if (dir.tag == Tag::IndexRef)
+        dir = {Tag::ClauseRef, resolveIndex(dir.data)};
     if (dir.tag != Tag::ClauseRef) {
         if (functor_idx >= _warnedUndefined.size())
             _warnedUndefined.resize(functor_idx + 1, false);
@@ -477,6 +508,94 @@ Engine::doCall(std::uint32_t functor_idx, std::uint32_t goal_cp,
     return tryClauses(dir.data, goal_cp,
                       _syms.functorArity(functor_idx), cont_cp,
                       cont_env, _b);
+}
+
+std::uint32_t
+Engine::resolveIndex(std::uint32_t root)
+{
+    // Dereference A1 and switch on its tag (an index exists only for
+    // predicates of arity > 0, so A1 is always loaded here).
+    Deref d = deref(_seq.wf().read(micro::kWfArgBase),
+                    Module::Control);
+    TaggedWord a1 =
+        d.unbound ? TaggedWord{Tag::Ref, d.cell.pack()} : d.word;
+    _seq.step(Module::Control, BranchOp::T1CaseTag, kScr, kScr);
+
+    std::uint32_t slot;
+    std::uint32_t key = 0;
+    Tag key_tag = Tag::Undef;
+    switch (a1.tag) {
+      case Tag::Atom:
+        slot = kl0::kIdxSlotAtom;
+        key = a1.data;
+        key_tag = Tag::Atom;
+        break;
+      case Tag::Int:
+        slot = kl0::kIdxSlotInt;
+        key = a1.data;
+        key_tag = Tag::Int;
+        break;
+      case Tag::Nil:
+        slot = kl0::kIdxSlotNil;
+        break;
+      case Tag::List:
+        slot = kl0::kIdxSlotList;
+        break;
+      case Tag::Struct:
+        slot = kl0::kIdxSlotStruct;
+        key = _seq.readMem(Module::Control,
+                           LogicalAddr::unpack(a1.data),
+                           BranchOp::T1Nop, kScr)
+                  .data;
+        key_tag = Tag::Functor;
+        break;
+      default:
+        // Unbound - or a tag the index does not cover (vectors):
+        // walk the full linear chain.
+        ++_idxFallbacks;
+        return _seq.readMem(Module::Control,
+                            LogicalAddr(Area::Heap, root),
+                            BranchOp::T1Goto, kScr)
+            .data;
+    }
+    ++_idxHits;
+
+    TaggedWord w = _seq.readMem(Module::Control,
+                                LogicalAddr(Area::Heap, root + slot),
+                                BranchOp::T1CaseTag, kScr);
+    if (w.tag == Tag::ClauseRef)
+        return w.data;
+    PSI_ASSERT(w.tag == Tag::IndexHash, "bad index slot word");
+
+    std::uint32_t block = w.data;
+    std::uint32_t nslots =
+        _seq.readMem(Module::Control, LogicalAddr(Area::Heap, block),
+                     BranchOp::T1Nop, kScr)
+            .data;
+    std::uint32_t h = kl0::indexKeyHash(key) & (nslots - 1);
+    for (;;) {
+        TaggedWord kw = _seq.readMem(
+            Module::Control,
+            LogicalAddr(Area::Heap, block + 2 + 2 * h),
+            BranchOp::T1CaseTag, kScr);
+        if (kw.tag == Tag::Undef) {
+            // No clause mentions this key: only the variable-headed
+            // clauses can match.
+            return _seq.readMem(Module::Control,
+                                LogicalAddr(Area::Heap, block + 1),
+                                BranchOp::T1Goto, kScr)
+                .data;
+        }
+        if (kw.tag == key_tag && kw.data == key) {
+            return _seq.readMem(
+                       Module::Control,
+                       LogicalAddr(Area::Heap, block + 3 + 2 * h),
+                       BranchOp::T1Goto, kScr)
+                .data;
+        }
+        // Linear probe (load factor <= 1/2 guarantees an empty slot).
+        h = (h + 1) & (nslots - 1);
+    }
 }
 
 bool
@@ -544,6 +663,7 @@ Engine::tryClauses(std::uint32_t table_addr, std::uint32_t goal_cp,
         return false;
 
     for (;;) {
+        ++_clauseTries;
         TaggedWord next = _seq.readMem(Module::Control,
                                        LogicalAddr(Area::Heap, pos + 1),
                                        BranchOp::T1CondTrue, kScr);

@@ -67,8 +67,27 @@ class Engine
     /** Load (normalize + compile) a program into the heap image. */
     void load(const kl0::Program &program);
 
-    /** Convenience: parse @p text and load it. */
+    /**
+     * Consult @p text.  On a fresh machine this routes through the
+     * single compile entry point, CompiledProgram::compile, and
+     * installs the image; on a machine that already holds code it
+     * compiles incrementally, appending clauses (the REPL path).
+     */
     void consult(const std::string &text);
+
+    /**
+     * Code-generation options for subsequent consults and query
+     * compiles.  load(image) overrides them with the image's own
+     * options so the engine stays consistent with the installed code.
+     */
+    void setCompileOptions(const kl0::CompileOptions &opts)
+    {
+        _codegen.setOptions(opts);
+    }
+    const kl0::CompileOptions &compileOptions() const
+    {
+        return _codegen.options();
+    }
 
     /**
      * Install a precompiled image into a fully reset machine.
@@ -117,6 +136,18 @@ class Engine
      */
     void setResetStatsOnRun(bool v) { _resetStatsOnRun = v; }
 
+    /** @name Per-run first-argument-index counters
+     * Calls dispatched through an index (bound first argument) vs
+     * falling back to the linear chain (unbound or uncovered tag),
+     * and clause candidates visited by the trial loop.  Reset at
+     * every solve; harvested into pool metrics by the psid worker.
+     */
+    /// @{
+    std::uint64_t indexHits() const { return _idxHits; }
+    std::uint64_t indexFallbacks() const { return _idxFallbacks; }
+    std::uint64_t clauseTries() const { return _clauseTries; }
+    /// @}
+
   private:
     using Module = micro::Module;
     using BranchOp = micro::BranchOp;
@@ -145,6 +176,13 @@ class Engine
     bool tryClauses(std::uint32_t table_addr, std::uint32_t goal_cp,
                     std::uint32_t arity, std::uint32_t cont_cp,
                     std::uint32_t cont_env, std::uint32_t cut_b);
+    /**
+     * Resolve a first-argument index rooted at @p root to the clause
+     * table tryClauses should walk: dereference A1, switch on its
+     * tag, probe the hash block when the class is keyed.  Unbound or
+     * uncovered first arguments take the linear-table fallback.
+     */
+    std::uint32_t resolveIndex(std::uint32_t root);
     /** Enter one clause: globals, locals, head unification. */
     bool enterClause(std::uint32_t clause_addr, std::uint32_t cont_cp,
                      std::uint32_t cont_env, std::uint32_t cut_b);
@@ -199,6 +237,8 @@ class Engine
 
     // ----- builtins.cpp / builtins_arith.cpp / builtins_term.cpp ------
     bool execBuiltin(kl0::Builtin b);
+    /** is/2 body, shared by the generic dispatch and CallIs. */
+    bool execIs();
     bool evalArith(const TaggedWord &w, std::int64_t &out);
     bool arithCompare(kl0::Builtin b);
     /** Standard order comparison; -1/0/+1 via @p out. */
@@ -251,6 +291,9 @@ class Engine
     std::uint32_t _trailBufCount = 0; ///< entries in the WF buffer
     std::uint32_t _vecTop = kl0::kVectorBase;
     std::uint64_t _inferences = 0;
+    std::uint64_t _idxHits = 0;       ///< index-dispatched calls
+    std::uint64_t _idxFallbacks = 0;  ///< linear-fallback calls
+    std::uint64_t _clauseTries = 0;   ///< clause candidates visited
     std::string _out;
     std::size_t _maxOutputBytes = 1 << 20;
     bool _failFlag = false;           ///< set by dispatch on failure

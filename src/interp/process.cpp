@@ -120,6 +120,16 @@ Engine::runNested(std::uint32_t functor_idx, std::uint64_t max_steps)
                 _failFlag = true;
             break;
           }
+          case Tag::CallIs:
+            loadArgs(2, Module::GetArg);
+            if (!execIs())
+                _failFlag = true;
+            break;
+          case Tag::CallCmp:
+            loadArgs(2, Module::GetArg);
+            if (!arithCompare(static_cast<kl0::Builtin>(w.data)))
+                _failFlag = true;
+            break;
           case Tag::CutOp:
             doCut();
             break;

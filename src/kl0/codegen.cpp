@@ -15,8 +15,9 @@ thread_local std::map<const Term *, std::uint32_t> *t_skelAddrs =
 
 } // namespace
 
-CodeGen::CodeGen(MemorySystem &mem, SymbolTable &syms)
-    : _mem(&mem), _syms(&syms)
+CodeGen::CodeGen(MemorySystem &mem, SymbolTable &syms,
+                 CompileOptions opts)
+    : _mem(&mem), _syms(&syms), _opts(opts)
 {
 }
 
@@ -368,7 +369,25 @@ CodeGen::compileClause(const Clause &clause, VarMap &vars)
         }
         int b = builtinIndex(goal->name(), goal_arity);
         if (b >= 0) {
-            emit({Tag::CallBuiltin, static_cast<std::uint32_t>(b)});
+            Tag op = Tag::CallBuiltin;
+            if (_opts.specializeBuiltins) {
+                switch (static_cast<Builtin>(b)) {
+                  case Builtin::Is:
+                    op = Tag::CallIs;
+                    break;
+                  case Builtin::Lt:
+                  case Builtin::Gt:
+                  case Builtin::Le:
+                  case Builtin::Ge:
+                  case Builtin::ArithEq:
+                  case Builtin::ArithNe:
+                    op = Tag::CallCmp;
+                    break;
+                  default:
+                    break;
+                }
+            }
+            emit({op, static_cast<std::uint32_t>(b)});
         } else {
             std::uint32_t f = _syms->functor(goal->name(), goal_arity);
             PSI_ASSERT(f < kDirWords, "predicate directory overflow");
@@ -382,6 +401,150 @@ CodeGen::compileClause(const Clause &clause, VarMap &vars)
     emit({Tag::Proceed, 0});
     t_skelAddrs = nullptr;
     return addr;
+}
+
+int
+CodeGen::clauseKeySlot(std::uint32_t clause_addr,
+                       std::uint32_t *key) const
+{
+    // The first head-argument descriptor sits right after the
+    // ClauseHeader word, so the key of any already-emitted clause -
+    // including clauses from an earlier incremental consult - can be
+    // recovered from the image itself.
+    TaggedWord d =
+        _mem->peek(LogicalAddr(Area::Heap, clause_addr + 1));
+    switch (d.tag) {
+      case Tag::HConst:
+        *key = d.data;
+        return static_cast<int>(kIdxSlotAtom);
+      case Tag::HInt:
+        *key = d.data;
+        return static_cast<int>(kIdxSlotInt);
+      case Tag::HNil:
+        return static_cast<int>(kIdxSlotNil);
+      case Tag::HList:
+      case Tag::HGroundList:
+        return static_cast<int>(kIdxSlotList);
+      case Tag::HStruct:
+      case Tag::HGroundStruct:
+        // The skeleton's first word is its Functor word.
+        *key = _mem->peek(LogicalAddr::unpack(d.data)).data;
+        return static_cast<int>(kIdxSlotStruct);
+      default:
+        // HVarF / HVarS / HVoid: matches any first argument.
+        return 0;
+    }
+}
+
+std::uint32_t
+CodeGen::emitIndex(const std::vector<std::uint32_t> &addrs,
+                   std::uint32_t linear_table)
+{
+    struct Entry
+    {
+        std::uint32_t addr;
+        int slot;
+        std::uint32_t key;
+    };
+    std::vector<Entry> entries;
+    entries.reserve(addrs.size());
+    bool any_keyed = false;
+    for (auto a : addrs) {
+        std::uint32_t key = 0;
+        int slot = clauseKeySlot(a, &key);
+        entries.push_back({a, slot, key});
+        any_keyed = any_keyed || slot != 0;
+    }
+    if (!any_keyed)
+        return 0;
+
+    // Chain of the clauses selected by @p want, merged with the
+    // variable-headed clauses, in original source order.
+    auto emitChain = [&](auto &&want) {
+        std::uint32_t t = here();
+        for (const auto &e : entries) {
+            if (e.slot == 0 || want(e))
+                emit({Tag::ClauseRef, e.addr});
+        }
+        emit({Tag::EndClauses, 0});
+        return t;
+    };
+    // The var-only chain serves three roles: the dispatch word of a
+    // class no clause uses, the hash miss chain (a bound key no
+    // clause mentions), and the empty-bucket case.
+    std::uint32_t var_chain =
+        emitChain([](const Entry &) { return false; });
+
+    // Nil/list classes carry no key: one chain each.
+    auto chainFor = [&](int s) {
+        bool has = false;
+        for (const auto &e : entries)
+            has = has || e.slot == s;
+        if (!has)
+            return TaggedWord{Tag::ClauseRef, var_chain};
+        return TaggedWord{
+            Tag::ClauseRef,
+            emitChain([s](const Entry &e) { return e.slot == s; })};
+    };
+    // Atom/int/struct classes hash their key to a bucket chain.
+    auto hashFor = [&](int s, Tag key_tag) {
+        std::vector<std::uint32_t> keys;  // distinct, first-seen
+        for (const auto &e : entries) {
+            if (e.slot != s)
+                continue;
+            bool seen = false;
+            for (auto k : keys)
+                seen = seen || k == e.key;
+            if (!seen)
+                keys.push_back(e.key);
+        }
+        if (keys.empty())
+            return TaggedWord{Tag::ClauseRef, var_chain};
+        std::vector<std::uint32_t> buckets;
+        buckets.reserve(keys.size());
+        for (auto k : keys) {
+            buckets.push_back(emitChain([&](const Entry &e) {
+                return e.slot == s && e.key == k;
+            }));
+        }
+        std::uint32_t nslots = 2;
+        while (nslots < 2 * keys.size())
+            nslots <<= 1;
+        std::vector<TaggedWord> tbl(2 * nslots,
+                                    TaggedWord{Tag::Undef, 0});
+        for (std::size_t i = 0; i < keys.size(); ++i) {
+            std::uint32_t h = indexKeyHash(keys[i]) & (nslots - 1);
+            while (tbl[2 * h].tag != Tag::Undef)
+                h = (h + 1) & (nslots - 1);
+            tbl[2 * h] = {key_tag, keys[i]};
+            tbl[2 * h + 1] = {Tag::ClauseRef, buckets[i]};
+        }
+        std::uint32_t block = here();
+        emit({Tag::Int, nslots});
+        emit({Tag::ClauseRef, var_chain});
+        for (const auto &w : tbl)
+            emit(w);
+        return TaggedWord{Tag::IndexHash, block};
+    };
+
+    // Dispatch words must exist before the root referencing them.
+    TaggedWord atom_w = hashFor(static_cast<int>(kIdxSlotAtom),
+                                Tag::Atom);
+    TaggedWord int_w = hashFor(static_cast<int>(kIdxSlotInt),
+                               Tag::Int);
+    TaggedWord nil_w = chainFor(static_cast<int>(kIdxSlotNil));
+    TaggedWord list_w = chainFor(static_cast<int>(kIdxSlotList));
+    TaggedWord struct_w = hashFor(static_cast<int>(kIdxSlotStruct),
+                                  Tag::Functor);
+
+    std::uint32_t root = here();
+    emit({Tag::IndexRoot, linear_table});
+    emit(atom_w);
+    emit(int_w);
+    emit(nil_w);
+    emit(list_w);
+    emit(struct_w);
+    return root;
 }
 
 void
@@ -404,8 +567,14 @@ CodeGen::compilePredicate(const PredId &id,
         emit({Tag::ClauseRef, a});
     emit({Tag::EndClauses, 0});
 
-    _mem->poke(LogicalAddr(Area::Heap, kDirBase + f),
-               {Tag::ClauseRef, table});
+    TaggedWord dir{Tag::ClauseRef, table};
+    if (_opts.firstArgIndexing && addrs.size() > 1 &&
+        id.arity > 0) {
+        std::uint32_t root = emitIndex(addrs, table);
+        if (root != 0)
+            dir = {Tag::IndexRef, root};
+    }
+    _mem->poke(LogicalAddr(Area::Heap, kDirBase + f), dir);
 }
 
 void

@@ -69,6 +69,73 @@ constexpr std::uint32_t kPackSmallInt = 4;
 /** SkelVar data bit: single-occurrence (void) skeleton variable. */
 constexpr std::uint32_t kSkelVoidBit = 0x20000;
 
+/**
+ * @name First-argument index layout (psiindex)
+ *
+ * A predicate with more than one clause and at least one
+ * constant-keyed first argument gets, after its linear clause table,
+ * an index the directory points at with {IndexRef, root}:
+ *
+ *  - root + 0: {IndexRoot, linear-table addr} - the fallback both
+ *    engines take when the first argument dereferences unbound (or
+ *    to a tag the index does not cover);
+ *  - root + kIdxSlotAtom .. kIdxSlotStruct: one dispatch word per
+ *    first-argument class, each either {ClauseRef, chain} (walk that
+ *    chain directly) or {IndexHash, block} (probe the hash block);
+ *  - hash block: {Int, nslots} {ClauseRef, miss chain} followed by
+ *    nslots key/value pairs - key word ({Atom,i}/{Int,v}/{Functor,f}
+ *    or {Undef,0} when empty) then {ClauseRef, bucket chain}.
+ *    nslots is a power of two >= 2x the distinct keys (load factor
+ *    <= 1/2), probed linearly; an empty key word means "no clause
+ *    mentions this key", which routes to the miss chain.
+ *
+ * Every chain is an ordinary ClauseRef... EndClauses table holding
+ * the key's matching clauses merged with the variable-headed clauses
+ * in original source order, so choice points and backtracking work
+ * on bucket chains exactly as on the linear table.  The index is a
+ * filter: a skipped clause is one whose head unification was going
+ * to fail on the first argument anyway.
+ */
+/// @{
+constexpr std::uint32_t kIdxSlotAtom = 1;
+constexpr std::uint32_t kIdxSlotInt = 2;
+constexpr std::uint32_t kIdxSlotNil = 3;
+constexpr std::uint32_t kIdxSlotList = 4;
+constexpr std::uint32_t kIdxSlotStruct = 5;
+constexpr std::uint32_t kIdxRootWords = 6;
+/// @}
+
+/**
+ * Hash for index keys (atom index, int data, functor index).  The
+ * codegen builder and both engines' probes must agree bit-for-bit;
+ * multiplicative hashing keeps the high product bits, which scatter
+ * far better than the low ones for the small sequential indices the
+ * symbol tables hand out.
+ */
+inline std::uint32_t
+indexKeyHash(std::uint32_t data)
+{
+    return (data * 2654435761u) >> 16;
+}
+
+/**
+ * Code-generation options.  They ride CompiledProgram so an image
+ * records how it was compiled; indexed and unindexed images of the
+ * same source are different byte streams and must never alias (the
+ * ProgramCache folds these bits into its key).  All-off reproduces
+ * the pre-psiindex image bit-for-bit.
+ */
+struct CompileOptions
+{
+    /** Emit first-argument indexes (IndexRef directories). */
+    bool firstArgIndexing = true;
+    /** Emit CallIs/CallCmp for is/2 and the arithmetic compares
+     *  instead of the generic CallBuiltin dispatch. */
+    bool specializeBuiltins = true;
+
+    bool operator==(const CompileOptions &) const = default;
+};
+
 /** Where a source variable lives at run time. */
 struct SlotRef
 {
@@ -89,7 +156,16 @@ struct QueryCode
 class CodeGen
 {
   public:
-    CodeGen(MemorySystem &mem, SymbolTable &syms);
+    CodeGen(MemorySystem &mem, SymbolTable &syms,
+            CompileOptions opts = {});
+
+    /** The options this generator compiles with. */
+    const CompileOptions &options() const { return _opts; }
+
+    /** Adopt @p opts (an engine loading an image adopts the image's
+     *  options so later incremental consults and query compiles stay
+     *  consistent with the installed code). */
+    void setOptions(const CompileOptions &opts) { _opts = opts; }
 
     /**
      * Compile every predicate of @p program (normalize() must have
@@ -160,6 +236,19 @@ class CodeGen
                           const std::vector<Clause> &clauses);
     std::uint32_t compileClause(const Clause &clause, VarMap &vars);
 
+    /** First-argument class of the clause at @p clause_addr: one of
+     *  the kIdxSlot* constants, or 0 for a variable head argument.
+     *  @p key receives the atom/int/functor key for keyed classes. */
+    int clauseKeySlot(std::uint32_t clause_addr,
+                      std::uint32_t *key) const;
+
+    /** Emit the index blocks for a predicate whose clause addresses
+     *  are @p addrs and whose linear table is at @p linear_table.
+     *  @return the index root address, or 0 when no clause has a
+     *  constant first-argument key (indexing would filter nothing). */
+    std::uint32_t emitIndex(const std::vector<std::uint32_t> &addrs,
+                            std::uint32_t linear_table);
+
     /** Occurrence analysis over one clause. */
     void analyze(const Clause &clause, VarMap &vars) const;
     void analyzeTerm(const TermPtr &t, bool in_skel, bool in_arith,
@@ -185,6 +274,7 @@ class CodeGen
 
     MemorySystem *_mem;
     SymbolTable *_syms;
+    CompileOptions _opts;
     std::uint32_t _cursor = kCodeBase;
     /** All clause addresses per functor, across compile() calls, so
      *  incremental consulting appends instead of replacing. */

@@ -19,7 +19,8 @@ CompiledProgram::hashSource(const std::string &source)
 }
 
 CompiledProgram
-CompiledProgram::compile(const std::string &source)
+CompiledProgram::compile(const std::string &source,
+                         CompileOptions opts)
 {
     Program program;
     program.consult(source);
@@ -29,12 +30,13 @@ CompiledProgram::compile(const std::string &source)
     // generator stores through poke()), so the default configuration
     // is fine regardless of what the eventual engine runs with.
     MemorySystem mem;
-    CodeGen codegen(mem, out._syms);
+    CodeGen codegen(mem, out._syms, opts);
     mem.setPokeLog(&out._image);
     codegen.compile(normalize(program));
     mem.setPokeLog(nullptr);
 
     out._snapshot = codegen.snapshot();
+    out._options = opts;
     out._hash = hashSource(source);
     return out;
 }

@@ -46,15 +46,22 @@ class CompiledProgram
 {
   public:
     /**
-     * Parse, normalize and compile @p source.  Pure: only scratch
-     * state private to this call is touched, so concurrent compiles
-     * (even of the same source) are safe.  Throws FatalError on
-     * malformed source, like Engine::consult.
+     * Parse, normalize and compile @p source under @p opts - the
+     * single compile entry point (Engine::consult and the psid
+     * ProgramCache both route through it).  Pure: only scratch state
+     * private to this call is touched, so concurrent compiles (even
+     * of the same source) are safe.  Throws FatalError on malformed
+     * source, like Engine::consult.
      */
-    static CompiledProgram compile(const std::string &source);
+    static CompiledProgram compile(const std::string &source,
+                                   CompileOptions opts = {});
 
     /** FNV-1a 64 content hash - the ProgramCache key for @p source. */
     static std::uint64_t hashSource(const std::string &source);
+
+    /** The options the image was compiled with; an engine loading
+     *  the image adopts them for its own query compiles. */
+    const CompileOptions &options() const { return _options; }
 
     /** The heap image as stores in emission order. */
     const std::vector<PokeRecord> &image() const { return _image; }
@@ -83,6 +90,7 @@ class CompiledProgram
     std::vector<PokeRecord> _image;
     SymbolTable _syms;
     CodeGen::Snapshot _snapshot;
+    CompileOptions _options;
     std::uint64_t _hash = 0;
 };
 

@@ -45,6 +45,11 @@ tagName(Tag t)
       case Tag::AExpr: return "a_expr";
       case Tag::CutOp: return "cut";
       case Tag::Proceed: return "proceed";
+      case Tag::IndexRef: return "index_ref";
+      case Tag::IndexRoot: return "index_root";
+      case Tag::IndexHash: return "index_hash";
+      case Tag::CallIs: return "call_is";
+      case Tag::CallCmp: return "call_cmp";
       case Tag::NumTags: break;
     }
     return "?";

@@ -65,6 +65,19 @@ enum class Tag : std::uint8_t
     CutOp,         ///< cut back to the clause's entry choice point
     Proceed,       ///< end of clause body
 
+    // --- first-argument index + specialized builtins (psiindex) -------
+    // Appended after Proceed so every pre-existing tag keeps its
+    // numeric value: images compiled without indexing stay
+    // bit-identical and the fast engine's tag-indexed dispatch table
+    // only grows at the end.
+    IndexRef,      ///< directory entry: data = index root address
+    IndexRoot,     ///< index root word 0: data = linear clause table
+                   ///< (the unbound-first-argument fallback)
+    IndexHash,     ///< index slot: data = hash-block address
+    CallIs,        ///< body goal: specialized is/2 (data = builtin idx)
+    CallCmp,       ///< body goal: specialized arith compare
+                   ///< (data = builtin idx of </>/=</>=/=:=/=\=)
+
     NumTags
 };
 

@@ -272,16 +272,14 @@ PsiClient::sendSubmit(const std::string &workload,
                       const std::string &tenant,
                       interp::ExecMode mode)
 {
-    SubmitMsg msg;
-    msg.tag = _nextTag++;
-    msg.workload = workload;
-    msg.deadlineNs = deadlineNs;
-    msg.tenant = tenant;
-    msg.mode = mode;
+    SubmitBuilder builder(_nextTag++, workload);
+    builder.deadlineNs(deadlineNs).tenant(tenant);
     // Fidelity requests keep the v2.1 two-field form so pre-v2.2
     // servers (which reject trailing bytes) interop unchanged; only
     // a fast request needs the mode byte on the wire.
-    msg.hasMode = mode != interp::ExecMode::Fidelity;
+    if (mode != interp::ExecMode::Fidelity)
+        builder.mode(mode);
+    SubmitMsg msg = std::move(builder).build();
     if (tagOut)
         *tagOut = msg.tag;
     return sendAll(encode(Message(std::move(msg))), error);
@@ -322,23 +320,6 @@ PsiClient::submit(const Request &request, const RetryPolicy *retry,
     return submitWithRetry(request.workload, policy,
                            request.deadlineNs, request.timeoutMs,
                            error, request.tenant, request.mode);
-}
-
-std::optional<ResultMsg>
-PsiClient::submit(const std::string &workload,
-                  std::uint64_t deadlineNs, int timeoutMs,
-                  std::string *error)
-{
-    return submitOnce(workload, deadlineNs, timeoutMs, error);
-}
-
-std::optional<ResultMsg>
-PsiClient::submitRetry(const std::string &workload,
-                       std::uint64_t deadlineNs, int timeoutMs,
-                       std::string *error)
-{
-    return submitWithRetry(workload, _policy, deadlineNs, timeoutMs,
-                           error);
 }
 
 std::optional<ResultMsg>

@@ -165,19 +165,6 @@ class PsiClient
            const RetryPolicy *retry = nullptr,
            std::string *error = nullptr);
 
-    /** @deprecated Transitional shim; use submit(Request). */
-    [[deprecated("use submit(Request)")]] std::optional<ResultMsg>
-    submit(const std::string &workload, std::uint64_t deadlineNs = 0,
-           int timeoutMs = -1, std::string *error = nullptr);
-
-    /** @deprecated Transitional shim for the old resilient path;
-     *  use submit(Request, &retryPolicy()). */
-    [[deprecated(
-        "use submit(Request, &policy)")]] std::optional<ResultMsg>
-    submitRetry(const std::string &workload,
-                std::uint64_t deadlineNs = 0, int timeoutMs = -1,
-                std::string *error = nullptr);
-
     /**
      * Negotiate the protocol version (optional opener; servers treat
      * connections that skip it as v1).  On success returns the
@@ -190,7 +177,8 @@ class PsiClient
     hello(std::uint64_t features = kSupportedFeatures,
           int timeoutMs = -1, std::string *error = nullptr);
 
-    /** Policy for connect()/submitRetry(); also reseeds the jitter. */
+    /** Policy for connect()/submit(Request, &policy); also reseeds
+     *  the jitter. */
     void setRetryPolicy(const RetryPolicy &policy);
     const RetryPolicy &retryPolicy() const { return _policy; }
 

@@ -213,20 +213,67 @@ struct Reader
 // Message bodies
 // ---------------------------------------------------------------------
 
+// ---------------------------------------------------------------------
+// SUBMIT tail fields
+// ---------------------------------------------------------------------
+// The SUBMIT body grew by appending one optional field per minor
+// revision, and a frame is self-canonical: it simply ends after the
+// last field its sender knew.  Each row below bundles the three
+// obligations one appended field carries - encode when present,
+// decode while bytes remain, reset to the default when absent (so a
+// re-encode reproduces the sender's exact bytes).  The encoder stops
+// at the first absent field and the decoder flips to absent at
+// exhaustion, which together enforce the prefix rule (e.g. a mode
+// byte cannot ride without the tenant field before it).  Adding a
+// v2.3 field is one more row, nothing else.
+
+struct SubmitTailField
+{
+    bool SubmitMsg::*present;                      ///< presence flag
+    void (*put)(std::string &, const SubmitMsg &); ///< encode field
+    bool (*get)(Reader &, SubmitMsg &);            ///< decode+validate
+    void (*clear)(SubmitMsg &);                    ///< absent default
+};
+
+const SubmitTailField kSubmitTail[] = {
+    // v2.1: scheduling tenant ("" = the shared default tenant).
+    {&SubmitMsg::hasTenant,
+     [](std::string &out, const SubmitMsg &m) {
+         putString(out, m.tenant);
+     },
+     [](Reader &r, SubmitMsg &m) { return r.getString(m.tenant); },
+     [](SubmitMsg &m) { m.tenant.clear(); }},
+    // v2.2: execution-mode byte.  Unknown modes are a decode error,
+    // not a silent fallback: a frame asking for an execution
+    // semantics this build does not implement must not run as
+    // something else.
+    {&SubmitMsg::hasMode,
+     [](std::string &out, const SubmitMsg &m) {
+         putU8(out, static_cast<std::uint8_t>(m.mode));
+     },
+     [](Reader &r, SubmitMsg &m) {
+         std::uint8_t mode;
+         if (!r.getU8(mode))
+             return false;
+         if (mode > static_cast<std::uint8_t>(interp::ExecMode::Fast))
+             return false;
+         m.mode = static_cast<interp::ExecMode>(mode);
+         return true;
+     },
+     [](SubmitMsg &m) { m.mode = interp::ExecMode::Fidelity; }},
+};
+
 void
 putBody(std::string &out, const SubmitMsg &m)
 {
     putU64(out, m.tag);
     putString(out, m.workload);
     putU64(out, m.deadlineNs);
-    // The tenant-less v1/v2.0 form ends here, the v2.1 form after
-    // the tenant; hasTenant/hasMode select which of the three
-    // canonical encodings this message uses.  A mode byte without a
-    // tenant field is not encodable, matching the decoder.
-    if (m.hasTenant)
-        putString(out, m.tenant);
-    if (m.hasTenant && m.hasMode)
-        putU8(out, static_cast<std::uint8_t>(m.mode));
+    for (const SubmitTailField &f : kSubmitTail) {
+        if (!(m.*f.present))
+            break;
+        f.put(out, m);
+    }
 }
 
 void
@@ -326,34 +373,22 @@ getBody(Reader &r, SubmitMsg &m)
     if (!r.getU64(m.tag) || !r.getString(m.workload) ||
         !r.getU64(m.deadlineNs))
         return false;
-    if (r.done()) {
-        // v1/v2.0 sender: no tenant field on the wire.  Remember
-        // that so a re-encode reproduces the exact same bytes.
-        m.hasTenant = false;
-        m.tenant.clear();
-        m.hasMode = false;
-        m.mode = interp::ExecMode::Fidelity;
-        return true;
+    // Once the frame runs dry, every remaining field is absent and
+    // takes its default - remembering the absence is what lets a
+    // re-encode reproduce the sender's exact bytes.
+    bool ended = false;
+    for (const SubmitTailField &f : kSubmitTail) {
+        if (!ended && r.done())
+            ended = true;
+        if (ended) {
+            m.*f.present = false;
+            f.clear(m);
+            continue;
+        }
+        m.*f.present = true;
+        if (!f.get(r, m))
+            return false;
     }
-    m.hasTenant = true;
-    if (!r.getString(m.tenant))
-        return false;
-    if (r.done()) {
-        // v2.1 sender: tenant but no mode byte.
-        m.hasMode = false;
-        m.mode = interp::ExecMode::Fidelity;
-        return true;
-    }
-    m.hasMode = true;
-    std::uint8_t mode;
-    if (!r.getU8(mode))
-        return false;
-    // Unknown modes are a decode error, not a silent fallback: a
-    // frame asking for an execution semantics this build does not
-    // implement must not run as something else.
-    if (mode > static_cast<std::uint8_t>(interp::ExecMode::Fast))
-        return false;
-    m.mode = static_cast<interp::ExecMode>(mode);
     return true;
 }
 

@@ -142,7 +142,11 @@ WireStatus wireStatus(interp::RunStatus s);
  *  after the tenant (so hasMode implies hasTenant).  The decoder
  *  distinguishes the forms by exhaustion and re-encodes each one
  *  byte-identically (the fuzz suite's round-trip property), so old
- *  clients interop unchanged. */
+ *  clients interop unchanged.  Encoder and decoder share one
+ *  ordered tail-field table in wire.cpp (kSubmitTail) - appending a
+ *  future field is one row there.  Construct outgoing SUBMITs
+ *  through SubmitBuilder rather than by hand: the builder keeps the
+ *  presence flags consistent with the prefix rule. */
 struct SubmitMsg
 {
     std::uint64_t tag = 0;        ///< client-chosen correlation id
@@ -161,6 +165,77 @@ struct SubmitMsg
     /** False for frames in the v1/v2.0/v2.1 forms; such requests
      *  run in Fidelity mode. */
     bool hasMode = true;
+};
+
+/**
+ * Fluent constructor for outgoing SUBMITs - the one place client
+ * code builds a SubmitMsg.  A fresh builder produces the smallest
+ * form (v1/v2.0: tag + workload + deadline); each setter that
+ * touches an appended tail field upgrades the frame just far enough
+ * to carry it, so the presence flags always satisfy the prefix rule
+ * (mode() implies the tenant field is on the wire) and a Fidelity
+ * request without a tenant still interops with pre-v2.1 servers:
+ *
+ *     encode(SubmitBuilder(tag, "queens1")
+ *                .deadlineNs(budget)
+ *                .tenant("team-a")
+ *                .mode(interp::ExecMode::Fast)
+ *                .build());
+ */
+class SubmitBuilder
+{
+  public:
+    SubmitBuilder(std::uint64_t tag, std::string workload)
+    {
+        _m.tag = tag;
+        _m.workload = std::move(workload);
+        _m.hasTenant = false;
+        _m.hasMode = false;
+    }
+
+    /** Per-request budget in nanoseconds (0 = none). */
+    SubmitBuilder &
+    deadlineNs(std::uint64_t ns)
+    {
+        _m.deadlineNs = ns;
+        return *this;
+    }
+
+    /** Scheduling tenant; upgrades the frame to the v2.1 form. */
+    SubmitBuilder &
+    tenant(std::string t)
+    {
+        _m.tenant = std::move(t);
+        _m.hasTenant = true;
+        return *this;
+    }
+
+    /** Execution mode; upgrades the frame to the v2.2 form (which
+     *  carries the tenant field too - "" = default tenant).  Leave
+     *  unset for Fidelity requests that must reach v2.1 servers. */
+    SubmitBuilder &
+    mode(interp::ExecMode m)
+    {
+        _m.mode = m;
+        _m.hasMode = true;
+        _m.hasTenant = true;
+        return *this;
+    }
+
+    SubmitMsg
+    build() &&
+    {
+        return std::move(_m);
+    }
+
+    SubmitMsg
+    build() const &
+    {
+        return _m;
+    }
+
+  private:
+    SubmitMsg _m;
 };
 
 /** RESULT body: the full JobOutcome, serialized. */

@@ -772,21 +772,19 @@ PsiRouter::forwardToBackend(std::uint32_t target, Pending &&pending)
         pending.tried.push_back(target);
     backend.outstanding.insert(routerTag);
 
-    net::SubmitMsg fwd;
-    fwd.tag = routerTag;
-    fwd.workload = pending.workload;
-    fwd.deadlineNs = remainNs;
+    net::SubmitBuilder fwd(routerTag, pending.workload);
+    fwd.deadlineNs(remainNs);
     // The tenant rides through so backend-side fairness sees the
     // same tenant the client declared (v1 senders forward as the
     // default tenant).  The execution mode rides through the same
     // way, in the v2.2 form only when the client used it, so a
     // cluster of pre-v2.2 backends keeps serving fidelity traffic.
-    fwd.tenant = pending.tenant;
-    fwd.mode = pending.mode;
-    fwd.hasMode = pending.hasMode;
+    fwd.tenant(pending.tenant);
+    if (pending.hasMode)
+        fwd.mode(pending.mode);
     _pending.emplace(routerTag, std::move(pending));
 
-    queueToBackend(backend, net::Message(std::move(fwd)));
+    queueToBackend(backend, net::Message(std::move(fwd).build()));
     if (!flushBackend(backend))
         eject(backend, "send failed");
 }

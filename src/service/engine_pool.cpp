@@ -177,7 +177,8 @@ EnginePool::workerMain(unsigned index)
                     tracing ? trace::nowNs() : 0;
                 bool compiled = false;
                 ProgramCache::ProgramPtr image = _programCache->get(
-                    job->query.program.source, &compiled);
+                    job->query.program.source, job->query.compile,
+                    &compiled);
                 if (tracing)
                     trace::record(compiled
                                       ? trace::Stage::Compile
@@ -209,12 +210,16 @@ EnginePool::workerMain(unsigned index)
                     // copy: fast runs report zero hardware stats.
                     out.run.result = fastEngine->solve(
                         job->query.program.query, limits);
+                    out.indexHits = fastEngine->indexHits();
+                    out.indexFallbacks = fastEngine->indexFallbacks();
                 } else {
                     out.run.result = engine.solve(
                         job->query.program.query, limits);
                     out.run.seq = engine.seq().stats();
                     out.run.cache = engine.mem().cache().stats();
                     out.run.stallNs = engine.mem().stallNs();
+                    out.indexHits = engine.indexHits();
+                    out.indexFallbacks = engine.indexFallbacks();
                 }
 
                 auto solved = std::chrono::steady_clock::now();

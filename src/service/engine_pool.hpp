@@ -85,6 +85,10 @@ struct QueryJob
      *  runs the token-threaded flat-dispatch engine, byte-identical
      *  in answers but reporting zero steps/model-time/cache stats. */
     interp::ExecMode mode = interp::ExecMode::Fidelity;
+    /** Image compile options (first-argument indexing, builtin
+     *  specialization).  Folded into the program-cache key, so jobs
+     *  with different options never share an image. */
+    kl0::CompileOptions compile = {};
 };
 
 /** What the pool hands back through the job's future. */
@@ -101,6 +105,10 @@ struct JobOutcome
     std::uint64_t traceTag = 0; ///< echo of QueryJob::traceTag
     /** Echo of QueryJob::mode (which engine served the job). */
     interp::ExecMode mode = interp::ExecMode::Fidelity;
+    /** Calls dispatched through a first-argument index. */
+    std::uint64_t indexHits = 0;
+    /** Indexed calls that fell back to the linear clause chain. */
+    std::uint64_t indexFallbacks = 0;
     /** True when the deadline budget was exhausted by queue wait
      *  alone; the job completed as Timeout without running. */
     bool expired = false;

@@ -68,6 +68,8 @@ WorkerMetrics::record(const JobOutcome &outcome)
     }
 
     inferences += outcome.run.result.inferences;
+    indexHits += outcome.indexHits;
+    indexFallbacks += outcome.indexFallbacks;
     modelNs += outcome.run.result.timeNs;
     stallNs += outcome.run.stallNs;
     hostExecNs += outcome.execNs;
@@ -97,6 +99,8 @@ WorkerMetrics::merge(const WorkerMetrics &other)
     errored += other.errored;
     expiredInQueue += other.expiredInQueue;
     inferences += other.inferences;
+    indexHits += other.indexHits;
+    indexFallbacks += other.indexFallbacks;
     modelNs += other.modelNs;
     stallNs += other.stallNs;
     hostExecNs += other.hostExecNs;
@@ -153,6 +157,8 @@ MetricsSnapshot::table(std::uint64_t wall_ns) const
     row("queue depth peak", std::to_string(peakQueueDepth));
     t.addSeparator();
     row("inferences", std::to_string(total.inferences));
+    row("index hits", std::to_string(total.indexHits));
+    row("index fallbacks", std::to_string(total.indexFallbacks));
     row("microsteps", std::to_string(total.steps()));
     row("model time ms", ms(total.modelNs));
     row("memory stall ms", ms(total.stallNs));
@@ -208,6 +214,8 @@ MetricsSnapshot::json(std::uint64_t wall_ns) const
     w.u("queue_depth", queueDepth);
     w.u("peak_queue_depth", peakQueueDepth);
     w.u("inferences", total.inferences);
+    w.u("index_hits", total.indexHits);
+    w.u("index_fallbacks", total.indexFallbacks);
     w.u("microsteps", total.steps());
     w.u("model_ns", total.modelNs);
     w.u("stall_ns", total.stallNs);
@@ -287,6 +295,8 @@ MetricsSnapshot::prometheus(std::uint64_t wall_ns) const
     gauge("psi_queue_depth_peak", std::to_string(peakQueueDepth));
 
     counter("psi_inferences_total", total.inferences);
+    counter("psi_index_hits_total", total.indexHits);
+    counter("psi_index_fallbacks_total", total.indexFallbacks);
     counter("psi_microsteps_total", total.steps());
     seconds("psi_model_seconds_total", total.modelNs);
     seconds("psi_stall_seconds_total", total.stallNs);

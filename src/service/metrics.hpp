@@ -57,6 +57,11 @@ struct WorkerMetrics
     /// @}
 
     std::uint64_t inferences = 0;  ///< user-predicate calls
+    /** @name First-argument index counters (both engines) */
+    /// @{
+    std::uint64_t indexHits = 0;      ///< calls served via the index
+    std::uint64_t indexFallbacks = 0; ///< indexed calls gone linear
+    /// @}
     std::uint64_t modelNs = 0;     ///< model clock (steps + stalls)
     std::uint64_t stallNs = 0;     ///< memory stall share
     std::uint64_t hostExecNs = 0;  ///< host time spent executing

@@ -4,9 +4,15 @@ namespace psi {
 namespace service {
 
 ProgramCache::ProgramPtr
-ProgramCache::get(const std::string &source, bool *compiled)
+ProgramCache::get(const std::string &source, kl0::CompileOptions opts,
+                  bool *compiled)
 {
-    const std::uint64_t key = kl0::CompiledProgram::hashSource(source);
+    // The option bits are folded into the key so images compiled with
+    // different options (indexed vs unindexed) never alias.
+    std::uint64_t key = kl0::CompiledProgram::hashSource(source);
+    key ^= (static_cast<std::uint64_t>(opts.firstArgIndexing) |
+            (static_cast<std::uint64_t>(opts.specializeBuiltins) << 1))
+           * 0x9e3779b97f4a7c15ull;
 
     std::promise<ProgramPtr> promise;
     std::shared_future<ProgramPtr> ready;
@@ -19,8 +25,9 @@ ProgramCache::get(const std::string &source, bool *compiled)
             ++_misses;
             owner = true;
             ready = promise.get_future().share();
-            _map.emplace(key, Entry{source, ready});
-        } else if (it->second.source == source) {
+            _map.emplace(key, Entry{source, opts, ready});
+        } else if (it->second.source == source &&
+                   it->second.options == opts) {
             ++_hits;
             ready = it->second.ready;
         } else {
@@ -36,14 +43,14 @@ ProgramCache::get(const std::string &source, bool *compiled)
 
     if (collision) {
         return std::make_shared<const kl0::CompiledProgram>(
-            kl0::CompiledProgram::compile(source));
+            kl0::CompiledProgram::compile(source, opts));
     }
 
     if (owner) {
         try {
             promise.set_value(
                 std::make_shared<const kl0::CompiledProgram>(
-                    kl0::CompiledProgram::compile(source)));
+                    kl0::CompiledProgram::compile(source, opts)));
         } catch (...) {
             promise.set_exception(std::current_exception());
             {

@@ -56,12 +56,16 @@ class ProgramCache
      * same key.  Throws FatalError (to every concurrent waiter) when
      * the source does not compile.
      *
+     * @param opts compile options folded into the cache key, so an
+     *        indexed and an unindexed image of the same source never
+     *        alias each other.
      * @param compiled when non-null, set true when this call paid
      *        (or waited on) a compile and false on a cache hit - the
      *        signal psitrace uses to name the span compile vs
      *        cache-hit.
      */
     ProgramPtr get(const std::string &source,
+                   kl0::CompileOptions opts = {},
                    bool *compiled = nullptr);
 
     Stats stats() const;
@@ -70,6 +74,7 @@ class ProgramCache
     struct Entry
     {
         std::string source; ///< collision guard
+        kl0::CompileOptions options; ///< collision guard
         std::shared_future<ProgramPtr> ready;
     };
 

@@ -64,8 +64,16 @@ PsiDisasm::operandComment(const TaggedWord &w)
         return syms.functorName(w.data) + "/" +
                std::to_string(syms.functorArity(w.data));
       case Tag::CallBuiltin:
+      case Tag::CallIs:
+      case Tag::CallCmp:
         return std::string("builtin ") +
                kl0::builtinName(static_cast<kl0::Builtin>(w.data));
+      case Tag::IndexRef:
+        return "index root @" + hex(w.data);
+      case Tag::IndexRoot:
+        return "linear table @" + hex(w.data);
+      case Tag::IndexHash:
+        return "hash block @" + hex(w.data);
       case Tag::PackedArgs: {
         std::string s = "packed:";
         for (int i = 0; i < 4; ++i) {
@@ -165,10 +173,12 @@ PsiDisasm::clause(std::uint32_t addr)
         if (w.tag == Tag::Proceed)
             break;
         ++p;
+        bool is_builtin = w.tag == Tag::CallBuiltin ||
+                          w.tag == Tag::CallIs || w.tag == Tag::CallCmp;
         if (w.tag == Tag::Call || w.tag == Tag::CallLast ||
-            w.tag == Tag::CallBuiltin) {
+            is_builtin) {
             std::uint32_t goal_arity =
-                w.tag == Tag::CallBuiltin
+                is_builtin
                     ? kl0::builtinArity(
                           static_cast<kl0::Builtin>(w.data))
                     : _eng->symbols().functorArity(w.data);
@@ -195,12 +205,20 @@ PsiDisasm::predicate(const std::string &name, std::uint32_t arity)
     kl0::SymbolTable &syms = _eng->symbols();
     std::uint32_t f = syms.functor(name, arity);
     TaggedWord dir = at(kl0::kDirBase + f);
+    std::string idx_note;
+    if (dir.tag == Tag::IndexRef) {
+        // Indexed predicate: list the clauses of the linear fallback
+        // table (root word 0), which holds every clause in source
+        // order.
+        idx_note = ", first-arg index @" + hex(dir.data);
+        dir = {Tag::ClauseRef, at(dir.data).data};
+    }
     if (dir.tag != Tag::ClauseRef)
         return "";
 
     std::ostringstream os;
     os << "% " << name << "/" << arity << " (clause table @"
-       << dir.data << ")\n";
+       << dir.data << idx_note << ")\n";
     std::uint32_t t = dir.data;
     int idx = 0;
     for (;; ++t) {

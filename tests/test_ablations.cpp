@@ -113,13 +113,23 @@ TEST(Ablations, WorkloadsUnchangedUnderIndexing)
 
 TEST(Ablations, IndexingNeverSlower)
 {
+    // The runtime first-argument probe only has clauses to skip on a
+    // linear chain; with compile-time indexing (the default) the
+    // chain is already filtered and the probe is pure overhead.  Pin
+    // both engines to unindexed images so the ablation keeps
+    // measuring the probe itself.
+    kl0::CompileOptions plain;
+    plain.firstArgIndexing = false;
+    plain.specializeBuiltins = false;
     FirmwareOptions idx;
     idx.firstArgIndexing = true;
     for (const char *id : {"nreverse30", "bup2", "lcp2"}) {
         const auto &p = programs::programById(id);
         Engine a;
+        a.setCompileOptions(plain);
         a.consult(p.source);
         Engine b(CacheConfig::psi(), idx);
+        b.setCompileOptions(plain);
         b.consult(p.source);
         auto ta = a.solve(p.query).timeNs;
         auto tb = b.solve(p.query).timeNs;

@@ -11,14 +11,24 @@ using namespace psi::kl0;
 
 namespace {
 
+/** The pre-psiindex image layout: linear clause chains and generic
+ *  CallBuiltin words.  The layout-pin tests below address clause and
+ *  directory words directly, so they compile with first-argument
+ *  indexing and builtin specialization off; the psiindex tests at the
+ *  end of this file cover the indexed layout explicitly. */
+constexpr CompileOptions kPlain{.firstArgIndexing = false,
+                                .specializeBuiltins = false};
+
 /** Compile @p text and return (mem, syms-owned-elsewhere) helpers. */
 struct Compiled
 {
     MemorySystem mem;
     SymbolTable syms;
-    CodeGen gen{mem, syms};
+    CodeGen gen;
 
-    explicit Compiled(const std::string &text)
+    explicit Compiled(const std::string &text,
+                      CompileOptions opts = kPlain)
+        : gen(mem, syms, opts)
     {
         Program p;
         p.consult(text);
@@ -215,4 +225,183 @@ TEST(Codegen, ArityLimitEnforced)
     SymbolTable syms;
     CodeGen gen(mem, syms);
     EXPECT_THROW(gen.compile(normalize(p)), FatalError);
+}
+
+// ----- psiindex: first-argument index layout ---------------------------
+
+namespace {
+
+/** Directory word of name/arity, whatever its tag. */
+TaggedWord
+dirWord(Compiled &c, const std::string &name, std::uint32_t arity)
+{
+    return c.at(kDirBase + c.syms.functor(name, arity));
+}
+
+/** Follow a root-slot word to its ClauseRef chain for @p key. */
+std::uint32_t
+chainAt(Compiled &c, TaggedWord slot_w, Tag key_tag, std::uint32_t key)
+{
+    if (slot_w.tag == Tag::ClauseRef)
+        return slot_w.data;
+    EXPECT_EQ(slot_w.tag, Tag::IndexHash);
+    std::uint32_t block = slot_w.data;
+    std::uint32_t nslots = c.at(block).data;
+    std::uint32_t h = indexKeyHash(key) & (nslots - 1);
+    for (;;) {
+        TaggedWord kw = c.at(block + 2 + 2 * h);
+        if (kw.tag == Tag::Undef)
+            return c.at(block + 1).data;  // miss: var chain
+        if (kw.tag == key_tag && kw.data == key)
+            return c.at(block + 3 + 2 * h).data;
+        h = (h + 1) & (nslots - 1);
+    }
+}
+
+/** Clause addresses of the chain at @p t, in order. */
+std::vector<std::uint32_t>
+chainClauses(Compiled &c, std::uint32_t t)
+{
+    std::vector<std::uint32_t> out;
+    for (; c.at(t).tag == Tag::ClauseRef; ++t)
+        out.push_back(c.at(t).data);
+    EXPECT_EQ(c.at(t).tag, Tag::EndClauses);
+    return out;
+}
+
+} // namespace
+
+TEST(Codegen, IndexedDirectoryPointsAtRoot)
+{
+    Compiled c("f(1). f(2). f(3).", CompileOptions{});
+    TaggedWord dir = dirWord(c, "f", 1);
+    ASSERT_EQ(dir.tag, Tag::IndexRef);
+    // Root word 0 holds the linear fallback table, which still lists
+    // every clause in source order.
+    TaggedWord root0 = c.at(dir.data);
+    ASSERT_EQ(root0.tag, Tag::IndexRoot);
+    EXPECT_EQ(chainClauses(c, root0.data).size(), 3u);
+}
+
+TEST(Codegen, IndexHashSelectsTheMatchingClause)
+{
+    Compiled c("f(1). f(2). f(3).", CompileOptions{});
+    TaggedWord dir = dirWord(c, "f", 1);
+    ASSERT_EQ(dir.tag, Tag::IndexRef);
+    std::uint32_t root = dir.data;
+    auto linear = chainClauses(c, c.at(root).data);
+
+    // Each integer key's bucket holds exactly its own clause.
+    for (std::uint32_t k = 1; k <= 3; ++k) {
+        auto bucket = chainClauses(
+            c, chainAt(c, c.at(root + kIdxSlotInt), Tag::Int, k));
+        ASSERT_EQ(bucket.size(), 1u) << "key " << k;
+        EXPECT_EQ(bucket[0], linear[k - 1]) << "key " << k;
+    }
+    // A key no clause mentions falls through to the (empty) var chain.
+    auto miss = chainClauses(
+        c, chainAt(c, c.at(root + kIdxSlotInt), Tag::Int, 99));
+    EXPECT_TRUE(miss.empty());
+    // The atom class has no keyed clause: it shares the var chain.
+    auto atoms = chainClauses(c, chainAt(c, c.at(root + kIdxSlotAtom),
+                                         Tag::Atom, 0));
+    EXPECT_TRUE(atoms.empty());
+}
+
+TEST(Codegen, VarHeadedClausesAppearInEveryChain)
+{
+    Compiled c("g(a, 1). g(X, 2). g(b, 3). g([], 4). g([_|_], 5).",
+               CompileOptions{});
+    TaggedWord dir = dirWord(c, "g", 2);
+    ASSERT_EQ(dir.tag, Tag::IndexRef);
+    std::uint32_t root = dir.data;
+    auto linear = chainClauses(c, c.at(root).data);
+    ASSERT_EQ(linear.size(), 5u);
+
+    std::uint32_t key_a = c.syms.atom("a");
+    auto a_chain = chainClauses(
+        c, chainAt(c, c.at(root + kIdxSlotAtom), Tag::Atom, key_a));
+    // g(a,1) plus the var clause g(X,2), in source order.
+    ASSERT_EQ(a_chain.size(), 2u);
+    EXPECT_EQ(a_chain[0], linear[0]);
+    EXPECT_EQ(a_chain[1], linear[1]);
+
+    auto nil_chain =
+        chainClauses(c, c.at(root + kIdxSlotNil).data);
+    ASSERT_EQ(nil_chain.size(), 2u);
+    EXPECT_EQ(nil_chain[0], linear[1]);  // var clause first in order
+    EXPECT_EQ(nil_chain[1], linear[3]);
+
+    auto list_chain =
+        chainClauses(c, c.at(root + kIdxSlotList).data);
+    ASSERT_EQ(list_chain.size(), 2u);
+    EXPECT_EQ(list_chain[0], linear[1]);
+    EXPECT_EQ(list_chain[1], linear[4]);
+}
+
+TEST(Codegen, AllVarHeadsEmitNoIndex)
+{
+    // No clause has a constant key: the directory stays a plain
+    // linear ClauseRef table.
+    Compiled c("h(X, 1). h(Y, 2).", CompileOptions{});
+    EXPECT_EQ(dirWord(c, "h", 2).tag, Tag::ClauseRef);
+}
+
+TEST(Codegen, SingleClauseAndZeroArityStayLinear)
+{
+    Compiled c("one(a). z :- one(X). z.", CompileOptions{});
+    EXPECT_EQ(dirWord(c, "one", 1).tag, Tag::ClauseRef);
+    // z/0 has two clauses but no first argument to index.
+    EXPECT_EQ(dirWord(c, "z", 0).tag, Tag::ClauseRef);
+}
+
+TEST(Codegen, StructHeadsIndexOnPrincipalFunctor)
+{
+    Compiled c("s(p(_), 1). s(q(_, _), 2). s(p(_), 3).",
+               CompileOptions{});
+    TaggedWord dir = dirWord(c, "s", 2);
+    ASSERT_EQ(dir.tag, Tag::IndexRef);
+    std::uint32_t root = dir.data;
+    auto linear = chainClauses(c, c.at(root).data);
+
+    std::uint32_t fp = c.syms.functor("p", 1);
+    auto p_chain = chainClauses(
+        c, chainAt(c, c.at(root + kIdxSlotStruct), Tag::Functor, fp));
+    ASSERT_EQ(p_chain.size(), 2u);
+    EXPECT_EQ(p_chain[0], linear[0]);
+    EXPECT_EQ(p_chain[1], linear[2]);
+
+    std::uint32_t fq = c.syms.functor("q", 2);
+    auto q_chain = chainClauses(
+        c, chainAt(c, c.at(root + kIdxSlotStruct), Tag::Functor, fq));
+    ASSERT_EQ(q_chain.size(), 1u);
+    EXPECT_EQ(q_chain[0], linear[1]);
+}
+
+TEST(Codegen, SpecializedBuiltinOpcodes)
+{
+    Compiled c("p(X, Y) :- Y is X + 1, Y < 10.", CompileOptions{});
+    std::uint32_t addr = c.clause("p", 2, 0);
+    // Header, HVarF, HVarF, CallIs(is), args, CallCmp(<), args.
+    EXPECT_EQ(c.at(addr + 3).tag, Tag::CallIs);
+    EXPECT_EQ(c.at(addr + 3).data,
+              static_cast<std::uint32_t>(Builtin::Is));
+    EXPECT_EQ(c.at(addr + 6).tag, Tag::CallCmp);
+    EXPECT_EQ(c.at(addr + 6).data,
+              static_cast<std::uint32_t>(Builtin::Lt));
+}
+
+TEST(Codegen, UnindexedImageHasNoNewTags)
+{
+    // The option-off image must not contain any psiindex tag, so
+    // pre-psiindex images are reproduced bit for bit.
+    Compiled c("f(1). f(2). f(3). p(X, Y) :- Y is X + 1.");
+    for (std::uint32_t a = kCodeBase; a < c.gen.heapTop(); ++a) {
+        Tag t = c.at(a).tag;
+        EXPECT_TRUE(t != Tag::IndexRef && t != Tag::IndexRoot &&
+                    t != Tag::IndexHash && t != Tag::CallIs &&
+                    t != Tag::CallCmp)
+            << "word " << a;
+    }
+    EXPECT_EQ(dirWord(c, "f", 1).tag, Tag::ClauseRef);
 }

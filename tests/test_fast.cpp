@@ -187,4 +187,159 @@ TEST(FastEngine, PoolCountsModesSeparately)
         << prom;
 }
 
+// ----- psiindex: first-argument indexing differentials + counters ----
+
+/** Compile options with the psiindex machinery fully off. */
+kl0::CompileOptions
+plainOptions()
+{
+    kl0::CompileOptions o;
+    o.firstArgIndexing = false;
+    o.specializeBuiltins = false;
+    return o;
+}
+
+/**
+ * The index is a pure filter: with indexing and builtin
+ * specialization compiled OUT, both engines must still agree with
+ * each other byte-for-byte - and with the indexed fidelity run, so
+ * flipping CompileOptions can never change what a client observes.
+ * (The indexed fast-vs-fidelity leg is ByteIdenticalToFidelity-
+ * OnFullRegistry above; this closes the square.)
+ */
+TEST(FastEngine, ByteIdenticalToFidelityWithIndexingOff)
+{
+    for (const auto &p : programs::allPrograms()) {
+        SCOPED_TRACE(p.id);
+        auto image =
+            kl0::CompiledProgram::compile(p.source, plainOptions());
+
+        interp::Engine eng;
+        eng.load(image);
+        interp::RunResult fid = eng.solve(p.query);
+
+        fast::FastEngine fe;
+        fe.load(image);
+        interp::RunResult fr = fe.solve(p.query);
+
+        expectByteIdentical(fr, fid);
+        PsiRun indexed = runOnPsi(p); // default options: indexing ON
+        expectByteIdentical(fid, indexed.result);
+
+        // An unindexed image never touches the index counters.
+        EXPECT_EQ(fe.indexHits(), 0u);
+        EXPECT_EQ(fe.indexFallbacks(), 0u);
+        EXPECT_EQ(eng.indexHits(), 0u);
+        EXPECT_EQ(eng.indexFallbacks(), 0u);
+    }
+}
+
+/**
+ * A bound first argument dispatches through the index (hit), an
+ * unbound one takes the linear fallback - on both engines, with
+ * identical counts, since both walk the same compiled index.
+ */
+TEST(FastEngine, IndexCountersSplitHitsFromFallbacks)
+{
+    const std::string src = "f(1,a). f(2,b). f(3,c).";
+    auto image = kl0::CompiledProgram::compile(src);
+
+    fast::FastEngine fe;
+    fe.load(image);
+    interp::Engine eng;
+    eng.load(image);
+
+    fe.solve("f(2,X)");
+    eng.solve("f(2,X)");
+    EXPECT_GT(fe.indexHits(), 0u);
+    EXPECT_EQ(fe.indexFallbacks(), 0u);
+    EXPECT_EQ(eng.indexHits(), fe.indexHits());
+    EXPECT_EQ(eng.indexFallbacks(), 0u);
+
+    // Counters are per-run: the unbound query starts from zero.
+    fe.solve("f(X,Y)");
+    eng.solve("f(X,Y)");
+    EXPECT_EQ(fe.indexHits(), 0u);
+    EXPECT_GT(fe.indexFallbacks(), 0u);
+    EXPECT_EQ(eng.indexHits(), 0u);
+    EXPECT_EQ(eng.indexFallbacks(), fe.indexFallbacks());
+}
+
+/**
+ * The regression the tentpole exists for: on polyop (26-clause
+ * dispatch predicate, the worst case for linear clause trial) the
+ * indexed image must visit strictly fewer clause candidates than the
+ * linear one, on both engines, with byte-identical answers.
+ */
+TEST(FastEngine, PolyopIndexedTriesStrictlyFewerClauses)
+{
+    const auto &p = programs::programById("polyop");
+    auto indexed = kl0::CompiledProgram::compile(p.source);
+    auto linear =
+        kl0::CompiledProgram::compile(p.source, plainOptions());
+
+    fast::FastEngine fe;
+    fe.load(linear);
+    interp::RunResult linearRun = fe.solve(p.query);
+    std::uint64_t linearTries = fe.clauseTries();
+    fe.load(indexed);
+    interp::RunResult indexedRun = fe.solve(p.query);
+    std::uint64_t indexedTries = fe.clauseTries();
+    expectByteIdentical(indexedRun, linearRun);
+    EXPECT_LT(indexedTries, linearTries);
+    EXPECT_GT(fe.indexHits(), 0u);
+
+    interp::Engine eng;
+    eng.load(linear);
+    eng.solve(p.query);
+    std::uint64_t fidLinearTries = eng.clauseTries();
+    eng.load(indexed);
+    eng.solve(p.query);
+    EXPECT_LT(eng.clauseTries(), fidLinearTries);
+    EXPECT_GT(eng.indexHits(), 0u);
+    // Same image, same walk: the engines agree on the counters.
+    EXPECT_EQ(eng.clauseTries(), indexedTries);
+    EXPECT_EQ(eng.indexHits(), fe.indexHits());
+}
+
+/**
+ * The per-job counters flow JobOutcome -> WorkerMetrics ->
+ * MetricsSnapshot and surface in every rendering the service
+ * exposes, for fast and fidelity jobs alike.
+ */
+TEST(FastEngine, IndexCountersSurfaceInPoolMetrics)
+{
+    EnginePool::Config config;
+    config.workers = 1;
+    EnginePool pool(config);
+
+    const auto &p = programs::programById("polyop");
+    QueryJob fidelity{p, CacheConfig::psi(), interp::RunLimits()};
+    QueryJob fastJob{p, CacheConfig::psi(), interp::RunLimits()};
+    fastJob.mode = interp::ExecMode::Fast;
+
+    auto f1 = pool.submit(QueryJob(fidelity));
+    auto f2 = pool.submit(QueryJob(fastJob));
+    ASSERT_TRUE(f1 && f2);
+    JobOutcome o1 = f1->get();
+    JobOutcome o2 = f2->get();
+    EXPECT_GT(o1.indexHits, 0u);
+    EXPECT_GT(o2.indexHits, 0u);
+    EXPECT_EQ(o1.indexHits, o2.indexHits);
+
+    auto snap = pool.metrics();
+    EXPECT_EQ(snap.total.indexHits, o1.indexHits + o2.indexHits);
+    const std::string json = snap.json();
+    EXPECT_NE(json.find("\"index_hits\": "), std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"index_fallbacks\": "), std::string::npos)
+        << json;
+    const std::string prom = snap.prometheus();
+    EXPECT_NE(prom.find("psi_index_hits_total"), std::string::npos)
+        << prom;
+    EXPECT_NE(prom.find("psi_index_fallbacks_total"),
+              std::string::npos)
+        << prom;
+}
+
 } // namespace
